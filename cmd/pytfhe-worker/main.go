@@ -1,0 +1,30 @@
+// Command pytfhe-worker joins a PyTFHE cluster as an evaluation worker: it
+// dials the coordinator, receives the broadcast cloud key, and serves
+// bootstrapped-gate jobs until the coordinator shuts down — the role a Ray
+// actor plays in the paper's distributed CPU backend.
+//
+//	pytfhe-worker -join 10.0.0.1:7700 -slots 18
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"pytfhe/internal/cluster"
+)
+
+func main() {
+	join := flag.String("join", "127.0.0.1:7700", "coordinator address")
+	slots := flag.Int("slots", runtime.NumCPU(), "parallel gate engines to run")
+	flag.Parse()
+
+	fmt.Printf("pytfhe-worker: joining %s with %d slots\n", *join, *slots)
+	w := cluster.NewWorker(*slots)
+	if err := w.Serve(*join); err != nil {
+		fmt.Fprintf(os.Stderr, "pytfhe-worker: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("pytfhe-worker: coordinator closed the session, exiting")
+}

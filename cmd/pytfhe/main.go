@@ -1,0 +1,417 @@
+// Command pytfhe is the PyTFHE command-line toolchain:
+//
+//	pytfhe keygen     -params test|default128 -out keys/
+//	pytfhe compile    -bench <vip-bench name> | -mnist S|M|L [-image N] -out prog.ptfhe [-verilog prog.v]
+//	pytfhe inspect    -prog prog.ptfhe [-listing]
+//	pytfhe run        -prog prog.ptfhe -keys keys/ -backend plain|single|pool:N -in 1011,0110,...
+//	pytfhe calibrate  -keys keys/ [-samples N]
+//
+// Programs are PyTFHE binaries (the 128-bit instruction format of the
+// paper); keys serialize with encoding/gob.
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"pytfhe/internal/asm"
+	"pytfhe/internal/backend"
+	"pytfhe/internal/chiseltorch"
+	"pytfhe/internal/core"
+	"pytfhe/internal/models"
+	"pytfhe/internal/params"
+	"pytfhe/internal/tfhe/boot"
+	"pytfhe/internal/verilog"
+	"pytfhe/internal/vipbench"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "keygen":
+		err = cmdKeygen(os.Args[2:])
+	case "compile":
+		err = cmdCompile(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "calibrate":
+		err = cmdCalibrate(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "pytfhe: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pytfhe: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: pytfhe <command> [flags]
+
+commands:
+  keygen     generate a secret/cloud key pair
+  compile    compile a VIP-Bench kernel or MNIST model to a PyTFHE binary
+  inspect    show the structure of a PyTFHE binary
+  run        execute a PyTFHE binary over encrypted inputs
+  calibrate  measure the single-core bootstrapped-gate time`)
+}
+
+func paramSet(name string) (*params.GateParams, error) {
+	switch name {
+	case "test":
+		return params.Test(), nil
+	case "default128", "default":
+		return params.Default128(), nil
+	}
+	return nil, fmt.Errorf("unknown parameter set %q (want test or default128)", name)
+}
+
+func cmdKeygen(args []string) error {
+	fs := flag.NewFlagSet("keygen", flag.ExitOnError)
+	pname := fs.String("params", "default128", "parameter set: test or default128")
+	out := fs.String("out", "keys", "output directory")
+	fs.Parse(args)
+
+	p, err := paramSet(*pname)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generating %s keys (n=%d, N=%d)...\n", p.Name, p.LWEDimension, p.PolyDegree)
+	kp, err := core.GenerateKeys(p)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	if err := writeGob(filepath.Join(*out, "secret.key"), kp.Secret); err != nil {
+		return err
+	}
+	if err := writeGob(filepath.Join(*out, "cloud.key"), kp.Cloud); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s/secret.key and %s/cloud.key\n", *out, *out)
+	return nil
+}
+
+func cmdCompile(args []string) error {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	bench := fs.String("bench", "", "VIP-Bench kernel name (see internal/vipbench)")
+	mnist := fs.String("mnist", "", "MNIST model size: S, M or L")
+	attention := fs.String("attention", "", "attention layer size: S or L")
+	image := fs.Int("image", 0, "override MNIST image size (e.g. 10 for a quick build)")
+	dtype := fs.String("dtype", "fixed8.8", "model data type: sintW, fixedI.F or floatE.M (e.g. sint8, fixed8.8, float5.11)")
+	out := fs.String("out", "prog.ptfhe", "output binary path")
+	vout := fs.String("verilog", "", "also emit structural Verilog to this path")
+	fs.Parse(args)
+
+	dt, err := parseDType(*dtype)
+	if err != nil {
+		return err
+	}
+
+	var prog *core.Program
+	switch {
+	case *bench != "":
+		b, err := vipbench.ByName(*bench)
+		if err != nil {
+			names := make([]string, 0, 18)
+			for _, bb := range vipbench.All() {
+				names = append(names, bb.Name)
+			}
+			return fmt.Errorf("%w\navailable: %s", err, strings.Join(names, ", "))
+		}
+		nl, err := b.Build()
+		if err != nil {
+			return err
+		}
+		prog, err = core.Compile(nl)
+		if err != nil {
+			return err
+		}
+	case *mnist != "":
+		var spec models.MNISTSpec
+		switch strings.ToUpper(*mnist) {
+		case "S":
+			spec = models.MNISTS()
+		case "M":
+			spec = models.MNISTM()
+		case "L":
+			spec = models.MNISTL()
+		default:
+			return fmt.Errorf("unknown MNIST size %q", *mnist)
+		}
+		if *image > 0 {
+			spec = spec.Scaled(*image)
+		}
+		w, err := vipbench.CompileMNIST(spec, dt)
+		if err != nil {
+			return err
+		}
+		prog, err = core.Compile(w.Netlist)
+		if err != nil {
+			return err
+		}
+	case *attention != "":
+		var spec models.AttentionSpec
+		switch strings.ToUpper(*attention) {
+		case "S":
+			spec = models.AttentionS()
+		case "L":
+			spec = models.AttentionL()
+		default:
+			return fmt.Errorf("unknown attention size %q", *attention)
+		}
+		w, err := vipbench.CompileAttention(spec, dt)
+		if err != nil {
+			return err
+		}
+		prog, err = core.Compile(w.Netlist)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("one of -bench, -mnist or -attention is required")
+	}
+
+	if err := os.WriteFile(*out, prog.Binary, 0o644); err != nil {
+		return err
+	}
+	s := prog.Stats
+	fmt.Printf("%s: %d inputs, %d gates (%d bootstrapped), %d outputs, depth %d -> %s (%d bytes)\n",
+		prog.Name, s.Inputs, s.Gates, s.Bootstrapped, s.Outputs, s.Depth, *out, len(prog.Binary))
+	if *vout != "" {
+		src, err := verilog.Emit(prog.Netlist)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*vout, []byte(src), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Verilog to %s\n", *vout)
+	}
+	return nil
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	path := fs.String("prog", "", "PyTFHE binary path")
+	listing := fs.Bool("listing", false, "print the full instruction listing")
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("-prog is required")
+	}
+	bin, err := os.ReadFile(*path)
+	if err != nil {
+		return err
+	}
+	prog, err := core.Load(bin)
+	if err != nil {
+		return err
+	}
+	s := prog.Stats
+	fmt.Printf("instructions: %d (16 bytes each)\n", len(bin)/16)
+	fmt.Printf("inputs: %d  gates: %d (bootstrapped %d, free %d)  outputs: %d\n",
+		s.Inputs, s.Gates, s.Bootstrapped, s.Free, s.Outputs)
+	fmt.Printf("depth: %d  wavefronts: %d  widest level: %d\n", s.Depth, s.Levels, s.MaxWidth)
+	if *listing {
+		text, err := asm.Listing(bin)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	path := fs.String("prog", "", "PyTFHE binary path")
+	keys := fs.String("keys", "keys", "key directory from `pytfhe keygen`")
+	be := fs.String("backend", "single", "plain, single, or pool:N")
+	in := fs.String("in", "", "input bits as 0/1 characters (LSB first), e.g. 10110")
+	fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("-prog is required")
+	}
+	bin, err := os.ReadFile(*path)
+	if err != nil {
+		return err
+	}
+	prog, err := core.Load(bin)
+	if err != nil {
+		return err
+	}
+	bits, err := parseBits(*in)
+	if err != nil {
+		return err
+	}
+	if len(bits) != prog.Stats.Inputs {
+		return fmt.Errorf("program takes %d input bits, got %d", prog.Stats.Inputs, len(bits))
+	}
+
+	if *be == "plain" {
+		out, err := core.RunPlain(prog, bits)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("outputs: %s\n", formatBits(out))
+		return nil
+	}
+
+	var sk boot.SecretKey
+	if err := readGob(filepath.Join(*keys, "secret.key"), &sk); err != nil {
+		return err
+	}
+	var ck boot.CloudKey
+	if err := readGob(filepath.Join(*keys, "cloud.key"), &ck); err != nil {
+		return err
+	}
+	kp := &core.KeyPair{Secret: &sk, Cloud: &ck}
+
+	var runner backend.Backend
+	switch {
+	case *be == "single":
+		runner = backend.NewSingle(kp.Cloud)
+	case strings.HasPrefix(*be, "pool:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(*be, "pool:"))
+		if err != nil {
+			return fmt.Errorf("bad pool worker count: %w", err)
+		}
+		runner = backend.NewPool(kp.Cloud, n)
+	default:
+		return fmt.Errorf("unknown backend %q", *be)
+	}
+
+	fmt.Printf("encrypting %d input bits...\n", len(bits))
+	cts := kp.EncryptBits(bits)
+	fmt.Printf("evaluating %d gates on %s...\n", prog.Stats.Gates, runner.Name())
+	outs, err := core.Run(prog, runner, cts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("outputs: %s\n", formatBits(kp.DecryptBits(outs)))
+	return nil
+}
+
+func cmdCalibrate(args []string) error {
+	fs := flag.NewFlagSet("calibrate", flag.ExitOnError)
+	keys := fs.String("keys", "", "key directory (empty: generate fresh test-parameter keys)")
+	pname := fs.String("params", "default128", "parameter set when generating")
+	samples := fs.Int("samples", 5, "gates to time")
+	fs.Parse(args)
+
+	var kp *core.KeyPair
+	if *keys != "" {
+		var sk boot.SecretKey
+		if err := readGob(filepath.Join(*keys, "secret.key"), &sk); err != nil {
+			return err
+		}
+		var ck boot.CloudKey
+		if err := readGob(filepath.Join(*keys, "cloud.key"), &ck); err != nil {
+			return err
+		}
+		kp = &core.KeyPair{Secret: &sk, Cloud: &ck}
+	} else {
+		p, err := paramSet(*pname)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("generating %s keys...\n", p.Name)
+		kp, err = core.GenerateKeys(p)
+		if err != nil {
+			return err
+		}
+	}
+	gt, err := core.CalibrateGateTime(kp, *samples)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bootstrapped gate time: %v (%.1f gates/s single core)\n", gt, 1e9/float64(gt.Nanoseconds()))
+	return nil
+}
+
+// parseDType parses the ChiselTorch data type notation: sint8, fixed8.8,
+// float5.11.
+func parseDType(s string) (chiseltorch.DType, error) {
+	var a, b int
+	switch {
+	case strings.HasPrefix(s, "sint"):
+		if _, err := fmt.Sscanf(s, "sint%d", &a); err != nil || a <= 0 {
+			return nil, fmt.Errorf("bad dtype %q", s)
+		}
+		return chiseltorch.NewSInt(a), nil
+	case strings.HasPrefix(s, "fixed"):
+		if _, err := fmt.Sscanf(s, "fixed%d.%d", &a, &b); err != nil || a <= 0 || b < 0 {
+			return nil, fmt.Errorf("bad dtype %q", s)
+		}
+		return chiseltorch.NewFixed(a, b), nil
+	case strings.HasPrefix(s, "float"):
+		if _, err := fmt.Sscanf(s, "float%d.%d", &a, &b); err != nil || a <= 0 || b <= 0 {
+			return nil, fmt.Errorf("bad dtype %q", s)
+		}
+		return chiseltorch.NewFloat(a, b), nil
+	}
+	return nil, fmt.Errorf("unknown dtype %q (want sintW, fixedI.F or floatE.M)", s)
+}
+
+func parseBits(s string) ([]bool, error) {
+	s = strings.NewReplacer(",", "", " ", "").Replace(s)
+	bits := make([]bool, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case '0':
+			bits = append(bits, false)
+		case '1':
+			bits = append(bits, true)
+		default:
+			return nil, fmt.Errorf("input bits must be 0 or 1, got %q", r)
+		}
+	}
+	return bits, nil
+}
+
+func formatBits(bits []bool) string {
+	var sb strings.Builder
+	for _, b := range bits {
+		if b {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+func writeGob(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return gob.NewEncoder(f).Encode(v)
+}
+
+func readGob(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return gob.NewDecoder(f).Decode(v)
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"testing"
+
+	"pytfhe/internal/chiseltorch"
+)
+
+func TestParseBits(t *testing.T) {
+	bits, err := parseBits("10 1,1 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true, true, false}
+	if len(bits) != len(want) {
+		t.Fatalf("parsed %d bits", len(bits))
+	}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("bit %d = %v", i, bits[i])
+		}
+	}
+	if _, err := parseBits("10x"); err == nil {
+		t.Fatal("invalid character accepted")
+	}
+}
+
+func TestFormatBits(t *testing.T) {
+	if got := formatBits([]bool{true, false, true}); got != "101" {
+		t.Fatalf("formatBits = %q", got)
+	}
+}
+
+func TestParseDType(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"sint8", "SInt(8)"},
+		{"fixed8.8", "Fixed(8,8)"},
+		{"float5.11", "Float(5,11)"},
+	}
+	for _, c := range cases {
+		dt, err := parseDType(c.in)
+		if err != nil {
+			t.Fatalf("%s: %v", c.in, err)
+		}
+		if dt.Name() != c.want {
+			t.Fatalf("%s -> %s, want %s", c.in, dt.Name(), c.want)
+		}
+	}
+	for _, bad := range []string{"", "int8", "fixed8", "float8", "sint0", "sint-3"} {
+		if _, err := parseDType(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+	var _ chiseltorch.DType // dtype interface is the contract under test
+}
+
+func TestParamSet(t *testing.T) {
+	for _, name := range []string{"test", "default128", "default"} {
+		if _, err := paramSet(name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := paramSet("bogus"); err == nil {
+		t.Fatal("unknown set accepted")
+	}
+}

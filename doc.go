@@ -1,0 +1,15 @@
+// Package pytfhe is a pure-Go reproduction of "PyTFHE: An End-to-End
+// Compilation and Execution Framework for Fully Homomorphic Encryption
+// Applications" (ISPASS 2023): a TFHE gate-bootstrapping cryptosystem, a
+// hardware-construction frontend with a PyTorch-compatible neural-network
+// API (ChiselTorch), a netlist synthesis pipeline, the PyTFHE program
+// binary format, CPU / distributed / GPU-model execution backends, the
+// VIP-Bench workload suite, and models of the Cingulata, E3 and Google
+// Transpiler baselines.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// paper-to-code mapping, and EXPERIMENTS.md for the reproduced evaluation.
+// The implementation lives under internal/; cmd/ holds the command-line
+// tools and examples/ the runnable end-to-end applications. The benchmarks
+// in bench_test.go regenerate every table and figure of the paper.
+package pytfhe

@@ -1,0 +1,3 @@
+module pytfhe
+
+go 1.22

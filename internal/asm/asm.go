@@ -1,0 +1,271 @@
+// Package asm implements the PyTFHE program binary format of the paper
+// (Fig. 5): a sequence of 128-bit instructions — one header, one input
+// instruction per primary input, one gate instruction per gate, and one
+// output instruction per output — using a sequential gate-indexing scheme
+// that supports up to 2^62 gates.
+//
+// Instruction layout (bit 127 .. bit 0):
+//
+//	[127:66] field1 (62 bits)   [65:4] field2 (62 bits)   [3:0] gate type
+//
+//	Header: field1 = 0,          field2 = total gate count, type = 0x0
+//	Input:  field1 = all ones,   field2 = all ones,         type = 0xF
+//	Gate:   field1 = input0 idx, field2 = input1 idx,       type = truth table
+//	Output: field1 = all ones,   field2 = producing index,  type = 0x3
+//
+// Indices are implicit and sequential: the i-th input instruction reserves
+// index i (starting at 1), and the j-th gate instruction receives index
+// NumInputs + j. Each 128-bit instruction serializes as 16 little-endian
+// bytes, low quadword first.
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/logic"
+)
+
+// InstructionSize is the size of one encoded instruction in bytes.
+const InstructionSize = 16
+
+// MaxIndex is the largest encodable node index (2^62 - 2; the all-ones
+// value is the input/output marker).
+const MaxIndex = allOnes62 - 1
+
+const allOnes62 = uint64(1)<<62 - 1
+
+// Instruction is one decoded 128-bit PyTFHE instruction.
+type Instruction struct {
+	F1, F2 uint64 // 62-bit fields
+	Type   uint8  // 4-bit gate type
+}
+
+// Kind classifies an instruction within a program stream.
+type Kind uint8
+
+// Instruction kinds.
+const (
+	KindHeader Kind = iota
+	KindInput
+	KindGate
+	KindOutput
+)
+
+// Classify determines the instruction kind from its markers. The header is
+// positional (first instruction) and cannot be distinguished by content
+// alone, so Classify never returns KindHeader.
+func (in Instruction) Classify() Kind {
+	if in.F1 == allOnes62 {
+		if in.Type == 0xF && in.F2 == allOnes62 {
+			return KindInput
+		}
+		return KindOutput
+	}
+	return KindGate
+}
+
+// encode packs the instruction into dst[0:16].
+func (in Instruction) encode(dst []byte) {
+	lo := in.F2<<4 | uint64(in.Type&0xF)
+	hi := in.F1<<2 | in.F2>>60
+	binary.LittleEndian.PutUint64(dst[0:8], lo)
+	binary.LittleEndian.PutUint64(dst[8:16], hi)
+}
+
+// decode unpacks an instruction from src[0:16].
+func decode(src []byte) Instruction {
+	lo := binary.LittleEndian.Uint64(src[0:8])
+	hi := binary.LittleEndian.Uint64(src[8:16])
+	return Instruction{
+		Type: uint8(lo & 0xF),
+		F2:   (lo>>4 | hi<<60) & allOnes62,
+		F1:   hi >> 2,
+	}
+}
+
+// Assemble encodes a netlist as a PyTFHE program binary. Constant outputs
+// (which the optimizing frontend can produce) are materialized as
+// XOR/XNOR(x, x) gates since the format has no immediate operands; this
+// requires at least one primary input.
+func Assemble(nl *circuit.Netlist) ([]byte, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	gates := nl.Gates
+	outputs := nl.Outputs
+
+	// Materialize constant outputs if present.
+	var constTrue, constFalse circuit.NodeID
+	needsConst := false
+	for _, o := range outputs {
+		if o.IsConst() {
+			needsConst = true
+		}
+	}
+	if needsConst {
+		if nl.NumInputs == 0 {
+			return nil, fmt.Errorf("asm: netlist %q has constant outputs but no inputs to anchor them", nl.Name)
+		}
+		gates = append([]circuit.Gate(nil), gates...)
+		outputs = append([]circuit.NodeID(nil), outputs...)
+		for i, o := range outputs {
+			switch o {
+			case circuit.ConstTrue:
+				if constTrue == 0 {
+					gates = append(gates, circuit.Gate{Kind: logic.XNOR, A: 1, B: 1})
+					constTrue = circuit.NodeID(nl.NumInputs + len(gates))
+				}
+				outputs[i] = constTrue
+			case circuit.ConstFalse:
+				if constFalse == 0 {
+					gates = append(gates, circuit.Gate{Kind: logic.XOR, A: 1, B: 1})
+					constFalse = circuit.NodeID(nl.NumInputs + len(gates))
+				}
+				outputs[i] = constFalse
+			}
+		}
+	}
+
+	if uint64(nl.NumInputs)+uint64(len(gates)) > MaxIndex {
+		return nil, fmt.Errorf("asm: program exceeds the 2^62 index space")
+	}
+
+	n := 1 + nl.NumInputs + len(gates) + len(outputs)
+	buf := make([]byte, n*InstructionSize)
+	pos := 0
+	put := func(in Instruction) {
+		in.encode(buf[pos : pos+InstructionSize])
+		pos += InstructionSize
+	}
+
+	put(Instruction{F1: 0, F2: uint64(len(gates)), Type: 0}) // header
+	for i := 0; i < nl.NumInputs; i++ {
+		put(Instruction{F1: allOnes62, F2: allOnes62, Type: 0xF})
+	}
+	for _, g := range gates {
+		put(Instruction{F1: uint64(g.A), F2: uint64(g.B), Type: uint8(g.Kind)})
+	}
+	for _, o := range outputs {
+		put(Instruction{F1: allOnes62, F2: uint64(o), Type: 0x3})
+	}
+	return buf, nil
+}
+
+// Info summarizes a program binary without fully decoding it.
+type Info struct {
+	Instructions int
+	Inputs       int
+	Gates        int
+	Outputs      int
+}
+
+// Inspect validates the framing of a program binary and returns counts.
+func Inspect(bin []byte) (Info, error) {
+	var info Info
+	if len(bin)%InstructionSize != 0 {
+		return info, fmt.Errorf("asm: binary length %d is not a multiple of %d", len(bin), InstructionSize)
+	}
+	n := len(bin) / InstructionSize
+	if n == 0 {
+		return info, fmt.Errorf("asm: empty program")
+	}
+	info.Instructions = n
+	header := decode(bin[:InstructionSize])
+	if header.F1 != 0 || header.Type != 0 {
+		return info, fmt.Errorf("asm: malformed header instruction")
+	}
+	declaredGates := header.F2
+
+	i := 1
+	for ; i < n; i++ {
+		if decode(bin[i*InstructionSize:]).Classify() != KindInput {
+			break
+		}
+		info.Inputs++
+	}
+	for ; i < n; i++ {
+		inst := decode(bin[i*InstructionSize:])
+		if inst.Classify() != KindGate {
+			break
+		}
+		info.Gates++
+	}
+	for ; i < n; i++ {
+		inst := decode(bin[i*InstructionSize:])
+		if inst.Classify() != KindOutput {
+			return info, fmt.Errorf("asm: instruction %d: expected output instruction", i)
+		}
+		info.Outputs++
+	}
+	if uint64(info.Gates) != declaredGates {
+		return info, fmt.Errorf("asm: header declares %d gates, found %d", declaredGates, info.Gates)
+	}
+	return info, nil
+}
+
+// Disassemble decodes a program binary back into a netlist. Port names are
+// synthesized (in[i], out[i]) since the format does not carry them.
+func Disassemble(bin []byte) (*circuit.Netlist, error) {
+	info, err := Inspect(bin)
+	if err != nil {
+		return nil, err
+	}
+	nl := &circuit.Netlist{
+		Name:        "disassembled",
+		NumInputs:   info.Inputs,
+		Gates:       make([]circuit.Gate, 0, info.Gates),
+		Outputs:     make([]circuit.NodeID, 0, info.Outputs),
+		InputNames:  make([]string, info.Inputs),
+		OutputNames: make([]string, info.Outputs),
+	}
+	for i := range nl.InputNames {
+		nl.InputNames[i] = fmt.Sprintf("in[%d]", i)
+	}
+	for i := range nl.OutputNames {
+		nl.OutputNames[i] = fmt.Sprintf("out[%d]", i)
+	}
+	base := 1 + info.Inputs
+	for i := 0; i < info.Gates; i++ {
+		inst := decode(bin[(base+i)*InstructionSize:])
+		nl.Gates = append(nl.Gates, circuit.Gate{
+			Kind: logic.Kind(inst.Type),
+			A:    circuit.NodeID(inst.F1),
+			B:    circuit.NodeID(inst.F2),
+		})
+	}
+	base += info.Gates
+	for i := 0; i < info.Outputs; i++ {
+		inst := decode(bin[(base+i)*InstructionSize:])
+		nl.Outputs = append(nl.Outputs, circuit.NodeID(inst.F2))
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, fmt.Errorf("asm: decoded program is malformed: %w", err)
+	}
+	return nl, nil
+}
+
+// Listing renders a human-readable disassembly, one instruction per line.
+func Listing(bin []byte) (string, error) {
+	info, err := Inspect(bin)
+	if err != nil {
+		return "", err
+	}
+	out := fmt.Sprintf("header  gates=%d\n", info.Gates)
+	idx := 1
+	for i := 1; i < info.Instructions; i++ {
+		inst := decode(bin[i*InstructionSize:])
+		switch inst.Classify() {
+		case KindInput:
+			out += fmt.Sprintf("input   #%d\n", idx)
+			idx++
+		case KindGate:
+			out += fmt.Sprintf("gate    #%d = %s(%d, %d)\n", idx, logic.Kind(inst.Type), inst.F1, inst.F2)
+			idx++
+		case KindOutput:
+			out += fmt.Sprintf("output  <- #%d\n", inst.F2)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,233 @@
+package asm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/logic"
+)
+
+func halfAdder(t *testing.T) *circuit.Netlist {
+	t.Helper()
+	b := circuit.NewBuilder("half_adder", circuit.AllOptimizations())
+	a := b.Input("A")
+	bb := b.Input("B")
+	b.Output("Sum", b.Xor(a, bb))
+	b.Output("Carry", b.And(a, bb))
+	return b.MustBuild()
+}
+
+// TestHalfAdderBinaryLayout reproduces the paper's Fig. 6: the half adder
+// assembles to one header, two inputs, the XOR/AND gates (indices 3 and 4,
+// XOR encoded as 0110), and two output instructions referencing them.
+func TestHalfAdderBinaryLayout(t *testing.T) {
+	bin, err := Assemble(halfAdder(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bin) != 7*InstructionSize {
+		t.Fatalf("binary is %d bytes, want %d", len(bin), 7*InstructionSize)
+	}
+	insts := make([]Instruction, 7)
+	for i := range insts {
+		insts[i] = decode(bin[i*InstructionSize:])
+	}
+	// Header: two gates.
+	if insts[0].F1 != 0 || insts[0].F2 != 2 || insts[0].Type != 0 {
+		t.Fatalf("header = %+v", insts[0])
+	}
+	// Two input instructions (indices 1, 2 implicit).
+	for i := 1; i <= 2; i++ {
+		if insts[i].Classify() != KindInput {
+			t.Fatalf("instruction %d should be an input", i)
+		}
+	}
+	// XOR gate (index 3) reading inputs 1 and 2, type 0110 = 6.
+	if insts[3].F1 != 1 || insts[3].F2 != 2 || insts[3].Type != 6 {
+		t.Fatalf("XOR gate = %+v", insts[3])
+	}
+	// AND gate (index 4), type 1000 = 8.
+	if insts[4].F1 != 1 || insts[4].F2 != 2 || insts[4].Type != 8 {
+		t.Fatalf("AND gate = %+v", insts[4])
+	}
+	// Outputs reference gates 3 (Sum) and 4 (Carry).
+	if insts[5].Classify() != KindOutput || insts[5].F2 != 3 {
+		t.Fatalf("Sum output = %+v", insts[5])
+	}
+	if insts[6].Classify() != KindOutput || insts[6].F2 != 4 {
+		t.Fatalf("Carry output = %+v", insts[6])
+	}
+}
+
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	nl := halfAdder(t)
+	bin, err := Assemble(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Disassemble(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumInputs != nl.NumInputs || len(back.Gates) != len(nl.Gates) || len(back.Outputs) != len(nl.Outputs) {
+		t.Fatalf("shape mismatch after round trip: %v vs %v", back, nl)
+	}
+	for i, g := range nl.Gates {
+		if back.Gates[i] != g {
+			t.Fatalf("gate %d: %+v vs %+v", i, back.Gates[i], g)
+		}
+	}
+	// Functional equivalence on all inputs.
+	for v := 0; v < 4; v++ {
+		in := []bool{v&1 == 1, v&2 == 2}
+		a, _ := nl.Evaluate(in)
+		b, _ := back.Evaluate(in)
+		if a[0] != b[0] || a[1] != b[1] {
+			t.Fatalf("outputs differ on %v", in)
+		}
+	}
+}
+
+func TestRoundTripRandomNetlists(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		b := circuit.NewBuilder("rand", circuit.NoOptimizations())
+		nodes := []circuit.NodeID{b.Input("a"), b.Input("b"), b.Input("c")}
+		for i := 0; i < 50; i++ {
+			kind := logic.TFHEGates()[rng.Intn(11)]
+			x := nodes[rng.Intn(len(nodes))]
+			y := nodes[rng.Intn(len(nodes))]
+			nodes = append(nodes, b.Gate(kind, x, y))
+		}
+		b.Output("o", nodes[len(nodes)-1])
+		nl := b.MustBuild()
+
+		bin, err := Assemble(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Disassemble(bin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < 8; v++ {
+			in := []bool{v&1 != 0, v&2 != 0, v&4 != 0}
+			x, _ := nl.Evaluate(in)
+			y, _ := back.Evaluate(in)
+			if x[0] != y[0] {
+				t.Fatalf("trial %d: outputs differ on %v", trial, in)
+			}
+		}
+	}
+}
+
+func TestConstantOutputMaterialization(t *testing.T) {
+	b := circuit.NewBuilder("const", circuit.AllOptimizations())
+	x := b.Input("x")
+	b.Output("zero", b.Xor(x, x)) // folds to ConstFalse
+	b.Output("one", b.Xnor(x, x)) // folds to ConstTrue
+	b.Output("echo", x)           // plain input output
+	nl := b.MustBuild()
+	bin, err := Assemble(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Disassemble(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := back.Evaluate([]bool{true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != false || out[1] != true || out[2] != true {
+		t.Fatalf("materialized constants evaluated to %v", out)
+	}
+}
+
+func TestInspect(t *testing.T) {
+	bin, _ := Assemble(halfAdder(t))
+	info, err := Inspect(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Inputs != 2 || info.Gates != 2 || info.Outputs != 2 || info.Instructions != 7 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestInspectRejectsCorruption(t *testing.T) {
+	bin, _ := Assemble(halfAdder(t))
+
+	// Truncated binary.
+	if _, err := Inspect(bin[:len(bin)-3]); err == nil {
+		t.Error("truncation not detected")
+	}
+	// Empty program.
+	if _, err := Inspect(nil); err == nil {
+		t.Error("empty program not detected")
+	}
+	// Corrupt header.
+	bad := append([]byte(nil), bin...)
+	bad[15] = 0xFF // set high bits of F1 in the header
+	if _, err := Inspect(bad); err == nil {
+		t.Error("corrupt header not detected")
+	}
+	// Wrong gate count in header.
+	bad2 := append([]byte(nil), bin...)
+	bad2[0] = 0x30 | bad2[0]&0x0F // header F2 low bits -> 3 gates
+	if _, err := Inspect(bad2); err == nil {
+		t.Error("gate count mismatch not detected")
+	}
+}
+
+func TestDisassembleRejectsDanglingReference(t *testing.T) {
+	// Hand-craft a program whose gate reads a not-yet-defined index.
+	var buf bytes.Buffer
+	writeInst := func(in Instruction) {
+		var b [16]byte
+		in.encode(b[:])
+		buf.Write(b[:])
+	}
+	writeInst(Instruction{F1: 0, F2: 1, Type: 0})                   // header: 1 gate
+	writeInst(Instruction{F1: allOnes62, F2: allOnes62, Type: 0xF}) // input 1
+	writeInst(Instruction{F1: 5, F2: 1, Type: 8})                   // AND reads node 5 (invalid)
+	writeInst(Instruction{F1: allOnes62, F2: 2, Type: 0x3})
+	if _, err := Disassemble(buf.Bytes()); err == nil {
+		t.Fatal("dangling reference not rejected")
+	}
+}
+
+func TestEncodeDecodeInstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for i := 0; i < 1000; i++ {
+		in := Instruction{
+			F1:   rng.Uint64() & allOnes62,
+			F2:   rng.Uint64() & allOnes62,
+			Type: uint8(rng.Intn(16)),
+		}
+		var b [16]byte
+		in.encode(b[:])
+		if got := decode(b[:]); got != in {
+			t.Fatalf("round trip %+v -> %+v", in, got)
+		}
+	}
+}
+
+func TestListing(t *testing.T) {
+	bin, _ := Assemble(halfAdder(t))
+	text, err := Listing(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text == "" {
+		t.Fatal("empty listing")
+	}
+	for _, want := range []string{"header", "XOR(1, 2)", "AND(1, 2)", "output"} {
+		if !bytes.Contains([]byte(text), []byte(want)) {
+			t.Errorf("listing missing %q:\n%s", want, text)
+		}
+	}
+}

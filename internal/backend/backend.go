@@ -1,0 +1,293 @@
+// Package backend implements the in-process PyTFHE execution backends: the
+// Plain functional reference, the Single single-core homomorphic evaluator,
+// and Pool, the multi-worker wavefront evaluator implementing Algorithm 1
+// of the paper (a BFS over the gate DAG that submits every ready gate to a
+// worker). The distributed multi-node backend lives in internal/cluster;
+// the GPU-simulator backend in internal/gpu.
+package backend
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/tfhe/boot"
+	"pytfhe/internal/tfhe/gate"
+	"pytfhe/internal/tfhe/lwe"
+)
+
+// Backend executes a compiled gate netlist over LWE ciphertexts.
+type Backend interface {
+	// Name identifies the backend in reports.
+	Name() string
+	// Run evaluates the netlist: inputs[i] feeds primary input i+1. The
+	// returned slice parallels nl.Outputs. Inputs are not modified.
+	Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample, error)
+}
+
+// RunStats captures execution metrics from the most recent Run.
+type RunStats struct {
+	Gates       int           // gates evaluated (including free gates)
+	Bootstraps  int           // bootstrapped gate evaluations
+	Levels      int           // wavefronts executed
+	Elapsed     time.Duration // wall-clock for the Run call
+	GatesPerSec float64
+}
+
+// ciphertextPool recycles LWE samples between gates so large programs do
+// not allocate one ciphertext per node.
+type ciphertextPool struct {
+	dim  int
+	free []*lwe.Sample
+}
+
+func (p *ciphertextPool) get() *lwe.Sample {
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		return s
+	}
+	return lwe.NewSample(p.dim)
+}
+
+func (p *ciphertextPool) put(s *lwe.Sample) {
+	if s != nil {
+		p.free = append(p.free, s)
+	}
+}
+
+// Single evaluates gates sequentially on one core.
+type Single struct {
+	eng   *gate.Engine
+	Stats RunStats
+}
+
+// NewSingle returns a single-core backend over ck.
+func NewSingle(ck *boot.CloudKey) *Single {
+	return &Single{eng: gate.NewEngine(ck)}
+}
+
+// Name implements Backend.
+func (s *Single) Name() string { return "single-cpu" }
+
+// Engine exposes the underlying gate engine (for profiling).
+func (s *Single) Engine() *gate.Engine { return s.eng }
+
+// Run implements Backend.
+func (s *Single) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample, error) {
+	if err := checkInputs(nl, inputs, s.eng.Params().LWEDimension); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	dim := s.eng.Params().LWEDimension
+	pool := &ciphertextPool{dim: dim}
+
+	values := make([]*lwe.Sample, nl.NumNodes()+1)
+	for i, in := range inputs {
+		values[i+1] = in
+	}
+	remaining := nl.FanOut()
+
+	stats := RunStats{Gates: len(nl.Gates)}
+	release := func(id circuit.NodeID) {
+		if id <= 0 {
+			return
+		}
+		remaining[id]--
+		if remaining[id] == 0 && !nl.IsInput(id) {
+			pool.put(values[id])
+			values[id] = nil
+		}
+	}
+	for i, g := range nl.Gates {
+		id := nl.GateID(i)
+		out := pool.get()
+		if err := s.eng.Binary(g.Kind, out, values[g.A], values[g.B]); err != nil {
+			return nil, fmt.Errorf("backend: gate %d: %w", id, err)
+		}
+		if g.Kind.NeedsBootstrap() {
+			stats.Bootstraps++
+		}
+		values[id] = out
+		release(g.A)
+		release(g.B)
+	}
+	outs, err := collectOutputs(nl, values, dim)
+	if err != nil {
+		return nil, err
+	}
+	stats.Elapsed = time.Since(start)
+	if secs := stats.Elapsed.Seconds(); secs > 0 {
+		stats.GatesPerSec = float64(stats.Bootstraps) / secs
+	}
+	s.Stats = stats
+	return outs, nil
+}
+
+// Pool evaluates the DAG wavefront by wavefront with W worker goroutines,
+// each owning a gate engine over the shared cloud key — the in-process
+// equivalent of the paper's Ray actors.
+type Pool struct {
+	ck      *boot.CloudKey
+	workers int
+	engines []*gate.Engine
+	Stats   RunStats
+}
+
+// NewPool returns a backend with the given worker count (minimum 1).
+func NewPool(ck *boot.CloudKey, workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	engines := make([]*gate.Engine, workers)
+	for i := range engines {
+		engines[i] = gate.NewEngine(ck)
+	}
+	return &Pool{ck: ck, workers: workers, engines: engines}
+}
+
+// Name implements Backend.
+func (p *Pool) Name() string { return fmt.Sprintf("pool-cpu(%d)", p.workers) }
+
+// Run implements Backend.
+func (p *Pool) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample, error) {
+	dim := p.ck.Params.LWEDimension
+	if err := checkInputs(nl, inputs, dim); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	values := make([]*lwe.Sample, nl.NumNodes()+1)
+	for i, in := range inputs {
+		values[i+1] = in
+	}
+
+	levels := nl.Levels()
+	stats := RunStats{Gates: len(nl.Gates), Levels: len(levels)}
+	for _, g := range nl.Gates {
+		if g.Kind.NeedsBootstrap() {
+			stats.Bootstraps++
+		}
+	}
+
+	// Reference counting lets finished wavefronts return their ciphertexts
+	// to a free list: peak memory follows the live frontier, not the whole
+	// program (a 2M-gate MNIST netlist would otherwise hold ~5 GB).
+	remaining := nl.FanOut()
+	pool := &ciphertextPool{dim: dim}
+	release := func(id circuit.NodeID) {
+		if id <= 0 || nl.IsInput(id) {
+			return
+		}
+		remaining[id]--
+		if remaining[id] == 0 {
+			pool.put(values[id])
+			values[id] = nil
+		}
+	}
+
+	var firstErr error
+	var errMu sync.Mutex
+	for _, level := range levels {
+		// Algorithm 1: every gate in this wavefront has all parents ready;
+		// submit them to the workers and barrier before the next level.
+		for _, gi := range level {
+			values[nl.GateID(gi)] = pool.get()
+		}
+		var wg sync.WaitGroup
+		chunk := (len(level) + p.workers - 1) / p.workers
+		for w := 0; w < p.workers && w*chunk < len(level); w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > len(level) {
+				hi = len(level)
+			}
+			wg.Add(1)
+			go func(eng *gate.Engine, gates []int) {
+				defer wg.Done()
+				for _, gi := range gates {
+					g := nl.Gates[gi]
+					if err := eng.Binary(g.Kind, values[nl.GateID(gi)], values[g.A], values[g.B]); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("backend: gate %d: %w", nl.GateID(gi), err)
+						}
+						errMu.Unlock()
+						return
+					}
+				}
+			}(p.engines[w], level[lo:hi])
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		// Operand releases happen after the barrier so no worker frees a
+		// ciphertext another worker is still reading.
+		for _, gi := range level {
+			release(nl.Gates[gi].A)
+			release(nl.Gates[gi].B)
+		}
+	}
+	outs, err := collectOutputs(nl, values, dim)
+	if err != nil {
+		return nil, err
+	}
+	stats.Elapsed = time.Since(start)
+	if secs := stats.Elapsed.Seconds(); secs > 0 {
+		stats.GatesPerSec = float64(stats.Bootstraps) / secs
+	}
+	p.Stats = stats
+	return outs, nil
+}
+
+func checkInputs(nl *circuit.Netlist, inputs []*lwe.Sample, dim int) error {
+	if len(inputs) != nl.NumInputs {
+		return fmt.Errorf("backend: %d inputs supplied, want %d", len(inputs), nl.NumInputs)
+	}
+	for i, in := range inputs {
+		if in.Dimension() != dim {
+			return fmt.Errorf("backend: input %d has dimension %d, want %d", i, in.Dimension(), dim)
+		}
+	}
+	return nil
+}
+
+func collectOutputs(nl *circuit.Netlist, values []*lwe.Sample, dim int) ([]*lwe.Sample, error) {
+	outs := make([]*lwe.Sample, len(nl.Outputs))
+	for i, id := range nl.Outputs {
+		out := lwe.NewSample(dim)
+		switch {
+		case id == circuit.ConstTrue:
+			gate.Trivial(out, true)
+		case id == circuit.ConstFalse:
+			gate.Trivial(out, false)
+		case values[id] == nil:
+			return nil, fmt.Errorf("backend: output %d references freed node %d", i, id)
+		default:
+			out.Copy(values[id])
+		}
+		outs[i] = out
+	}
+	return outs, nil
+}
+
+// EncryptInputs encrypts plaintext bits for a netlist run.
+func EncryptInputs(sk *boot.SecretKey, bits []bool) []*lwe.Sample {
+	rng := newEncryptionRNG()
+	cts := make([]*lwe.Sample, len(bits))
+	for i, b := range bits {
+		ct := gate.NewCiphertext(sk.Params)
+		gate.Encrypt(ct, b, sk, rng)
+		cts[i] = ct
+	}
+	return cts
+}
+
+// DecryptOutputs decrypts backend outputs to plaintext bits.
+func DecryptOutputs(sk *boot.SecretKey, cts []*lwe.Sample) []bool {
+	bits := make([]bool, len(cts))
+	for i, ct := range cts {
+		bits[i] = gate.Decrypt(ct, sk)
+	}
+	return bits
+}

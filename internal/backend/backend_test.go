@@ -1,0 +1,194 @@
+package backend
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/logic"
+	"pytfhe/internal/params"
+	"pytfhe/internal/tfhe/boot"
+	"pytfhe/internal/trand"
+)
+
+var (
+	keyOnce sync.Once
+	testSK  *boot.SecretKey
+	testCK  *boot.CloudKey
+)
+
+func keys(t testing.TB) (*boot.SecretKey, *boot.CloudKey) {
+	keyOnce.Do(func() {
+		rng := trand.NewSeeded([]byte("backend-test-keys"))
+		sk, ck, err := boot.GenerateKeys(params.Test(), rng)
+		if err != nil {
+			panic(err)
+		}
+		testSK, testCK = sk, ck
+	})
+	return testSK, testCK
+}
+
+// fullAdder4 builds a 4-bit ripple adder netlist.
+func adder4(t testing.TB) *circuit.Netlist {
+	t.Helper()
+	b := circuit.NewBuilder("adder4", circuit.AllOptimizations())
+	a := b.Inputs("a", 4)
+	bb := b.Inputs("b", 4)
+	carry := b.Const(false)
+	for i := 0; i < 4; i++ {
+		axb := b.Xor(a[i], bb[i])
+		sum := b.Xor(axb, carry)
+		carry = b.Or(b.And(a[i], bb[i]), b.And(axb, carry))
+		b.Output("s", sum)
+	}
+	b.Output("cout", carry)
+	return b.MustBuild()
+}
+
+func bitsOf(v uint64, n int) []bool {
+	bits := make([]bool, n)
+	for i := range bits {
+		bits[i] = v>>uint(i)&1 == 1
+	}
+	return bits
+}
+
+func uintOf(bits []bool) uint64 {
+	var v uint64
+	for i, b := range bits {
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+func TestPlainBackend(t *testing.T) {
+	nl := adder4(t)
+	for _, tc := range [][2]uint64{{3, 5}, {15, 1}, {0, 0}, {9, 9}} {
+		in := append(bitsOf(tc[0], 4), bitsOf(tc[1], 4)...)
+		outs, err := Plain{}.Run(nl, TrivialInputs(8, in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := make([]bool, len(outs))
+		for i, ct := range outs {
+			bits[i] = int32(ct.B) > 0 // trivial samples decode by sign
+		}
+		got := uintOf(bits)
+		if got != tc[0]+tc[1] {
+			t.Fatalf("%d+%d = %d", tc[0], tc[1], got)
+		}
+	}
+}
+
+func TestSingleBackendHomomorphic(t *testing.T) {
+	sk, ck := keys(t)
+	nl := adder4(t)
+	be := NewSingle(ck)
+	for _, tc := range [][2]uint64{{3, 5}, {7, 9}, {15, 15}} {
+		in := append(bitsOf(tc[0], 4), bitsOf(tc[1], 4)...)
+		outs, err := be.Run(nl, EncryptInputs(sk, in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := uintOf(DecryptOutputs(sk, outs))
+		if got != tc[0]+tc[1] {
+			t.Fatalf("homomorphic %d+%d = %d", tc[0], tc[1], got)
+		}
+	}
+	if be.Stats.Bootstraps == 0 || be.Stats.GatesPerSec <= 0 {
+		t.Fatalf("stats not recorded: %+v", be.Stats)
+	}
+}
+
+func TestPoolBackendHomomorphic(t *testing.T) {
+	sk, ck := keys(t)
+	nl := adder4(t)
+	for _, workers := range []int{1, 2, 4} {
+		be := NewPool(ck, workers)
+		in := append(bitsOf(11, 4), bitsOf(6, 4)...)
+		outs, err := be.Run(nl, EncryptInputs(sk, in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := uintOf(DecryptOutputs(sk, outs))
+		if got != 17 {
+			t.Fatalf("pool(%d): 11+6 = %d", workers, got)
+		}
+		if be.Stats.Levels == 0 {
+			t.Fatalf("pool(%d): levels not recorded", workers)
+		}
+	}
+}
+
+// TestBackendsAgreeOnRandomCircuits cross-checks the homomorphic backends
+// against the plaintext interpreter on random DAGs.
+func TestBackendsAgreeOnRandomCircuits(t *testing.T) {
+	sk, ck := keys(t)
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 3; trial++ {
+		b := circuit.NewBuilder("rand", circuit.NoOptimizations())
+		nodes := []circuit.NodeID{b.Input("a"), b.Input("b"), b.Input("c"), b.Input("d")}
+		for i := 0; i < 12; i++ {
+			kind := logic.TFHEGates()[rng.Intn(11)]
+			x := nodes[rng.Intn(len(nodes))]
+			y := nodes[rng.Intn(len(nodes))]
+			nodes = append(nodes, b.Gate(kind, x, y))
+		}
+		b.Output("o0", nodes[len(nodes)-1])
+		b.Output("o1", nodes[len(nodes)-3])
+		nl := b.MustBuild()
+
+		in := []bool{rng.Intn(2) == 1, rng.Intn(2) == 1, rng.Intn(2) == 1, rng.Intn(2) == 1}
+		want, err := nl.Evaluate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, be := range []Backend{NewSingle(ck), NewPool(ck, 3)} {
+			outs, err := be.Run(nl, EncryptInputs(sk, in))
+			if err != nil {
+				t.Fatalf("%s: %v", be.Name(), err)
+			}
+			got := DecryptOutputs(sk, outs)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s trial %d output %d: got %v want %v", be.Name(), trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	_, ck := keys(t)
+	nl := adder4(t)
+	be := NewSingle(ck)
+	if _, err := be.Run(nl, nil); err == nil {
+		t.Fatal("missing inputs not rejected")
+	}
+	bad := TrivialInputs(3, bitsOf(0, 8)) // wrong dimension
+	if _, err := be.Run(nl, bad); err == nil {
+		t.Fatal("wrong dimension not rejected")
+	}
+}
+
+func TestConstOutputBackends(t *testing.T) {
+	sk, ck := keys(t)
+	b := circuit.NewBuilder("consts", circuit.AllOptimizations())
+	x := b.Input("x")
+	b.Output("one", b.Xnor(x, x))
+	b.Output("echo", x)
+	nl := b.MustBuild()
+	be := NewSingle(ck)
+	outs, err := be.Run(nl, EncryptInputs(sk, []bool{false}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := DecryptOutputs(sk, outs)
+	if got[0] != true || got[1] != false {
+		t.Fatalf("const outputs = %v", got)
+	}
+}

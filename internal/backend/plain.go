@@ -1,0 +1,60 @@
+package backend
+
+import (
+	"fmt"
+
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/tfhe/gate"
+	"pytfhe/internal/tfhe/lwe"
+	"pytfhe/internal/trand"
+)
+
+// Plain is the functional reference backend: it evaluates gates on
+// cleartext bits carried in trivial (noiseless) LWE samples. It performs no
+// cryptography and exists so the same Backend-shaped code paths can be
+// validated and profiled without keys. Inputs must be trivial samples (as
+// produced by TrivialInputs); encrypted inputs would decode incorrectly.
+type Plain struct{}
+
+// Name implements Backend.
+func (Plain) Name() string { return "plain" }
+
+// Run implements Backend.
+func (Plain) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample, error) {
+	if len(inputs) != nl.NumInputs {
+		return nil, fmt.Errorf("backend: %d inputs supplied, want %d", len(inputs), nl.NumInputs)
+	}
+	bits := make([]bool, len(inputs))
+	for i, in := range inputs {
+		bits[i] = int32(in.B) > 0
+	}
+	out, err := nl.Evaluate(bits)
+	if err != nil {
+		return nil, err
+	}
+	dim := 0
+	if len(inputs) > 0 {
+		dim = inputs[0].Dimension()
+	}
+	cts := make([]*lwe.Sample, len(out))
+	for i, b := range out {
+		ct := lwe.NewSample(dim)
+		gate.Trivial(ct, b)
+		cts[i] = ct
+	}
+	return cts, nil
+}
+
+// TrivialInputs wraps plaintext bits as trivial samples of the given
+// dimension for the Plain backend.
+func TrivialInputs(dim int, bits []bool) []*lwe.Sample {
+	cts := make([]*lwe.Sample, len(bits))
+	for i, b := range bits {
+		ct := lwe.NewSample(dim)
+		gate.Trivial(ct, b)
+		cts[i] = ct
+	}
+	return cts
+}
+
+func newEncryptionRNG() *trand.Source { return trand.New() }

@@ -1,0 +1,143 @@
+package chiseltorch
+
+import (
+	"fmt"
+
+	"pytfhe/internal/hdl"
+)
+
+// This file extends the layer library beyond Table I with FHE-friendly
+// activation functions. Smooth activations (sigmoid, tanh) lower to their
+// piecewise-linear "hard" variants, which cost comparisons and muxes
+// instead of the polynomial-approximation circuits that would dominate the
+// gate count — the standard approach for gate-level FHE (and what
+// HardSigmoid/HardTanh compute in PyTorch itself).
+
+// HardSigmoid applies max(0, min(1, x/2 + 1/2)) elementwise.
+type HardSigmoid struct{}
+
+// Name implements Layer.
+func (HardSigmoid) Name() string { return "HardSigmoid()" }
+
+// Forward implements Layer.
+func (HardSigmoid) Forward(g *Graph, x *Tensor) (*Tensor, error) {
+	out := g.newLike(x.Shape)
+	one := g.DT.Const(g.M, 1)
+	zero := g.DT.Zero(g.M)
+	for i, bus := range x.data {
+		v := g.DT.MulConst(g.M, bus, 0.5)
+		v = g.DT.Add(g.M, v, g.DT.Const(g.M, 0.5))
+		v = clamp(g, v, zero, one)
+		out.data[i] = v
+	}
+	return out, nil
+}
+
+// HardTanh applies max(-1, min(1, x)) elementwise.
+type HardTanh struct{}
+
+// Name implements Layer.
+func (HardTanh) Name() string { return "HardTanh()" }
+
+// Forward implements Layer.
+func (HardTanh) Forward(g *Graph, x *Tensor) (*Tensor, error) {
+	out := g.newLike(x.Shape)
+	one := g.DT.Const(g.M, 1)
+	negOne := g.DT.Const(g.M, -1)
+	for i, bus := range x.data {
+		out.data[i] = clamp(g, bus, negOne, one)
+	}
+	return out, nil
+}
+
+// clamp returns min(max(v, lo), hi).
+func clamp(g *Graph, v, lo, hi hdl.Bus) hdl.Bus {
+	v = g.DT.Max(g.M, v, lo)
+	return g.DT.Min(g.M, v, hi)
+}
+
+// LeakyReLU applies x for x >= 0 and slope*x otherwise.
+type LeakyReLU struct {
+	Slope float64 // defaults to 0.01
+}
+
+// Name implements Layer.
+func (l LeakyReLU) Name() string { return fmt.Sprintf("LeakyReLU(%g)", l.slope()) }
+
+func (l LeakyReLU) slope() float64 {
+	if l.Slope == 0 {
+		return 0.01
+	}
+	return l.Slope
+}
+
+// Forward implements Layer.
+func (l LeakyReLU) Forward(g *Graph, x *Tensor) (*Tensor, error) {
+	out := g.newLike(x.Shape)
+	for i, bus := range x.data {
+		neg := g.DT.MulConst(g.M, bus, l.slope())
+		// Select by the sign of x. The sign lives in the top bit for the
+		// integer/fixed types; for floats FLt against zero is the test.
+		sel := g.DT.Lt(g.M, bus, g.DT.Zero(g.M))
+		out.data[i] = g.M.Mux(sel[0], neg, bus)
+	}
+	return out, nil
+}
+
+// ReLU6 applies min(max(x, 0), 6) — the quantization-friendly ReLU.
+type ReLU6 struct{}
+
+// Name implements Layer.
+func (ReLU6) Name() string { return "ReLU6()" }
+
+// Forward implements Layer.
+func (ReLU6) Forward(g *Graph, x *Tensor) (*Tensor, error) {
+	out := g.newLike(x.Shape)
+	six := g.DT.Const(g.M, 6)
+	for i, bus := range x.data {
+		v := g.DT.Relu(g.M, bus)
+		out.data[i] = g.DT.Min(g.M, v, six)
+	}
+	return out, nil
+}
+
+// Concat joins tensors along dimension 0 (pure wiring).
+func (g *Graph) Concat(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("chiseltorch: concat of nothing")
+	}
+	base := ts[0]
+	rows := 0
+	for _, t := range ts {
+		if len(t.Shape) != len(base.Shape) {
+			panic("chiseltorch: concat rank mismatch")
+		}
+		for d := 1; d < len(base.Shape); d++ {
+			if t.Shape[d] != base.Shape[d] {
+				panic(fmt.Sprintf("chiseltorch: concat shape mismatch %v vs %v", t.Shape, base.Shape))
+			}
+		}
+		rows += t.Shape[0]
+	}
+	shape := append([]int(nil), base.Shape...)
+	shape[0] = rows
+	out := &Tensor{Shape: shape, dt: base.dt, data: make([]hdl.Bus, 0, numElements(shape))}
+	for _, t := range ts {
+		out.data = append(out.data, t.data...)
+	}
+	return out
+}
+
+// Slice returns rows [lo, hi) along dimension 0 (pure wiring).
+func (g *Graph) Slice(t *Tensor, lo, hi int) *Tensor {
+	if lo < 0 || hi > t.Shape[0] || lo >= hi {
+		panic(fmt.Sprintf("chiseltorch: slice [%d,%d) of dim-0 size %d", lo, hi, t.Shape[0]))
+	}
+	stride := 1
+	for _, d := range t.Shape[1:] {
+		stride *= d
+	}
+	shape := append([]int(nil), t.Shape...)
+	shape[0] = hi - lo
+	return &Tensor{Shape: shape, dt: t.dt, data: t.data[lo*stride : hi*stride]}
+}

@@ -1,0 +1,196 @@
+package chiseltorch
+
+import (
+	"math"
+	"testing"
+
+	"pytfhe/internal/hdl"
+)
+
+func runLayer(t *testing.T, l Layer, dt DType, in []float64) []float64 {
+	t.Helper()
+	model := Model{Name: "act", DType: dt, Net: l}
+	c, err := model.Compile(len(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Infer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestHardSigmoid(t *testing.T) {
+	in := []float64{-3, -1, 0, 1, 3, 0.5}
+	out := runLayer(t, HardSigmoid{}, fixed88, in)
+	for i, x := range in {
+		want := math.Max(0, math.Min(1, x/2+0.5))
+		if !approxEq(out[i], want, 0.02) {
+			t.Errorf("hardsigmoid(%g) = %g want %g", x, out[i], want)
+		}
+	}
+}
+
+func TestHardTanh(t *testing.T) {
+	in := []float64{-5, -1, -0.5, 0, 0.5, 1, 5}
+	out := runLayer(t, HardTanh{}, fixed88, in)
+	for i, x := range in {
+		want := math.Max(-1, math.Min(1, x))
+		if !approxEq(out[i], want, 0.01) {
+			t.Errorf("hardtanh(%g) = %g want %g", x, out[i], want)
+		}
+	}
+}
+
+func TestLeakyReLU(t *testing.T) {
+	in := []float64{-4, -1, 0, 1, 4}
+	out := runLayer(t, LeakyReLU{Slope: 0.25}, fixed88, in)
+	for i, x := range in {
+		want := x
+		if x < 0 {
+			want = 0.25 * x
+		}
+		if !approxEq(out[i], want, 0.02) {
+			t.Errorf("leakyrelu(%g) = %g want %g", x, out[i], want)
+		}
+	}
+}
+
+func TestReLU6(t *testing.T) {
+	in := []float64{-2, 0, 3, 6, 50}
+	out := runLayer(t, ReLU6{}, fixed88, in)
+	for i, x := range in {
+		want := math.Max(0, math.Min(6, x))
+		if !approxEq(out[i], want, 0.01) {
+			t.Errorf("relu6(%g) = %g want %g", x, out[i], want)
+		}
+	}
+}
+
+func TestHardActivationsOnFloatType(t *testing.T) {
+	dt := NewFloat(8, 8)
+	in := []float64{-2, 0.25, 2}
+	out := runLayer(t, HardTanh{}, dt, in)
+	want := []float64{-1, 0.25, 1}
+	for i := range want {
+		if !approxEq(out[i], want[i], 0.02) {
+			t.Errorf("float hardtanh(%g) = %g want %g", in[i], out[i], want[i])
+		}
+	}
+}
+
+func TestConcatAndSlice(t *testing.T) {
+	g := NewGraph("cat", fixed88)
+	a := g.InputTensor("a", 2, 3)
+	b := g.InputTensor("b", 1, 3)
+	c := g.Concat(a, b)
+	if c.Shape[0] != 3 || c.Shape[1] != 3 {
+		t.Fatalf("concat shape %v", c.Shape)
+	}
+	s := g.Slice(c, 1, 3)
+	if s.Shape[0] != 2 {
+		t.Fatalf("slice shape %v", s.Shape)
+	}
+	g.Output("y", s)
+	nl, err := g.M.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Gates) != 0 {
+		t.Fatalf("concat/slice must be pure wiring, got %d gates", len(nl.Gates))
+	}
+	in := append([]float64{1, 2, 3, 4, 5, 6}, 7, 8, 9)
+	bits := EncodeTensor(fixed88, in)
+	out, _ := nl.Evaluate(bits)
+	res := DecodeTensor(fixed88, out)
+	want := []float64{4, 5, 6, 7, 8, 9}
+	for i := range want {
+		if res[i] != want[i] {
+			t.Fatalf("concat/slice data %v, want %v", res, want)
+		}
+	}
+}
+
+func TestConcatValidation(t *testing.T) {
+	g := NewGraph("bad", fixed88)
+	a := g.InputTensor("a", 2, 3)
+	b := g.InputTensor("b", 2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched concat should panic")
+		}
+	}()
+	g.Concat(a, b)
+}
+
+func TestUIntDType(t *testing.T) {
+	u8 := NewUInt(8)
+	if u8.Name() != "UInt(8)" || u8.Width() != 8 {
+		t.Fatal("metadata")
+	}
+	// Encode clamps to the unsigned range.
+	if u8.Encode(-5) != 0 || u8.Encode(300) != 255 || u8.Encode(42) != 42 {
+		t.Fatal("encode clamping")
+	}
+	g := NewGraph("uint", u8)
+	x := g.InputTensor("x", 2)
+	y := g.InputTensor("y", 2)
+	g.Output("sum", g.Add(x, y))
+	g.Output("mul", g.Mul(x, y))
+	g.Output("div", g.Div(x, y))
+	g.Output("max", g.cmpFreeMax(x, y))
+	g.Output("lt", g.Lt(x, y))
+	nl, err := g.M.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := append(EncodeTensor(u8, []float64{200, 7}), EncodeTensor(u8, []float64{100, 3})...)
+	out, err := nl.Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := DecodeTensor(u8, out[:4*8])
+	want := []float64{(200 + 100) % 256, (7 + 3) % 256, (200 * 100) % 256, (7 * 3) % 256}
+	for i := range want {
+		if res[i] != want[i] {
+			t.Fatalf("uint op %d = %g want %g (all %v)", i, res[i], want[i], res)
+		}
+	}
+	div := DecodeTensor(u8, out[4*8:6*8])
+	if div[0] != 2 || div[1] != 2 {
+		t.Fatalf("uint div = %v", div)
+	}
+	maxv := DecodeTensor(u8, out[6*8:8*8])
+	if maxv[0] != 200 || maxv[1] != 7 {
+		t.Fatalf("uint max = %v", maxv)
+	}
+	if out[8*8] != false || out[8*8+1] != false { // 200<100, 7<3
+		t.Fatalf("uint lt wrong")
+	}
+}
+
+// cmpFreeMax is a tiny helper exercising elementwise Max through the
+// generic zip path.
+func (g *Graph) cmpFreeMax(a, b *Tensor) *Tensor {
+	return g.zip(a, b, func(x, y hdl.Bus) hdl.Bus { return g.DT.Max(g.M, x, y) })
+}
+
+func TestUIntReluIsIdentityAndFree(t *testing.T) {
+	u4 := NewUInt(4)
+	model := Model{Name: "urelu", DType: u4, Net: ReLU{}}
+	c, err := model.Compile(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Netlist.Gates) != 0 {
+		t.Fatalf("unsigned relu should be free, got %d gates", len(c.Netlist.Gates))
+	}
+	out, err := c.Infer([]float64{0, 7, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0 || out[1] != 7 || out[2] != 15 {
+		t.Fatalf("unsigned relu = %v", out)
+	}
+}

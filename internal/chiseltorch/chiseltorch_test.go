@@ -1,0 +1,627 @@
+package chiseltorch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// inferTensor compiles a graph-producing function and evaluates it on
+// plaintext inputs.
+func inferGraph(t *testing.T, dt DType, inShape []int, in []float64,
+	f func(g *Graph, x *Tensor) *Tensor) []float64 {
+	t.Helper()
+	g := NewGraph("t", dt)
+	x := g.InputTensor("x", inShape...)
+	y := f(g, x)
+	g.Output("y", y)
+	nl, err := g.M.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := EncodeTensor(dt, in)
+	out, err := nl.Evaluate(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return DecodeTensor(y.dt, out)
+}
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+var fixed88 = NewFixed(8, 8)
+
+func TestDTypeEncodeDecode(t *testing.T) {
+	cases := []struct {
+		dt   DType
+		vals []float64
+		tol  float64
+	}{
+		{NewSInt(8), []float64{0, 1, -1, 100, -128, 127}, 0},
+		{NewFixed(8, 8), []float64{0, 1.5, -2.25, 100.0625, -127}, 1.0 / 256},
+		{NewFloat(8, 8), []float64{0, 1.5, -2.25, 1000, 0.001}, 0.01},
+	}
+	for _, c := range cases {
+		for _, v := range c.vals {
+			got := c.dt.Decode(c.dt.Encode(v))
+			tol := c.tol
+			if c.tol > 0 && v != 0 {
+				tol = math.Max(c.tol, math.Abs(v)*c.tol)
+			}
+			if !approxEq(got, v, tol) {
+				t.Errorf("%s: %g -> %g", c.dt.Name(), v, got)
+			}
+		}
+	}
+}
+
+func TestDTypeNames(t *testing.T) {
+	if NewSInt(7).Name() != "SInt(7)" {
+		t.Error(NewSInt(7).Name())
+	}
+	if NewFixed(8, 8).Name() != "Fixed(8,8)" {
+		t.Error(NewFixed(8, 8).Name())
+	}
+	if NewFloat(5, 11).Name() != "Float(5,11)" {
+		t.Error(NewFloat(5, 11).Name())
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	in := []float64{1, -2, 3.5, 0.25}
+	out := inferGraph(t, fixed88, []int{4}, in, func(g *Graph, x *Tensor) *Tensor {
+		c := g.ConstTensor([]float64{2, 3, -1, 0.5}, 4)
+		return g.Add(g.Mul(x, c), c)
+	})
+	want := []float64{1*2 + 2, -2*3 + 3, 3.5*-1 - 1, 0.25*0.5 + 0.5}
+	for i := range want {
+		if !approxEq(out[i], want[i], 0.05) {
+			t.Errorf("elem %d: got %g want %g", i, out[i], want[i])
+		}
+	}
+}
+
+func TestSubNegRelu(t *testing.T) {
+	in := []float64{1, -2, 3, -4}
+	out := inferGraph(t, fixed88, []int{4}, in, func(g *Graph, x *Tensor) *Tensor {
+		return g.Relu(g.Neg(x)) // max(-x, 0)
+	})
+	want := []float64{0, 2, 0, 4}
+	for i := range want {
+		if !approxEq(out[i], want[i], 0.01) {
+			t.Errorf("elem %d: got %g want %g", i, out[i], want[i])
+		}
+	}
+}
+
+func TestDotAndSum(t *testing.T) {
+	in := []float64{1, 2, 3, 4}
+	out := inferGraph(t, fixed88, []int{4}, in, func(g *Graph, x *Tensor) *Tensor {
+		w := g.ConstTensor([]float64{0.5, -1, 2, 0.25}, 4)
+		return g.Dot(x, w)
+	})
+	want := 1*0.5 - 2 + 6 + 1.0
+	if !approxEq(out[0], want, 0.05) {
+		t.Fatalf("dot = %g, want %g", out[0], want)
+	}
+
+	out2 := inferGraph(t, fixed88, []int{4}, in, func(g *Graph, x *Tensor) *Tensor {
+		return g.Sum(x)
+	})
+	if !approxEq(out2[0], 10, 0.01) {
+		t.Fatalf("sum = %g", out2[0])
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	// Encrypted [2,3] times constant [3,2].
+	in := []float64{1, 2, 3, 4, 5, 6}
+	out := inferGraph(t, fixed88, []int{2, 3}, in, func(g *Graph, x *Tensor) *Tensor {
+		w := g.ConstTensor([]float64{1, 0, 0, 1, 1, 1}, 3, 2)
+		return g.MatMul(x, w)
+	})
+	want := []float64{1 + 3, 2 + 3, 4 + 6, 5 + 6}
+	for i := range want {
+		if !approxEq(out[i], want[i], 0.05) {
+			t.Errorf("matmul[%d] = %g want %g", i, out[i], want[i])
+		}
+	}
+}
+
+func TestMatMulEncryptedBoth(t *testing.T) {
+	in := []float64{1, 2, 3, 4, 2, 0, 1, 1} // x = [2,2], y = [2,2]
+	g := NewGraph("mm", fixed88)
+	x := g.InputTensor("x", 2, 2)
+	y := g.InputTensor("y", 2, 2)
+	z := g.MatMul(x, y)
+	g.Output("z", z)
+	nl, err := g.M.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := nl.Evaluate(EncodeTensor(fixed88, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := DecodeTensor(fixed88, out)
+	// [1 2; 3 4] * [2 0; 1 1] = [4 2; 10 4]
+	want := []float64{4, 2, 10, 4}
+	for i := range want {
+		if !approxEq(res[i], want[i], 0.1) {
+			t.Errorf("mm[%d] = %g want %g", i, res[i], want[i])
+		}
+	}
+}
+
+func TestReshapeTransposeArePureWiring(t *testing.T) {
+	g := NewGraph("wire", fixed88)
+	x := g.InputTensor("x", 2, 3)
+	y := g.Transpose(x, 0, 1)
+	y = g.Reshape(y, 6)
+	y = g.View(y, 3, 2)
+	y = g.Flatten(y)
+	g.Output("y", y)
+	nl, err := g.M.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.Gates) != 0 {
+		t.Fatalf("shape ops produced %d gates; they must be pure wiring", len(nl.Gates))
+	}
+	in := []float64{1, 2, 3, 4, 5, 6}
+	out, _ := nl.Evaluate(EncodeTensor(fixed88, in))
+	res := DecodeTensor(fixed88, out)
+	want := []float64{1, 4, 2, 5, 3, 6} // transpose of 2x3
+	for i := range want {
+		if res[i] != want[i] {
+			t.Fatalf("transpose order wrong: %v", res)
+		}
+	}
+}
+
+func TestPad(t *testing.T) {
+	in := []float64{1, 2, 3, 4}
+	out := inferGraph(t, fixed88, []int{1, 2, 2}, in, func(g *Graph, x *Tensor) *Tensor {
+		return g.Pad(x, 1)
+	})
+	if len(out) != 16 {
+		t.Fatalf("padded to %d elements, want 16", len(out))
+	}
+	if out[0] != 0 || out[5] != 1 || out[6] != 2 || out[9] != 3 || out[10] != 4 || out[15] != 0 {
+		t.Fatalf("pad layout wrong: %v", out)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	in := []float64{1, -2}
+	g := NewGraph("cmp", fixed88)
+	x := g.InputTensor("x", 2)
+	c := g.ConstTensor([]float64{0, 0}, 2)
+	g.Output("lt", g.Lt(x, c))
+	g.Output("gt", g.Gt(x, c))
+	g.Output("eq", g.Eq(x, c))
+	g.Output("ne", g.Ne(x, c))
+	g.Output("le", g.Le(x, c))
+	g.Output("ge", g.Ge(x, c))
+	nl, err := g.M.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := nl.Evaluate(EncodeTensor(fixed88, in))
+	// Layout: lt[0] lt[1] gt[0] gt[1] eq.. ne.. le.. ge..
+	want := []bool{false, true, true, false, false, false, true, true, false, true, true, false}
+	for i, w := range want {
+		if out[i] != w {
+			t.Fatalf("comparison bit %d = %v, want %v (all: %v)", i, out[i], w, out)
+		}
+	}
+}
+
+func TestArgMaxArgMin(t *testing.T) {
+	in := []float64{1, 7, -3, 7, 2}
+	out := inferGraph(t, fixed88, []int{5}, in, func(g *Graph, x *Tensor) *Tensor {
+		return g.ArgMax(x)
+	})
+	if out[0] != 1 { // first maximal index
+		t.Fatalf("argmax = %v", out[0])
+	}
+	out2 := inferGraph(t, fixed88, []int{5}, in, func(g *Graph, x *Tensor) *Tensor {
+		return g.ArgMin(x)
+	})
+	if out2[0] != 2 {
+		t.Fatalf("argmin = %v", out2[0])
+	}
+}
+
+func TestMaxMinProdReduce(t *testing.T) {
+	in := []float64{2, -1, 3, 0.5}
+	outMax := inferGraph(t, fixed88, []int{4}, in, func(g *Graph, x *Tensor) *Tensor { return g.MaxReduce(x) })
+	outMin := inferGraph(t, fixed88, []int{4}, in, func(g *Graph, x *Tensor) *Tensor { return g.MinReduce(x) })
+	outProd := inferGraph(t, fixed88, []int{4}, in, func(g *Graph, x *Tensor) *Tensor { return g.Prod(x) })
+	if outMax[0] != 3 || outMin[0] != -1 {
+		t.Fatalf("max/min = %g/%g", outMax[0], outMin[0])
+	}
+	if !approxEq(outProd[0], -3, 0.1) {
+		t.Fatalf("prod = %g", outProd[0])
+	}
+}
+
+func TestDivByConstAndEncrypted(t *testing.T) {
+	in := []float64{6, -9}
+	out := inferGraph(t, fixed88, []int{2}, in, func(g *Graph, x *Tensor) *Tensor {
+		return g.Div(x, g.ConstTensor([]float64{2, 3}, 2))
+	})
+	if !approxEq(out[0], 3, 0.05) || !approxEq(out[1], -3, 0.05) {
+		t.Fatalf("const div = %v", out)
+	}
+
+	// Encrypted divisor via the SInt divider.
+	si := NewSInt(8)
+	g := NewGraph("div", si)
+	x := g.InputTensor("x", 1)
+	y := g.InputTensor("y", 1)
+	g.Output("q", g.Div(x, y))
+	nl, err := g.M.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := append(EncodeTensor(si, []float64{42}), EncodeTensor(si, []float64{5})...)
+	res, _ := nl.Evaluate(bits)
+	if q := DecodeTensor(si, res)[0]; q != 8 {
+		t.Fatalf("42/5 = %g", q)
+	}
+}
+
+func TestLinearLayer(t *testing.T) {
+	lin := &Linear{
+		In: 3, Out: 2,
+		Weight: []float64{1, 0, -1 /* out0 */, 0.5, 2, 0 /* out1 */},
+		Bias:   []float64{0.25, -1},
+	}
+	model := Model{Name: "lin", DType: fixed88, Net: lin}
+	c, err := model.Compile(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Infer([]float64{2, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2 - 3 + 0.25, 1 + 2 - 1}
+	for i := range want {
+		if !approxEq(out[i], want[i], 0.05) {
+			t.Errorf("linear[%d] = %g want %g", i, out[i], want[i])
+		}
+	}
+}
+
+func TestConv2dLayer(t *testing.T) {
+	// Conv2d(1,1,2,1) — the paper's running example.
+	conv := &Conv2d{
+		InC: 1, OutC: 1, Kernel: 2, Stride: 1,
+		Weight: []float64{1, 0, 0, -1},
+	}
+	model := Model{Name: "conv", DType: fixed88, Net: conv}
+	c, err := model.Compile(1, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.OutputShape[0] != 1 || c.OutputShape[1] != 2 || c.OutputShape[2] != 2 {
+		t.Fatalf("output shape %v", c.OutputShape)
+	}
+	in := []float64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}
+	out, err := c.Infer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each output = x[i,j] - x[i+1,j+1].
+	want := []float64{1 - 5, 2 - 6, 4 - 8, 5 - 9}
+	for i := range want {
+		if !approxEq(out[i], want[i], 0.01) {
+			t.Errorf("conv[%d] = %g want %g", i, out[i], want[i])
+		}
+	}
+}
+
+func TestConv2dStrideAndBias(t *testing.T) {
+	conv := &Conv2d{
+		InC: 1, OutC: 1, Kernel: 2, Stride: 2,
+		Weight: []float64{0.25, 0.25, 0.25, 0.25},
+		Bias:   []float64{1},
+	}
+	model := Model{Name: "conv", DType: fixed88, Net: conv}
+	c, err := model.Compile(1, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]float64, 16)
+	for i := range in {
+		in[i] = float64(i)
+	}
+	out, err := c.Infer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window means + 1.
+	want := []float64{(0+1+4+5)/4.0 + 1, (2+3+6+7)/4.0 + 1, (8+9+12+13)/4.0 + 1, (10+11+14+15)/4.0 + 1}
+	for i := range want {
+		if !approxEq(out[i], want[i], 0.05) {
+			t.Errorf("conv[%d] = %g want %g", i, out[i], want[i])
+		}
+	}
+}
+
+func TestConv1dLayer(t *testing.T) {
+	conv := &Conv1d{
+		InC: 1, OutC: 2, Kernel: 2, Stride: 1,
+		Weight: []float64{1, -1 /* ch0 */, 0.5, 0.5 /* ch1 */},
+	}
+	model := Model{Name: "conv1", DType: fixed88, Net: conv}
+	c, err := model.Compile(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Infer([]float64{1, 3, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1 - 3, 3 - 2, 2 - 5, 2, 2.5, 3.5}
+	for i := range want {
+		if !approxEq(out[i], want[i], 0.02) {
+			t.Errorf("conv1d[%d] = %g want %g", i, out[i], want[i])
+		}
+	}
+}
+
+func TestPooling(t *testing.T) {
+	in := []float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}
+	mp := Model{Name: "mp", DType: fixed88, Net: MaxPool2d{Kernel: 2, Stride: 2}}
+	c, err := mp.Compile(1, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := c.Infer(in)
+	want := []float64{6, 8, 14, 16}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("maxpool = %v", out)
+		}
+	}
+
+	ap := Model{Name: "ap", DType: fixed88, Net: AvgPool2d{Kernel: 2, Stride: 2}}
+	c2, err := ap.Compile(1, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, _ := c2.Infer(in)
+	want2 := []float64{3.5, 5.5, 11.5, 13.5}
+	for i := range want2 {
+		if !approxEq(out2[i], want2[i], 0.05) {
+			t.Fatalf("avgpool = %v", out2)
+		}
+	}
+
+	mp1 := Model{Name: "mp1", DType: fixed88, Net: MaxPool1d{Kernel: 2, Stride: 2}}
+	c3, err := mp1.Compile(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out3, _ := c3.Infer([]float64{1, 9, 4, 2})
+	if out3[0] != 9 || out3[1] != 4 {
+		t.Fatalf("maxpool1d = %v", out3)
+	}
+
+	ap1 := Model{Name: "ap1", DType: fixed88, Net: AvgPool1d{Kernel: 2, Stride: 2}}
+	c4, err := ap1.Compile(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out4, _ := c4.Infer([]float64{1, 9, 4, 2})
+	if !approxEq(out4[0], 5, 0.01) || !approxEq(out4[1], 3, 0.01) {
+		t.Fatalf("avgpool1d = %v", out4)
+	}
+}
+
+func TestBatchNorm(t *testing.T) {
+	bn := &BatchNorm2d{
+		C:     2,
+		Gamma: []float64{1, 2},
+		Beta:  []float64{0, 1},
+		Mean:  []float64{1, -1},
+		Var:   []float64{0.9999, 3.9999},
+	}
+	model := Model{Name: "bn", DType: fixed88, Net: bn}
+	c, err := model.Compile(2, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Infer([]float64{2, 0, 1, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ch0: (x-1)/1*1+0 ; ch1: (x+1)/2*2+1
+	want := []float64{1, -1, 3, -1}
+	for i := range want {
+		if !approxEq(out[i], want[i], 0.05) {
+			t.Errorf("bn[%d] = %g want %g", i, out[i], want[i])
+		}
+	}
+}
+
+func TestSequentialMNISTStyleModel(t *testing.T) {
+	// A miniature version of the Fig. 4 model over a 6x6 "image".
+	rng := rand.New(rand.NewSource(5))
+	convW := make([]float64, 4)
+	for i := range convW {
+		convW[i] = rng.Float64() - 0.5
+	}
+	linW := make([]float64, 2*16)
+	for i := range linW {
+		linW[i] = rng.Float64() - 0.5
+	}
+	model := Model{
+		Name:  "mini_mnist",
+		DType: fixed88,
+		Net: Sequential{
+			&Conv2d{InC: 1, OutC: 1, Kernel: 2, Stride: 1, Weight: convW},
+			ReLU{},
+			MaxPool2d{Kernel: 2, Stride: 1},
+			Flatten{},
+			&Linear{In: 16, Out: 2, Weight: linW},
+		},
+	}
+	c, err := model.Compile(1, 6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]float64, 36)
+	for i := range in {
+		in[i] = rng.Float64()*2 - 1
+	}
+	out, err := c.Infer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference computation in float64 over the quantized weights.
+	q := func(v float64) float64 { return fixed88.Decode(fixed88.Encode(v)) }
+	img := make([]float64, 36)
+	for i := range in {
+		img[i] = q(in[i])
+	}
+	conv := make([]float64, 25)
+	for y := 0; y < 5; y++ {
+		for x := 0; x < 5; x++ {
+			s := q(convW[0])*img[y*6+x] + q(convW[1])*img[y*6+x+1] + q(convW[2])*img[(y+1)*6+x] + q(convW[3])*img[(y+1)*6+x+1]
+			if s < 0 {
+				s = 0
+			}
+			conv[y*5+x] = s
+		}
+	}
+	pool := make([]float64, 16)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			m := conv[y*5+x]
+			for _, v := range []float64{conv[y*5+x+1], conv[(y+1)*5+x], conv[(y+1)*5+x+1]} {
+				if v > m {
+					m = v
+				}
+			}
+			pool[y*4+x] = m
+		}
+	}
+	for o := 0; o < 2; o++ {
+		var s float64
+		for i := 0; i < 16; i++ {
+			s += q(linW[o*16+i]) * pool[i]
+		}
+		if !approxEq(out[o], s, 0.3) { // accumulation of fixed-point truncation
+			t.Errorf("model out[%d] = %g, reference %g", o, out[o], s)
+		}
+	}
+}
+
+func TestSelfAttentionCompiles(t *testing.T) {
+	const seq, hidden = 2, 4
+	rng := rand.New(rand.NewSource(9))
+	w := func() []float64 {
+		v := make([]float64, hidden*hidden)
+		for i := range v {
+			v[i] = rng.Float64() - 0.5
+		}
+		return v
+	}
+	model := Model{
+		Name:  "attn",
+		DType: fixed88,
+		Net:   &SelfAttention{Seq: seq, Hidden: hidden, Wq: w(), Wk: w(), Wv: w()},
+	}
+	c, err := model.Compile(seq, hidden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.OutputShape[0] != seq || c.OutputShape[1] != hidden {
+		t.Fatalf("attention output shape %v", c.OutputShape)
+	}
+	in := make([]float64, seq*hidden)
+	for i := range in {
+		in[i] = rng.Float64() - 0.5
+	}
+	out, err := c.Infer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != seq*hidden {
+		t.Fatalf("attention produced %d outputs", len(out))
+	}
+}
+
+func TestModelErrors(t *testing.T) {
+	if _, err := (&Model{Name: "empty"}).Compile(4); err == nil {
+		t.Error("empty model should not compile")
+	}
+	bad := Model{Name: "bad", DType: fixed88, Net: &Linear{In: 4, Out: 2, Weight: []float64{1}}}
+	if _, err := bad.Compile(4); err == nil {
+		t.Error("wrong weight count should not compile")
+	}
+	mis := Model{Name: "mis", DType: fixed88, Net: &Conv2d{InC: 3, OutC: 1, Kernel: 2, Weight: make([]float64, 12)}}
+	if _, err := mis.Compile(1, 4, 4); err == nil {
+		t.Error("channel mismatch should not compile")
+	}
+}
+
+func TestEncodeInputValidation(t *testing.T) {
+	model := Model{Name: "v", DType: fixed88, Net: ReLU{}}
+	c, err := model.Compile(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EncodeInput([]float64{1}); err == nil {
+		t.Error("wrong input length should error")
+	}
+}
+
+func TestZeroWeightsProduceNoGates(t *testing.T) {
+	// An all-zero linear layer should compile to (nearly) nothing: zero
+	// weights are skipped and the zero sums fold to constants.
+	lin := &Linear{In: 8, Out: 4, Weight: make([]float64, 32)}
+	model := Model{Name: "zero", DType: fixed88, Net: lin}
+	c, err := model.Compile(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Netlist.Gates) != 0 {
+		t.Fatalf("all-zero linear layer produced %d gates", len(c.Netlist.Gates))
+	}
+}
+
+func TestFloatEncryptedDivision(t *testing.T) {
+	dt := NewFloat(8, 8)
+	g := NewGraph("fdiv", dt)
+	x := g.InputTensor("x", 2)
+	y := g.InputTensor("y", 2)
+	g.Output("q", g.Div(x, y))
+	nl, err := g.M.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := append(EncodeTensor(dt, []float64{6, -1.5}), EncodeTensor(dt, []float64{2, 0.5})...)
+	out, err := nl.Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := DecodeTensor(dt, out)
+	if !approxEq(res[0], 3, 0.05) || !approxEq(res[1], -3, 0.05) {
+		t.Fatalf("float division = %v", res)
+	}
+}

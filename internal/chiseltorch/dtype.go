@@ -1,0 +1,288 @@
+// Package chiseltorch is the neural-network frontend of PyTFHE: a
+// PyTorch-compatible layer and tensor API whose forward pass *constructs
+// hardware* — every tensor element is a bus of wires in a combinational
+// circuit, and compiling a model yields a gate netlist ready for the
+// assembler and the homomorphic backends.
+//
+// Data types are fully parameterizable, mirroring the paper: arbitrary
+// width signed/unsigned integers (SInt/UInt), fixed point (Fixed) and
+// floating point with arbitrary exponent/mantissa split (Float). Choosing
+// a cheaper type reduces gate counts by orders of magnitude; see the
+// quantization sweep in the benchmark harness.
+package chiseltorch
+
+import (
+	"fmt"
+	"math"
+
+	"pytfhe/internal/hdl"
+)
+
+// DType is an element data type: a fixed bit layout plus the circuit
+// implementations of the arithmetic the tensor operations need.
+type DType interface {
+	// Width is the total bit width of one element.
+	Width() int
+	// Name renders the type like the ChiselTorch API: SInt(8), Fixed(8,8),
+	// Float(8,8).
+	Name() string
+
+	// Encode quantizes a real value to the type's bit pattern; Decode
+	// inverts it. They are the software reference for weights and I/O.
+	Encode(v float64) uint64
+	Decode(bits uint64) float64
+
+	// Circuit constructors. All operands and results have Width() bits.
+	Add(m *hdl.Module, a, b hdl.Bus) hdl.Bus
+	Sub(m *hdl.Module, a, b hdl.Bus) hdl.Bus
+	Mul(m *hdl.Module, a, b hdl.Bus) hdl.Bus
+	Div(m *hdl.Module, a, b hdl.Bus) hdl.Bus
+	MulConst(m *hdl.Module, a hdl.Bus, c float64) hdl.Bus
+	Neg(m *hdl.Module, a hdl.Bus) hdl.Bus
+	Relu(m *hdl.Module, a hdl.Bus) hdl.Bus
+	Max(m *hdl.Module, a, b hdl.Bus) hdl.Bus
+	Min(m *hdl.Module, a, b hdl.Bus) hdl.Bus
+	Lt(m *hdl.Module, a, b hdl.Bus) hdl.Bus // 1-bit result
+	Eq(m *hdl.Module, a, b hdl.Bus) hdl.Bus // 1-bit result
+	Zero(m *hdl.Module) hdl.Bus
+	Const(m *hdl.Module, v float64) hdl.Bus
+}
+
+// SInt is a signed two's-complement integer of W bits. Real values encode
+// by rounding.
+type SInt struct{ W int }
+
+// NewSInt returns the SInt(w) data type.
+func NewSInt(w int) SInt { return SInt{W: w} }
+
+// Width implements DType.
+func (t SInt) Width() int { return t.W }
+
+// Name implements DType.
+func (t SInt) Name() string { return fmt.Sprintf("SInt(%d)", t.W) }
+
+// Encode implements DType, saturating at the type bounds.
+func (t SInt) Encode(v float64) uint64 {
+	r := math.Round(v)
+	lo := -math.Ldexp(1, t.W-1)
+	hi := math.Ldexp(1, t.W-1) - 1
+	if r < lo {
+		r = lo
+	}
+	if r > hi {
+		r = hi
+	}
+	return uint64(int64(r)) & (1<<uint(t.W) - 1)
+}
+
+// Decode implements DType.
+func (t SInt) Decode(bits uint64) float64 {
+	shift := 64 - uint(t.W)
+	return float64(int64(bits<<shift) >> shift)
+}
+
+// Add implements DType.
+func (t SInt) Add(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return m.Add(a, b) }
+
+// Sub implements DType.
+func (t SInt) Sub(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return m.Sub(a, b) }
+
+// Mul implements DType (wrapping, like fixed-width integer hardware).
+func (t SInt) Mul(m *hdl.Module, a, b hdl.Bus) hdl.Bus {
+	return m.MulModular(m.SignExtend(a, t.W), m.SignExtend(b, t.W))
+}
+
+// Div implements DType (signed division truncating toward zero).
+func (t SInt) Div(m *hdl.Module, a, b hdl.Bus) hdl.Bus {
+	q, _ := m.DivS(a, b)
+	return q
+}
+
+// MulConst implements DType using CSD shift-add recoding.
+func (t SInt) MulConst(m *hdl.Module, a hdl.Bus, c float64) hdl.Bus {
+	ci := int64(math.Round(c))
+	return m.Truncate(m.MulConstS(a, ci, t.W+1), t.W)
+}
+
+// Neg implements DType.
+func (t SInt) Neg(m *hdl.Module, a hdl.Bus) hdl.Bus { return m.Neg(a) }
+
+// Relu implements DType.
+func (t SInt) Relu(m *hdl.Module, a hdl.Bus) hdl.Bus { return m.ReluS(a) }
+
+// Max implements DType.
+func (t SInt) Max(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return m.MaxS(a, b) }
+
+// Min implements DType.
+func (t SInt) Min(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return m.MinS(a, b) }
+
+// Lt implements DType.
+func (t SInt) Lt(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return hdl.Bus{m.LtS(a, b)} }
+
+// Eq implements DType.
+func (t SInt) Eq(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return hdl.Bus{m.Eq(a, b)} }
+
+// Zero implements DType.
+func (t SInt) Zero(m *hdl.Module) hdl.Bus { return m.ConstBus(0, t.W) }
+
+// Const implements DType.
+func (t SInt) Const(m *hdl.Module, v float64) hdl.Bus { return m.ConstBus(t.Encode(v), t.W) }
+
+// Fixed is a signed fixed-point type with Int integer bits (including
+// sign) and Frac fractional bits; the raw integer r represents r / 2^Frac.
+type Fixed struct {
+	Int  int
+	Frac int
+}
+
+// NewFixed returns the Fixed(int, frac) data type.
+func NewFixed(intBits, fracBits int) Fixed { return Fixed{Int: intBits, Frac: fracBits} }
+
+// Width implements DType.
+func (t Fixed) Width() int { return t.Int + t.Frac }
+
+// Name implements DType.
+func (t Fixed) Name() string { return fmt.Sprintf("Fixed(%d,%d)", t.Int, t.Frac) }
+
+// Encode implements DType, saturating at the type bounds.
+func (t Fixed) Encode(v float64) uint64 {
+	w := t.Width()
+	r := math.Round(v * math.Ldexp(1, t.Frac))
+	lo := -math.Ldexp(1, w-1)
+	hi := math.Ldexp(1, w-1) - 1
+	if r < lo {
+		r = lo
+	}
+	if r > hi {
+		r = hi
+	}
+	return uint64(int64(r)) & (1<<uint(w) - 1)
+}
+
+// Decode implements DType.
+func (t Fixed) Decode(bits uint64) float64 {
+	w := t.Width()
+	shift := 64 - uint(w)
+	raw := int64(bits<<shift) >> shift
+	return float64(raw) / math.Ldexp(1, t.Frac)
+}
+
+// Add implements DType.
+func (t Fixed) Add(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return m.Add(a, b) }
+
+// Sub implements DType.
+func (t Fixed) Sub(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return m.Sub(a, b) }
+
+// Mul implements DType: full product, realigned by Frac, truncated to the
+// element width.
+func (t Fixed) Mul(m *hdl.Module, a, b hdl.Bus) hdl.Bus {
+	w := t.Width()
+	prod := m.MulS(a, b) // 2w bits
+	return m.Slice(prod, t.Frac, t.Frac+w)
+}
+
+// Div implements DType: (a << Frac) / b, signed.
+func (t Fixed) Div(m *hdl.Module, a, b hdl.Bus) hdl.Bus {
+	w := t.Width()
+	wide := w + t.Frac + 1
+	num := m.SignExtend(m.ShlConstExpand(a, t.Frac), wide)
+	den := m.SignExtend(b, wide)
+	q, _ := m.DivS(num, den)
+	return m.Truncate(q, w)
+}
+
+// MulConst implements DType via CSD recoding of the quantized constant.
+func (t Fixed) MulConst(m *hdl.Module, a hdl.Bus, c float64) hdl.Bus {
+	w := t.Width()
+	ci := int64(math.Round(c * math.Ldexp(1, t.Frac)))
+	prod := m.MulConstS(a, ci, w+t.Frac+1)
+	return m.Slice(prod, t.Frac, t.Frac+w)
+}
+
+// Neg implements DType.
+func (t Fixed) Neg(m *hdl.Module, a hdl.Bus) hdl.Bus { return m.Neg(a) }
+
+// Relu implements DType.
+func (t Fixed) Relu(m *hdl.Module, a hdl.Bus) hdl.Bus { return m.ReluS(a) }
+
+// Max implements DType.
+func (t Fixed) Max(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return m.MaxS(a, b) }
+
+// Min implements DType.
+func (t Fixed) Min(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return m.MinS(a, b) }
+
+// Lt implements DType.
+func (t Fixed) Lt(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return hdl.Bus{m.LtS(a, b)} }
+
+// Eq implements DType.
+func (t Fixed) Eq(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return hdl.Bus{m.Eq(a, b)} }
+
+// Zero implements DType.
+func (t Fixed) Zero(m *hdl.Module) hdl.Bus { return m.ConstBus(0, t.Width()) }
+
+// Const implements DType.
+func (t Fixed) Const(m *hdl.Module, v float64) hdl.Bus { return m.ConstBus(t.Encode(v), t.Width()) }
+
+// Float is the parametric floating-point type Float(Exp, Mant); see
+// hdl.FloatFormat for the exact semantics.
+type Float struct{ F hdl.FloatFormat }
+
+// NewFloat returns the Float(exp, mant) data type.
+func NewFloat(exp, mant int) Float { return Float{F: hdl.FloatFormat{Exp: exp, Mant: mant}} }
+
+// Width implements DType.
+func (t Float) Width() int { return t.F.Width() }
+
+// Name implements DType.
+func (t Float) Name() string { return fmt.Sprintf("Float(%d,%d)", t.F.Exp, t.F.Mant) }
+
+// Encode implements DType.
+func (t Float) Encode(v float64) uint64 { return t.F.Encode(v) }
+
+// Decode implements DType.
+func (t Float) Decode(bits uint64) float64 { return t.F.Decode(bits) }
+
+// Add implements DType.
+func (t Float) Add(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return m.FAdd(t.F, a, b) }
+
+// Sub implements DType.
+func (t Float) Sub(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return m.FAdd(t.F, a, m.FNeg(t.F, b)) }
+
+// Mul implements DType.
+func (t Float) Mul(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return m.FMul(t.F, a, b) }
+
+// Div implements DType: a * (1/b) via the Newton-Raphson reciprocal unit.
+// Constant divisors are cheaper through the graph API's Div, which lowers
+// them to MulConst.
+func (t Float) Div(m *hdl.Module, a, b hdl.Bus) hdl.Bus {
+	return m.FDiv(t.F, a, b)
+}
+
+// MulConst implements DType.
+func (t Float) MulConst(m *hdl.Module, a hdl.Bus, c float64) hdl.Bus {
+	return m.FMul(t.F, a, m.FConst(t.F, c))
+}
+
+// Neg implements DType.
+func (t Float) Neg(m *hdl.Module, a hdl.Bus) hdl.Bus { return m.FNeg(t.F, a) }
+
+// Relu implements DType.
+func (t Float) Relu(m *hdl.Module, a hdl.Bus) hdl.Bus { return m.FRelu(t.F, a) }
+
+// Max implements DType.
+func (t Float) Max(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return m.FMax(t.F, a, b) }
+
+// Min implements DType.
+func (t Float) Min(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return m.FMin(t.F, a, b) }
+
+// Lt implements DType.
+func (t Float) Lt(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return hdl.Bus{m.FLt(t.F, a, b)} }
+
+// Eq implements DType.
+func (t Float) Eq(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return hdl.Bus{m.FEq(t.F, a, b)} }
+
+// Zero implements DType.
+func (t Float) Zero(m *hdl.Module) hdl.Bus { return m.FZero(t.F) }
+
+// Const implements DType.
+func (t Float) Const(m *hdl.Module, v float64) hdl.Bus { return m.FConst(t.F, v) }

@@ -1,0 +1,465 @@
+package chiseltorch
+
+import (
+	"fmt"
+	"math"
+
+	"pytfhe/internal/hdl"
+)
+
+// Layer is one neural-network building block. Forward constructs the
+// layer's hardware on the graph, consuming and producing tensors. Layers
+// carry their (plaintext) parameters; compiling bakes them into the
+// circuit as constants.
+type Layer interface {
+	Name() string
+	Forward(g *Graph, x *Tensor) (*Tensor, error)
+}
+
+// --- Linear ---
+
+// Linear is a fully-connected layer: y = x W^T + b, with x of shape
+// [In] (or [*, In]) and W of shape [Out][In].
+type Linear struct {
+	In, Out int
+	Weight  []float64 // len Out*In, row-major [out][in]
+	Bias    []float64 // len Out (nil for no bias)
+}
+
+// Name implements Layer.
+func (l *Linear) Name() string { return fmt.Sprintf("Linear(%d, %d)", l.In, l.Out) }
+
+// Forward implements Layer.
+func (l *Linear) Forward(g *Graph, x *Tensor) (*Tensor, error) {
+	if len(l.Weight) != l.In*l.Out {
+		return nil, fmt.Errorf("chiseltorch: %s has %d weights", l.Name(), len(l.Weight))
+	}
+	if x.NumElements() != l.In {
+		return nil, fmt.Errorf("chiseltorch: %s applied to input of %d elements", l.Name(), x.NumElements())
+	}
+	flat := g.Reshape(x, 1, l.In)
+	// W^T as a constant tensor of shape [In][Out].
+	wt := make([]float64, l.In*l.Out)
+	for o := 0; o < l.Out; o++ {
+		for i := 0; i < l.In; i++ {
+			wt[i*l.Out+o] = l.Weight[o*l.In+i]
+		}
+	}
+	wT := g.ConstTensor(wt, l.In, l.Out)
+	y := g.MatMul(flat, wT)
+	y = g.Reshape(y, l.Out)
+	if l.Bias != nil {
+		if len(l.Bias) != l.Out {
+			return nil, fmt.Errorf("chiseltorch: %s has %d biases", l.Name(), len(l.Bias))
+		}
+		y = g.Add(y, g.ConstTensor(l.Bias, l.Out))
+	}
+	return y, nil
+}
+
+// --- ReLU ---
+
+// ReLU applies max(x, 0) elementwise.
+type ReLU struct{}
+
+// Name implements Layer.
+func (ReLU) Name() string { return "ReLU()" }
+
+// Forward implements Layer.
+func (ReLU) Forward(g *Graph, x *Tensor) (*Tensor, error) { return g.Relu(x), nil }
+
+// --- Flatten ---
+
+// Flatten collapses the input to rank 1. It lowers to pure wiring: zero
+// gates, the optimization the paper highlights against Transpiler.
+type Flatten struct{}
+
+// Name implements Layer.
+func (Flatten) Name() string { return "Flatten()" }
+
+// Forward implements Layer.
+func (Flatten) Forward(g *Graph, x *Tensor) (*Tensor, error) { return g.Flatten(x), nil }
+
+// --- Conv2d ---
+
+// Conv2d is a 2-D convolution over input of shape [C, H, W] producing
+// [OutC, H', W'], with square kernels, stride and zero padding —
+// Conv2d(in, out, kernel, stride) in the ChiselTorch API.
+type Conv2d struct {
+	InC, OutC int
+	Kernel    int
+	Stride    int
+	Padding   int
+	Weight    []float64 // [OutC][InC][K][K]
+	Bias      []float64 // [OutC] or nil
+}
+
+// Name implements Layer.
+func (c *Conv2d) Name() string {
+	return fmt.Sprintf("Conv2d(%d, %d, %d, %d)", c.InC, c.OutC, c.Kernel, c.Stride)
+}
+
+// Forward implements Layer.
+func (c *Conv2d) Forward(g *Graph, x *Tensor) (*Tensor, error) {
+	if len(x.Shape) != 3 || x.Shape[0] != c.InC {
+		return nil, fmt.Errorf("chiseltorch: %s applied to shape %v", c.Name(), x.Shape)
+	}
+	if want := c.OutC * c.InC * c.Kernel * c.Kernel; len(c.Weight) != want {
+		return nil, fmt.Errorf("chiseltorch: %s has %d weights, want %d", c.Name(), len(c.Weight), want)
+	}
+	stride := c.Stride
+	if stride == 0 {
+		stride = 1
+	}
+	if c.Padding > 0 {
+		x = g.Pad(x, c.Padding)
+	}
+	h, w := x.Shape[1], x.Shape[2]
+	oh := (h-c.Kernel)/stride + 1
+	ow := (w-c.Kernel)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("chiseltorch: %s output would be empty for input %v", c.Name(), x.Shape)
+	}
+	out := g.newLike([]int{c.OutC, oh, ow})
+	for oc := 0; oc < c.OutC; oc++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				// Weighted taps with zero weights skipped entirely.
+				prods := make([]hdl.Bus, 0, c.InC*c.Kernel*c.Kernel)
+				for ic := 0; ic < c.InC; ic++ {
+					for ky := 0; ky < c.Kernel; ky++ {
+						for kx := 0; kx < c.Kernel; kx++ {
+							wv := c.Weight[((oc*c.InC+ic)*c.Kernel+ky)*c.Kernel+kx]
+							if wv == 0 {
+								continue
+							}
+							in := x.At(ic, oy*stride+ky, ox*stride+kx)
+							prods = append(prods, g.DT.MulConst(g.M, in, wv))
+						}
+					}
+				}
+				s := g.sumBuses(prods)
+				if c.Bias != nil {
+					s = g.DT.Add(g.M, s, g.DT.Const(g.M, c.Bias[oc]))
+				}
+				out.data[(oc*oh+oy)*ow+ox] = s
+			}
+		}
+	}
+	return out, nil
+}
+
+// --- Conv1d ---
+
+// Conv1d is a 1-D convolution over input [C, L] producing [OutC, L'].
+type Conv1d struct {
+	InC, OutC int
+	Kernel    int
+	Stride    int
+	Weight    []float64 // [OutC][InC][K]
+	Bias      []float64
+}
+
+// Name implements Layer.
+func (c *Conv1d) Name() string {
+	return fmt.Sprintf("Conv1d(%d, %d, %d, %d)", c.InC, c.OutC, c.Kernel, c.Stride)
+}
+
+// Forward implements Layer.
+func (c *Conv1d) Forward(g *Graph, x *Tensor) (*Tensor, error) {
+	if len(x.Shape) != 2 || x.Shape[0] != c.InC {
+		return nil, fmt.Errorf("chiseltorch: %s applied to shape %v", c.Name(), x.Shape)
+	}
+	stride := c.Stride
+	if stride == 0 {
+		stride = 1
+	}
+	l := x.Shape[1]
+	ol := (l-c.Kernel)/stride + 1
+	if ol <= 0 {
+		return nil, fmt.Errorf("chiseltorch: %s output would be empty", c.Name())
+	}
+	out := g.newLike([]int{c.OutC, ol})
+	for oc := 0; oc < c.OutC; oc++ {
+		for op := 0; op < ol; op++ {
+			terms := make([]hdl.Bus, 0, c.InC*c.Kernel)
+			for ic := 0; ic < c.InC; ic++ {
+				for k := 0; k < c.Kernel; k++ {
+					wv := c.Weight[(oc*c.InC+ic)*c.Kernel+k]
+					if wv == 0 {
+						continue
+					}
+					in := x.At(ic, op*stride+k)
+					terms = append(terms, g.DT.MulConst(g.M, in, wv))
+				}
+			}
+			s := g.sumBuses(terms)
+			if c.Bias != nil {
+				s = g.DT.Add(g.M, s, g.DT.Const(g.M, c.Bias[oc]))
+			}
+			out.data[oc*ol+op] = s
+		}
+	}
+	return out, nil
+}
+
+// --- pooling ---
+
+// MaxPool2d takes the maximum over kernel×kernel windows with the given
+// stride — MaxPool2d(kernel, stride).
+type MaxPool2d struct {
+	Kernel, Stride int
+}
+
+// Name implements Layer.
+func (p MaxPool2d) Name() string { return fmt.Sprintf("MaxPool2d(%d,%d)", p.Kernel, p.Stride) }
+
+// Forward implements Layer.
+func (p MaxPool2d) Forward(g *Graph, x *Tensor) (*Tensor, error) {
+	return pool2d(g, x, p.Kernel, p.Stride, "MaxPool2d", func(a, b hdl.Bus) hdl.Bus {
+		return g.DT.Max(g.M, a, b)
+	}, nil)
+}
+
+// AvgPool2d averages over kernel×kernel windows.
+type AvgPool2d struct {
+	Kernel, Stride int
+}
+
+// Name implements Layer.
+func (p AvgPool2d) Name() string { return fmt.Sprintf("AvgPool2d(%d,%d)", p.Kernel, p.Stride) }
+
+// Forward implements Layer.
+func (p AvgPool2d) Forward(g *Graph, x *Tensor) (*Tensor, error) {
+	inv := 1.0 / float64(p.Kernel*p.Kernel)
+	return pool2d(g, x, p.Kernel, p.Stride, "AvgPool2d", func(a, b hdl.Bus) hdl.Bus {
+		return g.DT.Add(g.M, a, b)
+	}, func(a hdl.Bus) hdl.Bus {
+		return g.DT.MulConst(g.M, a, inv)
+	})
+}
+
+// MaxPool1d pools over length-kernel windows of a [C, L] input.
+type MaxPool1d struct {
+	Kernel, Stride int
+}
+
+// Name implements Layer.
+func (p MaxPool1d) Name() string { return fmt.Sprintf("MaxPool1d(%d,%d)", p.Kernel, p.Stride) }
+
+// Forward implements Layer.
+func (p MaxPool1d) Forward(g *Graph, x *Tensor) (*Tensor, error) {
+	return pool1d(g, x, p.Kernel, p.Stride, "MaxPool1d", func(a, b hdl.Bus) hdl.Bus {
+		return g.DT.Max(g.M, a, b)
+	}, nil)
+}
+
+// AvgPool1d averages over length-kernel windows.
+type AvgPool1d struct {
+	Kernel, Stride int
+}
+
+// Name implements Layer.
+func (p AvgPool1d) Name() string { return fmt.Sprintf("AvgPool1d(%d,%d)", p.Kernel, p.Stride) }
+
+// Forward implements Layer.
+func (p AvgPool1d) Forward(g *Graph, x *Tensor) (*Tensor, error) {
+	inv := 1.0 / float64(p.Kernel)
+	return pool1d(g, x, p.Kernel, p.Stride, "AvgPool1d", func(a, b hdl.Bus) hdl.Bus {
+		return g.DT.Add(g.M, a, b)
+	}, func(a hdl.Bus) hdl.Bus {
+		return g.DT.MulConst(g.M, a, inv)
+	})
+}
+
+// pool2d folds combine over each window, then applies finish (if any).
+func pool2d(g *Graph, x *Tensor, kernel, stride int, name string,
+	combine func(a, b hdl.Bus) hdl.Bus, finish func(hdl.Bus) hdl.Bus) (*Tensor, error) {
+	if len(x.Shape) != 3 {
+		return nil, fmt.Errorf("chiseltorch: %s applied to shape %v", name, x.Shape)
+	}
+	if stride == 0 {
+		stride = kernel
+	}
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh := (h-kernel)/stride + 1
+	ow := (w-kernel)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("chiseltorch: %s output would be empty for input %v", name, x.Shape)
+	}
+	out := g.newLike([]int{c, oh, ow})
+	for ic := 0; ic < c; ic++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				acc := x.At(ic, oy*stride, ox*stride)
+				for ky := 0; ky < kernel; ky++ {
+					for kx := 0; kx < kernel; kx++ {
+						if ky == 0 && kx == 0 {
+							continue
+						}
+						acc = combine(acc, x.At(ic, oy*stride+ky, ox*stride+kx))
+					}
+				}
+				if finish != nil {
+					acc = finish(acc)
+				}
+				out.data[(ic*oh+oy)*ow+ox] = acc
+			}
+		}
+	}
+	return out, nil
+}
+
+func pool1d(g *Graph, x *Tensor, kernel, stride int, name string,
+	combine func(a, b hdl.Bus) hdl.Bus, finish func(hdl.Bus) hdl.Bus) (*Tensor, error) {
+	if len(x.Shape) != 2 {
+		return nil, fmt.Errorf("chiseltorch: %s applied to shape %v", name, x.Shape)
+	}
+	if stride == 0 {
+		stride = kernel
+	}
+	c, l := x.Shape[0], x.Shape[1]
+	ol := (l-kernel)/stride + 1
+	if ol <= 0 {
+		return nil, fmt.Errorf("chiseltorch: %s output would be empty", name)
+	}
+	out := g.newLike([]int{c, ol})
+	for ic := 0; ic < c; ic++ {
+		for op := 0; op < ol; op++ {
+			acc := x.At(ic, op*stride)
+			for k := 1; k < kernel; k++ {
+				acc = combine(acc, x.At(ic, op*stride+k))
+			}
+			if finish != nil {
+				acc = finish(acc)
+			}
+			out.data[ic*ol+op] = acc
+		}
+	}
+	return out, nil
+}
+
+// --- batch normalization ---
+
+// BatchNorm2d applies the inference-time affine transform
+// y = gamma * (x - mean) / sqrt(var + eps) + beta per channel of a
+// [C, H, W] input. At compile time this folds into a single constant
+// multiply-add per element.
+type BatchNorm2d struct {
+	C     int
+	Gamma []float64
+	Beta  []float64
+	Mean  []float64
+	Var   []float64
+	Eps   float64
+}
+
+// Name implements Layer.
+func (b *BatchNorm2d) Name() string { return fmt.Sprintf("BatchNorm2d(%d)", b.C) }
+
+// Forward implements Layer.
+func (b *BatchNorm2d) Forward(g *Graph, x *Tensor) (*Tensor, error) {
+	if len(x.Shape) != 3 || x.Shape[0] != b.C {
+		return nil, fmt.Errorf("chiseltorch: %s applied to shape %v", b.Name(), x.Shape)
+	}
+	scale, shift, err := b.fold()
+	if err != nil {
+		return nil, err
+	}
+	out := g.newLike(x.Shape)
+	hw := x.Shape[1] * x.Shape[2]
+	for c := 0; c < b.C; c++ {
+		sb := g.DT.Const(g.M, shift[c])
+		for i := 0; i < hw; i++ {
+			v := g.DT.MulConst(g.M, x.data[c*hw+i], scale[c])
+			out.data[c*hw+i] = g.DT.Add(g.M, v, sb)
+		}
+	}
+	return out, nil
+}
+
+func (b *BatchNorm2d) fold() (scale, shift []float64, err error) {
+	n := b.C
+	if len(b.Gamma) != n || len(b.Beta) != n || len(b.Mean) != n || len(b.Var) != n {
+		return nil, nil, fmt.Errorf("chiseltorch: %s has inconsistent parameter lengths", b.Name())
+	}
+	eps := b.Eps
+	if eps == 0 {
+		eps = 1e-5
+	}
+	scale = make([]float64, n)
+	shift = make([]float64, n)
+	for c := 0; c < n; c++ {
+		s := b.Gamma[c] / math.Sqrt(b.Var[c]+eps)
+		scale[c] = s
+		shift[c] = b.Beta[c] - s*b.Mean[c]
+	}
+	return scale, shift, nil
+}
+
+// BatchNorm1d is the rank-1 (or [C, L]) batch normalization.
+type BatchNorm1d struct {
+	C     int
+	Gamma []float64
+	Beta  []float64
+	Mean  []float64
+	Var   []float64
+	Eps   float64
+}
+
+// Name implements Layer.
+func (b *BatchNorm1d) Name() string { return fmt.Sprintf("BatchNorm1d(%d)", b.C) }
+
+// Forward implements Layer.
+func (b *BatchNorm1d) Forward(g *Graph, x *Tensor) (*Tensor, error) {
+	bn2 := &BatchNorm2d{C: b.C, Gamma: b.Gamma, Beta: b.Beta, Mean: b.Mean, Var: b.Var, Eps: b.Eps}
+	scale, shift, err := bn2.fold()
+	if err != nil {
+		return nil, fmt.Errorf("chiseltorch: %s: %w", b.Name(), err)
+	}
+	// Accept [C] or [C, L].
+	var l int
+	switch len(x.Shape) {
+	case 1:
+		if x.Shape[0] != b.C {
+			return nil, fmt.Errorf("chiseltorch: %s applied to shape %v", b.Name(), x.Shape)
+		}
+		l = 1
+	case 2:
+		if x.Shape[0] != b.C {
+			return nil, fmt.Errorf("chiseltorch: %s applied to shape %v", b.Name(), x.Shape)
+		}
+		l = x.Shape[1]
+	default:
+		return nil, fmt.Errorf("chiseltorch: %s applied to shape %v", b.Name(), x.Shape)
+	}
+	out := g.newLike(x.Shape)
+	for c := 0; c < b.C; c++ {
+		sb := g.DT.Const(g.M, shift[c])
+		for i := 0; i < l; i++ {
+			v := g.DT.MulConst(g.M, x.data[c*l+i], scale[c])
+			out.data[c*l+i] = g.DT.Add(g.M, v, sb)
+		}
+	}
+	return out, nil
+}
+
+// --- Sequential ---
+
+// Sequential chains layers, mirroring nn.Sequential.
+type Sequential []Layer
+
+// Name implements Layer.
+func (s Sequential) Name() string { return fmt.Sprintf("Sequential(%d layers)", len(s)) }
+
+// Forward implements Layer.
+func (s Sequential) Forward(g *Graph, x *Tensor) (*Tensor, error) {
+	var err error
+	for i, l := range s {
+		x, err = l.Forward(g, x)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d (%s): %w", i, l.Name(), err)
+		}
+	}
+	return x, nil
+}

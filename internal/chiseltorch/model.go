@@ -1,0 +1,151 @@
+package chiseltorch
+
+import (
+	"fmt"
+	"math"
+
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/synth"
+)
+
+// Model is a named network with a chosen data type, mirroring the
+// ChiselTorch declaration style of Fig. 4:
+//
+//	model := chiseltorch.Model{
+//	    Name:  "mnist",
+//	    DType: chiseltorch.NewFixed(8, 8),
+//	    Net: chiseltorch.Sequential{
+//	        &chiseltorch.Conv2d{...},
+//	        chiseltorch.ReLU{},
+//	        chiseltorch.MaxPool2d{Kernel: 3, Stride: 1},
+//	        chiseltorch.Flatten{},
+//	        &chiseltorch.Linear{In: 576, Out: 10, ...},
+//	    },
+//	}
+type Model struct {
+	Name  string
+	DType DType
+	Net   Layer
+}
+
+// Compiled is the result of compiling a model: the optimized gate netlist
+// plus the metadata needed to encode inputs and decode outputs. InDType is
+// the model's element type; OutDType may differ when the network ends in an
+// index-producing op such as argmax.
+type Compiled struct {
+	Netlist     *circuit.Netlist
+	InDType     DType
+	OutDType    DType
+	InputShape  []int
+	OutputShape []int
+}
+
+// Compile runs the model's forward pass symbolically over an input of the
+// given shape, producing an optimized gate-level netlist.
+func (m *Model) Compile(inputShape ...int) (*Compiled, error) {
+	if m.Net == nil {
+		return nil, fmt.Errorf("chiseltorch: model %q has no layers", m.Name)
+	}
+	dt := m.DType
+	if dt == nil {
+		dt = NewFixed(8, 8)
+	}
+	g := NewGraph(m.Name, dt)
+	x := g.InputTensor("x", inputShape...)
+	y, err := m.Net.Forward(g, x)
+	if err != nil {
+		return nil, fmt.Errorf("chiseltorch: compiling %q: %w", m.Name, err)
+	}
+	g.Output("y", y)
+	nl, err := g.M.Build()
+	if err != nil {
+		return nil, fmt.Errorf("chiseltorch: building netlist for %q: %w", m.Name, err)
+	}
+	res, err := synth.Optimize(nl)
+	if err != nil {
+		return nil, fmt.Errorf("chiseltorch: optimizing %q: %w", m.Name, err)
+	}
+	return &Compiled{
+		Netlist:     res.Netlist,
+		InDType:     dt,
+		OutDType:    y.dt,
+		InputShape:  append([]int(nil), inputShape...),
+		OutputShape: append([]int(nil), y.Shape...),
+	}, nil
+}
+
+// EncodeInput quantizes a real-valued input tensor (row-major) into the
+// plaintext bit vector the netlist consumes.
+func (c *Compiled) EncodeInput(values []float64) ([]bool, error) {
+	if len(values) != numElements(c.InputShape) {
+		return nil, fmt.Errorf("chiseltorch: %d input values for shape %v", len(values), c.InputShape)
+	}
+	return EncodeTensor(c.InDType, values), nil
+}
+
+// DecodeOutput converts the netlist's output bits back to real values.
+func (c *Compiled) DecodeOutput(bits []bool) []float64 {
+	return DecodeTensor(c.OutDType, bits)
+}
+
+// Infer runs the compiled netlist on plaintext values — the functional
+// reference for the homomorphic backends and for accuracy measurements.
+func (c *Compiled) Infer(values []float64) ([]float64, error) {
+	in, err := c.EncodeInput(values)
+	if err != nil {
+		return nil, err
+	}
+	out, err := c.Netlist.Evaluate(in)
+	if err != nil {
+		return nil, err
+	}
+	return c.DecodeOutput(out), nil
+}
+
+// --- self-attention, built purely from Table I primitives ---
+
+// SelfAttention is a single-head self-attention block over input
+// [Seq, Hidden]: scores = (x Wq)(x Wk)^T / sqrt(Hidden), out = A (x Wv),
+// demonstrating that non-native layers compose from reshape/matmul/
+// transpose exactly as the paper describes for BERT-style models.
+//
+// The softmax over scores is replaced by ReLU masking (negative scores
+// drop out) followed by a constant normalization — a standard
+// FHE-friendly substitution, since data-oblivious exp/normalize circuits
+// would dominate the gate count (documented in DESIGN.md).
+type SelfAttention struct {
+	Seq    int
+	Hidden int
+	Wq     []float64 // [Hidden][Hidden]
+	Wk     []float64
+	Wv     []float64
+}
+
+// Name implements Layer.
+func (a *SelfAttention) Name() string {
+	return fmt.Sprintf("SelfAttention(seq=%d, hidden=%d)", a.Seq, a.Hidden)
+}
+
+// Forward implements Layer.
+func (a *SelfAttention) Forward(g *Graph, x *Tensor) (*Tensor, error) {
+	if len(x.Shape) != 2 || x.Shape[0] != a.Seq || x.Shape[1] != a.Hidden {
+		return nil, fmt.Errorf("chiseltorch: %s applied to shape %v", a.Name(), x.Shape)
+	}
+	n := a.Hidden * a.Hidden
+	if len(a.Wq) != n || len(a.Wk) != n || len(a.Wv) != n {
+		return nil, fmt.Errorf("chiseltorch: %s weight shapes are wrong", a.Name())
+	}
+	wq := g.ConstTensor(a.Wq, a.Hidden, a.Hidden)
+	wk := g.ConstTensor(a.Wk, a.Hidden, a.Hidden)
+	wv := g.ConstTensor(a.Wv, a.Hidden, a.Hidden)
+
+	q := g.MatMul(x, wq) // [Seq, Hidden]
+	k := g.MatMul(x, wk)
+	v := g.MatMul(x, wv)
+
+	scores := g.MatMul(q, g.Transpose(k, 0, 1)) // [Seq, Seq]
+	scores = g.MulScalar(scores, 1/math.Sqrt(float64(a.Hidden)))
+	attn := g.Relu(scores)                     // FHE-friendly softmax substitute
+	attn = g.MulScalar(attn, 1/float64(a.Seq)) // constant normalization
+	return g.MatMul(attn, v), nil
+}

@@ -1,0 +1,365 @@
+package chiseltorch
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/hdl"
+)
+
+// This file implements the primitive tensor operations of Table I:
+// matmul, dot, elementwise arithmetic and comparisons, view/reshape/
+// transpose/pad, sum, prod, max, min, argmax, argmin.
+
+// constInfo reports whether a tensor is entirely compile-time constant and,
+// if so, its decoded values. Constant operands let matmul and elementwise
+// multiply lower through the cheap shift-add constant multipliers.
+type constInfo struct {
+	isConst bool
+	values  []float64
+}
+
+func (g *Graph) constOf(t *Tensor) constInfo {
+	vals := make([]float64, len(t.data))
+	for i, bus := range t.data {
+		var raw uint64
+		for j, wire := range bus {
+			switch wire {
+			case circuit.ConstTrue:
+				raw |= 1 << uint(j)
+			case circuit.ConstFalse:
+			default:
+				return constInfo{}
+			}
+		}
+		vals[i] = t.dt.Decode(raw)
+	}
+	return constInfo{isConst: true, values: vals}
+}
+
+func (g *Graph) zip(a, b *Tensor, f func(x, y hdl.Bus) hdl.Bus) *Tensor {
+	if !sameShape(a, b) {
+		panic(fmt.Sprintf("chiseltorch: shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	out := g.newLike(a.Shape)
+	for i := range a.data {
+		out.data[i] = f(a.data[i], b.data[i])
+	}
+	return out
+}
+
+// Add returns the elementwise sum a + b.
+func (g *Graph) Add(a, b *Tensor) *Tensor {
+	return g.zip(a, b, func(x, y hdl.Bus) hdl.Bus { return g.DT.Add(g.M, x, y) })
+}
+
+// Sub returns the elementwise difference a - b.
+func (g *Graph) Sub(a, b *Tensor) *Tensor {
+	return g.zip(a, b, func(x, y hdl.Bus) hdl.Bus { return g.DT.Sub(g.M, x, y) })
+}
+
+// Mul returns the elementwise (Hadamard) product. If either operand is
+// constant, the cheaper constant multiplier is used.
+func (g *Graph) Mul(a, b *Tensor) *Tensor {
+	if ci := g.constOf(b); ci.isConst {
+		out := g.newLike(a.Shape)
+		for i := range a.data {
+			out.data[i] = g.DT.MulConst(g.M, a.data[i], ci.values[i])
+		}
+		return out
+	}
+	if ci := g.constOf(a); ci.isConst {
+		return g.Mul(b, a)
+	}
+	return g.zip(a, b, func(x, y hdl.Bus) hdl.Bus { return g.DT.Mul(g.M, x, y) })
+}
+
+// Div returns the elementwise quotient a / b.
+func (g *Graph) Div(a, b *Tensor) *Tensor {
+	if ci := g.constOf(b); ci.isConst {
+		out := g.newLike(a.Shape)
+		for i := range a.data {
+			out.data[i] = g.DT.MulConst(g.M, a.data[i], 1/ci.values[i])
+		}
+		return out
+	}
+	return g.zip(a, b, func(x, y hdl.Bus) hdl.Bus { return g.DT.Div(g.M, x, y) })
+}
+
+// Neg returns -a elementwise.
+func (g *Graph) Neg(a *Tensor) *Tensor {
+	out := g.newLike(a.Shape)
+	for i := range a.data {
+		out.data[i] = g.DT.Neg(g.M, a.data[i])
+	}
+	return out
+}
+
+// Relu returns max(a, 0) elementwise.
+func (g *Graph) Relu(a *Tensor) *Tensor {
+	out := g.newLike(a.Shape)
+	for i := range a.data {
+		out.data[i] = g.DT.Relu(g.M, a.data[i])
+	}
+	return out
+}
+
+// AddScalar adds the plaintext constant c to every element.
+func (g *Graph) AddScalar(a *Tensor, c float64) *Tensor {
+	cb := g.DT.Const(g.M, c)
+	out := g.newLike(a.Shape)
+	for i := range a.data {
+		out.data[i] = g.DT.Add(g.M, a.data[i], cb)
+	}
+	return out
+}
+
+// MulScalar multiplies every element by the plaintext constant c.
+func (g *Graph) MulScalar(a *Tensor, c float64) *Tensor {
+	out := g.newLike(a.Shape)
+	for i := range a.data {
+		out.data[i] = g.DT.MulConst(g.M, a.data[i], c)
+	}
+	return out
+}
+
+// cmpTensor builds a 1-bit mask tensor from a comparison primitive.
+func (g *Graph) cmpTensor(a, b *Tensor, f func(x, y hdl.Bus) hdl.Bus) *Tensor {
+	if !sameShape(a, b) {
+		panic(fmt.Sprintf("chiseltorch: shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	out := &Tensor{Shape: append([]int(nil), a.Shape...), dt: NewSInt(1), data: make([]hdl.Bus, len(a.data))}
+	for i := range a.data {
+		out.data[i] = f(a.data[i], b.data[i])
+	}
+	return out
+}
+
+// Lt returns the elementwise mask a < b.
+func (g *Graph) Lt(a, b *Tensor) *Tensor {
+	return g.cmpTensor(a, b, func(x, y hdl.Bus) hdl.Bus { return g.DT.Lt(g.M, x, y) })
+}
+
+// Gt returns the elementwise mask a > b.
+func (g *Graph) Gt(a, b *Tensor) *Tensor { return g.Lt(b, a) }
+
+// Le returns the elementwise mask a <= b.
+func (g *Graph) Le(a, b *Tensor) *Tensor {
+	return g.cmpTensor(a, b, func(x, y hdl.Bus) hdl.Bus {
+		return hdl.Bus{g.M.B.Not(g.DT.Lt(g.M, y, x)[0])}
+	})
+}
+
+// Ge returns the elementwise mask a >= b.
+func (g *Graph) Ge(a, b *Tensor) *Tensor { return g.Le(b, a) }
+
+// Eq returns the elementwise mask a == b.
+func (g *Graph) Eq(a, b *Tensor) *Tensor {
+	return g.cmpTensor(a, b, func(x, y hdl.Bus) hdl.Bus { return g.DT.Eq(g.M, x, y) })
+}
+
+// Ne returns the elementwise mask a != b.
+func (g *Graph) Ne(a, b *Tensor) *Tensor {
+	return g.cmpTensor(a, b, func(x, y hdl.Bus) hdl.Bus {
+		return hdl.Bus{g.M.B.Not(g.DT.Eq(g.M, x, y)[0])}
+	})
+}
+
+// --- shape operations (pure wiring: zero gates, as the paper notes for
+// Flatten) ---
+
+// Reshape reinterprets the tensor with a new shape of equal element count.
+func (g *Graph) Reshape(a *Tensor, shape ...int) *Tensor {
+	if numElements(shape) != len(a.data) {
+		panic(fmt.Sprintf("chiseltorch: cannot reshape %v to %v", a.Shape, shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), dt: a.dt, data: a.data}
+}
+
+// View is an alias of Reshape, mirroring the PyTorch API.
+func (g *Graph) View(a *Tensor, shape ...int) *Tensor { return g.Reshape(a, shape...) }
+
+// Flatten collapses all dimensions into one.
+func (g *Graph) Flatten(a *Tensor) *Tensor { return g.Reshape(a, len(a.data)) }
+
+// Transpose swaps two dimensions.
+func (g *Graph) Transpose(a *Tensor, d0, d1 int) *Tensor {
+	r := len(a.Shape)
+	if d0 < 0 || d1 < 0 || d0 >= r || d1 >= r {
+		panic(fmt.Sprintf("chiseltorch: transpose dims (%d,%d) out of range for rank %d", d0, d1, r))
+	}
+	shape := append([]int(nil), a.Shape...)
+	shape[d0], shape[d1] = shape[d1], shape[d0]
+	out := &Tensor{Shape: shape, dt: a.dt, data: make([]hdl.Bus, len(a.data))}
+	idx := make([]int, r)
+	for flat := range out.data {
+		rem := flat
+		for i := r - 1; i >= 0; i-- {
+			idx[i] = rem % shape[i]
+			rem /= shape[i]
+		}
+		idx[d0], idx[d1] = idx[d1], idx[d0]
+		out.data[flat] = a.data[a.offset(idx)]
+		idx[d0], idx[d1] = idx[d1], idx[d0]
+	}
+	return out
+}
+
+// Pad zero-pads the last two dimensions by p on every side (the layout
+// convolutions need).
+func (g *Graph) Pad(a *Tensor, p int) *Tensor {
+	if p == 0 {
+		return a
+	}
+	r := len(a.Shape)
+	if r < 2 {
+		panic("chiseltorch: pad requires rank >= 2")
+	}
+	shape := append([]int(nil), a.Shape...)
+	shape[r-2] += 2 * p
+	shape[r-1] += 2 * p
+	out := g.newLike(shape)
+	zero := g.DT.Zero(g.M)
+	for i := range out.data {
+		out.data[i] = zero
+	}
+	idx := make([]int, r)
+	for flat := range a.data {
+		rem := flat
+		for i := r - 1; i >= 0; i-- {
+			idx[i] = rem % a.Shape[i]
+			rem /= a.Shape[i]
+		}
+		idx[r-2] += p
+		idx[r-1] += p
+		out.data[out.offset(idx)] = a.data[flat]
+	}
+	return out
+}
+
+// --- reductions ---
+
+// sumBuses adds element buses as a balanced tree.
+func (g *Graph) sumBuses(buses []hdl.Bus) hdl.Bus {
+	if len(buses) == 0 {
+		return g.DT.Zero(g.M)
+	}
+	for len(buses) > 1 {
+		next := make([]hdl.Bus, 0, (len(buses)+1)/2)
+		for i := 0; i+1 < len(buses); i += 2 {
+			next = append(next, g.DT.Add(g.M, buses[i], buses[i+1]))
+		}
+		if len(buses)%2 == 1 {
+			next = append(next, buses[len(buses)-1])
+		}
+		buses = next
+	}
+	return buses[0]
+}
+
+// Sum reduces the whole tensor to a scalar (shape []).
+func (g *Graph) Sum(a *Tensor) *Tensor {
+	out := g.newLike(nil)
+	out.data[0] = g.sumBuses(append([]hdl.Bus(nil), a.data...))
+	return out
+}
+
+// Prod reduces the whole tensor to a scalar product.
+func (g *Graph) Prod(a *Tensor) *Tensor {
+	out := g.newLike(nil)
+	acc := a.data[0]
+	for _, b := range a.data[1:] {
+		acc = g.DT.Mul(g.M, acc, b)
+	}
+	out.data[0] = acc
+	return out
+}
+
+// MaxReduce reduces the whole tensor to its maximum element.
+func (g *Graph) MaxReduce(a *Tensor) *Tensor {
+	out := g.newLike(nil)
+	acc := a.data[0]
+	for _, b := range a.data[1:] {
+		acc = g.DT.Max(g.M, acc, b)
+	}
+	out.data[0] = acc
+	return out
+}
+
+// MinReduce reduces the whole tensor to its minimum element.
+func (g *Graph) MinReduce(a *Tensor) *Tensor {
+	out := g.newLike(nil)
+	acc := a.data[0]
+	for _, b := range a.data[1:] {
+		acc = g.DT.Min(g.M, acc, b)
+	}
+	out.data[0] = acc
+	return out
+}
+
+// ArgMax returns the flat index of the maximum element as an unsigned
+// integer tensor of minimal width (ties resolve to the lowest index).
+func (g *Graph) ArgMax(a *Tensor) *Tensor { return g.argReduce(a, true) }
+
+// ArgMin returns the flat index of the minimum element.
+func (g *Graph) ArgMin(a *Tensor) *Tensor { return g.argReduce(a, false) }
+
+func (g *Graph) argReduce(a *Tensor, wantMax bool) *Tensor {
+	n := len(a.data)
+	idxW := 1
+	if n > 1 {
+		idxW = bits.Len(uint(n - 1))
+	}
+	bestVal := a.data[0]
+	bestIdx := g.M.ConstBus(0, idxW)
+	for i := 1; i < n; i++ {
+		var better hdl.Bus
+		if wantMax {
+			better = g.DT.Lt(g.M, bestVal, a.data[i])
+		} else {
+			better = g.DT.Lt(g.M, a.data[i], bestVal)
+		}
+		bestVal = g.M.Mux(better[0], a.data[i], bestVal)
+		bestIdx = g.M.Mux(better[0], g.M.ConstBus(uint64(i), idxW), bestIdx)
+	}
+	return &Tensor{Shape: nil, dt: SInt{W: idxW}, data: []hdl.Bus{bestIdx}}
+}
+
+// Dot computes the inner product of two equal-length rank-1 tensors.
+func (g *Graph) Dot(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 1 || len(b.Shape) != 1 || a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("chiseltorch: dot requires equal rank-1 shapes, got %v and %v", a.Shape, b.Shape))
+	}
+	return g.Sum(g.Mul(a, b))
+}
+
+// MatMul computes the matrix product of a (m×k) and b (k×n). Constant
+// operands lower to shift-add constant multipliers.
+func (g *Graph) MatMul(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("chiseltorch: matmul shapes %v x %v", a.Shape, b.Shape))
+	}
+	mm, kk, nn := a.Shape[0], a.Shape[1], b.Shape[1]
+	bConst := g.constOf(b)
+	out := g.newLike([]int{mm, nn})
+	for i := 0; i < mm; i++ {
+		for j := 0; j < nn; j++ {
+			terms := make([]hdl.Bus, 0, kk)
+			for k := 0; k < kk; k++ {
+				x := a.At(i, k)
+				if bConst.isConst {
+					c := bConst.values[k*nn+j]
+					if c == 0 {
+						continue
+					}
+					terms = append(terms, g.DT.MulConst(g.M, x, c))
+				} else {
+					terms = append(terms, g.DT.Mul(g.M, x, b.At(k, j)))
+				}
+			}
+			out.data[i*nn+j] = g.sumBuses(terms)
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package chiseltorch
+
+import (
+	"fmt"
+
+	"pytfhe/internal/hdl"
+)
+
+// Tensor is a multi-dimensional array whose elements are wire buses in the
+// graph's circuit. Tensors are immutable; operations return new tensors.
+type Tensor struct {
+	Shape []int
+	dt    DType
+	data  []hdl.Bus // row-major
+}
+
+// DType returns the element type.
+func (t *Tensor) DType() DType { return t.dt }
+
+// NumElements returns the product of the shape.
+func (t *Tensor) NumElements() int { return numElements(t.Shape) }
+
+func numElements(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return n
+}
+
+// At returns the element bus at the given indices.
+func (t *Tensor) At(idx ...int) hdl.Bus {
+	return t.data[t.offset(idx)]
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("chiseltorch: %d indices for rank-%d tensor", len(idx), len(t.Shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("chiseltorch: index %d out of range for dim %d (size %d)", x, i, t.Shape[i]))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// Graph accumulates the circuit for one model compilation.
+type Graph struct {
+	M  *hdl.Module
+	DT DType
+}
+
+// NewGraph starts a fresh compilation with the given default element type.
+func NewGraph(name string, dt DType) *Graph {
+	return &Graph{M: hdl.New(name), DT: dt}
+}
+
+// InputTensor declares an encrypted input tensor: one input bus per
+// element, named name[i0][i1]....
+func (g *Graph) InputTensor(name string, shape ...int) *Tensor {
+	n := numElements(shape)
+	t := &Tensor{Shape: append([]int(nil), shape...), dt: g.DT, data: make([]hdl.Bus, n)}
+	for i := 0; i < n; i++ {
+		t.data[i] = g.M.InputBus(fmt.Sprintf("%s%s", name, indexSuffix(shape, i)), g.DT.Width())
+	}
+	return t
+}
+
+// ConstTensor bakes plaintext values (weights) into the circuit as
+// constants, quantized to the graph's data type.
+func (g *Graph) ConstTensor(values []float64, shape ...int) *Tensor {
+	n := numElements(shape)
+	if len(values) != n {
+		panic(fmt.Sprintf("chiseltorch: %d values for shape %v (%d elements)", len(values), shape, n))
+	}
+	t := &Tensor{Shape: append([]int(nil), shape...), dt: g.DT, data: make([]hdl.Bus, n)}
+	for i, v := range values {
+		t.data[i] = g.DT.Const(g.M, v)
+	}
+	return t
+}
+
+// Output registers every element of t as a circuit output under name.
+func (g *Graph) Output(name string, t *Tensor) {
+	for i, bus := range t.data {
+		g.M.OutputBus(fmt.Sprintf("%s%s", name, indexSuffix(t.Shape, i)), bus)
+	}
+}
+
+func indexSuffix(shape []int, flat int) string {
+	if len(shape) == 0 {
+		return ""
+	}
+	idx := make([]int, len(shape))
+	for i := len(shape) - 1; i >= 0; i-- {
+		idx[i] = flat % shape[i]
+		flat /= shape[i]
+	}
+	s := ""
+	for _, x := range idx {
+		s += fmt.Sprintf("[%d]", x)
+	}
+	return s
+}
+
+// newLike allocates an empty tensor with the given shape and the graph's
+// element type.
+func (g *Graph) newLike(shape []int) *Tensor {
+	return &Tensor{Shape: append([]int(nil), shape...), dt: g.DT, data: make([]hdl.Bus, numElements(shape))}
+}
+
+func sameShape(a, b *Tensor) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EncodeTensor quantizes real values into the plaintext bit vector layout
+// the compiled circuit expects (element order matching InputTensor).
+func EncodeTensor(dt DType, values []float64) []bool {
+	w := dt.Width()
+	bits := make([]bool, 0, len(values)*w)
+	for _, v := range values {
+		enc := dt.Encode(v)
+		for i := 0; i < w; i++ {
+			bits = append(bits, enc>>uint(i)&1 == 1)
+		}
+	}
+	return bits
+}
+
+// DecodeTensor inverts EncodeTensor on circuit outputs.
+func DecodeTensor(dt DType, bits []bool) []float64 {
+	w := dt.Width()
+	if len(bits)%w != 0 {
+		panic(fmt.Sprintf("chiseltorch: %d bits is not a multiple of element width %d", len(bits), w))
+	}
+	out := make([]float64, len(bits)/w)
+	for e := range out {
+		var raw uint64
+		for i := 0; i < w; i++ {
+			if bits[e*w+i] {
+				raw |= 1 << uint(i)
+			}
+		}
+		out[e] = dt.Decode(raw)
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package chiseltorch
+
+import (
+	"fmt"
+	"math"
+
+	"pytfhe/internal/hdl"
+)
+
+// UInt is an unsigned integer of W bits — the remaining Table I data type.
+// Subtraction wraps modulo 2^W; Relu is the identity (unsigned values are
+// never negative); comparisons are unsigned.
+type UInt struct{ W int }
+
+// NewUInt returns the UInt(w) data type.
+func NewUInt(w int) UInt { return UInt{W: w} }
+
+// Width implements DType.
+func (t UInt) Width() int { return t.W }
+
+// Name implements DType.
+func (t UInt) Name() string { return fmt.Sprintf("UInt(%d)", t.W) }
+
+// Encode implements DType, clamping to [0, 2^W).
+func (t UInt) Encode(v float64) uint64 {
+	r := math.Round(v)
+	if r < 0 {
+		r = 0
+	}
+	max := math.Ldexp(1, t.W) - 1
+	if r > max {
+		r = max
+	}
+	return uint64(r)
+}
+
+// Decode implements DType.
+func (t UInt) Decode(bits uint64) float64 {
+	return float64(bits & (1<<uint(t.W) - 1))
+}
+
+// Add implements DType.
+func (t UInt) Add(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return m.Add(a, b) }
+
+// Sub implements DType (wrapping).
+func (t UInt) Sub(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return m.Sub(a, b) }
+
+// Mul implements DType (modular).
+func (t UInt) Mul(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return m.MulModular(a, b) }
+
+// Div implements DType (unsigned quotient).
+func (t UInt) Div(m *hdl.Module, a, b hdl.Bus) hdl.Bus {
+	q, _ := m.DivU(a, b)
+	return q
+}
+
+// MulConst implements DType: the constant is clamped to the unsigned range
+// and lowered through CSD recoding.
+func (t UInt) MulConst(m *hdl.Module, a hdl.Bus, c float64) hdl.Bus {
+	ci := int64(t.Encode(c))
+	return m.Truncate(m.MulConstS(m.ZeroExtend(a, t.W+1), ci, t.W+2), t.W)
+}
+
+// Neg implements DType: two's-complement wrap (matching unsigned hardware).
+func (t UInt) Neg(m *hdl.Module, a hdl.Bus) hdl.Bus { return m.Neg(a) }
+
+// Relu implements DType: identity for unsigned values.
+func (t UInt) Relu(m *hdl.Module, a hdl.Bus) hdl.Bus { return a }
+
+// Max implements DType.
+func (t UInt) Max(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return m.MaxU(a, b) }
+
+// Min implements DType.
+func (t UInt) Min(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return m.MinU(a, b) }
+
+// Lt implements DType.
+func (t UInt) Lt(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return hdl.Bus{m.LtU(a, b)} }
+
+// Eq implements DType.
+func (t UInt) Eq(m *hdl.Module, a, b hdl.Bus) hdl.Bus { return hdl.Bus{m.Eq(a, b)} }
+
+// Zero implements DType.
+func (t UInt) Zero(m *hdl.Module) hdl.Bus { return m.ConstBus(0, t.W) }
+
+// Const implements DType.
+func (t UInt) Const(m *hdl.Module, v float64) hdl.Bus { return m.ConstBus(t.Encode(v), t.W) }

@@ -1,0 +1,348 @@
+package circuit
+
+import (
+	"fmt"
+
+	"pytfhe/internal/logic"
+)
+
+// BuilderOptions control which local optimizations the builder applies as
+// gates are created. The PyTFHE frontend enables everything; the baseline
+// framework models (Cingulata, E3, Transpiler) disable some or all of them
+// to reproduce their larger netlists.
+type BuilderOptions struct {
+	// ConstFold evaluates gates whose operands are known constants and
+	// specializes gates with one constant operand.
+	ConstFold bool
+	// CSE hash-conses structurally identical gates (after commutative
+	// normalization) so each distinct function is computed once.
+	CSE bool
+	// PushNot absorbs NOT gates into their consumers by rewriting the
+	// consumer's truth table, exploiting that input negation is free in
+	// the TFHE gate alphabet.
+	PushNot bool
+	// SameInput simplifies gates whose two operands are the same node.
+	SameInput bool
+}
+
+// AllOptimizations returns the options used by the PyTFHE frontend.
+func AllOptimizations() BuilderOptions {
+	return BuilderOptions{ConstFold: true, CSE: true, PushNot: true, SameInput: true}
+}
+
+// NoOptimizations returns options that emit gates exactly as requested.
+func NoOptimizations() BuilderOptions {
+	return BuilderOptions{}
+}
+
+type gateKey struct {
+	kind logic.Kind
+	a, b NodeID
+}
+
+// Builder constructs a Netlist incrementally. All nodes must be created
+// through the builder so topological order holds by construction.
+type Builder struct {
+	name        string
+	opts        BuilderOptions
+	numInputs   int
+	inputNames  []string
+	gates       []Gate
+	outputs     []NodeID
+	outputNames []string
+	cse         map[gateKey]NodeID
+}
+
+// NewBuilder returns a builder with the given options.
+func NewBuilder(name string, opts BuilderOptions) *Builder {
+	return &Builder{name: name, opts: opts, cse: make(map[gateKey]NodeID)}
+}
+
+// Input adds a named primary input and returns its node id. Inputs must be
+// created before any gate that reads them; creating inputs later is legal
+// but they receive higher indices than existing gates only in the final
+// renumbering, so the builder simply forbids it to keep ids stable.
+func (b *Builder) Input(name string) NodeID {
+	if len(b.gates) > 0 {
+		panic("circuit: all inputs must be declared before the first gate")
+	}
+	b.numInputs++
+	b.inputNames = append(b.inputNames, name)
+	return NodeID(b.numInputs)
+}
+
+// Inputs declares n inputs named prefix[0..n-1].
+func (b *Builder) Inputs(prefix string, n int) []NodeID {
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = b.Input(fmt.Sprintf("%s[%d]", prefix, i))
+	}
+	return ids
+}
+
+// Const returns the constant node for v.
+func (b *Builder) Const(v bool) NodeID {
+	if v {
+		return ConstTrue
+	}
+	return ConstFalse
+}
+
+func constVal(id NodeID) bool { return id == ConstTrue }
+
+// notOperand returns (x, true) when id is a NOT gate over x.
+func (b *Builder) notOperand(id NodeID) (NodeID, bool) {
+	gi := int(id) - b.numInputs - 1
+	if gi < 0 || gi >= len(b.gates) {
+		return 0, false
+	}
+	g := b.gates[gi]
+	if g.Kind == logic.NOT {
+		return g.A, true
+	}
+	return 0, false
+}
+
+// Gate creates (or reuses) a gate computing kind(a, b) and returns its node
+// id. Operands may be constants; with ConstFold enabled the gate is
+// specialized or eliminated, otherwise constants are materialized as
+// TRUE/FALSE-producing gates over input 1 (matching what gate-level
+// baselines without constant propagation emit).
+func (b *Builder) Gate(kind logic.Kind, a, bb NodeID) NodeID {
+	if b.opts.ConstFold {
+		if a.IsConst() && bb.IsConst() {
+			return b.Const(kind.Eval(constVal(a), constVal(bb)))
+		}
+		if a.IsConst() {
+			// Restrict the truth table to f(const, b).
+			if constVal(a) {
+				kind = (kind >> 2) & 3 // rows a=1
+			} else {
+				kind = kind & 3 // rows a=0
+			}
+			kind |= kind << 2 // ignore a
+			a = bb
+		} else if bb.IsConst() {
+			if constVal(bb) {
+				kind = (kind >> 1) & 5 // columns b=1: bits 1,3 -> 0,2
+			} else {
+				kind = kind & 5 // columns b=0: bits 0,2
+			}
+			kind |= kind << 1 // ignore b
+			bb = a
+		}
+		// Degenerate kinds after specialization.
+		if kind.IsConst() {
+			return b.Const(kind.ConstValue())
+		}
+		switch kind {
+		case logic.COPY:
+			return a
+		case logic.COPYB:
+			return bb
+		}
+	}
+	if a.IsConst() || bb.IsConst() {
+		// No constant folding: materialize the constant as a gate so the
+		// netlist stays within the binary format (which has no immediate
+		// operands). TRUE = XNOR(x,x), FALSE = XOR(x,x).
+		if a.IsConst() {
+			a = b.materializeConst(constVal(a), bb)
+		}
+		if bb.IsConst() {
+			bb = b.materializeConst(constVal(bb), a)
+		}
+	}
+
+	if b.opts.SameInput && a == bb {
+		// f(x, x): truth table restricted to the diagonal.
+		f00 := kind.Eval(false, false)
+		f11 := kind.Eval(true, true)
+		switch {
+		case !f00 && !f11:
+			return b.Const(false)
+		case f00 && f11:
+			return b.Const(true)
+		case f11: // identity
+			return a
+		default: // negation
+			kind = logic.NOT
+			bb = a
+		}
+	}
+
+	if b.opts.PushNot && kind != logic.NOT && kind != logic.COPY {
+		if x, ok := b.notOperand(a); ok {
+			kind = kind.NegateA()
+			a = x
+		}
+		if x, ok := b.notOperand(bb); ok {
+			kind = kind.NegateB()
+			bb = x
+		}
+		// The rewrite may have produced a degenerate kind.
+		if b.opts.ConstFold {
+			if kind.IsConst() {
+				return b.Const(kind.ConstValue())
+			}
+			switch kind {
+			case logic.COPY:
+				return a
+			case logic.COPYB:
+				return bb
+			}
+		}
+	}
+
+	// Normalize unary forms so NOT always has its operand in A.
+	switch kind {
+	case logic.NOTB:
+		kind, a = logic.NOT, bb
+	case logic.COPYB:
+		kind, a = logic.COPY, bb
+	}
+	if kind == logic.NOT || kind == logic.COPY {
+		bb = a
+		if b.opts.ConstFold && kind == logic.COPY {
+			return a // a buffer computes nothing
+		}
+		if b.opts.PushNot && kind == logic.NOT {
+			if x, ok := b.notOperand(a); ok {
+				return x // ¬¬x = x
+			}
+		}
+	}
+
+	// Commutative normalization for CSE: order operands of symmetric kinds.
+	if b.opts.CSE {
+		if kind.SwapInputs() == kind && bb < a {
+			a, bb = bb, a
+		} else if bb < a {
+			// For asymmetric kinds, canonicalize by swapping both operands
+			// and the truth table.
+			kind = kind.SwapInputs()
+			a, bb = bb, a
+		}
+		key := gateKey{kind, a, bb}
+		if id, ok := b.cse[key]; ok {
+			return id
+		}
+		id := b.emit(kind, a, bb)
+		b.cse[key] = id
+		return id
+	}
+	return b.emit(kind, a, bb)
+}
+
+func (b *Builder) emit(kind logic.Kind, a, bb NodeID) NodeID {
+	b.gates = append(b.gates, Gate{Kind: kind, A: a, B: bb})
+	return NodeID(b.numInputs + len(b.gates))
+}
+
+// materializeConst produces a node computing the constant v, anchored on an
+// arbitrary existing node (or input 1 if none is supplied).
+func (b *Builder) materializeConst(v bool, anchor NodeID) NodeID {
+	if anchor <= 0 {
+		if b.numInputs == 0 {
+			panic("circuit: cannot materialize a constant in a netlist with no inputs")
+		}
+		anchor = 1
+	}
+	kind := logic.XOR // XOR(x,x) = 0
+	if v {
+		kind = logic.XNOR // XNOR(x,x) = 1
+	}
+	if b.opts.CSE {
+		key := gateKey{kind, anchor, anchor}
+		if id, ok := b.cse[key]; ok {
+			return id
+		}
+		id := b.emit(kind, anchor, anchor)
+		b.cse[key] = id
+		return id
+	}
+	return b.emit(kind, anchor, anchor)
+}
+
+// Convenience wrappers for the common gates.
+
+// And returns a AND b.
+func (b *Builder) And(x, y NodeID) NodeID { return b.Gate(logic.AND, x, y) }
+
+// Or returns a OR b.
+func (b *Builder) Or(x, y NodeID) NodeID { return b.Gate(logic.OR, x, y) }
+
+// Xor returns a XOR b.
+func (b *Builder) Xor(x, y NodeID) NodeID { return b.Gate(logic.XOR, x, y) }
+
+// Nand returns NOT(a AND b).
+func (b *Builder) Nand(x, y NodeID) NodeID { return b.Gate(logic.NAND, x, y) }
+
+// Nor returns NOT(a OR b).
+func (b *Builder) Nor(x, y NodeID) NodeID { return b.Gate(logic.NOR, x, y) }
+
+// Xnor returns NOT(a XOR b).
+func (b *Builder) Xnor(x, y NodeID) NodeID { return b.Gate(logic.XNOR, x, y) }
+
+// Not returns NOT a.
+func (b *Builder) Not(x NodeID) NodeID {
+	if x.IsConst() {
+		if b.opts.ConstFold {
+			return b.Const(!constVal(x))
+		}
+		x = b.materializeConst(constVal(x), 0)
+	}
+	return b.Gate(logic.NOT, x, x)
+}
+
+// Mux returns sel ? t : f, lowered to the two-input alphabet:
+// (t AND sel) OR (f AND NOT sel) — with the free-negation gate forms this
+// costs three bootstrapped gates (ANDYN avoids the explicit NOT).
+func (b *Builder) Mux(sel, t, f NodeID) NodeID {
+	hi := b.Gate(logic.AND, t, sel)
+	lo := b.Gate(logic.ANDYN, f, sel) // f AND NOT sel
+	return b.Gate(logic.OR, hi, lo)
+}
+
+// Output registers a named output.
+func (b *Builder) Output(name string, id NodeID) {
+	b.outputs = append(b.outputs, id)
+	b.outputNames = append(b.outputNames, name)
+}
+
+// OutputBus registers a named bus of outputs, LSB first.
+func (b *Builder) OutputBus(prefix string, ids []NodeID) {
+	for i, id := range ids {
+		b.Output(fmt.Sprintf("%s[%d]", prefix, i), id)
+	}
+}
+
+// NumGates returns the number of gates emitted so far.
+func (b *Builder) NumGates() int { return len(b.gates) }
+
+// Build finalizes the netlist. The builder remains usable afterwards, but
+// the returned netlist does not alias builder state.
+func (b *Builder) Build() (*Netlist, error) {
+	nl := &Netlist{
+		Name:        b.name,
+		NumInputs:   b.numInputs,
+		Gates:       append([]Gate(nil), b.gates...),
+		Outputs:     append([]NodeID(nil), b.outputs...),
+		InputNames:  append([]string(nil), b.inputNames...),
+		OutputNames: append([]string(nil), b.outputNames...),
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}
+
+// MustBuild is Build for construction code paths that cannot produce
+// invalid netlists (panics on error).
+func (b *Builder) MustBuild() *Netlist {
+	nl, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return nl
+}

@@ -1,0 +1,232 @@
+// Package circuit defines the gate-level intermediate representation of the
+// toolchain: a directed acyclic graph of two-input boolean gates with named
+// input and output ports, in strict topological order.
+//
+// A Netlist is what the synthesizer produces, what the PyTFHE assembler
+// encodes (see internal/asm), and what every backend executes. Node indices
+// follow the paper's sequential naming scheme: index 0 is reserved (the
+// header slot of the binary format), inputs occupy 1..NumInputs, and gate i
+// has index NumInputs+1+i.
+package circuit
+
+import (
+	"fmt"
+
+	"pytfhe/internal/logic"
+)
+
+// NodeID names a node in the DAG. Valid node ids are positive; the two
+// negative sentinels represent the boolean constants, which exist only
+// during construction (the builder folds them away) and at output ports.
+type NodeID int64
+
+// Constant sentinels. They never appear as gate operands in a built
+// Netlist; they may appear in Outputs when an output is statically known.
+const (
+	Invalid    NodeID = 0
+	ConstFalse NodeID = -1
+	ConstTrue  NodeID = -2
+)
+
+// IsConst reports whether the id is one of the constant sentinels.
+func (id NodeID) IsConst() bool { return id == ConstFalse || id == ConstTrue }
+
+// Gate is one two-input gate. For unary kinds (NOT, COPY) both operands
+// hold the same node, mirroring the binary encoding.
+type Gate struct {
+	Kind logic.Kind
+	A, B NodeID
+}
+
+// Netlist is an immutable gate-level program.
+type Netlist struct {
+	Name        string
+	NumInputs   int
+	Gates       []Gate
+	Outputs     []NodeID
+	InputNames  []string // len NumInputs (may be empty if unnamed)
+	OutputNames []string // len(Outputs) (may be empty if unnamed)
+}
+
+// NumNodes returns the total number of nodes (inputs + gates).
+func (nl *Netlist) NumNodes() int { return nl.NumInputs + len(nl.Gates) }
+
+// GateID returns the node id of gate index i.
+func (nl *Netlist) GateID(i int) NodeID { return NodeID(nl.NumInputs + 1 + i) }
+
+// GateIndex returns the gate slice index for node id, or -1 if id names an
+// input or constant.
+func (nl *Netlist) GateIndex(id NodeID) int {
+	i := int(id) - nl.NumInputs - 1
+	if i < 0 || i >= len(nl.Gates) {
+		return -1
+	}
+	return i
+}
+
+// IsInput reports whether id names a primary input.
+func (nl *Netlist) IsInput(id NodeID) bool {
+	return id >= 1 && int(id) <= nl.NumInputs
+}
+
+// Validate checks the structural invariants: every gate reads only nodes
+// with strictly smaller indices (topological order), no gate reads a
+// constant sentinel, and every output names a valid node or constant.
+func (nl *Netlist) Validate() error {
+	if nl.NumInputs < 0 {
+		return fmt.Errorf("circuit: negative input count %d", nl.NumInputs)
+	}
+	if nl.InputNames != nil && len(nl.InputNames) != nl.NumInputs {
+		return fmt.Errorf("circuit: %d input names for %d inputs", len(nl.InputNames), nl.NumInputs)
+	}
+	if nl.OutputNames != nil && len(nl.OutputNames) != len(nl.Outputs) {
+		return fmt.Errorf("circuit: %d output names for %d outputs", len(nl.OutputNames), len(nl.Outputs))
+	}
+	for i, g := range nl.Gates {
+		id := nl.GateID(i)
+		for _, in := range [2]NodeID{g.A, g.B} {
+			if in <= 0 {
+				return fmt.Errorf("circuit: gate %d (%v) reads invalid node %d", id, g.Kind, in)
+			}
+			if in >= id {
+				return fmt.Errorf("circuit: gate %d (%v) reads node %d, violating topological order", id, g.Kind, in)
+			}
+		}
+	}
+	for i, out := range nl.Outputs {
+		if out.IsConst() {
+			continue
+		}
+		if out <= 0 || int(out) > nl.NumNodes() {
+			return fmt.Errorf("circuit: output %d names invalid node %d", i, out)
+		}
+	}
+	return nil
+}
+
+// Evaluate runs the netlist on cleartext inputs, returning the output bits.
+// It is the functional reference for every homomorphic backend.
+func (nl *Netlist) Evaluate(inputs []bool) ([]bool, error) {
+	if len(inputs) != nl.NumInputs {
+		return nil, fmt.Errorf("circuit: %d inputs supplied, want %d", len(inputs), nl.NumInputs)
+	}
+	values := make([]bool, nl.NumNodes()+1)
+	copy(values[1:], inputs)
+	for i, g := range nl.Gates {
+		values[nl.GateID(i)] = g.Kind.Eval(values[g.A], values[g.B])
+	}
+	outs := make([]bool, len(nl.Outputs))
+	for i, id := range nl.Outputs {
+		switch id {
+		case ConstTrue:
+			outs[i] = true
+		case ConstFalse:
+			outs[i] = false
+		default:
+			outs[i] = values[id]
+		}
+	}
+	return outs, nil
+}
+
+// Levels partitions the gates into wavefronts: level L contains every gate
+// whose operands are all inputs or gates of level < L. The slices hold gate
+// indices (not node ids). This is the schedule structure of Algorithm 1.
+func (nl *Netlist) Levels() [][]int {
+	level := make([]int, nl.NumNodes()+1) // inputs have level 0
+	var levels [][]int
+	for i, g := range nl.Gates {
+		l := level[g.A]
+		if lb := level[g.B]; lb > l {
+			l = lb
+		}
+		l++
+		level[nl.GateID(i)] = l
+		for len(levels) < l {
+			levels = append(levels, nil)
+		}
+		levels[l-1] = append(levels[l-1], i)
+	}
+	return levels
+}
+
+// Depth returns the length of the critical path in bootstrapped gates:
+// gates that bootstrap count 1, free gates (NOT) count 0.
+func (nl *Netlist) Depth() int {
+	depth := make([]int, nl.NumNodes()+1)
+	max := 0
+	for i, g := range nl.Gates {
+		d := depth[g.A]
+		if db := depth[g.B]; db > d {
+			d = db
+		}
+		if g.Kind.NeedsBootstrap() {
+			d++
+		}
+		depth[nl.GateID(i)] = d
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Stats summarizes a netlist for reports and the gate-distribution figure.
+type Stats struct {
+	Inputs       int
+	Outputs      int
+	Gates        int
+	Bootstrapped int // gates that cost a bootstrap (the paper's gate count)
+	Free         int // NOT/COPY gates, linear on ciphertexts
+	Depth        int // critical path in bootstrapped gates
+	Levels       int // wavefront count
+	MaxWidth     int // widest wavefront
+	ByKind       [logic.NumKinds]int
+}
+
+// ComputeStats gathers Stats in one pass.
+func (nl *Netlist) ComputeStats() Stats {
+	s := Stats{
+		Inputs:  nl.NumInputs,
+		Outputs: len(nl.Outputs),
+		Gates:   len(nl.Gates),
+		Depth:   nl.Depth(),
+	}
+	for _, g := range nl.Gates {
+		s.ByKind[g.Kind]++
+		if g.Kind.NeedsBootstrap() {
+			s.Bootstrapped++
+		} else {
+			s.Free++
+		}
+	}
+	levels := nl.Levels()
+	s.Levels = len(levels)
+	for _, l := range levels {
+		if len(l) > s.MaxWidth {
+			s.MaxWidth = len(l)
+		}
+	}
+	return s
+}
+
+// FanOut returns, for every node id, how many gate operands and outputs
+// read it. Index 0 is unused.
+func (nl *Netlist) FanOut() []int {
+	fan := make([]int, nl.NumNodes()+1)
+	for _, g := range nl.Gates {
+		fan[g.A]++
+		fan[g.B]++
+	}
+	for _, out := range nl.Outputs {
+		if out > 0 {
+			fan[out]++
+		}
+	}
+	return fan
+}
+
+// String returns a short human-readable summary.
+func (nl *Netlist) String() string {
+	return fmt.Sprintf("%s: %d inputs, %d gates, %d outputs", nl.Name, nl.NumInputs, len(nl.Gates), len(nl.Outputs))
+}

@@ -1,0 +1,375 @@
+// Package cluster implements the distributed CPU backend of PyTFHE over
+// real TCP sockets — the role Ray plays in the paper. A Coordinator listens
+// for Worker connections, broadcasts the public evaluation key once, then
+// drives the wavefront schedule of Algorithm 1: every gate of a ready level
+// is submitted to a worker together with its input ciphertexts, and the
+// result ciphertext travels back, exactly the per-gate communication
+// pattern the paper profiles in Fig. 7 (≈2.46 KB per ciphertext).
+//
+// Messages are framed with encoding/gob. Workers may host multiple slots
+// (cores); each slot owns a gate engine over the shared cloud key.
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/logic"
+	"pytfhe/internal/tfhe/boot"
+	"pytfhe/internal/tfhe/gate"
+	"pytfhe/internal/tfhe/lwe"
+)
+
+// GateTask ships one gate evaluation: the gate kind and its two input
+// ciphertexts.
+type GateTask struct {
+	Kind uint8
+	A, B *lwe.Sample
+}
+
+// Message is the single wire envelope; exactly one field is set.
+type Message struct {
+	Hello  *Hello
+	Key    *boot.CloudKey
+	Job    *Job
+	Result *JobResult
+	Error  string
+	Bye    bool
+}
+
+// Hello announces a worker and its slot (core) count.
+type Hello struct {
+	Slots int
+}
+
+// Job carries a batch of gate tasks for one wavefront.
+type Job struct {
+	Seq   int
+	Tasks []GateTask
+}
+
+// JobResult returns the output ciphertexts of a Job, in task order.
+type JobResult struct {
+	Seq     int
+	Outputs []*lwe.Sample
+}
+
+// Stats summarizes a distributed run.
+type Stats struct {
+	Workers    int
+	Slots      int
+	Levels     int
+	Gates      int
+	Bootstraps int
+	Elapsed    time.Duration
+	BytesSent  int64 // ciphertext payload shipped to workers (estimate)
+}
+
+// Coordinator owns the listening socket and the connected workers.
+type Coordinator struct {
+	ck       *boot.CloudKey
+	ln       net.Listener
+	mu       sync.Mutex
+	workers  []*workerConn
+	LastStat Stats
+}
+
+type workerConn struct {
+	conn  net.Conn
+	enc   *gob.Encoder
+	dec   *gob.Decoder
+	slots int
+}
+
+// NewCoordinator starts listening on addr (e.g. "127.0.0.1:0"). The cloud
+// key is broadcast to every worker as it joins.
+func NewCoordinator(ck *boot.CloudKey, addr string) (*Coordinator, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen: %w", err)
+	}
+	return &Coordinator{ck: ck, ln: ln}, nil
+}
+
+// Addr returns the coordinator's listening address.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// AcceptWorkers blocks until n workers have joined (each already holding
+// the broadcast key).
+func (c *Coordinator) AcceptWorkers(n int) error {
+	for c.workerCount() < n {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("cluster: accept: %w", err)
+		}
+		w := &workerConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+		var hello Message
+		if err := w.dec.Decode(&hello); err != nil || hello.Hello == nil {
+			conn.Close()
+			return fmt.Errorf("cluster: bad hello from %s: %v", conn.RemoteAddr(), err)
+		}
+		w.slots = hello.Hello.Slots
+		if w.slots < 1 {
+			w.slots = 1
+		}
+		// Broadcast the evaluation key to the new worker.
+		if err := w.enc.Encode(Message{Key: c.ck}); err != nil {
+			conn.Close()
+			return fmt.Errorf("cluster: key broadcast: %w", err)
+		}
+		c.mu.Lock()
+		c.workers = append(c.workers, w)
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+func (c *Coordinator) workerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// Close shuts down the coordinator and asks workers to exit.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		_ = w.enc.Encode(Message{Bye: true})
+		w.conn.Close()
+	}
+	c.workers = nil
+	return c.ln.Close()
+}
+
+// Name identifies the backend in reports.
+func (c *Coordinator) Name() string {
+	return fmt.Sprintf("cluster(%d workers)", c.workerCount())
+}
+
+// Run executes the netlist over the connected workers using the wavefront
+// schedule. It implements the backend.Backend contract.
+func (c *Coordinator) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample, error) {
+	c.mu.Lock()
+	workers := append([]*workerConn(nil), c.workers...)
+	c.mu.Unlock()
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("cluster: no workers connected")
+	}
+	if len(inputs) != nl.NumInputs {
+		return nil, fmt.Errorf("cluster: %d inputs supplied, want %d", len(inputs), nl.NumInputs)
+	}
+	start := time.Now()
+
+	totalSlots := 0
+	for _, w := range workers {
+		totalSlots += w.slots
+	}
+	values := make([]*lwe.Sample, nl.NumNodes()+1)
+	for i, in := range inputs {
+		values[i+1] = in
+	}
+
+	stats := Stats{Workers: len(workers), Slots: totalSlots, Gates: len(nl.Gates)}
+	ctBytes := int64(c.ck.Params.CiphertextBytes())
+	levels := nl.Levels()
+	stats.Levels = len(levels)
+	seq := 0
+	for _, level := range levels {
+		// Partition the level's gates across workers proportionally to
+		// their slot counts.
+		parts := partition(level, workers)
+		type reply struct {
+			wi   int
+			res  *JobResult
+			err  error
+			part []int
+		}
+		ch := make(chan reply, len(workers))
+		launched := 0
+		for wi, part := range parts {
+			if len(part) == 0 {
+				continue
+			}
+			launched++
+			tasks := make([]GateTask, len(part))
+			for ti, gi := range part {
+				g := nl.Gates[gi]
+				tasks[ti] = GateTask{Kind: uint8(g.Kind), A: values[g.A], B: values[g.B]}
+				stats.BytesSent += 3 * ctBytes
+				if g.Kind.NeedsBootstrap() {
+					stats.Bootstraps++
+				}
+			}
+			go func(w *workerConn, wi, seq int, tasks []GateTask, part []int) {
+				if err := w.enc.Encode(Message{Job: &Job{Seq: seq, Tasks: tasks}}); err != nil {
+					ch <- reply{wi: wi, err: fmt.Errorf("cluster: send to worker %d: %w", wi, err)}
+					return
+				}
+				var msg Message
+				if err := w.dec.Decode(&msg); err != nil {
+					ch <- reply{wi: wi, err: fmt.Errorf("cluster: receive from worker %d: %w", wi, err)}
+					return
+				}
+				if msg.Error != "" {
+					ch <- reply{wi: wi, err: fmt.Errorf("cluster: worker %d: %s", wi, msg.Error)}
+					return
+				}
+				if msg.Result == nil || len(msg.Result.Outputs) != len(tasks) {
+					ch <- reply{wi: wi, err: fmt.Errorf("cluster: worker %d returned malformed result", wi)}
+					return
+				}
+				ch <- reply{wi: wi, res: msg.Result, part: part}
+			}(workers[wi], wi, seq, tasks, part)
+		}
+		seq++
+		for i := 0; i < launched; i++ {
+			r := <-ch
+			if r.err != nil {
+				return nil, r.err
+			}
+			for ti, gi := range r.part {
+				values[nl.GateID(gi)] = r.res.Outputs[ti]
+			}
+		}
+	}
+
+	outs := make([]*lwe.Sample, len(nl.Outputs))
+	dim := c.ck.Params.LWEDimension
+	for i, id := range nl.Outputs {
+		out := lwe.NewSample(dim)
+		switch {
+		case id == circuit.ConstTrue:
+			gate.Trivial(out, true)
+		case id == circuit.ConstFalse:
+			gate.Trivial(out, false)
+		default:
+			out.Copy(values[id])
+		}
+		outs[i] = out
+	}
+	stats.Elapsed = time.Since(start)
+	c.LastStat = stats
+	return outs, nil
+}
+
+// partition splits a level's gate indices across workers in proportion to
+// slots.
+func partition(level []int, workers []*workerConn) [][]int {
+	total := 0
+	for _, w := range workers {
+		total += w.slots
+	}
+	parts := make([][]int, len(workers))
+	off := 0
+	for wi, w := range workers {
+		share := len(level) * w.slots / total
+		if wi == len(workers)-1 {
+			share = len(level) - off
+		}
+		parts[wi] = level[off : off+share]
+		off += share
+	}
+	return parts
+}
+
+// Worker joins a coordinator and serves gate jobs until the connection
+// closes or a Bye message arrives.
+type Worker struct {
+	slots int
+}
+
+// NewWorker returns a worker that will evaluate jobs on `slots` parallel
+// engines.
+func NewWorker(slots int) *Worker {
+	if slots < 1 {
+		slots = 1
+	}
+	return &Worker{slots: slots}
+}
+
+// Serve dials the coordinator and processes jobs until shutdown. It blocks.
+func (w *Worker) Serve(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(Message{Hello: &Hello{Slots: w.slots}}); err != nil {
+		return fmt.Errorf("cluster: hello: %w", err)
+	}
+	var keyMsg Message
+	if err := dec.Decode(&keyMsg); err != nil || keyMsg.Key == nil {
+		return fmt.Errorf("cluster: expected key broadcast, got %v (%v)", keyMsg, err)
+	}
+	engines := make([]*gate.Engine, w.slots)
+	for i := range engines {
+		engines[i] = gate.NewEngine(keyMsg.Key)
+	}
+
+	for {
+		var msg Message
+		if err := dec.Decode(&msg); err != nil {
+			return nil // connection closed: normal shutdown
+		}
+		switch {
+		case msg.Bye:
+			return nil
+		case msg.Job != nil:
+			outs, err := w.evalJob(engines, keyMsg.Key, msg.Job)
+			if err != nil {
+				if err := enc.Encode(Message{Error: err.Error()}); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := enc.Encode(Message{Result: &JobResult{Seq: msg.Job.Seq, Outputs: outs}}); err != nil {
+				return err
+			}
+		default:
+			if err := enc.Encode(Message{Error: "unexpected message"}); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (w *Worker) evalJob(engines []*gate.Engine, ck *boot.CloudKey, job *Job) ([]*lwe.Sample, error) {
+	outs := make([]*lwe.Sample, len(job.Tasks))
+	dim := ck.Params.LWEDimension
+	var firstErr error
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	chunk := (len(job.Tasks) + len(engines) - 1) / len(engines)
+	for s := 0; s < len(engines) && s*chunk < len(job.Tasks); s++ {
+		lo, hi := s*chunk, (s+1)*chunk
+		if hi > len(job.Tasks) {
+			hi = len(job.Tasks)
+		}
+		wg.Add(1)
+		go func(eng *gate.Engine, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				t := job.Tasks[i]
+				out := lwe.NewSample(dim)
+				if err := eng.Binary(logic.Kind(t.Kind), out, t.A, t.B); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				outs[i] = out
+			}
+		}(engines[s], lo, hi)
+	}
+	wg.Wait()
+	return outs, firstErr
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"pytfhe/internal/backend"
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/params"
+)
+
+var (
+	kpOnce sync.Once
+	testKP *KeyPair
+)
+
+func keyPair(t testing.TB) *KeyPair {
+	kpOnce.Do(func() {
+		kp, err := GenerateKeysSeeded(params.Test(), []byte("core-test"))
+		if err != nil {
+			panic(err)
+		}
+		testKP = kp
+	})
+	return testKP
+}
+
+func comparator4() *circuit.Netlist {
+	b := circuit.NewBuilder("cmp4", circuit.AllOptimizations())
+	a := b.Inputs("a", 4)
+	bb := b.Inputs("b", 4)
+	// a > b unsigned via ripple borrow.
+	borrow := b.Const(false)
+	for i := 0; i < 4; i++ {
+		axb := b.Xnor(a[i], bb[i])
+		borrow = b.Mux(axb, borrow, bb[i])
+	}
+	b.Output("b_gt_a", borrow)
+	return b.MustBuild()
+}
+
+func TestCompileRunEndToEnd(t *testing.T) {
+	kp := keyPair(t)
+	prog, err := Compile(comparator4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Binary) == 0 || prog.Stats.Gates == 0 {
+		t.Fatalf("program not fully populated: %+v", prog.Stats)
+	}
+	for _, tc := range []struct {
+		a, b uint64
+	}{{3, 9}, {9, 3}, {7, 7}, {0, 15}} {
+		bits := make([]bool, 8)
+		for i := 0; i < 4; i++ {
+			bits[i] = tc.a>>uint(i)&1 == 1
+			bits[4+i] = tc.b>>uint(i)&1 == 1
+		}
+		want, err := RunPlain(prog, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want[0] != (tc.b > tc.a) {
+			t.Fatalf("plain comparator wrong for %v", tc)
+		}
+		outs, err := Run(prog, backend.NewSingle(kp.Cloud), kp.EncryptBits(bits))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := kp.DecryptBits(outs)
+		if got[0] != want[0] {
+			t.Fatalf("homomorphic comparator disagrees on %v", tc)
+		}
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	prog, err := Compile(comparator4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(prog.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Stats.Gates != prog.Stats.Gates {
+		t.Fatalf("gate count changed: %d vs %d", back.Stats.Gates, prog.Stats.Gates)
+	}
+	bits := []bool{true, false, true, false, false, true, false, false}
+	a, _ := RunPlain(prog, bits)
+	b, _ := RunPlain(back, bits)
+	if a[0] != b[0] {
+		t.Fatal("loaded program disagrees with original")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load([]byte("not a program")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestCalibrateGateTime(t *testing.T) {
+	kp := keyPair(t)
+	gt, err := CalibrateGateTime(kp, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt <= 0 {
+		t.Fatalf("calibrated gate time %v", gt)
+	}
+}
+
+func TestGenerateKeysValidatesParams(t *testing.T) {
+	bad := params.Test()
+	bad.PolyDegree = 3
+	if _, err := GenerateKeysSeeded(bad, []byte("x")); err == nil {
+		t.Fatal("invalid parameters accepted")
+	}
+}

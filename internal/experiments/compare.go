@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"io"
+	"sort"
+	"time"
+
+	"pytfhe/internal/gpu"
+	"pytfhe/internal/logic"
+	"pytfhe/internal/sched"
+)
+
+// --- Figure 12: frontend/backend cross on MNIST_S ---
+
+// CrossRow is one configuration of Fig. 12: a frontend (Google Transpiler
+// or ChiselTorch) paired with a backend.
+type CrossRow struct {
+	Config  string
+	Gates   int
+	Runtime time.Duration
+	Speedup float64 // over GT+GC
+}
+
+// Fig12TranspilerCross evaluates MNIST_S under the five configurations of
+// Fig. 12: GT+GC (Transpiler frontend, codegen single-core backend),
+// GT+PyT on the distributed CPU and GPUs (same Transpiler IR, PyTFHE
+// executors), and PyT+PyT (ChiselTorch frontend, PyTFHE executors).
+func Fig12TranspilerCross(c Config) ([]CrossRow, error) {
+	nls, err := c.mnistSNetlists()
+	if err != nil {
+		return nil, err
+	}
+	gt := nls["transpiler"]
+	pyt := nls["pytfhe"]
+	_, _, four := c.platforms()
+	a5000, rtx4090 := c.devices()
+	single := sched.SingleCore(c.gateTime())
+
+	baseline := sched.Simulate(gt, single).Makespan
+	rows := []CrossRow{
+		{Config: "GT+GC (1 core)", Gates: len(gt.Gates), Runtime: baseline},
+		{Config: "GT+PyT CPU (4 nodes)", Gates: len(gt.Gates), Runtime: sched.Simulate(gt, four).Makespan},
+		{Config: "GT+PyT GPU (A5000)", Gates: len(gt.Gates), Runtime: gpu.GraphDriver{Dev: a5000}.Simulate(gt).Makespan},
+		{Config: "GT+PyT GPU (4090)", Gates: len(gt.Gates), Runtime: gpu.GraphDriver{Dev: rtx4090}.Simulate(gt).Makespan},
+		{Config: "PyT+PyT CPU (4 nodes)", Gates: len(pyt.Gates), Runtime: sched.Simulate(pyt, four).Makespan},
+		{Config: "PyT+PyT GPU (A5000)", Gates: len(pyt.Gates), Runtime: gpu.GraphDriver{Dev: a5000}.Simulate(pyt).Makespan},
+		{Config: "PyT+PyT GPU (4090)", Gates: len(pyt.Gates), Runtime: gpu.GraphDriver{Dev: rtx4090}.Simulate(pyt).Makespan},
+	}
+	for i := range rows {
+		rows[i].Speedup = float64(baseline) / float64(rows[i].Runtime)
+	}
+	return rows, nil
+}
+
+// RenderFig12 writes the cross-configuration table.
+func RenderFig12(w io.Writer, rows []CrossRow) {
+	fprintf(w, "Fig. 12 — Transpiler vs PyTFHE on MNIST_S (speedups over GT+GC)\n")
+	fprintf(w, "  %-24s %10s %14s %10s\n", "configuration", "gates", "runtime", "speedup")
+	for _, r := range rows {
+		fprintf(w, "  %-24s %10d %14v %9.1fx\n", r.Config, r.Gates, r.Runtime.Round(time.Millisecond), r.Speedup)
+	}
+	fprintf(w, "  (paper: GT+PyT CPU 52x, GT+PyT GPU 69-89x; PyT+PyT raises it further)\n")
+}
+
+// --- Figure 13 & Table IV: framework comparison on MNIST_S ---
+
+// FrameworkRow is one framework/backend runtime for MNIST_S.
+type FrameworkRow struct {
+	Name    string
+	Gates   int
+	Runtime time.Duration
+}
+
+// Comparison bundles Fig. 13's runtimes and Table IV's speedup matrix.
+type Comparison struct {
+	Baselines []FrameworkRow // E3, Cingulata, Transpiler (single core)
+	PyTFHE    []FrameworkRow // single core, 1 node, 4 nodes, A5000, 4090
+	// Speedups[pytfheConfig][baseline] = baseline runtime / PyTFHE runtime.
+	Speedups map[string]map[string]float64
+}
+
+// Fig13Table4Comparison computes the framework comparison. Baseline
+// runtimes use the paper's methodology: gate count divided by the
+// single-core gate throughput (footnote 1).
+func Fig13Table4Comparison(c Config) (*Comparison, error) {
+	nls, err := c.mnistSNetlists()
+	if err != nil {
+		return nil, err
+	}
+	gt := c.gateTime()
+	single := sched.SingleCore(gt)
+	_, one, four := c.platforms()
+	a5000, rtx4090 := c.devices()
+	pyt := nls["pytfhe"]
+
+	cmp := &Comparison{Speedups: map[string]map[string]float64{}}
+	for _, name := range []string{"e3", "cingulata", "transpiler"} {
+		nl := nls[name]
+		cmp.Baselines = append(cmp.Baselines, FrameworkRow{
+			Name:    name,
+			Gates:   len(nl.Gates),
+			Runtime: sched.Simulate(nl, single).Makespan,
+		})
+	}
+	cmp.PyTFHE = []FrameworkRow{
+		{Name: "PyTFHE Single Core", Gates: len(pyt.Gates), Runtime: sched.Simulate(pyt, single).Makespan},
+		{Name: "PyTFHE 1 Node", Gates: len(pyt.Gates), Runtime: sched.Simulate(pyt, one).Makespan},
+		{Name: "PyTFHE 4 Nodes", Gates: len(pyt.Gates), Runtime: sched.Simulate(pyt, four).Makespan},
+		{Name: "PyTFHE A5000 GPU", Gates: len(pyt.Gates), Runtime: gpu.GraphDriver{Dev: a5000}.Simulate(pyt).Makespan},
+		{Name: "PyTFHE 4090 GPU", Gates: len(pyt.Gates), Runtime: gpu.GraphDriver{Dev: rtx4090}.Simulate(pyt).Makespan},
+	}
+	for _, p := range cmp.PyTFHE {
+		row := map[string]float64{}
+		for _, b := range cmp.Baselines {
+			row[b.Name] = float64(b.Runtime) / float64(p.Runtime)
+		}
+		cmp.Speedups[p.Name] = row
+	}
+	return cmp, nil
+}
+
+// Render writes Fig. 13 and Table IV.
+func (cmp *Comparison) Render(w io.Writer) {
+	fprintf(w, "Fig. 13 — MNIST_S runtime by framework (baselines at single-core gate throughput)\n")
+	for _, b := range cmp.Baselines {
+		fprintf(w, "  %-22s %10d gates %14v\n", b.Name, b.Gates, b.Runtime.Round(time.Millisecond))
+	}
+	for _, p := range cmp.PyTFHE {
+		fprintf(w, "  %-22s %10d gates %14v\n", p.Name, p.Gates, p.Runtime.Round(time.Millisecond))
+	}
+	fprintf(w, "\nTable IV — speedup of PyTFHE over E3, Cingulata, Transpiler\n")
+	fprintf(w, "  %-22s %10s %12s %12s\n", "", "E3", "Cingulata", "Transpiler")
+	for _, p := range cmp.PyTFHE {
+		s := cmp.Speedups[p.Name]
+		fprintf(w, "  %-22s %9.1fx %11.1fx %11.1fx\n", p.Name, s["e3"], s["cingulata"], s["transpiler"])
+	}
+	fprintf(w, "  (paper's Table IV: 1.5/1.8/28.4 single core up to 218.9/266.9/4070.5 on the 4090)\n")
+}
+
+// --- Figure 14: gate distribution ---
+
+// Distribution is the per-framework gate census of MNIST_S.
+type Distribution struct {
+	Counts map[string]int                 // total gates per framework
+	ByKind map[string][logic.NumKinds]int // per-kind histogram
+	Ratio  map[string]float64             // PyTFHE gates / framework gates
+}
+
+// Fig14GateDistribution builds MNIST_S with every frontend and counts
+// gates.
+func Fig14GateDistribution(c Config) (*Distribution, error) {
+	nls, err := c.mnistSNetlists()
+	if err != nil {
+		return nil, err
+	}
+	d := &Distribution{
+		Counts: map[string]int{},
+		ByKind: map[string][logic.NumKinds]int{},
+		Ratio:  map[string]float64{},
+	}
+	for name, nl := range nls {
+		d.Counts[name] = len(nl.Gates)
+		d.ByKind[name] = nl.ComputeStats().ByKind
+	}
+	py := float64(d.Counts["pytfhe"])
+	for name, n := range d.Counts {
+		d.Ratio[name] = py / float64(n)
+	}
+	return d, nil
+}
+
+// Render writes the gate distribution.
+func (d *Distribution) Render(w io.Writer) {
+	fprintf(w, "Fig. 14 — gate distribution of the MNIST_S network by framework\n")
+	names := make([]string, 0, len(d.Counts))
+	for n := range d.Counts {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return d.Counts[names[i]] < d.Counts[names[j]] })
+	for _, n := range names {
+		fprintf(w, "  %-12s %10d gates (PyTFHE/this = %.3f)\n", n, d.Counts[n], d.Ratio[n])
+		hist := d.ByKind[n]
+		for k := logic.Kind(0); k < logic.NumKinds; k++ {
+			if hist[k] == 0 {
+				continue
+			}
+			fprintf(w, "      %-6s %10d\n", k, hist[k])
+		}
+	}
+	fprintf(w, "  (paper: PyTFHE = 65.3%% of Cingulata, 53.6%% of E3, far below Transpiler)\n")
+}
+
+// --- Tables I-III ---
+
+// RenderTable1 lists the ChiselTorch primitives (Table I), verified by the
+// chiseltorch package tests.
+func RenderTable1(w io.Writer) {
+	fprintf(w, "Table I — ChiselTorch supported primitives\n")
+	fprintf(w, "  layers:  Conv1d Conv2d BatchNorm1d BatchNorm2d Linear ReLU\n")
+	fprintf(w, "           MaxPool1d MaxPool2d AvgPool1d AvgPool2d Flatten (+SelfAttention via primitives)\n")
+	fprintf(w, "  tensors: matmul dot == != > < >= <= view reshape transpose pad\n")
+	fprintf(w, "           sum prod argmax argmin + - * / max min\n")
+	fprintf(w, "  dtypes:  SInt(w) UInt via SInt, Fixed(i,f), Float(e,m)\n")
+}
+
+// RenderPlatforms writes the modeled platforms (Tables II and III).
+func RenderPlatforms(w io.Writer, c Config) {
+	gt := c.gateTime()
+	_, one, four := c.platforms()
+	a5000, rtx4090 := c.devices()
+	fprintf(w, "Table II — CPU platform models (calibrated gate time %v)\n", gt)
+	for _, p := range []sched.Platform{one, four} {
+		fprintf(w, "  %-14s nodes=%d workers/node=%d dispatch=%v sync=%v ct=%dB net=%.0f MB/s\n",
+			p.Name, p.Nodes, p.WorkersPerNode, p.Cost.DispatchOverhead, p.Cost.LevelSync,
+			p.Cost.CiphertextBytes, p.Cost.NetBandwidth/1e6)
+	}
+	fprintf(w, "Table III — GPU device models\n")
+	for _, d := range []gpu.Device{a5000, rtx4090} {
+		fprintf(w, "  %-10s SMs=%d kernel=%v launch=%v copy/ct=%v\n",
+			d.Name, d.SMs, d.GateKernel, d.KernelLaunch, d.CopyPerCT)
+	}
+}

@@ -1,0 +1,197 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section. Each experiment returns a structured result and can
+// render itself as text; cmd/experiments drives them from the command line
+// and bench_test.go exposes them as Go benchmarks.
+//
+// Methodology (see DESIGN.md §2 and §4): the single quantity measured on
+// real hardware is the single-core bootstrapped-gate time of this
+// repository's TFHE implementation. Multi-worker, multi-node and GPU
+// results come from the schedule simulators in internal/sched and
+// internal/gpu, whose cost models are expressed relative to that
+// calibration; baseline-framework runtimes follow the paper's own
+// methodology (gate count ÷ single-core gate throughput, footnote 1).
+// Absolute times therefore track this machine; the relative shapes are the
+// reproduction targets.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"pytfhe/internal/chiseltorch"
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/frameworks"
+	"pytfhe/internal/gpu"
+	"pytfhe/internal/models"
+	"pytfhe/internal/sched"
+	"pytfhe/internal/vipbench"
+)
+
+// Config controls workload sizing and calibration.
+type Config struct {
+	// Quick scales the MNIST/attention workloads down (small images, small
+	// hidden sizes) so the whole suite runs in seconds. The VIP-Bench
+	// kernels always run at full size.
+	Quick bool
+	// GateTime is the calibrated single-core bootstrapped-gate cost. Zero
+	// selects DefaultGateTime.
+	GateTime time.Duration
+}
+
+// DefaultGateTime is used when no calibration is supplied: the order of
+// magnitude of this repository's pure-Go bootstrap at the 128-bit
+// parameters on one commodity core.
+const DefaultGateTime = 100 * time.Millisecond
+
+func (c Config) gateTime() time.Duration {
+	if c.GateTime > 0 {
+		return c.GateTime
+	}
+	return DefaultGateTime
+}
+
+// mnistSpecs returns the three MNIST specs at the configured scale.
+func (c Config) mnistSpecs() []models.MNISTSpec {
+	specs := []models.MNISTSpec{models.MNISTS(), models.MNISTM(), models.MNISTL()}
+	if c.Quick {
+		for i := range specs {
+			specs[i] = specs[i].Scaled(10)
+		}
+	}
+	return specs
+}
+
+func (c Config) mnistS() models.MNISTSpec {
+	if c.Quick {
+		return models.MNISTS().Scaled(10)
+	}
+	return models.MNISTS()
+}
+
+func (c Config) attentionSpecs() []models.AttentionSpec {
+	specs := []models.AttentionSpec{models.AttentionS(), models.AttentionL()}
+	if c.Quick {
+		specs[0] = specs[0].Scaled(4, 8)
+		specs[1] = specs[1].Scaled(4, 16)
+	}
+	return specs
+}
+
+// Workload is a named netlist used across the figures.
+type Workload struct {
+	Name    string
+	Serial  bool
+	Netlist *circuit.Netlist
+}
+
+// Compiled workloads are memoized per scale: netlists are immutable, the
+// larger models take seconds to minutes to compile, and several figures
+// share them.
+var workloadCache sync.Map // string -> any
+
+func cacheKey(kind string, quick bool) string {
+	if quick {
+		return kind + "/quick"
+	}
+	return kind + "/full"
+}
+
+// VIPWorkloads builds every VIP-Bench kernel plus the MNIST and attention
+// networks, in ascending gate-count order (the x-axis ordering of
+// Figs. 10 and 11).
+func (c Config) VIPWorkloads() ([]Workload, error) {
+	key := cacheKey("vip", c.Quick)
+	if v, ok := workloadCache.Load(key); ok {
+		return v.([]Workload), nil
+	}
+	ws, err := c.buildVIPWorkloads()
+	if err != nil {
+		return nil, err
+	}
+	workloadCache.Store(key, ws)
+	return ws, nil
+}
+
+func (c Config) buildVIPWorkloads() ([]Workload, error) {
+	var out []Workload
+	for _, b := range vipbench.All() {
+		nl, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", b.Name, err)
+		}
+		out = append(out, Workload{Name: b.Name, Serial: b.Serial, Netlist: nl})
+	}
+	dt := chiseltorch.NewFixed(8, 8)
+	for _, spec := range c.mnistSpecs() {
+		w, err := vipbench.CompileMNIST(spec, dt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Workload{Name: spec.Name, Netlist: w.Netlist})
+	}
+	for _, spec := range c.attentionSpecs() {
+		w, err := vipbench.CompileAttention(spec, dt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Workload{Name: spec.Name, Netlist: w.Netlist})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return len(out[i].Netlist.Gates) < len(out[j].Netlist.Gates)
+	})
+	return out, nil
+}
+
+// mnistSNetlists compiles MNIST_S with the ChiselTorch frontend and the
+// three baseline frameworks (memoized: Figs. 12-14 share these netlists).
+func (c Config) mnistSNetlists() (map[string]*circuit.Netlist, error) {
+	key := cacheKey("mnistS", c.Quick)
+	if v, ok := workloadCache.Load(key); ok {
+		return v.(map[string]*circuit.Netlist), nil
+	}
+	nls, err := c.buildMNISTSNetlists()
+	if err != nil {
+		return nil, err
+	}
+	workloadCache.Store(key, nls)
+	return nls, nil
+}
+
+func (c Config) buildMNISTSNetlists() (map[string]*circuit.Netlist, error) {
+	spec := c.mnistS()
+	out := map[string]*circuit.Netlist{}
+	model := spec.ToChiselTorch(chiseltorch.NewFixed(8, 8))
+	compiled, err := model.Compile(1, spec.Image, spec.Image)
+	if err != nil {
+		return nil, err
+	}
+	out["pytfhe"] = compiled.Netlist
+	for _, fw := range frameworks.AllBaselines() {
+		nl, err := fw.CompileMNIST(spec)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", fw.Name(), err)
+		}
+		out[fw.Name()] = nl
+	}
+	return out, nil
+}
+
+// platforms returns the modeled CPU platforms of Table II.
+func (c Config) platforms() (single, oneNode, fourNodes sched.Platform) {
+	gt := c.gateTime()
+	return sched.SingleCore(gt), sched.XeonNode(1, gt), sched.XeonNode(4, gt)
+}
+
+func (c Config) devices() (a5000, rtx4090 gpu.Device) {
+	gt := c.gateTime()
+	return gpu.A5000Scaled(gt), gpu.RTX4090Scaled(gt)
+}
+
+// fprintf writes formatted output, ignoring errors (report writers are
+// in-memory buffers or stdout).
+func fprintf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}

@@ -1,0 +1,285 @@
+package frameworks
+
+import (
+	"fmt"
+	"math"
+
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/logic"
+)
+
+// CInt is an encrypted two's-complement integer in a framework DSL — the
+// overloaded-operator "secure integer" class that Cingulata and E3 expose.
+// Bits are LSB first. Fixed-point semantics are layered on top by the
+// workload builders (a CInt with frac fractional bits represents
+// raw / 2^frac).
+type CInt struct {
+	p    *Program
+	bits []circuit.NodeID
+}
+
+// Width returns the bit width.
+func (x CInt) Width() int { return len(x.bits) }
+
+// Input declares an encrypted integer input of width w.
+func (p *Program) Input(name string, w int) CInt {
+	bits := make([]circuit.NodeID, w)
+	for i := range bits {
+		bits[i] = p.B.Input(fmt.Sprintf("%s[%d]", name, i))
+	}
+	if p.anchor == 0 && w > 0 {
+		p.anchor = bits[0]
+	}
+	return CInt{p: p, bits: bits}
+}
+
+// Const embeds the plaintext constant v as a w-bit value. Styles without
+// constant folding materialize every bit as a gate — one of the costs the
+// baselines pay.
+func (p *Program) Const(v int64, w int) CInt {
+	bits := make([]circuit.NodeID, w)
+	for i := range bits {
+		bits[i] = p.B.Const(v>>uint(i)&1 == 1)
+	}
+	return CInt{p: p, bits: bits}
+}
+
+// Output registers all bits of x as outputs.
+func (p *Program) Output(name string, x CInt) {
+	p.B.OutputBus(name, x.bits)
+}
+
+// OutputBit registers one wire.
+func (p *Program) OutputBit(name string, b circuit.NodeID) { p.B.Output(name, b) }
+
+// Buffer re-emits x through COPY gates when the style keeps data movement
+// as gates (Transpiler), or returns x unchanged otherwise.
+func (p *Program) Buffer(x CInt) CInt {
+	if !p.Style.DataMovementGates {
+		return x
+	}
+	out := make([]circuit.NodeID, len(x.bits))
+	for i, b := range x.bits {
+		if b.IsConst() {
+			out[i] = b
+			continue
+		}
+		out[i] = p.B.Gate(logic.COPY, b, b)
+	}
+	return CInt{p: p, bits: out}
+}
+
+// AddCarry returns x + y + cin and the carry out.
+func (p *Program) AddCarry(x, y CInt, cin circuit.NodeID) (CInt, circuit.NodeID) {
+	if len(x.bits) != len(y.bits) {
+		panic(fmt.Sprintf("frameworks: width mismatch %d vs %d", len(x.bits), len(y.bits)))
+	}
+	out := make([]circuit.NodeID, len(x.bits))
+	c := cin
+	for i := range x.bits {
+		out[i], c = p.fullAdder(x.bits[i], y.bits[i], c)
+	}
+	return CInt{p: p, bits: out}, c
+}
+
+// Add returns x + y (mod 2^w).
+func (p *Program) Add(x, y CInt) CInt {
+	s, _ := p.AddCarry(x, y, p.B.Const(false))
+	return s
+}
+
+// Not returns the bitwise complement.
+func (p *Program) Not(x CInt) CInt {
+	out := make([]circuit.NodeID, len(x.bits))
+	for i, b := range x.bits {
+		if b.IsConst() {
+			out[i] = p.B.Const(b == circuit.ConstFalse)
+			continue
+		}
+		out[i] = p.Gate(logic.NOT, b, b)
+	}
+	return CInt{p: p, bits: out}
+}
+
+// Sub returns x - y.
+func (p *Program) Sub(x, y CInt) CInt {
+	s, _ := p.AddCarry(x, p.Not(y), p.B.Const(true))
+	return s
+}
+
+// Neg returns -x.
+func (p *Program) Neg(x CInt) CInt {
+	return p.Sub(p.Const(0, len(x.bits)), x)
+}
+
+// SignBit returns the sign wire.
+func (x CInt) SignBit() circuit.NodeID { return x.bits[len(x.bits)-1] }
+
+// SignExtend widens x to w bits.
+func (p *Program) SignExtend(x CInt, w int) CInt {
+	if len(x.bits) >= w {
+		return CInt{p: p, bits: x.bits[:w]}
+	}
+	out := make([]circuit.NodeID, w)
+	copy(out, x.bits)
+	s := x.SignBit()
+	for i := len(x.bits); i < w; i++ {
+		out[i] = s
+	}
+	return CInt{p: p, bits: out}
+}
+
+// ShiftLeft returns x << k with the original width.
+func (p *Program) ShiftLeft(x CInt, k int) CInt {
+	out := make([]circuit.NodeID, len(x.bits))
+	for i := range out {
+		if i < k {
+			out[i] = p.B.Const(false)
+		} else {
+			out[i] = x.bits[i-k]
+		}
+	}
+	return CInt{p: p, bits: out}
+}
+
+// ShiftRightArith returns x >> k (arithmetic) with the original width.
+func (p *Program) ShiftRightArith(x CInt, k int) CInt {
+	out := make([]circuit.NodeID, len(x.bits))
+	s := x.SignBit()
+	for i := range out {
+		if i+k < len(x.bits) {
+			out[i] = x.bits[i+k]
+		} else {
+			out[i] = s
+		}
+	}
+	return CInt{p: p, bits: out}
+}
+
+// MulConst multiplies x by the integer constant c using the style's
+// recoding (CSD for PyTFHE, one add per set bit otherwise), producing a
+// value of the same width.
+func (p *Program) MulConst(x CInt, c int64) CInt {
+	w := len(x.bits)
+	if c == 0 {
+		return p.Const(0, w)
+	}
+	neg := c < 0
+	if neg {
+		c = -c
+	}
+	var acc CInt
+	accSet := false
+	addTerm := func(shift int, subtract bool) {
+		term := p.ShiftLeft(x, shift)
+		switch {
+		case !accSet:
+			if subtract {
+				acc = p.Neg(term)
+			} else {
+				acc = term
+			}
+			accSet = true
+		case subtract:
+			acc = p.Sub(acc, term)
+		default:
+			acc = p.Add(acc, term)
+		}
+	}
+	if p.Style.CSD {
+		for shift := 0; c != 0; {
+			for c&1 == 0 {
+				c >>= 1
+				shift++
+			}
+			run := 0
+			for c>>uint(run)&1 == 1 {
+				run++
+			}
+			if run >= 3 {
+				addTerm(shift, true)
+				c >>= uint(run)
+				c++
+				shift += run
+			} else {
+				addTerm(shift, false)
+				c >>= 1
+				shift++
+			}
+		}
+	} else {
+		for shift := 0; c != 0; shift++ {
+			if c&1 == 1 {
+				addTerm(shift, false)
+			}
+			c >>= 1
+		}
+	}
+	if neg {
+		acc = p.Neg(acc)
+	}
+	return acc
+}
+
+// Mul multiplies two encrypted integers (mod 2^w) by shift-add over the
+// second operand's bits.
+func (p *Program) Mul(x, y CInt) CInt {
+	w := len(x.bits)
+	acc := p.Const(0, w)
+	for i := 0; i < w; i++ {
+		masked := make([]circuit.NodeID, w)
+		for j := range masked {
+			masked[j] = p.Gate(logic.AND, x.bits[j], y.bits[i])
+		}
+		acc = p.Add(acc, p.ShiftLeft(CInt{p: p, bits: masked}, i))
+	}
+	return acc
+}
+
+// MulConstFixed multiplies the fixed-point value x (frac fractional bits)
+// by the real constant c, keeping the same fixed-point format: the product
+// is computed at double precision and shifted back.
+func (p *Program) MulConstFixed(x CInt, c float64, frac int) CInt {
+	ci := int64(math.Round(c * math.Ldexp(1, frac)))
+	w := len(x.bits)
+	wide := p.SignExtend(x, w+frac+1)
+	prod := p.MulConst(wide, ci)
+	shifted := p.ShiftRightArith(prod, frac)
+	return CInt{p: p, bits: shifted.bits[:w]}
+}
+
+// LessThan returns the signed comparison x < y as one wire.
+func (p *Program) LessThan(x, y CInt) circuit.NodeID {
+	// x < y  <=>  sign(x - y) with overflow fixup: for DSL simplicity (and
+	// like the baselines), compare on sign-extended operands so overflow
+	// cannot occur.
+	w := len(x.bits) + 1
+	diff := p.Sub(p.SignExtend(x, w), p.SignExtend(y, w))
+	return diff.SignBit()
+}
+
+// Mux returns sel ? x : y bitwise.
+func (p *Program) Mux(sel circuit.NodeID, x, y CInt) CInt {
+	out := make([]circuit.NodeID, len(x.bits))
+	for i := range out {
+		hi := p.Gate(logic.AND, x.bits[i], sel)
+		lo := p.Gate(logic.ANDYN, y.bits[i], sel)
+		out[i] = p.Gate(logic.OR, hi, lo)
+	}
+	return CInt{p: p, bits: out}
+}
+
+// Max returns the signed maximum of x and y.
+func (p *Program) Max(x, y CInt) CInt {
+	return p.Mux(p.LessThan(x, y), y, x)
+}
+
+// Relu returns max(x, 0): each bit masked with the complement of the sign.
+func (p *Program) Relu(x CInt) CInt {
+	notSign := p.Gate(logic.NOT, x.SignBit(), x.SignBit())
+	out := make([]circuit.NodeID, len(x.bits))
+	for i, b := range x.bits {
+		out[i] = p.Gate(logic.AND, b, notSign)
+	}
+	return CInt{p: p, bits: out}
+}

@@ -1,0 +1,138 @@
+package frameworks
+
+import (
+	"fmt"
+
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/models"
+)
+
+// Compiler is one baseline toolchain: a lowering style plus the fixed-point
+// format its DSL uses for the neural-network workloads.
+type Compiler struct {
+	style Style
+	// width/frac: the DSL's fixed-point format (raw width and fractional
+	// bits). E3's public types are 8-bit only; wider values are emulated
+	// with limb composition, which costs the same ripple structure modeled
+	// here (see DESIGN.md).
+	width, frac int
+}
+
+// Name returns the framework name.
+func (c *Compiler) Name() string { return c.style.Name }
+
+// Style returns the lowering style.
+func (c *Compiler) Style() Style { return c.style }
+
+// Cingulata returns the Cingulata/Armadillo baseline compiler.
+func Cingulata() *Compiler { return &Compiler{style: CingulataStyle(), width: 16, frac: 8} }
+
+// E3 returns the Encrypt-Everything-Everywhere baseline compiler.
+func E3() *Compiler { return &Compiler{style: E3Style(), width: 16, frac: 8} }
+
+// Transpiler returns the Google Transpiler baseline compiler. Width 32
+// reflects the paper's observation that Transpiler is "restricted to using
+// C native data types": the C MNIST implementation computes in `int`
+// (32-bit) arithmetic, where the ChiselTorch model chooses Fixed(8,8).
+func Transpiler() *Compiler { return &Compiler{style: TranspilerStyle(), width: 32, frac: 16} }
+
+// PyTFHEDSL returns a PyTFHE-style compiler over the same DSL. It exists
+// for like-for-like ablations of the lowering choices; the production
+// PyTFHE frontend is ChiselTorch.
+func PyTFHEDSL() *Compiler { return &Compiler{style: PyTFHEStyle(), width: 16, frac: 8} }
+
+// AllBaselines returns the three baseline compilers in presentation order.
+func AllBaselines() []*Compiler {
+	return []*Compiler{Transpiler(), Cingulata(), E3()}
+}
+
+// CompileMNIST builds the spec's CNN in this framework's DSL, mirroring
+// what a user of that framework would write by hand (the paper's
+// methodology: "we built the same MNIST_S model for both Cingulata and
+// E3").
+func (c *Compiler) CompileMNIST(spec models.MNISTSpec) (*circuit.Netlist, error) {
+	w := spec.GenWeights()
+	p := NewProgram(spec.Name, c.style)
+
+	img := spec.Image
+	pixels := make([]CInt, img*img)
+	for i := range pixels {
+		pixels[i] = p.Input(fmt.Sprintf("x[%d]", i), c.width)
+	}
+
+	// Convolution: Conv2d(1, Kernels, Conv, 1) + bias.
+	co := spec.ConvOut()
+	conv := make([]CInt, spec.Kernels*co*co)
+	for oc := 0; oc < spec.Kernels; oc++ {
+		for oy := 0; oy < co; oy++ {
+			for ox := 0; ox < co; ox++ {
+				var acc CInt
+				accSet := false
+				for ky := 0; ky < spec.Conv; ky++ {
+					for kx := 0; kx < spec.Conv; kx++ {
+						wv := w.ConvW[(oc*spec.Conv+ky)*spec.Conv+kx]
+						if wv == 0 {
+							continue
+						}
+						term := p.MulConstFixed(pixels[(oy+ky)*img+ox+kx], wv, c.frac)
+						if !accSet {
+							acc, accSet = term, true
+						} else {
+							acc = p.Add(acc, term)
+						}
+					}
+				}
+				if !accSet {
+					acc = p.Const(0, c.width)
+				}
+				acc = p.Add(acc, p.Const(int64(float64(int64(1)<<uint(c.frac))*w.ConvB[oc]), c.width))
+				conv[(oc*co+oy)*co+ox] = p.Relu(acc)
+			}
+		}
+	}
+
+	// MaxPool2d(Pool, 1).
+	po := spec.PoolOut()
+	pooled := make([]CInt, spec.Kernels*po*po)
+	for oc := 0; oc < spec.Kernels; oc++ {
+		for oy := 0; oy < po; oy++ {
+			for ox := 0; ox < po; ox++ {
+				acc := conv[(oc*co+oy)*co+ox]
+				for ky := 0; ky < spec.Pool; ky++ {
+					for kx := 0; kx < spec.Pool; kx++ {
+						if ky == 0 && kx == 0 {
+							continue
+						}
+						acc = p.Max(acc, conv[(oc*co+oy+ky)*co+ox+kx])
+					}
+				}
+				pooled[(oc*po+oy)*po+ox] = acc
+			}
+		}
+	}
+
+	// Flatten: free wiring in most frameworks; the Transpiler keeps it as
+	// gates (the paper's example of its missing reshape optimization).
+	flat := make([]CInt, len(pooled))
+	for i, v := range pooled {
+		flat[i] = p.Buffer(v)
+	}
+
+	// Linear(FlatSize, Classes).
+	fs := spec.FlatSize()
+	if len(flat) != fs {
+		return nil, fmt.Errorf("frameworks: flatten produced %d features, want %d", len(flat), fs)
+	}
+	for cls := 0; cls < spec.Classes; cls++ {
+		acc := p.Const(int64(float64(int64(1)<<uint(c.frac))*w.LinB[cls]), c.width)
+		for i := 0; i < fs; i++ {
+			wv := w.LinW[cls*fs+i]
+			if wv == 0 {
+				continue
+			}
+			acc = p.Add(acc, p.MulConstFixed(flat[i], wv, c.frac))
+		}
+		p.Output(fmt.Sprintf("logit[%d]", cls), acc)
+	}
+	return p.B.Build()
+}

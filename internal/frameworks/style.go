@@ -1,0 +1,206 @@
+// Package frameworks models the three baseline TFHE toolchains the paper
+// compares against — Cingulata, E3, and Google's Transpiler — as
+// alternative lowering styles over the same netlist IR. Each baseline
+// reproduces the structural reasons the paper gives for its gate counts:
+//
+//   - Cingulata: an integer DSL with constant folding but no gate-level
+//     boolean optimization — no common-subexpression elimination, no free
+//     input negation, and plain binary (non-CSD) shift-add constant
+//     multiplication.
+//
+//   - E3: hardcoded gate templates — a 7-gate full adder, explicit NOT
+//     gates — and no gate-level optimization passes.
+//
+//   - Transpiler: an HLS-style flow whose IR is restricted to AND/OR/NOT
+//     (XOR and friends expand to multiple gates), keeps data movement
+//     (Flatten/reshape) as COPY gates instead of wiring, and performs no
+//     netlist optimization; the total-ordering of the source program
+//     prevents the reshaping optimizations PyTFHE applies.
+//
+// The gate-count ordering that falls out — PyTFHE < Cingulata < E3 ≪
+// Transpiler — is the paper's Fig. 14.
+package frameworks
+
+import (
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/logic"
+)
+
+// Alphabet restricts which gate kinds a lowering may emit.
+type Alphabet int
+
+// Alphabets.
+const (
+	// FullAlphabet is the 11-gate TFHE set (plus free COPY).
+	FullAlphabet Alphabet = iota
+	// AndOrNot is the Transpiler/XLS IR alphabet: AND, OR, NOT only.
+	AndOrNot
+)
+
+// Style captures how one framework lowers arithmetic to gates.
+type Style struct {
+	Name string
+	// Opts are the builder-level optimizations the framework performs.
+	Opts circuit.BuilderOptions
+	// Alphabet restricts the emitted gate kinds.
+	Alphabet Alphabet
+	// CSD selects canonical-signed-digit recoding for constant
+	// multiplication; false means one addition per set bit.
+	CSD bool
+	// TemplateAdder selects the hardcoded 7-gate full adder instead of the
+	// shared-XOR 5-gate form.
+	TemplateAdder bool
+	// DataMovementGates emits COPY gates for flatten/reshape instead of
+	// rewiring.
+	DataMovementGates bool
+}
+
+// PyTFHEStyle is the reference lowering used by ChiselTorch (for
+// comparison within this package's DSL).
+func PyTFHEStyle() Style {
+	return Style{
+		Name: "pytfhe",
+		Opts: circuit.AllOptimizations(),
+		CSD:  true,
+	}
+}
+
+// CingulataStyle models the Cingulata/Armadillo DSL.
+func CingulataStyle() Style {
+	return Style{
+		Name: "cingulata",
+		Opts: circuit.BuilderOptions{ConstFold: true, SameInput: true},
+	}
+}
+
+// E3Style models the Encrypt-Everything-Everywhere DSL: plaintext
+// constants fold at the C++ level like Cingulata's, but the gate templates
+// are hardcoded (7-gate full adders) and no boolean optimization runs.
+func E3Style() Style {
+	return Style{
+		Name:          "e3",
+		Opts:          circuit.BuilderOptions{ConstFold: true, SameInput: true},
+		TemplateAdder: true,
+	}
+}
+
+// TranspilerStyle models Google's Transpiler (XLS-based HLS flow).
+func TranspilerStyle() Style {
+	return Style{
+		Name:              "transpiler",
+		Opts:              circuit.NoOptimizations(),
+		Alphabet:          AndOrNot,
+		TemplateAdder:     true,
+		DataMovementGates: true,
+	}
+}
+
+// Program accumulates a circuit in one framework's style.
+type Program struct {
+	Style Style
+	B     *circuit.Builder
+
+	anchor     circuit.NodeID // first input, used to materialize constants
+	constFalse circuit.NodeID
+	constTrue  circuit.NodeID
+}
+
+// NewProgram starts a program named name in the given style.
+func NewProgram(name string, style Style) *Program {
+	return &Program{Style: style, B: circuit.NewBuilder(name+"_"+style.Name, style.Opts)}
+}
+
+// materialize turns a constant operand into a real node using only the
+// style's alphabet (the builder's fallback would emit XOR/XNOR, which the
+// Transpiler IR does not have). Folding styles keep the sentinel and let
+// the builder fold it.
+func (p *Program) materialize(id circuit.NodeID) circuit.NodeID {
+	if !id.IsConst() || p.Style.Opts.ConstFold {
+		return id
+	}
+	if p.anchor == 0 {
+		panic("frameworks: constant used before any input exists")
+	}
+	want := id == circuit.ConstTrue
+	if want && p.constTrue != 0 {
+		return p.constTrue
+	}
+	if !want && p.constFalse != 0 {
+		return p.constFalse
+	}
+	var node circuit.NodeID
+	if p.Style.Alphabet == AndOrNot {
+		n := p.B.Gate(logic.NOT, p.anchor, p.anchor)
+		if want {
+			node = p.B.Gate(logic.OR, p.anchor, n)
+		} else {
+			node = p.B.Gate(logic.AND, p.anchor, n)
+		}
+	} else {
+		if want {
+			node = p.B.Gate(logic.XNOR, p.anchor, p.anchor)
+		} else {
+			node = p.B.Gate(logic.XOR, p.anchor, p.anchor)
+		}
+	}
+	if want {
+		p.constTrue = node
+	} else {
+		p.constFalse = node
+	}
+	return node
+}
+
+// Gate emits kind(a, b), expanding to the style's alphabet if needed.
+func (p *Program) Gate(kind logic.Kind, a, b circuit.NodeID) circuit.NodeID {
+	a = p.materialize(a)
+	b = p.materialize(b)
+	if p.Style.Alphabet == FullAlphabet {
+		return p.B.Gate(kind, a, b)
+	}
+	// AND/OR/NOT expansion (the XLS IR of the Transpiler).
+	not := func(x circuit.NodeID) circuit.NodeID { return p.B.Gate(logic.NOT, x, x) }
+	and := func(x, y circuit.NodeID) circuit.NodeID { return p.B.Gate(logic.AND, x, y) }
+	or := func(x, y circuit.NodeID) circuit.NodeID { return p.B.Gate(logic.OR, x, y) }
+	switch kind {
+	case logic.AND, logic.OR, logic.NOT, logic.COPY, logic.False, logic.True:
+		return p.B.Gate(kind, a, b)
+	case logic.NOTB:
+		return not(b)
+	case logic.COPYB:
+		return p.B.Gate(logic.COPY, b, b)
+	case logic.NAND:
+		return not(and(a, b))
+	case logic.NOR:
+		return not(or(a, b))
+	case logic.XOR:
+		return or(and(a, not(b)), and(not(a), b))
+	case logic.XNOR:
+		return not(or(and(a, not(b)), and(not(a), b)))
+	case logic.ANDNY:
+		return and(not(a), b)
+	case logic.ANDYN:
+		return and(a, not(b))
+	case logic.ORNY:
+		return or(not(a), b)
+	case logic.ORYN:
+		return or(a, not(b))
+	}
+	return p.B.Gate(kind, a, b)
+}
+
+// fullAdder returns (sum, carry) in the style's preferred form.
+func (p *Program) fullAdder(a, b, cin circuit.NodeID) (circuit.NodeID, circuit.NodeID) {
+	if p.Style.TemplateAdder {
+		// Hardcoded textbook template: 2 XOR + 3 AND + 2 OR.
+		sum := p.Gate(logic.XOR, p.Gate(logic.XOR, a, b), cin)
+		carry := p.Gate(logic.OR,
+			p.Gate(logic.OR, p.Gate(logic.AND, a, b), p.Gate(logic.AND, a, cin)),
+			p.Gate(logic.AND, b, cin))
+		return sum, carry
+	}
+	axb := p.Gate(logic.XOR, a, b)
+	sum := p.Gate(logic.XOR, axb, cin)
+	carry := p.Gate(logic.OR, p.Gate(logic.AND, a, b), p.Gate(logic.AND, axb, cin))
+	return sum, carry
+}

@@ -1,0 +1,157 @@
+package gpu
+
+import (
+	"testing"
+	"time"
+
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/logic"
+)
+
+func chain(depth int) *circuit.Netlist {
+	b := circuit.NewBuilder("chain", circuit.NoOptimizations())
+	a := b.Input("a")
+	bb := b.Input("b")
+	cur := a
+	for i := 0; i < depth; i++ {
+		cur = b.Gate(logic.NAND, cur, bb)
+	}
+	b.Output("o", cur)
+	return b.MustBuild()
+}
+
+func wide(width, depth int) *circuit.Netlist {
+	b := circuit.NewBuilder("wide", circuit.NoOptimizations())
+	ins := b.Inputs("x", width+1)
+	for w := 0; w < width; w++ {
+		cur := ins[w]
+		for d := 0; d < depth; d++ {
+			cur = b.Gate(logic.XOR, cur, ins[w+1])
+		}
+		b.Output("o", cur)
+	}
+	return b.MustBuild()
+}
+
+func TestCuFHEFourGateTimeline(t *testing.T) {
+	// Fig. 8: four dependent gates — each pays copy-in, launch, kernel,
+	// copy-out, fully serialized.
+	nl := chain(4)
+	e := CuFHEDriver{Dev: A5000()}.Simulate(nl)
+	if e.Batches != 4 {
+		t.Fatalf("4 dependent gates should need 4 batches, got %d", e.Batches)
+	}
+	var kinds []SegmentKind
+	for _, s := range e.Timeline {
+		kinds = append(kinds, s.Kind)
+	}
+	// Pattern: (copy-in, launch, kernel, copy-out) × 4.
+	if len(kinds) != 16 {
+		t.Fatalf("timeline has %d segments: %v", len(kinds), kinds)
+	}
+	for i := 0; i < 16; i += 4 {
+		if kinds[i] != SegCopyIn || kinds[i+1] != SegLaunch || kinds[i+2] != SegKernel || kinds[i+3] != SegCopyOut {
+			t.Fatalf("segment pattern broken at %d: %v", i, kinds[i:i+4])
+		}
+	}
+	if _, err := ValidateSchedule(nl, e.Schedule); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphDriverBeatsCuFHE(t *testing.T) {
+	// A realistically wide program: the graph backend must win big
+	// (Fig. 11 reports up to ~62×).
+	nl := wide(512, 8)
+	dev := A5000()
+	cu := CuFHEDriver{Dev: dev}.Simulate(nl)
+	gr := GraphDriver{Dev: dev}.Simulate(nl)
+	if gr.Makespan >= cu.Makespan {
+		t.Fatalf("graph (%v) should beat cuFHE (%v)", gr.Makespan, cu.Makespan)
+	}
+	if _, err := ValidateSchedule(nl, gr.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateSchedule(nl, cu.Schedule); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerialProgramGetsModestGPUSpeedup(t *testing.T) {
+	// The paper observes serial benchmarks (NRSolver, Parrondo) barely
+	// speed up on GPU: a pure chain keeps only one SM busy.
+	nl := chain(64)
+	dev := A5000()
+	cu := CuFHEDriver{Dev: dev}.Simulate(nl)
+	gr := GraphDriver{Dev: dev}.Simulate(nl)
+	ratio := float64(cu.Makespan) / float64(gr.Makespan)
+	if ratio > 3 {
+		t.Fatalf("serial chain sped up %.1fx; launch/copy elimination alone cannot explain that", ratio)
+	}
+	if ratio < 1 {
+		t.Fatalf("graph driver slower than cuFHE on a chain (%.2fx)", ratio)
+	}
+}
+
+func Test4090FasterThanA5000(t *testing.T) {
+	nl := wide(512, 4)
+	a := GraphDriver{Dev: A5000()}.Simulate(nl)
+	b := GraphDriver{Dev: RTX4090()}.Simulate(nl)
+	if b.Makespan >= a.Makespan {
+		t.Fatalf("4090 (%v) should beat A5000 (%v)", b.Makespan, a.Makespan)
+	}
+}
+
+func TestGraphBatchesRespectLimit(t *testing.T) {
+	nl := wide(64, 4)
+	e := GraphDriver{Dev: A5000(), BatchGates: 50}.Simulate(nl)
+	if e.Batches < len(nl.Gates)/50 {
+		t.Fatalf("expected multiple batches, got %d", e.Batches)
+	}
+	for _, b := range e.Schedule {
+		if len(b) > 50 {
+			t.Fatalf("batch of %d exceeds limit", len(b))
+		}
+	}
+	if _, err := ValidateSchedule(nl, e.Schedule); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphCopiesOnlyProgramBoundary(t *testing.T) {
+	nl := wide(32, 8)
+	e := GraphDriver{Dev: A5000()}.Simulate(nl)
+	wantCopy := time.Duration(nl.NumInputs+len(nl.Outputs)) * A5000().CopyPerCT
+	if e.Copy != wantCopy {
+		t.Fatalf("graph copies %v, want boundary-only %v", e.Copy, wantCopy)
+	}
+	// cuFHE, by contrast, copies per gate.
+	cu := CuFHEDriver{Dev: A5000()}.Simulate(nl)
+	if cu.Copy <= e.Copy {
+		t.Fatalf("cuFHE copy time (%v) should exceed graph's (%v)", cu.Copy, e.Copy)
+	}
+}
+
+func TestValidateScheduleCatchesViolations(t *testing.T) {
+	nl := chain(3)
+	// Reverse order violates dependencies.
+	bad := [][]int{{2}, {1}, {0}}
+	if _, err := ValidateSchedule(nl, bad); err == nil {
+		t.Fatal("reversed schedule not rejected")
+	}
+	// Missing gate.
+	if _, err := ValidateSchedule(nl, [][]int{{0, 1}}); err == nil {
+		t.Fatal("incomplete schedule not rejected")
+	}
+}
+
+func TestBreakdownAccounting(t *testing.T) {
+	nl := wide(100, 3)
+	cu := CuFHEDriver{Dev: A5000()}.Simulate(nl)
+	if got := cu.Copy + cu.Kernel + cu.Launch; got != cu.Makespan {
+		t.Fatalf("cuFHE breakdown %v != makespan %v", got, cu.Makespan)
+	}
+	if cu.GatesPerSecond(300) <= 0 {
+		t.Fatal("throughput should be positive")
+	}
+}

@@ -1,0 +1,340 @@
+package hdl
+
+import (
+	"fmt"
+
+	"pytfhe/internal/circuit"
+)
+
+// halfAdder returns (sum, carry) of two wires.
+func (m *Module) halfAdder(a, b circuit.NodeID) (sum, carry circuit.NodeID) {
+	return m.B.Xor(a, b), m.B.And(a, b)
+}
+
+// fullAdder returns (sum, carry) of three wires.
+func (m *Module) fullAdder(a, b, cin circuit.NodeID) (sum, carry circuit.NodeID) {
+	axb := m.B.Xor(a, b)
+	sum = m.B.Xor(axb, cin)
+	carry = m.B.Or(m.B.And(a, b), m.B.And(axb, cin))
+	return sum, carry
+}
+
+// AddCarry computes a + b + cin over equal-width buses, returning the
+// width-bit sum and the carry out (ripple-carry).
+func (m *Module) AddCarry(a, b Bus, cin circuit.NodeID) (Bus, circuit.NodeID) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("hdl: add width mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make(Bus, len(a))
+	c := cin
+	for i := range a {
+		out[i], c = m.fullAdder(a[i], b[i], c)
+	}
+	return out, c
+}
+
+// Add computes a + b modulo 2^w for equal-width buses.
+func (m *Module) Add(a, b Bus) Bus {
+	out, _ := m.AddCarry(a, b, m.B.Const(false))
+	return out
+}
+
+// AddExpand computes a + b exactly, widening by one bit.
+func (m *Module) AddExpand(a, b Bus) Bus {
+	w := max(len(a), len(b)) + 1
+	out, _ := m.AddCarry(m.ZeroExtend(a, w), m.ZeroExtend(b, w), m.B.Const(false))
+	return out
+}
+
+// AddExpandSigned computes a + b exactly for signed operands, widening by
+// one bit.
+func (m *Module) AddExpandSigned(a, b Bus) Bus {
+	w := max(len(a), len(b)) + 1
+	out, _ := m.AddCarry(m.SignExtend(a, w), m.SignExtend(b, w), m.B.Const(false))
+	return out
+}
+
+// Sub computes a - b modulo 2^w via a + ~b + 1.
+func (m *Module) Sub(a, b Bus) Bus {
+	out, _ := m.SubBorrow(a, b)
+	return out
+}
+
+// SubBorrow computes a - b, additionally returning the NOT-borrow (carry
+// out): high when a >= b for unsigned operands.
+func (m *Module) SubBorrow(a, b Bus) (Bus, circuit.NodeID) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("hdl: sub width mismatch %d vs %d", len(a), len(b)))
+	}
+	return m.AddCarry(a, m.Not(b), m.B.Const(true))
+}
+
+// Neg computes -a in two's complement.
+func (m *Module) Neg(a Bus) Bus {
+	zero := m.ConstBus(0, len(a))
+	return m.Sub(zero, a)
+}
+
+// Inc computes a + 1.
+func (m *Module) Inc(a Bus) Bus {
+	one := m.ConstBus(1, len(a))
+	return m.Add(a, one)
+}
+
+// --- comparisons ---
+
+// Eq returns a == b.
+func (m *Module) Eq(a, b Bus) circuit.NodeID {
+	return m.AndReduce(m.Xnor(a, b))
+}
+
+// Xnor returns the bitwise XNOR.
+func (m *Module) Xnor(a, b Bus) Bus {
+	x := m.Xor(a, b)
+	return m.Not(x)
+}
+
+// Ne returns a != b.
+func (m *Module) Ne(a, b Bus) circuit.NodeID {
+	return m.OrReduce(m.Xor(a, b))
+}
+
+// LtU returns a < b for unsigned operands (borrow of a - b).
+func (m *Module) LtU(a, b Bus) circuit.NodeID {
+	_, noBorrow := m.SubBorrow(a, b)
+	return m.B.Not(noBorrow)
+}
+
+// GeU returns a >= b unsigned.
+func (m *Module) GeU(a, b Bus) circuit.NodeID {
+	_, noBorrow := m.SubBorrow(a, b)
+	return noBorrow
+}
+
+// LeU returns a <= b unsigned.
+func (m *Module) LeU(a, b Bus) circuit.NodeID { return m.GeU(b, a) }
+
+// GtU returns a > b unsigned.
+func (m *Module) GtU(a, b Bus) circuit.NodeID { return m.LtU(b, a) }
+
+// LtS returns a < b for signed operands: flip the sign bits and compare
+// unsigned.
+func (m *Module) LtS(a, b Bus) circuit.NodeID {
+	return m.LtU(m.flipSign(a), m.flipSign(b))
+}
+
+// GeS returns a >= b signed.
+func (m *Module) GeS(a, b Bus) circuit.NodeID { return m.B.Not(m.LtS(a, b)) }
+
+// LeS returns a <= b signed.
+func (m *Module) LeS(a, b Bus) circuit.NodeID { return m.GeS(b, a) }
+
+// GtS returns a > b signed.
+func (m *Module) GtS(a, b Bus) circuit.NodeID { return m.LtS(b, a) }
+
+func (m *Module) flipSign(a Bus) Bus {
+	out := make(Bus, len(a))
+	copy(out, a)
+	out[len(a)-1] = m.B.Not(a[len(a)-1])
+	return out
+}
+
+// MinU returns the unsigned minimum of a and b.
+func (m *Module) MinU(a, b Bus) Bus { return m.Mux(m.LtU(a, b), a, b) }
+
+// MaxU returns the unsigned maximum of a and b.
+func (m *Module) MaxU(a, b Bus) Bus { return m.Mux(m.LtU(a, b), b, a) }
+
+// MinS returns the signed minimum of a and b.
+func (m *Module) MinS(a, b Bus) Bus { return m.Mux(m.LtS(a, b), a, b) }
+
+// MaxS returns the signed maximum of a and b.
+func (m *Module) MaxS(a, b Bus) Bus { return m.Mux(m.LtS(a, b), b, a) }
+
+// AbsS returns |a| for a signed bus (keeping the same width; the most
+// negative value wraps, as in two's-complement hardware).
+func (m *Module) AbsS(a Bus) Bus {
+	sign := a[len(a)-1]
+	return m.Mux(sign, m.Neg(a), a)
+}
+
+// ReluS returns max(a, 0) for a signed bus: mask everything when the sign
+// bit is set. This is the one-gate-per-bit ReLU the frontend uses.
+func (m *Module) ReluS(a Bus) Bus {
+	notSign := m.B.Not(a[len(a)-1])
+	return m.AndBit(a, notSign)
+}
+
+// --- multiplication ---
+
+// MulU computes the full 2w-bit unsigned product via a shift-add array.
+func (m *Module) MulU(a, b Bus) Bus {
+	outW := len(a) + len(b)
+	acc := m.ConstBus(0, outW)
+	for i, bit := range b {
+		pp := m.ZeroExtend(m.ShlConstExpand(m.AndBit(a, bit), i), outW)
+		acc = m.Add(acc, pp)
+	}
+	return acc
+}
+
+// MulS computes the full-width signed product by sign-extending both
+// operands to the output width and multiplying modulo 2^w.
+func (m *Module) MulS(a, b Bus) Bus {
+	outW := len(a) + len(b)
+	ea := m.SignExtend(a, outW)
+	eb := m.SignExtend(b, outW)
+	return m.MulModular(ea, eb)
+}
+
+// MulModular computes a*b mod 2^w for equal-width buses; partial products
+// above the width are discarded, so it is cheaper than a full multiplier.
+func (m *Module) MulModular(a, b Bus) Bus {
+	w := len(a)
+	if len(b) != w {
+		panic(fmt.Sprintf("hdl: modular mul width mismatch %d vs %d", len(a), len(b)))
+	}
+	acc := m.ConstBus(0, w)
+	for i, bit := range b {
+		if i >= w {
+			break
+		}
+		pp := m.ShlConst(m.AndBit(a, bit), i)
+		// Bits below i of pp are zero; add only the meaningful span.
+		sum, _ := m.AddCarry(acc[i:], pp[i:], m.B.Const(false))
+		next := make(Bus, w)
+		copy(next, acc[:i])
+		copy(next[i:], sum)
+		acc = next
+	}
+	return acc
+}
+
+// ShlConstExpand shifts left by k, widening the bus so no bits are lost.
+func (m *Module) ShlConstExpand(a Bus, k int) Bus {
+	out := make(Bus, len(a)+k)
+	for i := 0; i < k; i++ {
+		out[i] = m.B.Const(false)
+	}
+	copy(out[k:], a)
+	return out
+}
+
+// MulConstS multiplies the signed bus a by the compile-time constant c,
+// producing outW bits. The constant is recoded in canonical signed digit
+// (CSD) form so each nonzero digit costs one add or subtract of a shifted
+// operand — the optimization that lets the frontend fold plaintext weights
+// cheaply.
+func (m *Module) MulConstS(a Bus, c int64, outW int) Bus {
+	if c == 0 {
+		return m.ConstBus(0, outW)
+	}
+	ea := m.SignExtend(a, outW)
+	var acc Bus
+	neg := false
+	if c < 0 {
+		c = -c
+		neg = true
+	}
+	// CSD recoding: repeatedly take the lowest set bit; if the low bits
+	// look like 0b...0111 (run of ones), replace with +2^(k+run) - 2^k.
+	for shift := 0; c != 0; {
+		for c&1 == 0 {
+			c >>= 1
+			shift++
+		}
+		// Count the run of ones.
+		run := 0
+		for c>>uint(run)&1 == 1 {
+			run++
+		}
+		term := m.ShlConst(ea, shift)
+		if run >= 3 {
+			// -2^shift, +2^(shift+run) later.
+			if acc == nil {
+				acc = m.Neg(term)
+			} else {
+				acc = m.Sub(acc, term)
+			}
+			c >>= uint(run)
+			c++ // carry into the next digit
+			shift += run
+		} else {
+			if acc == nil {
+				acc = term
+			} else {
+				acc = m.Add(acc, term)
+			}
+			c >>= 1
+			shift++
+		}
+	}
+	if neg {
+		acc = m.Neg(acc)
+	}
+	return acc
+}
+
+// --- division ---
+
+// DivU computes the unsigned quotient and remainder by restoring division.
+// Division by zero yields quotient all-ones and remainder a (the usual
+// hardware convention).
+func (m *Module) DivU(a, b Bus) (quot, rem Bus) {
+	w := len(a)
+	if len(b) != w {
+		panic(fmt.Sprintf("hdl: div width mismatch %d vs %d", len(a), len(b)))
+	}
+	// The working remainder needs w+1 bits: before each step r < b, so the
+	// shifted value 2r+1 can reach one bit beyond the divisor width.
+	r := m.ConstBus(0, w+1)
+	bw := m.ZeroExtend(b, w+1)
+	q := make(Bus, w)
+	for i := w - 1; i >= 0; i-- {
+		// r = (r << 1) | a[i]
+		r = append(Bus{a[i]}, r[:w]...)
+		diff, noBorrow := m.SubBorrow(r, bw)
+		q[i] = noBorrow
+		r = m.Mux(noBorrow, diff, r)
+	}
+	return q, r[:w]
+}
+
+// DivS computes the signed quotient (truncating toward zero) and remainder
+// with the sign of the dividend.
+func (m *Module) DivS(a, b Bus) (quot, rem Bus) {
+	sa := a[len(a)-1]
+	sb := b[len(b)-1]
+	q, r := m.DivU(m.AbsS(a), m.AbsS(b))
+	qNeg := m.B.Xor(sa, sb)
+	quot = m.Mux(qNeg, m.Neg(q), q)
+	rem = m.Mux(sa, m.Neg(r), r)
+	return quot, rem
+}
+
+// PopCount returns the number of set bits as a minimal-width bus.
+func (m *Module) PopCount(a Bus) Bus {
+	// Pairwise tree of widening adders.
+	groups := make([]Bus, len(a))
+	for i, w := range a {
+		groups[i] = Bus{w}
+	}
+	for len(groups) > 1 {
+		next := make([]Bus, 0, (len(groups)+1)/2)
+		for i := 0; i+1 < len(groups); i += 2 {
+			next = append(next, m.AddExpand(groups[i], groups[i+1]))
+		}
+		if len(groups)%2 == 1 {
+			next = append(next, groups[len(groups)-1])
+		}
+		groups = next
+	}
+	return groups[0]
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

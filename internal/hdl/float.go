@@ -1,0 +1,315 @@
+package hdl
+
+import (
+	"fmt"
+	"math"
+
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/logic"
+)
+
+// FloatFormat describes a parameterizable floating-point type with Exp
+// exponent bits and Mant mantissa bits (plus an implicit sign bit), the
+// Float(e,m) data type of ChiselTorch. Float(5,11) is a half-precision
+// float; Float(8,8) is bfloat16-like.
+//
+// Semantics are IEEE-754-like with simplifications appropriate for
+// gate-count-sensitive FHE hardware (and documented in DESIGN.md):
+// subnormals flush to zero, rounding is truncation (round toward zero),
+// and there are no NaN/Inf encodings — the exponent saturates.
+type FloatFormat struct {
+	Exp  int
+	Mant int
+}
+
+// Width returns the total bit width: 1 + Exp + Mant.
+func (f FloatFormat) Width() int { return 1 + f.Exp + f.Mant }
+
+// Bias returns the exponent bias 2^(Exp-1) - 1.
+func (f FloatFormat) Bias() int { return 1<<(f.Exp-1) - 1 }
+
+// MaxExp returns the largest (saturating) biased exponent.
+func (f FloatFormat) MaxExp() int { return 1<<f.Exp - 1 }
+
+func (f FloatFormat) String() string { return fmt.Sprintf("Float(%d,%d)", f.Exp, f.Mant) }
+
+// Encode converts a Go float64 into the format's bit pattern (software
+// reference used to bake constants into circuits and by tests).
+func (f FloatFormat) Encode(v float64) uint64 {
+	var sign uint64
+	if math.Signbit(v) {
+		sign = 1
+		v = -v
+	}
+	if v == 0 || math.IsNaN(v) {
+		return sign << uint(f.Exp+f.Mant)
+	}
+	frac, exp2 := math.Frexp(v) // v = frac * 2^exp2, frac in [0.5, 1)
+	// Normalize to 1.xxx * 2^(exp2-1).
+	e := exp2 - 1 + f.Bias()
+	if e <= 0 {
+		return sign << uint(f.Exp+f.Mant) // flush to zero
+	}
+	if e >= f.MaxExp() {
+		e = f.MaxExp()
+		return sign<<uint(f.Exp+f.Mant) | uint64(e)<<uint(f.Mant) | (1<<uint(f.Mant) - 1)
+	}
+	mant := uint64((frac*2 - 1) * float64(uint64(1)<<uint(f.Mant))) // truncate
+	if mant >= 1<<uint(f.Mant) {
+		mant = 1<<uint(f.Mant) - 1
+	}
+	return sign<<uint(f.Exp+f.Mant) | uint64(e)<<uint(f.Mant) | mant
+}
+
+// Decode converts a bit pattern back to float64.
+func (f FloatFormat) Decode(bits uint64) float64 {
+	mant := bits & (1<<uint(f.Mant) - 1)
+	e := int(bits >> uint(f.Mant) & (1<<uint(f.Exp) - 1))
+	sign := bits>>uint(f.Exp+f.Mant)&1 == 1
+	if e == 0 {
+		if sign {
+			return math.Copysign(0, -1)
+		}
+		return 0
+	}
+	v := (1 + float64(mant)/float64(uint64(1)<<uint(f.Mant))) * math.Ldexp(1, e-f.Bias())
+	if sign {
+		return -v
+	}
+	return v
+}
+
+// floatParts is the unpacked representation used inside the units.
+type floatParts struct {
+	sign circuit.NodeID
+	exp  Bus // Exp bits, biased
+	mant Bus // Mant+1 bits including the hidden leading one (zero when exp==0)
+}
+
+func (m *Module) funpack(f FloatFormat, a Bus) floatParts {
+	if len(a) != f.Width() {
+		panic(fmt.Sprintf("hdl: %v operand has width %d", f, len(a)))
+	}
+	exp := a[f.Mant : f.Mant+f.Exp]
+	nonzero := m.OrReduce(exp) // exp == 0 means the value is zero
+	mant := make(Bus, f.Mant+1)
+	copy(mant, a[:f.Mant])
+	mant[f.Mant] = nonzero // hidden bit
+	// A zero value must have a zero mantissa so arithmetic treats it as 0.
+	mant = m.AndBit(mant, nonzero)
+	return floatParts{sign: a[f.Width()-1], exp: exp, mant: mant}
+}
+
+func (m *Module) fpack(f FloatFormat, sign circuit.NodeID, exp Bus, mant Bus) Bus {
+	out := make(Bus, 0, f.Width())
+	out = append(out, mant[:f.Mant]...)
+	out = append(out, exp[:f.Exp]...)
+	out = append(out, sign)
+	return out
+}
+
+// FZero returns the positive-zero constant.
+func (m *Module) FZero(f FloatFormat) Bus { return m.ConstBus(0, f.Width()) }
+
+// FConst returns the format's encoding of the compile-time constant v.
+func (m *Module) FConst(f FloatFormat, v float64) Bus {
+	return m.ConstBus(f.Encode(v), f.Width())
+}
+
+// FNeg flips the sign bit.
+func (m *Module) FNeg(f FloatFormat, a Bus) Bus {
+	out := make(Bus, len(a))
+	copy(out, a)
+	out[f.Width()-1] = m.B.Not(a[f.Width()-1])
+	return out
+}
+
+// FAbs clears the sign bit.
+func (m *Module) FAbs(f FloatFormat, a Bus) Bus {
+	out := make(Bus, len(a))
+	copy(out, a)
+	out[f.Width()-1] = m.Lit(false)
+	return out
+}
+
+// FIsZero returns high when a encodes zero (exponent all zeros).
+func (m *Module) FIsZero(f FloatFormat, a Bus) circuit.NodeID {
+	return m.IsZero(a[f.Mant : f.Mant+f.Exp])
+}
+
+// FRelu returns a when a > 0, else +0: zero out everything when the sign
+// bit is set.
+func (m *Module) FRelu(f FloatFormat, a Bus) Bus {
+	pos := m.B.Not(a[f.Width()-1])
+	return m.AndBit(a, pos)
+}
+
+// FLt returns a < b. Sign-magnitude comparison: compare (exp,mant) as an
+// unsigned integer, then fix up signs; equal-zero values compare equal
+// regardless of sign.
+func (m *Module) FLt(f FloatFormat, a, b Bus) circuit.NodeID {
+	magA := a[:f.Width()-1] // exp|mant as unsigned magnitude
+	magB := b[:f.Width()-1]
+	sa, sb := a[f.Width()-1], b[f.Width()-1]
+	ltMag := m.LtU(magA, magB)
+	gtMag := m.LtU(magB, magA)
+	bothZero := m.B.And(m.IsZero(magA), m.IsZero(magB))
+	// a<b cases: sa=1,sb=0 and not both zero; same signs: positive -> ltMag,
+	// negative -> gtMag.
+	negA := m.B.Gate(logic.ANDYN, sa, sb) // sa AND NOT sb
+	sameSignPos := m.B.Nor(sa, sb)
+	sameSignNeg := m.B.And(sa, sb)
+	lt := m.B.Or(
+		m.B.And(sameSignPos, ltMag),
+		m.B.And(sameSignNeg, gtMag),
+	)
+	lt = m.B.Or(lt, negA)
+	return m.B.Gate(logic.ANDYN, lt, bothZero) // lt AND NOT bothZero
+}
+
+// FMax returns the larger operand.
+func (m *Module) FMax(f FloatFormat, a, b Bus) Bus {
+	return m.Mux(m.FLt(f, a, b), b, a)
+}
+
+// FMin returns the smaller operand.
+func (m *Module) FMin(f FloatFormat, a, b Bus) Bus {
+	return m.Mux(m.FLt(f, a, b), a, b)
+}
+
+// FEq returns a == b (with +0 == -0).
+func (m *Module) FEq(f FloatFormat, a, b Bus) circuit.NodeID {
+	bitEq := m.Eq(a, b)
+	bothZero := m.B.And(m.FIsZero(f, a), m.FIsZero(f, b))
+	return m.B.Or(bitEq, bothZero)
+}
+
+// FAdd computes a + b. Alignment uses one guard plus one sticky bit;
+// results round toward zero; overflow saturates; underflow flushes to zero.
+func (m *Module) FAdd(f FloatFormat, a, b Bus) Bus {
+	pa := m.funpack(f, a)
+	pb := m.funpack(f, b)
+
+	// Order operands so x has the larger magnitude (exp|mant).
+	magA := a[:f.Width()-1]
+	magB := b[:f.Width()-1]
+	aSmaller := m.LtU(magA, magB)
+	xSign := m.B.Mux(aSmaller, pb.sign, pa.sign)
+	ySign := m.B.Mux(aSmaller, pa.sign, pb.sign)
+	xExp := m.Mux(aSmaller, pb.exp, pa.exp)
+	yExp := m.Mux(aSmaller, pa.exp, pb.exp)
+	xMant := m.Mux(aSmaller, pb.mant, pa.mant)
+	yMant := m.Mux(aSmaller, pa.mant, pb.mant)
+
+	// Align the smaller mantissa: shift right by the exponent difference.
+	// Work with two extra low-order bits (guard + sticky approximation).
+	const g = 2
+	diff := m.Sub(xExp, yExp) // >= 0 by construction
+	xm := m.ShlConstExpand(xMant, g)
+	ym := m.ShlConstExpand(yMant, g)
+	// Clamp the shift: anything >= Mant+1+g zeroes the operand anyway.
+	ym = m.ShrVar(ym, diff)
+
+	// Effective operation: same signs add, different signs subtract.
+	subOp := m.B.Xor(xSign, ySign)
+	w := len(xm) + 1
+	xw := m.ZeroExtend(xm, w)
+	yw := m.ZeroExtend(ym, w)
+	sum := m.Add(xw, yw)
+	dif := m.Sub(xw, yw)          // non-negative: |x| >= |y|
+	mag := m.Mux(subOp, dif, sum) // w = Mant+1+g+1 bits
+
+	// Normalize: find the leading one. The result of the add path can
+	// carry one position above the hidden bit; the subtract path can
+	// cancel down to zero.
+	// The working exponent needs to represent values down to
+	// xExp+1-(Mant+3), so widen beyond Exp+2 for very wide mantissas.
+	expW := f.Exp + 2
+	for 1<<(expW-1) < len(mag)+1 {
+		expW++
+	}
+	norm, normExpAdj, isZero := m.normalizeFloat(f, mag, expW)
+	// Exponent: xExp + 1 - shiftBack where normExpAdj = (leading index
+	// adjustment). normExpAdj is signed relative to the hidden-bit slot.
+	e := m.ZeroExtend(xExp, expW)
+	e = m.Add(e, m.ConstBusSigned(int64(1), expW)) // account for carry slot
+	e = m.Sub(e, normExpAdj)
+
+	// Underflow (e <= 0) flushes to zero; overflow saturates.
+	zeroOut := m.B.Or(isZero, m.LeS(e, m.ConstBus(0, expW)))
+	maxE := m.ConstBus(uint64(f.MaxExp()), expW)
+	overflow := m.GeS(e, maxE)
+	packedExp := m.Mux(overflow, m.ConstBus(uint64(f.MaxExp()), f.Exp), m.Truncate(e, f.Exp))
+	packedMant := m.Mux(overflow, m.ConstBus(1<<uint(f.Mant)-1, f.Mant), norm)
+
+	// Result sign: the larger-magnitude operand's sign. For exact
+	// cancellation the result is +0 via zeroOut.
+	res := m.fpack(f, xSign, packedExp, packedMant)
+	zero := m.FZero(f)
+	return m.Mux(zeroOut, zero, res)
+}
+
+// normalizeFloat locates the leading one of mag (width Mant+1+g+1, with the
+// hidden-bit slot at index Mant+g) and returns the normalized Mant-bit
+// mantissa field, the exponent adjustment (w-1 minus the leading index,
+// expW bits wide), and an is-zero flag.
+func (m *Module) normalizeFloat(f FloatFormat, mag Bus, expW int) (Bus, Bus, circuit.NodeID) {
+	w := len(mag)
+	// Priority select: for each possible leading position p (from MSB down),
+	// shifted mantissa and adjustment. Build with a cascading mux.
+	isZero := m.IsZero(mag)
+	resMant := m.ConstBus(0, f.Mant)
+	resAdj := m.ConstBus(0, expW)
+	// Iterate from LSB to MSB so the highest set bit wins the final mux.
+	for p := 0; p < w; p++ {
+		// If bit p is the leading one: mantissa = bits below p left-aligned
+		// into Mant bits (truncating), exponent adjustment = (w-1) - p.
+		sh := make(Bus, f.Mant)
+		for i := 0; i < f.Mant; i++ {
+			src := p - f.Mant + i
+			if src >= 0 && src < w {
+				sh[i] = mag[src]
+			} else {
+				sh[i] = m.Lit(false)
+			}
+		}
+		adj := m.ConstBus(uint64(w-1-p), expW)
+		resMant = m.Mux(mag[p], sh, resMant)
+		resAdj = m.Mux(mag[p], adj, resAdj)
+	}
+	return resMant, resAdj, isZero
+}
+
+// FMul computes a * b with truncation rounding.
+func (m *Module) FMul(f FloatFormat, a, b Bus) Bus {
+	pa := m.funpack(f, a)
+	pb := m.funpack(f, b)
+	sign := m.B.Xor(pa.sign, pb.sign)
+
+	// Product of (Mant+1)-bit mantissas: 2*Mant+2 bits with the leading one
+	// at position 2*Mant or 2*Mant+1.
+	prod := m.MulU(pa.mant, pb.mant)
+	top := prod[len(prod)-1]
+	// Normalized mantissa: take Mant bits below the leading one.
+	mantHi := m.Slice(prod, f.Mant+1, 2*f.Mant+1) // leading at 2M+1
+	mantLo := m.Slice(prod, f.Mant, 2*f.Mant)     // leading at 2M
+	mant := m.Mux(top, mantHi, mantLo)
+
+	// Exponent: ea + eb - bias (+1 if the product carried).
+	expW := f.Exp + 2
+	e := m.Add(m.ZeroExtend(pa.exp, expW), m.ZeroExtend(pb.exp, expW))
+	e = m.Sub(e, m.ConstBus(uint64(f.Bias()), expW))
+	carry := m.ZeroExtend(Bus{top}, expW)
+	e = m.Add(e, carry)
+
+	zeroIn := m.B.Or(m.FIsZero(f, a), m.FIsZero(f, b))
+	underflow := m.LeS(e, m.ConstBus(0, expW))
+	zeroOut := m.B.Or(zeroIn, underflow)
+	maxE := m.ConstBus(uint64(f.MaxExp()), expW)
+	overflow := m.GeS(e, maxE)
+	packedExp := m.Mux(overflow, m.ConstBus(uint64(f.MaxExp()), f.Exp), m.Truncate(e, f.Exp))
+	packedMant := m.Mux(overflow, m.ConstBus(1<<uint(f.Mant)-1, f.Mant), mant)
+
+	res := m.fpack(f, sign, packedExp, packedMant)
+	return m.Mux(zeroOut, m.FZero(f), res)
+}

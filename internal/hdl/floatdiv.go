@@ -1,0 +1,88 @@
+package hdl
+
+import (
+	"math"
+
+	"pytfhe/internal/logic"
+)
+
+// Floating-point reciprocal and division. A combinational restoring
+// divider over mantissas would cost O(Mant^2) gates of O(Mant) depth per
+// division; instead FRecip computes 1/(1.m) by a linear initial estimate
+// (the classic 48/17 - 32/17·d rescaled to [1,2), max error 1/17) refined
+// with Newton
+// iterations x <- x(2 - d·x), which square the error — two iterations
+// suffice through Mant = 10, three through Mant = 22.
+
+// fixMul multiplies two signed fixed-point buses with `frac` fractional
+// bits, keeping the input width.
+func (m *Module) fixMul(a, b Bus, frac int) Bus {
+	w := len(a)
+	prod := m.MulS(a, b)
+	return m.Slice(prod, frac, frac+w)
+}
+
+// FRecip computes 1/a. Semantics follow the package's float rules: the
+// result truncates toward zero, overflow saturates, underflow flushes to
+// zero; a zero input saturates to the format maximum (of the input's
+// sign) since there is no Inf encoding.
+func (m *Module) FRecip(f FloatFormat, a Bus) Bus {
+	pa := m.funpack(f, a)
+
+	// Working fixed point: frac fractional bits, signed width w. Values
+	// stay within (0, 3), so two integer bits plus sign suffice.
+	frac := f.Mant + 2
+	w := frac + 3
+	// d = 1.m in fixed point: (1<<Mant | mant) has Mant fractional bits.
+	d := m.ZeroExtend(m.ShlConstExpand(pa.mant, frac-f.Mant), w)
+
+	// x0 = 24/17 - 8/17 * d: the classic 48/17 - 32/17·d estimate rescaled
+	// from d ∈ [0.5, 1) to our normalized mantissa range d ∈ [1, 2).
+	c1 := int64(math.Round(24.0 / 17 * float64(int64(1)<<uint(frac))))
+	c2 := int64(math.Round(8.0 / 17 * float64(int64(1)<<uint(frac))))
+	// c2 and d both carry frac fractional bits: realign after the product.
+	x := m.Sub(m.ConstBus(uint64(c1), w), m.Slice(m.MulConstS(d, c2, w+frac+1), frac, frac+w))
+
+	iters := 2
+	if f.Mant > 10 {
+		iters = 3
+	}
+	if f.Mant > 22 {
+		iters = 4
+	}
+	two := m.ConstBus(uint64(int64(2)<<uint(frac)), w)
+	for i := 0; i < iters; i++ {
+		t := m.Sub(two, m.fixMul(d, x, frac))
+		x = m.fixMul(x, t, frac)
+	}
+
+	// x ≈ 1/(1.m) ∈ [0.5, 1]. Normalize: y = 2x ∈ [1, 2]; if y reaches 2
+	// (input mantissa was exactly 1.0) the result is 1.0 with exponent
+	// bumped by one.
+	y := m.ShlConst(x, 1)
+	carry := y[frac+1] // y >= 2
+	mant := m.Mux(carry, m.ConstBus(0, f.Mant), m.Slice(y, frac-f.Mant, frac))
+
+	// Exponent: 1/b = (2x) * 2^(bias - 1 - (e - bias)) => eNew = 2*bias-1-e
+	// (+1 when carry).
+	expW := f.Exp + 2
+	e := m.Sub(m.ConstBus(uint64(2*f.Bias()-1), expW), m.ZeroExtend(pa.exp, expW))
+	e = m.Add(e, m.ZeroExtend(Bus{carry}, expW))
+
+	zeroIn := m.FIsZero(f, a)
+	underflow := m.LeS(e, m.ConstBus(0, expW))
+	overflow := m.GeS(e, m.ConstBus(uint64(f.MaxExp()), expW))
+	// 1/0 saturates; fold it into the overflow path.
+	overflow = m.B.Or(overflow, zeroIn)
+	zeroOut := m.B.Gate(logic.ANDYN, underflow, zeroIn) // underflow AND NOT zeroIn
+
+	packedExp := m.Mux(overflow, m.ConstBus(uint64(f.MaxExp()), f.Exp), m.Truncate(e, f.Exp))
+	packedMant := m.Mux(overflow, m.ConstBus(1<<uint(f.Mant)-1, f.Mant), mant)
+	res := m.fpack(f, pa.sign, packedExp, packedMant)
+	return m.Mux(zeroOut, m.FZero(f), res)
+}
+
+// FDiv computes a / b as a * (1/b).
+func (m *Module) FDiv(f FloatFormat, a, b Bus) Bus {
+	return m.FMul(f, a, m.FRecip(f, b))
+}

@@ -1,0 +1,561 @@
+package hdl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pytfhe/internal/circuit"
+)
+
+// runUnary builds a module computing f over one w-bit input and returns a
+// closure that evaluates it on concrete values.
+func runBinaryOp(t *testing.T, w int, build func(m *Module, a, b Bus) Bus) func(x, y uint64) uint64 {
+	t.Helper()
+	m := New("op")
+	a := m.InputBus("a", w)
+	b := m.InputBus("b", w)
+	out := build(m, a, b)
+	m.OutputBus("out", out)
+	nl := m.MustBuild()
+	return func(x, y uint64) uint64 {
+		in := make([]bool, 2*w)
+		for i := 0; i < w; i++ {
+			in[i] = x>>uint(i)&1 == 1
+			in[w+i] = y>>uint(i)&1 == 1
+		}
+		res, err := nl.Evaluate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bitsToUint(res)
+	}
+}
+
+func runPredicate(t *testing.T, w int, build func(m *Module, a, b Bus) circuit.NodeID) func(x, y uint64) bool {
+	t.Helper()
+	m := New("pred")
+	a := m.InputBus("a", w)
+	b := m.InputBus("b", w)
+	m.Output("out", build(m, a, b))
+	nl := m.MustBuild()
+	return func(x, y uint64) bool {
+		in := make([]bool, 2*w)
+		for i := 0; i < w; i++ {
+			in[i] = x>>uint(i)&1 == 1
+			in[w+i] = y>>uint(i)&1 == 1
+		}
+		res, err := nl.Evaluate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0]
+	}
+}
+
+func bitsToUint(bits []bool) uint64 {
+	var v uint64
+	for i, b := range bits {
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+func signExt(v uint64, w int) int64 {
+	shift := 64 - uint(w)
+	return int64(v<<shift) >> shift
+}
+
+const w4mask = 0xF
+
+func TestAddExhaustive(t *testing.T) {
+	add := runBinaryOp(t, 4, func(m *Module, a, b Bus) Bus { return m.Add(a, b) })
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			if got := add(x, y); got != (x+y)&w4mask {
+				t.Fatalf("%d+%d = %d", x, y, got)
+			}
+		}
+	}
+}
+
+func TestSubExhaustive(t *testing.T) {
+	sub := runBinaryOp(t, 4, func(m *Module, a, b Bus) Bus { return m.Sub(a, b) })
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			if got := sub(x, y); got != (x-y)&w4mask {
+				t.Fatalf("%d-%d = %d", x, y, got)
+			}
+		}
+	}
+}
+
+func TestMulUExhaustive(t *testing.T) {
+	mul := runBinaryOp(t, 4, func(m *Module, a, b Bus) Bus { return m.MulU(a, b) })
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			if got := mul(x, y); got != x*y {
+				t.Fatalf("%d*%d = %d", x, y, got)
+			}
+		}
+	}
+}
+
+func TestMulSExhaustive(t *testing.T) {
+	mul := runBinaryOp(t, 4, func(m *Module, a, b Bus) Bus { return m.MulS(a, b) })
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			sx, sy := signExt(x, 4), signExt(y, 4)
+			want := uint64(sx*sy) & 0xFF
+			if got := mul(x, y); got != want {
+				t.Fatalf("%d*%d = %d, want %d", sx, sy, got, want)
+			}
+		}
+	}
+}
+
+func TestDivUExhaustive(t *testing.T) {
+	div := runBinaryOp(t, 4, func(m *Module, a, b Bus) Bus {
+		q, r := m.DivU(a, b)
+		return m.Concat(q, r)
+	})
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(1); y < 16; y++ {
+			got := div(x, y)
+			q, r := got&w4mask, got>>4
+			if q != x/y || r != x%y {
+				t.Fatalf("%d/%d = %d rem %d, want %d rem %d", x, y, q, r, x/y, x%y)
+			}
+		}
+	}
+}
+
+func TestDivSSelected(t *testing.T) {
+	div := runBinaryOp(t, 5, func(m *Module, a, b Bus) Bus {
+		q, r := m.DivS(a, b)
+		return m.Concat(q, r)
+	})
+	for _, tc := range []struct{ x, y int64 }{
+		{7, 2}, {-7, 2}, {7, -2}, {-7, -2}, {0, 5}, {-1, 1}, {15, 3}, {-15, -3}, {-16, 1},
+	} {
+		got := div(uint64(tc.x)&0x1F, uint64(tc.y)&0x1F)
+		q := signExt(got&0x1F, 5)
+		r := signExt(got>>5, 5)
+		wantQ, wantR := tc.x/tc.y, tc.x%tc.y
+		if q != wantQ || r != wantR {
+			t.Fatalf("%d/%d = %d rem %d, want %d rem %d", tc.x, tc.y, q, r, wantQ, wantR)
+		}
+	}
+}
+
+func TestComparisonsExhaustive(t *testing.T) {
+	ltu := runPredicate(t, 4, func(m *Module, a, b Bus) circuit.NodeID { return m.LtU(a, b) })
+	lts := runPredicate(t, 4, func(m *Module, a, b Bus) circuit.NodeID { return m.LtS(a, b) })
+	eq := runPredicate(t, 4, func(m *Module, a, b Bus) circuit.NodeID { return m.Eq(a, b) })
+	geu := runPredicate(t, 4, func(m *Module, a, b Bus) circuit.NodeID { return m.GeU(a, b) })
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			if ltu(x, y) != (x < y) {
+				t.Fatalf("LtU(%d,%d)", x, y)
+			}
+			if geu(x, y) != (x >= y) {
+				t.Fatalf("GeU(%d,%d)", x, y)
+			}
+			if lts(x, y) != (signExt(x, 4) < signExt(y, 4)) {
+				t.Fatalf("LtS(%d,%d)", signExt(x, 4), signExt(y, 4))
+			}
+			if eq(x, y) != (x == y) {
+				t.Fatalf("Eq(%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestMinMaxAbsRelu(t *testing.T) {
+	ops := runBinaryOp(t, 4, func(m *Module, a, b Bus) Bus {
+		return m.Concat(m.MinS(a, b), m.MaxS(a, b), m.AbsS(a), m.ReluS(a))
+	})
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			got := ops(x, y)
+			sx, sy := signExt(x, 4), signExt(y, 4)
+			minW, maxW := sx, sy
+			if sy < sx {
+				minW, maxW = sy, sx
+			}
+			absW := sx
+			if absW < 0 {
+				absW = -absW
+			}
+			reluW := sx
+			if reluW < 0 {
+				reluW = 0
+			}
+			if signExt(got&15, 4) != minW {
+				t.Fatalf("MinS(%d,%d) = %d", sx, sy, signExt(got&15, 4))
+			}
+			if signExt(got>>4&15, 4) != maxW {
+				t.Fatalf("MaxS(%d,%d) = %d", sx, sy, signExt(got>>4&15, 4))
+			}
+			if int64(got>>8&15) != absW&15 {
+				t.Fatalf("AbsS(%d) = %d", sx, got>>8&15)
+			}
+			if signExt(got>>12&15, 4) != reluW {
+				t.Fatalf("ReluS(%d) = %d", sx, signExt(got>>12&15, 4))
+			}
+		}
+	}
+}
+
+func TestShifts(t *testing.T) {
+	shl := runBinaryOp(t, 8, func(m *Module, a, b Bus) Bus { return m.ShlVar(a, b[:3]) })
+	shr := runBinaryOp(t, 8, func(m *Module, a, b Bus) Bus { return m.ShrVar(a, b[:3]) })
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		x := uint64(rng.Intn(256))
+		k := uint64(rng.Intn(8))
+		if got := shl(x, k); got != (x<<k)&0xFF {
+			t.Fatalf("%d<<%d = %d", x, k, got)
+		}
+		if got := shr(x, k); got != x>>k {
+			t.Fatalf("%d>>%d = %d", x, k, got)
+		}
+	}
+}
+
+func TestConstShifts(t *testing.T) {
+	m := New("cshift")
+	a := m.InputBus("a", 8)
+	m.OutputBus("shl", m.ShlConst(a, 3))
+	m.OutputBus("shr", m.ShrConst(a, 3))
+	m.OutputBus("asr", m.AshrConst(a, 3))
+	nl := m.MustBuild()
+	if len(nl.Gates) != 0 {
+		t.Fatalf("constant shifts must be pure wiring, got %d gates", len(nl.Gates))
+	}
+	in := make([]bool, 8)
+	x := uint64(0xB5)
+	for i := range in {
+		in[i] = x>>uint(i)&1 == 1
+	}
+	out, _ := nl.Evaluate(in)
+	v := bitsToUint(out)
+	if got := v & 0xFF; got != (x<<3)&0xFF {
+		t.Fatalf("shl3 = %#x", got)
+	}
+	if got := v >> 8 & 0xFF; got != x>>3 {
+		t.Fatalf("shr3 = %#x", got)
+	}
+	if got := v >> 16 & 0xFF; got != uint64(uint8(int8(uint8(x))>>3)) {
+		t.Fatalf("asr3 = %#x", got)
+	}
+}
+
+func TestMulConstSMatchesMulS(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 24; trial++ {
+		c := int64(rng.Intn(513) - 256) // includes 0, ±1, runs of ones
+		m := New("mulc")
+		a := m.InputBus("a", 6)
+		out := m.MulConstS(a, c, 16)
+		m.OutputBus("out", out)
+		nl := m.MustBuild()
+		for x := uint64(0); x < 64; x += 7 {
+			in := make([]bool, 6)
+			for i := range in {
+				in[i] = x>>uint(i)&1 == 1
+			}
+			res, err := nl.Evaluate(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := signExt(bitsToUint(res), 16)
+			want := signExt(x, 6) * c
+			if got != want {
+				t.Fatalf("MulConstS(%d, %d) = %d, want %d", signExt(x, 6), c, got, want)
+			}
+		}
+	}
+}
+
+func TestPopCount(t *testing.T) {
+	m := New("pop")
+	a := m.InputBus("a", 7)
+	m.OutputBus("out", m.PopCount(a))
+	nl := m.MustBuild()
+	for x := uint64(0); x < 128; x++ {
+		in := make([]bool, 7)
+		n := 0
+		for i := range in {
+			in[i] = x>>uint(i)&1 == 1
+			if in[i] {
+				n++
+			}
+		}
+		res, _ := nl.Evaluate(in)
+		if got := bitsToUint(res); got != uint64(n) {
+			t.Fatalf("popcount(%#b) = %d, want %d", x, got, n)
+		}
+	}
+}
+
+func TestWidthManipulationIsFree(t *testing.T) {
+	m := New("wiring")
+	a := m.InputBus("a", 8)
+	m.OutputBus("z", m.ZeroExtend(a, 12))
+	m.OutputBus("s", m.SignExtend(a, 12))
+	m.OutputBus("t", m.Truncate(a, 4))
+	m.OutputBus("c", m.Concat(a[:4], a[4:]))
+	nl := m.MustBuild()
+	if len(nl.Gates) != 0 {
+		t.Fatalf("width manipulation must not cost gates, got %d", len(nl.Gates))
+	}
+}
+
+func TestReductions(t *testing.T) {
+	m := New("red")
+	a := m.InputBus("a", 5)
+	m.Output("or", m.OrReduce(a))
+	m.Output("and", m.AndReduce(a))
+	m.Output("xor", m.XorReduce(a))
+	m.Output("zero", m.IsZero(a))
+	nl := m.MustBuild()
+	for x := uint64(0); x < 32; x++ {
+		in := make([]bool, 5)
+		for i := range in {
+			in[i] = x>>uint(i)&1 == 1
+		}
+		out, _ := nl.Evaluate(in)
+		pop := 0
+		for _, b := range in {
+			if b {
+				pop++
+			}
+		}
+		if out[0] != (x != 0) || out[1] != (x == 31) || out[2] != (pop%2 == 1) || out[3] != (x == 0) {
+			t.Fatalf("reductions of %#b = %v", x, out[:4])
+		}
+	}
+}
+
+func TestAddExpandNoOverflow(t *testing.T) {
+	addx := runBinaryOp(t, 4, func(m *Module, a, b Bus) Bus { return m.AddExpand(a, b) })
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			if got := addx(x, y); got != x+y {
+				t.Fatalf("AddExpand(%d,%d) = %d", x, y, got)
+			}
+		}
+	}
+}
+
+func TestNegInc(t *testing.T) {
+	ops := runBinaryOp(t, 4, func(m *Module, a, b Bus) Bus { return m.Concat(m.Neg(a), m.Inc(a)) })
+	for x := uint64(0); x < 16; x++ {
+		got := ops(x, 0)
+		if got&15 != (-x)&15 {
+			t.Fatalf("Neg(%d) = %d", x, got&15)
+		}
+		if got>>4 != (x+1)&15 {
+			t.Fatalf("Inc(%d) = %d", x, got>>4)
+		}
+	}
+}
+
+func TestGateCountsAreReasonable(t *testing.T) {
+	// Adder: ~5 gates/bit. Multiplier: O(w^2). These bounds catch
+	// regressions that would silently blow up every benchmark.
+	m := New("count")
+	a := m.InputBus("a", 8)
+	b := m.InputBus("b", 8)
+	m.OutputBus("s", m.Add(a, b))
+	nl := m.MustBuild()
+	if g := len(nl.Gates); g > 8*6 {
+		t.Fatalf("8-bit adder uses %d gates", g)
+	}
+
+	m2 := New("count2")
+	a2 := m2.InputBus("a", 8)
+	b2 := m2.InputBus("b", 8)
+	m2.OutputBus("p", m2.MulU(a2, b2))
+	nl2 := m2.MustBuild()
+	if g := len(nl2.Gates); g > 8*8*8 {
+		t.Fatalf("8x8 multiplier uses %d gates", g)
+	}
+}
+
+func TestAddCLAExhaustive(t *testing.T) {
+	add := runBinaryOp(t, 6, func(m *Module, a, b Bus) Bus { return m.AddCLA(a, b) })
+	for x := uint64(0); x < 64; x++ {
+		for y := uint64(0); y < 64; y++ {
+			if got := add(x, y); got != (x+y)&63 {
+				t.Fatalf("CLA %d+%d = %d", x, y, got)
+			}
+		}
+	}
+}
+
+func TestSubCLAExhaustive(t *testing.T) {
+	sub := runBinaryOp(t, 5, func(m *Module, a, b Bus) Bus { return m.SubCLA(a, b) })
+	for x := uint64(0); x < 32; x++ {
+		for y := uint64(0); y < 32; y++ {
+			if got := sub(x, y); got != (x-y)&31 {
+				t.Fatalf("CLA %d-%d = %d", x, y, got)
+			}
+		}
+	}
+}
+
+func TestAddCLACarryOut(t *testing.T) {
+	m := New("clac")
+	a := m.InputBus("a", 4)
+	b := m.InputBus("b", 4)
+	s, cout := m.AddCLACarry(a, b, m.B.Const(false))
+	m.OutputBus("s", s)
+	m.Output("c", cout)
+	nl := m.MustBuild()
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			in := make([]bool, 8)
+			for i := 0; i < 4; i++ {
+				in[i] = x>>uint(i)&1 == 1
+				in[4+i] = y>>uint(i)&1 == 1
+			}
+			out, _ := nl.Evaluate(in)
+			v := bitsToUint(out)
+			if v&15 != (x+y)&15 || (v>>4 == 1) != (x+y > 15) {
+				t.Fatalf("CLA carry %d+%d -> %#x", x, y, v)
+			}
+		}
+	}
+}
+
+// TestCLADepthAdvantage verifies the latency/gates trade against the
+// ripple adder: logarithmic vs linear bootstrapped depth.
+func TestCLADepthAdvantage(t *testing.T) {
+	const w = 32
+	mr := New("ripple")
+	ra := mr.InputBus("a", w)
+	rb := mr.InputBus("b", w)
+	mr.OutputBus("s", mr.Add(ra, rb))
+	ripple := mr.MustBuild()
+
+	mc := New("cla")
+	ca := mc.InputBus("a", w)
+	cb := mc.InputBus("b", w)
+	mc.OutputBus("s", mc.AddCLA(ca, cb))
+	cla := mc.MustBuild()
+
+	rd, cd := ripple.Depth(), cla.Depth()
+	if cd >= rd/3 {
+		t.Fatalf("CLA depth %d not far below ripple depth %d", cd, rd)
+	}
+	if len(cla.Gates) <= len(ripple.Gates) {
+		t.Fatalf("CLA should spend gates for depth: %d vs %d", len(cla.Gates), len(ripple.Gates))
+	}
+	t.Logf("32-bit adder: ripple %d gates depth %d; Kogge-Stone %d gates depth %d",
+		len(ripple.Gates), rd, len(cla.Gates), cd)
+}
+
+// Property-based invariants (testing/quick) over the arithmetic units.
+
+func TestPropertyAddCommutes(t *testing.T) {
+	add := runBinaryOp(t, 8, func(m *Module, a, b Bus) Bus { return m.Add(a, b) })
+	f := func(x, y uint8) bool { return add(uint64(x), uint64(y)) == add(uint64(y), uint64(x)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAddSubInverse(t *testing.T) {
+	m := New("addsub")
+	a := m.InputBus("a", 8)
+	b := m.InputBus("b", 8)
+	m.OutputBus("r", m.Sub(m.Add(a, b), b))
+	nl := m.MustBuild()
+	f := func(x, y uint8) bool {
+		in := make([]bool, 16)
+		for i := 0; i < 8; i++ {
+			in[i] = x>>uint(i)&1 == 1
+			in[8+i] = y>>uint(i)&1 == 1
+		}
+		out, err := nl.Evaluate(in)
+		if err != nil {
+			return false
+		}
+		return bitsToUint(out) == uint64(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMulCommutes(t *testing.T) {
+	mul := runBinaryOp(t, 6, func(m *Module, a, b Bus) Bus { return m.MulU(a, b) })
+	f := func(x, y uint8) bool {
+		xv, yv := uint64(x&63), uint64(y&63)
+		return mul(xv, yv) == mul(yv, xv)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCLAEqualsRipple(t *testing.T) {
+	ripple := runBinaryOp(t, 10, func(m *Module, a, b Bus) Bus { return m.Add(a, b) })
+	cla := runBinaryOp(t, 10, func(m *Module, a, b Bus) Bus { return m.AddCLA(a, b) })
+	f := func(x, y uint16) bool {
+		xv, yv := uint64(x&1023), uint64(y&1023)
+		return ripple(xv, yv) == cla(xv, yv)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDivQuotientRemainder(t *testing.T) {
+	div := runBinaryOp(t, 6, func(m *Module, a, b Bus) Bus {
+		q, r := m.DivU(a, b)
+		return m.Concat(q, r)
+	})
+	f := func(x, y uint8) bool {
+		xv, yv := uint64(x&63), uint64(y&63)
+		if yv == 0 {
+			return true
+		}
+		got := div(xv, yv)
+		q, r := got&63, got>>6
+		return q*yv+r == xv && r < yv
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDeMorgan(t *testing.T) {
+	// NOT(a AND b) == NOT a OR NOT b at the bus level.
+	m := New("demorgan")
+	a := m.InputBus("a", 8)
+	b := m.InputBus("b", 8)
+	m.OutputBus("l", m.Not(m.And(a, b)))
+	m.OutputBus("r", m.Or(m.Not(a), m.Not(b)))
+	nl := m.MustBuild()
+	f := func(x, y uint8) bool {
+		in := make([]bool, 16)
+		for i := 0; i < 8; i++ {
+			in[i] = x>>uint(i)&1 == 1
+			in[8+i] = y>>uint(i)&1 == 1
+		}
+		out, err := nl.Evaluate(in)
+		if err != nil {
+			return false
+		}
+		v := bitsToUint(out)
+		return v&0xFF == v>>8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

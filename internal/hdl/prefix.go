@@ -1,0 +1,69 @@
+package hdl
+
+import (
+	"fmt"
+
+	"pytfhe/internal/circuit"
+)
+
+// Parallel-prefix (Kogge-Stone) addition. The ripple adder of arith.go
+// minimizes gate count but has O(w) bootstrapped depth; in the wavefront
+// backends depth is wall-clock, so latency-critical circuits trade gates
+// for logarithmic depth. BenchmarkAblationAdderDepth quantifies the trade:
+// w-bit ripple ≈ 5w gates at depth ≈ 2w; Kogge-Stone ≈ 2w + 3w·log2(w)
+// gates at depth ≈ log2(w)+2.
+
+// AddCLACarry computes a + b + cin with a Kogge-Stone carry tree,
+// returning the w-bit sum and carry out.
+func (m *Module) AddCLACarry(a, b Bus, cin circuit.NodeID) (Bus, circuit.NodeID) {
+	w := len(a)
+	if len(b) != w {
+		panic(fmt.Sprintf("hdl: add width mismatch %d vs %d", len(a), len(b)))
+	}
+	if w == 0 {
+		return nil, cin
+	}
+	// Generate/propagate per bit position.
+	gen := make([]circuit.NodeID, w)
+	prop := make([]circuit.NodeID, w)
+	for i := 0; i < w; i++ {
+		gen[i] = m.B.And(a[i], b[i])
+		prop[i] = m.B.Xor(a[i], b[i])
+	}
+	// Fold the carry-in into position 0: g0' = g0 | (p0 & cin).
+	gen[0] = m.B.Or(gen[0], m.B.And(prop[0], cin))
+
+	// Kogge-Stone prefix tree over (g, p):
+	// (g, p) ∘ (g', p') = (g | (p & g'), p & p').
+	g := append([]circuit.NodeID(nil), gen...)
+	p := append([]circuit.NodeID(nil), prop...)
+	for dist := 1; dist < w; dist <<= 1 {
+		ng := append([]circuit.NodeID(nil), g...)
+		np := append([]circuit.NodeID(nil), p...)
+		for i := dist; i < w; i++ {
+			ng[i] = m.B.Or(g[i], m.B.And(p[i], g[i-dist]))
+			np[i] = m.B.And(p[i], p[i-dist])
+		}
+		g, p = ng, np
+	}
+
+	// g[i] is now the carry OUT of position i; sum_i = prop_i ^ carry_in_i.
+	sum := make(Bus, w)
+	sum[0] = m.B.Xor(prop[0], cin)
+	for i := 1; i < w; i++ {
+		sum[i] = m.B.Xor(prop[i], g[i-1])
+	}
+	return sum, g[w-1]
+}
+
+// AddCLA computes a + b (mod 2^w) with logarithmic depth.
+func (m *Module) AddCLA(a, b Bus) Bus {
+	s, _ := m.AddCLACarry(a, b, m.B.Const(false))
+	return s
+}
+
+// SubCLA computes a - b with logarithmic depth.
+func (m *Module) SubCLA(a, b Bus) Bus {
+	s, _ := m.AddCLACarry(a, m.Not(b), m.B.Const(true))
+	return s
+}

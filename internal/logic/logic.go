@@ -1,0 +1,164 @@
+// Package logic defines the two-input boolean gate alphabet shared by the
+// whole toolchain: the netlist IR, the synthesizer, the PyTFHE binary
+// format, and the homomorphic gate engine.
+//
+// A gate kind is its own truth table, packed into a nibble with
+// bit (2a+b) holding f(a,b); the most significant bit is f(1,1) and the
+// least significant is f(0,0). This is exactly the 4-bit gate-type encoding
+// of the PyTFHE instruction format (Fig. 5): XOR encodes as 0110 = 6, as in
+// the paper's half-adder example (Fig. 6).
+package logic
+
+import "fmt"
+
+// Kind identifies a two-input boolean function by its truth table nibble.
+type Kind uint8
+
+// The sixteen two-input boolean functions. The paper's eleven TFHE gate
+// types are False..True excluding the constants and projections: AND, OR,
+// XOR, NAND, NOR, XNOR, ANDNY, ANDYN, ORNY, ORYN and NOT.
+const (
+	False Kind = 0  // 0000: constant 0
+	NOR   Kind = 1  // 0001: ¬(a ∨ b)
+	ANDNY Kind = 2  // 0010: ¬a ∧ b
+	NOT   Kind = 3  // 0011: ¬a (second input ignored)
+	ANDYN Kind = 4  // 0100: a ∧ ¬b
+	NOTB  Kind = 5  // 0101: ¬b (first input ignored)
+	XOR   Kind = 6  // 0110: a ⊕ b
+	NAND  Kind = 7  // 0111: ¬(a ∧ b)
+	AND   Kind = 8  // 1000: a ∧ b
+	XNOR  Kind = 9  // 1001: ¬(a ⊕ b)
+	COPYB Kind = 10 // 1010: b (first input ignored)
+	ORNY  Kind = 11 // 1011: ¬a ∨ b
+	COPY  Kind = 12 // 1100: a (second input ignored)
+	ORYN  Kind = 13 // 1101: a ∨ ¬b
+	OR    Kind = 14 // 1110: a ∨ b
+	True  Kind = 15 // 1111: constant 1
+)
+
+// NumKinds is the size of the gate alphabet (the 4-bit encoding space).
+const NumKinds = 16
+
+var kindNames = [NumKinds]string{
+	"FALSE", "NOR", "ANDNY", "NOT", "ANDYN", "NOTB", "XOR", "NAND",
+	"AND", "XNOR", "COPYB", "ORNY", "COPY", "ORYN", "OR", "TRUE",
+}
+
+// String returns the canonical gate mnemonic.
+func (k Kind) String() string {
+	if k < NumKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("KIND(%d)", uint8(k))
+}
+
+// Parse returns the Kind with the given mnemonic.
+func Parse(name string) (Kind, error) {
+	for i, n := range kindNames {
+		if n == name {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("logic: unknown gate kind %q", name)
+}
+
+// Eval applies the boolean function to (a, b).
+func (k Kind) Eval(a, b bool) bool {
+	idx := 0
+	if a {
+		idx |= 2
+	}
+	if b {
+		idx |= 1
+	}
+	return k&(1<<idx) != 0
+}
+
+// EvalBit applies the boolean function to bits in {0,1}.
+func (k Kind) EvalBit(a, b uint8) uint8 {
+	return uint8(k>>((a&1)<<1|b&1)) & 1
+}
+
+// IsConst reports whether the function ignores both inputs.
+func (k Kind) IsConst() bool { return k == False || k == True }
+
+// ConstValue returns the value of a constant function.
+func (k Kind) ConstValue() bool { return k == True }
+
+// IgnoresA reports whether the function is independent of input a.
+func (k Kind) IgnoresA() bool {
+	// f(0,b) == f(1,b) for both b: bit0==bit2 and bit1==bit3.
+	return (k>>2)&3 == k&3
+}
+
+// IgnoresB reports whether the function is independent of input b.
+func (k Kind) IgnoresB() bool {
+	// f(a,0) == f(a,1) for both a: bit0==bit1 and bit2==bit3.
+	b0 := k & 1
+	b1 := (k >> 1) & 1
+	b2 := (k >> 2) & 1
+	b3 := (k >> 3) & 1
+	return b0 == b1 && b2 == b3
+}
+
+// IsUnary reports whether the function depends on exactly one input.
+func (k Kind) IsUnary() bool {
+	return !k.IsConst() && (k.IgnoresA() || k.IgnoresB())
+}
+
+// Negate returns the complement function ¬f.
+func (k Kind) Negate() Kind { return k ^ 0xF }
+
+// SwapInputs returns the function g with g(a,b) = f(b,a).
+func (k Kind) SwapInputs() Kind {
+	// Bits 1 (f(0,1)) and 2 (f(1,0)) swap; bits 0 and 3 stay.
+	return k&0x9 | (k&2)<<1 | (k&4)>>1
+}
+
+// NegateA returns the function g with g(a,b) = f(¬a, b).
+func (k Kind) NegateA() Kind {
+	// Swap the a=0 half (bits 0,1) with the a=1 half (bits 2,3).
+	return k>>2 | (k&3)<<2
+}
+
+// NegateB returns the function g with g(a,b) = f(a, ¬b).
+func (k Kind) NegateB() Kind {
+	// Swap bit 0 with 1 and bit 2 with 3.
+	return (k&0x5)<<1 | (k&0xA)>>1
+}
+
+// FromTruthTable builds a Kind from explicit outputs.
+func FromTruthTable(f00, f01, f10, f11 bool) Kind {
+	var k Kind
+	if f00 {
+		k |= 1 << 0
+	}
+	if f01 {
+		k |= 1 << 1
+	}
+	if f10 {
+		k |= 1 << 2
+	}
+	if f11 {
+		k |= 1 << 3
+	}
+	return k
+}
+
+// TFHEGates lists the paper's eleven bootstrappable gate types in a stable
+// order: the ten genuine two-input functions plus NOT.
+func TFHEGates() []Kind {
+	return []Kind{AND, NAND, OR, NOR, XOR, XNOR, ANDNY, ANDYN, ORNY, ORYN, NOT}
+}
+
+// NeedsBootstrap reports whether evaluating the gate homomorphically
+// requires a bootstrapping operation. Projections, negation and constants
+// are linear on ciphertexts and essentially free; everything else costs one
+// bootstrap.
+func (k Kind) NeedsBootstrap() bool {
+	switch k {
+	case False, True, COPY, COPYB, NOT, NOTB:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,155 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTruthTables(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		f    func(a, b bool) bool
+	}{
+		{AND, func(a, b bool) bool { return a && b }},
+		{OR, func(a, b bool) bool { return a || b }},
+		{XOR, func(a, b bool) bool { return a != b }},
+		{NAND, func(a, b bool) bool { return !(a && b) }},
+		{NOR, func(a, b bool) bool { return !(a || b) }},
+		{XNOR, func(a, b bool) bool { return a == b }},
+		{ANDNY, func(a, b bool) bool { return !a && b }},
+		{ANDYN, func(a, b bool) bool { return a && !b }},
+		{ORNY, func(a, b bool) bool { return !a || b }},
+		{ORYN, func(a, b bool) bool { return a || !b }},
+		{NOT, func(a, b bool) bool { return !a }},
+		{NOTB, func(a, b bool) bool { return !b }},
+		{COPY, func(a, b bool) bool { return a }},
+		{COPYB, func(a, b bool) bool { return b }},
+		{False, func(a, b bool) bool { return false }},
+		{True, func(a, b bool) bool { return true }},
+	}
+	for _, tc := range cases {
+		for _, a := range []bool{false, true} {
+			for _, b := range []bool{false, true} {
+				if got := tc.kind.Eval(a, b); got != tc.f(a, b) {
+					t.Errorf("%v(%v,%v) = %v", tc.kind, a, b, got)
+				}
+			}
+		}
+	}
+}
+
+func TestXOREncodingMatchesPaper(t *testing.T) {
+	// Fig. 6 of the paper encodes the XOR gate type as 0110.
+	if XOR != 6 {
+		t.Fatalf("XOR encodes as %d, want 6", XOR)
+	}
+}
+
+func TestEvalBitMatchesEval(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		for a := uint8(0); a < 2; a++ {
+			for b := uint8(0); b < 2; b++ {
+				want := uint8(0)
+				if k.Eval(a == 1, b == 1) {
+					want = 1
+				}
+				if got := k.EvalBit(a, b); got != want {
+					t.Errorf("%v.EvalBit(%d,%d) = %d, want %d", k, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		got, err := Parse(k.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("Parse(%q) = %v", k.String(), got)
+		}
+	}
+	if _, err := Parse("BOGUS"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestNegate(t *testing.T) {
+	f := func(k uint8, a, b bool) bool {
+		kind := Kind(k % NumKinds)
+		return kind.Negate().Eval(a, b) == !kind.Eval(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwapInputs(t *testing.T) {
+	f := func(k uint8, a, b bool) bool {
+		kind := Kind(k % NumKinds)
+		return kind.SwapInputs().Eval(a, b) == kind.Eval(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegateOperands(t *testing.T) {
+	f := func(k uint8, a, b bool) bool {
+		kind := Kind(k % NumKinds)
+		return kind.NegateA().Eval(a, b) == kind.Eval(!a, b) &&
+			kind.NegateB().Eval(a, b) == kind.Eval(a, !b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassification(t *testing.T) {
+	if !False.IsConst() || !True.IsConst() || AND.IsConst() {
+		t.Fatal("IsConst misclassifies")
+	}
+	if !NOT.IsUnary() || !COPYB.IsUnary() || AND.IsUnary() || True.IsUnary() {
+		t.Fatal("IsUnary misclassifies")
+	}
+	if !NOTB.IgnoresA() || !COPY.IgnoresB() || XOR.IgnoresA() || XOR.IgnoresB() {
+		t.Fatal("Ignores* misclassifies")
+	}
+}
+
+func TestTFHEGatesCount(t *testing.T) {
+	gates := TFHEGates()
+	if len(gates) != 11 {
+		t.Fatalf("the paper supports eleven gates, got %d", len(gates))
+	}
+	seen := map[Kind]bool{}
+	for _, g := range gates {
+		if seen[g] {
+			t.Fatalf("duplicate gate %v", g)
+		}
+		seen[g] = true
+	}
+}
+
+func TestNeedsBootstrap(t *testing.T) {
+	free := 0
+	for k := Kind(0); k < NumKinds; k++ {
+		if !k.NeedsBootstrap() {
+			free++
+		}
+	}
+	if free != 6 { // FALSE, TRUE, NOT, NOTB, COPY, COPYB
+		t.Fatalf("%d free kinds, want 6", free)
+	}
+}
+
+func TestFromTruthTable(t *testing.T) {
+	if got := FromTruthTable(false, true, true, false); got != XOR {
+		t.Fatalf("FromTruthTable XOR = %v", got)
+	}
+	if got := FromTruthTable(true, true, true, false); got != NAND {
+		t.Fatalf("FromTruthTable NAND = %v", got)
+	}
+}

@@ -1,0 +1,89 @@
+package models
+
+import (
+	"testing"
+
+	"pytfhe/internal/chiseltorch"
+)
+
+func TestMNISTSpecGeometry(t *testing.T) {
+	s := MNISTS()
+	if s.ConvOut() != 26 || s.PoolOut() != 24 || s.FlatSize() != 576 {
+		t.Fatalf("MNIST_S geometry: conv=%d pool=%d flat=%d", s.ConvOut(), s.PoolOut(), s.FlatSize())
+	}
+	m := MNISTM()
+	if m.FlatSize() != 2*576 {
+		t.Fatalf("MNIST_M flat = %d", m.FlatSize())
+	}
+	l := MNISTL()
+	if l.FlatSize() != 3*576 {
+		t.Fatalf("MNIST_L flat = %d", l.FlatSize())
+	}
+}
+
+func TestWeightsAreDeterministic(t *testing.T) {
+	a := MNISTS().GenWeights()
+	b := MNISTS().GenWeights()
+	for i := range a.LinW {
+		if a.LinW[i] != b.LinW[i] {
+			t.Fatal("weights are not reproducible")
+		}
+	}
+	c := MNISTM().GenWeights()
+	if len(c.ConvW) == len(a.ConvW) {
+		t.Fatal("different specs should have different weight shapes")
+	}
+}
+
+func TestWeightShapes(t *testing.T) {
+	s := MNISTS()
+	w := s.GenWeights()
+	if len(w.ConvW) != s.Kernels*s.Conv*s.Conv {
+		t.Fatalf("conv weights %d", len(w.ConvW))
+	}
+	if len(w.LinW) != s.Classes*s.FlatSize() {
+		t.Fatalf("linear weights %d", len(w.LinW))
+	}
+	if len(w.ConvB) != s.Kernels || len(w.LinB) != s.Classes {
+		t.Fatal("bias shapes")
+	}
+}
+
+func TestScaledSpec(t *testing.T) {
+	s := MNISTS().Scaled(10)
+	if s.Image != 10 || s.Name != "MNIST_S_scaled" {
+		t.Fatalf("scaled spec %+v", s)
+	}
+	if s.FlatSize() != 36 { // (10-3+1-3+1)^2 = 6^2
+		t.Fatalf("scaled flat = %d", s.FlatSize())
+	}
+}
+
+func TestToChiselTorchCompiles(t *testing.T) {
+	spec := MNISTS().Scaled(7)
+	model := spec.ToChiselTorch(chiseltorch.NewSInt(6))
+	c, err := model.Compile(1, spec.Image, spec.Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.OutputShape[0] != spec.Classes {
+		t.Fatalf("output shape %v", c.OutputShape)
+	}
+}
+
+func TestAttentionSpecs(t *testing.T) {
+	s := AttentionS()
+	l := AttentionL()
+	if s.Hidden != 32 || l.Hidden != 64 {
+		t.Fatalf("hidden sizes %d/%d, want 32/64 per the paper", s.Hidden, l.Hidden)
+	}
+	scaled := s.Scaled(2, 4)
+	model := scaled.ToChiselTorch(chiseltorch.NewFixed(8, 8))
+	c, err := model.Compile(scaled.Seq, scaled.Hidden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.OutputShape[0] != 2 || c.OutputShape[1] != 4 {
+		t.Fatalf("attention output %v", c.OutputShape)
+	}
+}

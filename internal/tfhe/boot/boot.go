@@ -1,0 +1,177 @@
+// Package boot implements TFHE gate bootstrapping: generation of the
+// bootstrapping and key-switching keys (the "cloud key"), blind rotation of
+// a test vector, sample extraction, and the programmable bootstrap used by
+// every homomorphic gate.
+//
+// The package also exposes a Profile so callers can attribute time to blind
+// rotation versus key switching — the breakdown the paper reports in Fig. 7.
+package boot
+
+import (
+	"fmt"
+	"time"
+
+	"pytfhe/internal/params"
+	"pytfhe/internal/tfhe/lwe"
+	"pytfhe/internal/tfhe/tgsw"
+	"pytfhe/internal/tfhe/tlwe"
+	"pytfhe/internal/torus"
+	"pytfhe/internal/trand"
+)
+
+// SecretKey holds every secret component: the scalar LWE key gates operate
+// under, the ring key, and the extracted key that bridges them.
+type SecretKey struct {
+	Params    *params.GateParams
+	LWE       *lwe.Key  // n-dimensional gate key
+	Ring      *tlwe.Key // ring key (degree N, k masks)
+	Extracted *lwe.Key  // N*k-dimensional key extracted from Ring
+}
+
+// CloudKey is the public evaluation key material: the Fourier-domain
+// bootstrapping key (one TGSW encryption of each LWE key bit) and the
+// key-switching key from the extracted key back to the gate key.
+type CloudKey struct {
+	Params *params.GateParams
+	BK     []*tgsw.FourierSample
+	KS     *lwe.SwitchKey
+}
+
+// GenerateKeys produces a fresh secret key and the matching cloud key.
+func GenerateKeys(p *params.GateParams, rng *trand.Source) (*SecretKey, *CloudKey, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("boot: invalid parameters: %w", err)
+	}
+	gp := tgsw.Params{Levels: p.DecompLevels, BaseLog: p.DecompBaseLog}
+	sk := &SecretKey{
+		Params: p,
+		LWE:    lwe.NewKey(p.LWEDimension, p.LWEStdev, rng),
+		Ring:   tlwe.NewKey(p.PolyDegree, p.RingCount, p.TLWEStdev, rng),
+	}
+	sk.Extracted = sk.Ring.ExtractLWEKey()
+
+	ck := &CloudKey{Params: p}
+	proc := torus.NewProcessor(p.PolyDegree)
+	ringKey := &tgsw.Key{TLWE: sk.Ring, Params: gp}
+	ck.BK = make([]*tgsw.FourierSample, p.LWEDimension)
+	raw := tgsw.NewSample(p.PolyDegree, p.RingCount, gp)
+	for i := 0; i < p.LWEDimension; i++ {
+		tgsw.Encrypt(raw, sk.LWE.Bits[i], p.TLWEStdev, ringKey, rng)
+		ck.BK[i] = raw.ToFourier(proc)
+	}
+	ck.KS = lwe.NewSwitchKey(sk.Extracted, sk.LWE, p.KSLevels, p.KSBaseLog, p.LWEStdev, rng)
+	return sk, ck, nil
+}
+
+// Profile accumulates wall-clock time per bootstrapping phase. Zero value is
+// ready to use. It is not safe for concurrent use; each Evaluator owns one.
+type Profile struct {
+	BlindRotate time.Duration
+	Extract     time.Duration
+	KeySwitch   time.Duration
+	Gates       int64
+}
+
+// Total returns the profiled time across all phases.
+func (p *Profile) Total() time.Duration {
+	return p.BlindRotate + p.Extract + p.KeySwitch
+}
+
+// Add merges other into p.
+func (p *Profile) Add(other *Profile) {
+	p.BlindRotate += other.BlindRotate
+	p.Extract += other.Extract
+	p.KeySwitch += other.KeySwitch
+	p.Gates += other.Gates
+}
+
+// Evaluator performs bootstrapping with preallocated scratch space. It is
+// not safe for concurrent use; create one Evaluator per worker goroutine
+// (they can share the same CloudKey, which is immutable after generation).
+type Evaluator struct {
+	CK      *CloudKey
+	Prof    Profile
+	Profile bool // when true, phases are timed into Prof
+
+	scratch  *tgsw.Scratch
+	acc      *tlwe.Sample
+	testvect *torus.TorusPoly
+	rotated  *torus.TorusPoly
+	extr     *lwe.Sample
+}
+
+// NewEvaluator returns an evaluator bound to ck.
+func NewEvaluator(ck *CloudKey) *Evaluator {
+	p := ck.Params
+	gp := tgsw.Params{Levels: p.DecompLevels, BaseLog: p.DecompBaseLog}
+	return &Evaluator{
+		CK:       ck,
+		scratch:  tgsw.NewScratch(p.PolyDegree, p.RingCount, gp),
+		acc:      tlwe.NewSample(p.PolyDegree, p.RingCount),
+		testvect: torus.NewTorusPoly(p.PolyDegree),
+		rotated:  torus.NewTorusPoly(p.PolyDegree),
+		extr:     lwe.NewSample(p.ExtractedLWEDimension()),
+	}
+}
+
+// modSwitch2N rescales a torus element to Z_{2N}.
+func modSwitch2N(phase torus.Torus32, twoN int) int {
+	v := (uint64(phase)*uint64(twoN) + (1 << 31)) >> 32
+	return int(v) & (twoN - 1)
+}
+
+// BootstrapWoKS performs the programmable bootstrap of src with a constant
+// test vector mu, leaving the result under the extracted key (no key
+// switch): dst decrypts to +mu when the phase of src lies in [0, 1/2) and
+// to -mu otherwise. dst must have dimension N*k.
+func (e *Evaluator) BootstrapWoKS(dst *lwe.Sample, mu torus.Torus32, src *lwe.Sample) {
+	var start time.Time
+	if e.Profile {
+		start = time.Now()
+	}
+	p := e.CK.Params
+	twoN := 2 * p.PolyDegree
+
+	for j := range e.testvect.Coefs {
+		e.testvect.Coefs[j] = mu
+	}
+	barb := modSwitch2N(src.B, twoN)
+	if barb != 0 {
+		e.rotated.MulByXai(twoN-barb, e.testvect)
+	} else {
+		e.rotated.Copy(e.testvect)
+	}
+	e.acc.NoiselessTrivial(e.rotated)
+
+	for i, a := range src.A {
+		bara := modSwitch2N(a, twoN)
+		if bara == 0 {
+			continue
+		}
+		e.scratch.CMuxRotateInPlace(e.acc, e.CK.BK[i], bara)
+	}
+	if e.Profile {
+		e.Prof.BlindRotate += time.Since(start)
+		start = time.Now()
+	}
+	tlwe.ExtractSample(dst, e.acc)
+	if e.Profile {
+		e.Prof.Extract += time.Since(start)
+	}
+}
+
+// Bootstrap performs the full gate bootstrap: blind rotation, extraction,
+// and key switch back to the n-dimensional gate key.
+func (e *Evaluator) Bootstrap(dst *lwe.Sample, mu torus.Torus32, src *lwe.Sample) error {
+	e.BootstrapWoKS(e.extr, mu, src)
+	var start time.Time
+	if e.Profile {
+		start = time.Now()
+	}
+	err := e.CK.KS.Apply(dst, e.extr)
+	if e.Profile {
+		e.Prof.KeySwitch += time.Since(start)
+		e.Prof.Gates++
+	}
+	return err
+}

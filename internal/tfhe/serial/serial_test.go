@@ -1,0 +1,131 @@
+package serial
+
+import (
+	"testing"
+
+	"pytfhe/internal/params"
+	"pytfhe/internal/tfhe/lwe"
+	"pytfhe/internal/trand"
+)
+
+func TestSampleRoundTrip(t *testing.T) {
+	rng := trand.NewSeeded([]byte("serial-sample"))
+	key := lwe.NewKey(63, 1.0/(1<<18), rng)
+	s := lwe.NewSample(key.N)
+	lwe.Encrypt(s, 1<<29, key.Stdev, key, rng)
+	data := MarshalSample(s)
+	if len(data) != SampleSize(key.N) {
+		t.Fatalf("encoded %d bytes", len(data))
+	}
+	back, err := UnmarshalSample(data, key.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.B != s.B {
+		t.Fatal("body mismatch")
+	}
+	for i := range s.A {
+		if back.A[i] != s.A[i] {
+			t.Fatalf("mask %d mismatch", i)
+		}
+	}
+	// Variance is deliberately not carried.
+	if back.Variance != 0 {
+		t.Fatal("variance leaked onto the wire")
+	}
+}
+
+func TestSampleSizeMatchesPaper(t *testing.T) {
+	size, ok := VerifyPaperSize(params.Default128())
+	if !ok {
+		t.Fatalf("wire size %d != params.CiphertextBytes", size)
+	}
+	if size != 2524 { // 2.46 KB
+		t.Fatalf("default ciphertext is %d bytes, want 2524", size)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	rng := trand.NewSeeded([]byte("serial-batch"))
+	key := lwe.NewKey(32, 0, rng)
+	var cts []*lwe.Sample
+	for i := 0; i < 5; i++ {
+		s := lwe.NewSample(key.N)
+		lwe.Encrypt(s, uint32(i)<<28, 0, key, rng)
+		cts = append(cts, s)
+	}
+	data, err := MarshalSamples(cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalSamples(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 5 {
+		t.Fatalf("decoded %d samples", len(back))
+	}
+	for i := range cts {
+		if back[i].B != cts[i].B {
+			t.Fatalf("sample %d body mismatch", i)
+		}
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	if _, err := UnmarshalSamples([]byte{1, 2}); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	rng := trand.NewSeeded([]byte("serial-bad"))
+	k1 := lwe.NewKey(8, 0, rng)
+	k2 := lwe.NewKey(9, 0, rng)
+	a := lwe.NewSample(k1.N)
+	b := lwe.NewSample(k2.N)
+	if _, err := MarshalSamples([]*lwe.Sample{a, b}); err == nil {
+		t.Fatal("mixed dimensions accepted")
+	}
+	good, _ := MarshalSamples([]*lwe.Sample{a})
+	if _, err := UnmarshalSamples(good[:len(good)-1]); err == nil {
+		t.Fatal("truncated batch accepted")
+	}
+	empty, _ := MarshalSamples(nil)
+	if out, err := UnmarshalSamples(empty); err != nil || out != nil {
+		t.Fatal("empty batch should round-trip to nil")
+	}
+}
+
+func TestLWEKeyRoundTrip(t *testing.T) {
+	rng := trand.NewSeeded([]byte("serial-key"))
+	key := lwe.NewKey(77, 1.0/(1<<15), rng)
+	data := MarshalLWEKey(key)
+	back, err := UnmarshalLWEKey(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != key.N || back.Stdev != key.Stdev {
+		t.Fatalf("metadata mismatch: %+v", back)
+	}
+	for i := range key.Bits {
+		if back.Bits[i] != key.Bits[i] {
+			t.Fatalf("bit %d mismatch", i)
+		}
+	}
+	// The encryption still decrypts under the round-tripped key.
+	s := lwe.NewSample(key.N)
+	lwe.Encrypt(s, 1<<29, key.Stdev, key, rng)
+	if got := lwe.Decrypt(s, back, 8); got != 1 {
+		t.Fatalf("decryption under deserialized key = %d", got)
+	}
+}
+
+func TestLWEKeyValidation(t *testing.T) {
+	if _, err := UnmarshalLWEKey([]byte{1}); err == nil {
+		t.Fatal("truncated key accepted")
+	}
+	rng := trand.NewSeeded([]byte("serial-kv"))
+	key := lwe.NewKey(16, 0, rng)
+	data := MarshalLWEKey(key)
+	if _, err := UnmarshalLWEKey(data[:len(data)-1]); err == nil {
+		t.Fatal("short key accepted")
+	}
+}

@@ -1,0 +1,99 @@
+package torus
+
+// Pair-packed transforms: because the coefficient-domain polynomials are
+// real, two of them fit in one complex FFT. For a real sequence a, the
+// twisted spectrum A = FFT(a·twist) satisfies the conjugate symmetry
+//
+//	A_m = conj(A_{(N+1-m) mod N}),
+//
+// so packing z = (a + i·b)·twist and transforming once yields
+//
+//	A_m = (Z_m + conj(Z_{σ(m)})) / 2,   B_m = -i (Z_m - conj(Z_{σ(m)})) / 2
+//
+// with σ(m) = (N+1-m) mod N. Pointwise products of symmetric spectra stay
+// symmetric, so the inverse direction packs two result polynomials into
+// one inverse FFT the same way. This halves the FFT count of the external
+// product — the hot loop of bootstrapping (see BenchmarkAblationFFTPair).
+
+// IntPairToFourier transforms two integer polynomials with a single
+// complex FFT. dstA/dstB receive the spectra of a and b respectively.
+func (p *Processor) IntPairToFourier(dstA, dstB *FourierPoly, a, b *IntPoly) {
+	tw := p.tab
+	re, im := dstA.Re, dstA.Im // use dstA as the packed buffer
+	for j := range a.Coefs {
+		ar := float64(a.Coefs[j])
+		br := float64(b.Coefs[j])
+		// (ar + i·br) * twist_j
+		re[j] = ar*tw.twistRe[j] - br*tw.twistIm[j]
+		im[j] = ar*tw.twistIm[j] + br*tw.twistRe[j]
+	}
+	tw.fft(re, im)
+	p.unpackPair(dstA, dstB)
+}
+
+// TorusPairToFourier is IntPairToFourier for torus polynomials
+// (coefficients interpreted as signed integers).
+func (p *Processor) TorusPairToFourier(dstA, dstB *FourierPoly, a, b *TorusPoly) {
+	tw := p.tab
+	re, im := dstA.Re, dstA.Im
+	for j := range a.Coefs {
+		ar := float64(int32(a.Coefs[j]))
+		br := float64(int32(b.Coefs[j]))
+		re[j] = ar*tw.twistRe[j] - br*tw.twistIm[j]
+		im[j] = ar*tw.twistIm[j] + br*tw.twistRe[j]
+	}
+	tw.fft(re, im)
+	p.unpackPair(dstA, dstB)
+}
+
+// unpackPair separates the packed spectrum in dstA into the two symmetric
+// spectra A and B (in place for A, writing B into dstB).
+func (p *Processor) unpackPair(dstA, dstB *FourierPoly) {
+	n := p.n
+	zr, zi := dstA.Re, dstA.Im
+	br, bi := dstB.Re, dstB.Im
+	// m = 0 pairs with σ(0) = 1; handle the general loop by splitting the
+	// self-inverse structure: process each {m, σ(m)} orbit once.
+	for m := 0; m < n; m++ {
+		s := (n + 1 - m) % n
+		if s < m {
+			continue // orbit already processed from the smaller index
+		}
+		zmr, zmi := zr[m], zi[m]
+		zsr, zsi := zr[s], zi[s]
+		// A_m = (Z_m + conj(Z_s))/2; B_m = -i (Z_m - conj(Z_s))/2
+		amr := (zmr + zsr) / 2
+		ami := (zmi - zsi) / 2
+		bmr := (zmi + zsi) / 2
+		bmi := (zsr - zmr) / 2
+		// A_s = conj(A_m); B_s = conj(B_m) by the symmetry.
+		zr[m], zi[m] = amr, ami
+		br[m], bi[m] = bmr, bmi
+		if s != m {
+			zr[s], zi[s] = amr, -ami
+			br[s], bi[s] = bmr, -bmi
+		}
+	}
+}
+
+// AddFourierPairToTorus inverse-transforms two (conjugate-symmetric)
+// spectra with one complex FFT and adds the resulting polynomials to
+// dstA and dstB.
+func (p *Processor) AddFourierPairToTorus(dstA, dstB *TorusPoly, srcA, srcB *FourierPoly) {
+	tw := p.tab
+	re, im := p.scReRe, p.scIm
+	for k := range re {
+		// Z = A + i·B
+		re[k] = srcA.Re[k] - srcB.Im[k]
+		im[k] = srcA.Im[k] + srcB.Re[k]
+	}
+	tw.ifft(re, im)
+	inv := 1 / float64(p.n)
+	for j := range dstA.Coefs {
+		// Untwist: z_j * conj(twist_j) / N; real part -> a, imag -> b.
+		zr := (re[j]*tw.twistRe[j] + im[j]*tw.twistIm[j]) * inv
+		zi := (im[j]*tw.twistRe[j] - re[j]*tw.twistIm[j]) * inv
+		dstA.Coefs[j] += roundTorus(zr)
+		dstB.Coefs[j] += roundTorus(zi)
+	}
+}

@@ -1,0 +1,145 @@
+package trand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := NewSeeded([]byte("seed"))
+	b := NewSeeded([]byte("seed"))
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewSeeded([]byte("other"))
+	same := true
+	a = NewSeeded([]byte("seed"))
+	for i := 0; i < 8; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := NewSeeded([]byte("fork"))
+	child1 := parent.Fork()
+	child2 := parent.Fork()
+	if child1.Uint64() == child2.Uint64() {
+		t.Fatal("sibling forks produced the same first value")
+	}
+	// Forking twice from identically-seeded parents is reproducible.
+	p2 := NewSeeded([]byte("fork"))
+	c1 := p2.Fork()
+	c1b := NewSeeded([]byte("fork")).Fork()
+	if c1.Uint64() != c1b.Uint64() {
+		t.Fatal("fork is not deterministic")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewSeeded([]byte("f64"))
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+	}
+}
+
+func TestBitBalance(t *testing.T) {
+	s := NewSeeded([]byte("bits"))
+	ones := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		ones += int(s.Bit())
+	}
+	if ones < n/2-500 || ones > n/2+500 {
+		t.Fatalf("bit bias: %d ones of %d", ones, n)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := NewSeeded([]byte("normal"))
+	const n = 50000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := s.Normal()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Fatalf("normal mean %g", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("normal variance %g", variance)
+	}
+}
+
+func TestGaussianTorusCentered(t *testing.T) {
+	s := NewSeeded([]byte("gauss"))
+	const mu = uint32(1) << 29
+	const sigma = 1.0 / (1 << 12)
+	const n = 20000
+	var acc float64
+	for i := 0; i < n; i++ {
+		v := s.GaussianTorus32(mu, sigma)
+		acc += Torus32ToDouble(v - mu)
+	}
+	if math.Abs(acc/n) > sigma/10 {
+		t.Fatalf("gaussian noise not centered: %g", acc/n)
+	}
+}
+
+func TestDoubleTorusRoundTrip(t *testing.T) {
+	f := func(d float64) bool {
+		if math.IsNaN(d) || math.IsInf(d, 0) || math.Abs(d) > 1e6 {
+			return true
+		}
+		tt := DoubleToTorus32(d)
+		back := Torus32ToDouble(tt)
+		// back is within 2^-32 of d mod 1, mapped to [-1/2, 1/2).
+		diff := math.Mod(d-back, 1)
+		if diff > 0.5 {
+			diff -= 1
+		}
+		if diff < -0.5 {
+			diff += 1
+		}
+		return math.Abs(diff) < 1.0/(1<<31)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformTorusCoversRange(t *testing.T) {
+	s := NewSeeded([]byte("uniform"))
+	var lo, hi uint32 = math.MaxUint32, 0
+	for i := 0; i < 10000; i++ {
+		v := s.Torus32()
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo > 1<<28 || hi < math.MaxUint32-1<<28 {
+		t.Fatalf("uniform samples confined to [%d, %d]", lo, hi)
+	}
+}
+
+func TestSystemSeededDiffers(t *testing.T) {
+	if New().Uint64() == New().Uint64() {
+		t.Fatal("two system-seeded sources produced the same value")
+	}
+}

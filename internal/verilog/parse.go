@@ -1,0 +1,284 @@
+package verilog
+
+import (
+	"fmt"
+	"strings"
+
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/logic"
+)
+
+// Parse reads a structural Verilog module in the supported subset back into
+// a netlist. Assign statements may appear in any order; the parser
+// topologically sorts them.
+func Parse(src string) (*circuit.Netlist, error) {
+	p := &parser{defs: map[string]*assign{}}
+	if err := p.scan(src); err != nil {
+		return nil, err
+	}
+	return p.build()
+}
+
+type assign struct {
+	lhs     string
+	rhs     rhsExpr
+	visited uint8 // 0 unvisited, 1 in progress, 2 done
+	node    circuit.NodeID
+}
+
+// rhsExpr is a parsed right-hand side: constant, unary or binary.
+type rhsExpr struct {
+	isConst bool
+	cval    bool
+	negAll  bool
+	a, b    string // operand identifiers (b empty for unary)
+	negA    bool
+	negB    bool
+	op      byte // '&', '|', '^', or 0 for unary/copy
+}
+
+type parser struct {
+	moduleName string
+	inputs     []string
+	outputs    []string
+	defs       map[string]*assign
+	order      []string // statement order for deterministic output
+}
+
+func (p *parser) scan(src string) error {
+	// Strip comments, then split into ';'-terminated statements.
+	var clean strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		clean.WriteString(line)
+		clean.WriteByte('\n')
+	}
+	text := clean.String()
+	if i := strings.Index(text, "endmodule"); i >= 0 {
+		text = text[:i]
+	} else {
+		return fmt.Errorf("verilog: missing endmodule")
+	}
+
+	for _, stmt := range strings.Split(text, ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(stmt, "module"):
+			rest := strings.TrimSpace(strings.TrimPrefix(stmt, "module"))
+			if i := strings.IndexByte(rest, '('); i >= 0 {
+				p.moduleName = strings.TrimSpace(rest[:i])
+			} else {
+				p.moduleName = rest
+			}
+		case strings.HasPrefix(stmt, "input"):
+			for _, n := range splitIdents(strings.TrimPrefix(stmt, "input")) {
+				p.inputs = append(p.inputs, n)
+			}
+		case strings.HasPrefix(stmt, "output"):
+			for _, n := range splitIdents(strings.TrimPrefix(stmt, "output")) {
+				p.outputs = append(p.outputs, n)
+			}
+		case strings.HasPrefix(stmt, "wire"):
+			// Declarations carry no structure we need.
+		case strings.HasPrefix(stmt, "assign"):
+			if err := p.parseAssign(strings.TrimPrefix(stmt, "assign")); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("verilog: unsupported statement %q", stmt)
+		}
+	}
+	if p.moduleName == "" {
+		return fmt.Errorf("verilog: missing module header")
+	}
+	return nil
+}
+
+func splitIdents(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func (p *parser) parseAssign(s string) error {
+	eq := strings.IndexByte(s, '=')
+	if eq < 0 {
+		return fmt.Errorf("verilog: malformed assign %q", s)
+	}
+	lhs := strings.TrimSpace(s[:eq])
+	rhs, err := parseRHS(strings.TrimSpace(s[eq+1:]))
+	if err != nil {
+		return fmt.Errorf("verilog: assign %s: %w", lhs, err)
+	}
+	if _, dup := p.defs[lhs]; dup {
+		return fmt.Errorf("verilog: %s assigned twice", lhs)
+	}
+	p.defs[lhs] = &assign{lhs: lhs, rhs: rhs}
+	p.order = append(p.order, lhs)
+	return nil
+}
+
+func parseRHS(s string) (rhsExpr, error) {
+	var e rhsExpr
+	s = strings.TrimSpace(s)
+	if s == "1'b0" || s == "1'b1" {
+		e.isConst = true
+		e.cval = s == "1'b1"
+		return e, nil
+	}
+	// Whole-expression negation: ~( ... )
+	if strings.HasPrefix(s, "~(") && strings.HasSuffix(s, ")") {
+		e.negAll = true
+		s = strings.TrimSpace(s[2 : len(s)-1])
+	}
+	// Find a top-level binary operator.
+	opIdx := strings.IndexAny(s, "&|^")
+	if opIdx < 0 {
+		// Unary: optionally negated identifier.
+		if strings.HasPrefix(s, "~") {
+			e.negA = true
+			s = strings.TrimSpace(s[1:])
+		}
+		if !isIdent(s) {
+			return e, fmt.Errorf("bad operand %q", s)
+		}
+		e.a = s
+		return e, nil
+	}
+	e.op = s[opIdx]
+	left := strings.TrimSpace(s[:opIdx])
+	right := strings.TrimSpace(s[opIdx+1:])
+	if strings.HasPrefix(left, "~") {
+		e.negA = true
+		left = strings.TrimSpace(left[1:])
+	}
+	if strings.HasPrefix(right, "~") {
+		e.negB = true
+		right = strings.TrimSpace(right[1:])
+	}
+	if !isIdent(left) || !isIdent(right) {
+		return e, fmt.Errorf("bad operands %q %q", left, right)
+	}
+	e.a, e.b = left, right
+	return e, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' && i > 0
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// kindOf converts a parsed binary expression into a gate kind by
+// constructing its truth table.
+func (e rhsExpr) kindOf() logic.Kind {
+	eval := func(a, b bool) bool {
+		x, y := a, b
+		if e.negA {
+			x = !x
+		}
+		if e.b == "" {
+			if e.negAll {
+				return !x
+			}
+			return x
+		}
+		if e.negB {
+			y = !y
+		}
+		var v bool
+		switch e.op {
+		case '&':
+			v = x && y
+		case '|':
+			v = x || y
+		case '^':
+			v = x != y
+		}
+		if e.negAll {
+			v = !v
+		}
+		return v
+	}
+	return logic.FromTruthTable(eval(false, false), eval(false, true), eval(true, false), eval(true, true))
+}
+
+func (p *parser) build() (*circuit.Netlist, error) {
+	b := circuit.NewBuilder(p.moduleName, circuit.NoOptimizations())
+	nodes := map[string]circuit.NodeID{}
+	for _, in := range p.inputs {
+		nodes[in] = b.Input(in)
+	}
+
+	var resolve func(name string) (circuit.NodeID, error)
+	resolve = func(name string) (circuit.NodeID, error) {
+		if id, ok := nodes[name]; ok {
+			return id, nil
+		}
+		def, ok := p.defs[name]
+		if !ok {
+			return 0, fmt.Errorf("verilog: undefined wire %q", name)
+		}
+		switch def.visited {
+		case 1:
+			return 0, fmt.Errorf("verilog: combinational cycle through %q", name)
+		case 2:
+			return def.node, nil
+		}
+		def.visited = 1
+		var id circuit.NodeID
+		e := def.rhs
+		if e.isConst {
+			id = b.Const(e.cval)
+		} else {
+			a, err := resolve(e.a)
+			if err != nil {
+				return 0, err
+			}
+			if e.b == "" {
+				// Copy or NOT.
+				if e.negA != e.negAll { // exactly one negation
+					id = b.Not(a)
+				} else {
+					id = a
+				}
+			} else {
+				bb, err := resolve(e.b)
+				if err != nil {
+					return 0, err
+				}
+				id = b.Gate(e.kindOf(), a, bb)
+			}
+		}
+		def.visited = 2
+		def.node = id
+		nodes[name] = id
+		return id, nil
+	}
+
+	for _, out := range p.outputs {
+		id, err := resolve(out)
+		if err != nil {
+			return nil, err
+		}
+		b.Output(out, id)
+	}
+	return b.Build()
+}

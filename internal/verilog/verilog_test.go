@@ -1,0 +1,229 @@
+package verilog
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/logic"
+)
+
+func halfAdder() *circuit.Netlist {
+	b := circuit.NewBuilder("half_adder", circuit.AllOptimizations())
+	a := b.Input("A")
+	bb := b.Input("B")
+	b.Output("Sum", b.Xor(a, bb))
+	b.Output("Carry", b.And(a, bb))
+	return b.MustBuild()
+}
+
+func TestEmitHalfAdder(t *testing.T) {
+	src, err := Emit(halfAdder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"module half_adder", "input A;", "output Sum;", "^", "&", "endmodule"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("emitted Verilog missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestEmitParseRoundTrip(t *testing.T) {
+	nl := halfAdder()
+	src, err := Emit(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse error: %v\nsource:\n%s", err, src)
+	}
+	if back.Name != "half_adder" || back.NumInputs != 2 || len(back.Outputs) != 2 {
+		t.Fatalf("interface mismatch: %v", back)
+	}
+	for v := 0; v < 4; v++ {
+		in := []bool{v&1 != 0, v&2 != 0}
+		a, _ := nl.Evaluate(in)
+		b, _ := back.Evaluate(in)
+		if a[0] != b[0] || a[1] != b[1] {
+			t.Fatalf("mismatch on %v: %v vs %v", in, a, b)
+		}
+	}
+}
+
+// TestRoundTripAllKinds covers every encodable gate kind through
+// emit+parse.
+func TestRoundTripAllKinds(t *testing.T) {
+	for kind := logic.Kind(0); kind < logic.NumKinds; kind++ {
+		b := circuit.NewBuilder("k", circuit.NoOptimizations())
+		x := b.Input("x")
+		y := b.Input("y")
+		b.Output("o", b.Gate(kind, x, y))
+		nl := b.MustBuild()
+		src, err := Emit(nl)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		back, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%v: parse: %v\n%s", kind, err, src)
+		}
+		for v := 0; v < 4; v++ {
+			in := []bool{v&1 != 0, v&2 != 0}
+			a, _ := nl.Evaluate(in)
+			bb, _ := back.Evaluate(in)
+			if a[0] != bb[0] {
+				t.Fatalf("%v differs on %v (src:\n%s)", kind, in, src)
+			}
+		}
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := circuit.NewBuilder("rnd", circuit.NoOptimizations())
+		nodes := []circuit.NodeID{b.Input("a"), b.Input("b"), b.Input("c")}
+		for i := 0; i < 25; i++ {
+			kind := logic.Kind(rng.Intn(logic.NumKinds))
+			x := nodes[rng.Intn(len(nodes))]
+			y := nodes[rng.Intn(len(nodes))]
+			nodes = append(nodes, b.Gate(kind, x, y))
+		}
+		b.Output("o", nodes[len(nodes)-1])
+		nl := b.MustBuild()
+		src, err := Emit(nl)
+		if err != nil {
+			return false
+		}
+		back, err := Parse(src)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < 8; v++ {
+			in := []bool{v&1 != 0, v&2 != 0, v&4 != 0}
+			x, _ := nl.Evaluate(in)
+			y, _ := back.Evaluate(in)
+			if x[0] != y[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseOutOfOrderAssigns(t *testing.T) {
+	src := `
+module weird(a, b, o);
+  input a;
+  input b;
+  output o;
+  wire t2;
+  wire t1;
+  assign o = t2;
+  assign t2 = t1 | b;
+  assign t1 = a & b;
+endmodule
+`
+	nl, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := nl.Evaluate([]bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != false {
+		t.Fatalf("a&b|b with a=1,b=0 = %v", out[0])
+	}
+	out, _ = nl.Evaluate([]bool{false, true})
+	if !out[0] {
+		t.Fatal("a&b|b with b=1 should be true")
+	}
+}
+
+func TestParseRejectsCycle(t *testing.T) {
+	src := `
+module cyc(a, o);
+  input a;
+  output o;
+  assign o = x & a;
+  assign x = o | a;
+endmodule
+`
+	if _, err := Parse(src); err == nil {
+		t.Fatal("combinational cycle not rejected")
+	}
+}
+
+func TestParseRejectsUndefinedWire(t *testing.T) {
+	src := `
+module bad(a, o);
+  input a;
+  output o;
+  assign o = a & ghost;
+endmodule
+`
+	if _, err := Parse(src); err == nil {
+		t.Fatal("undefined wire not rejected")
+	}
+}
+
+func TestParseRejectsDoubleAssign(t *testing.T) {
+	src := `
+module bad(a, o);
+  input a;
+  output o;
+  assign o = a;
+  assign o = ~a;
+endmodule
+`
+	if _, err := Parse(src); err == nil {
+		t.Fatal("double assignment not rejected")
+	}
+}
+
+func TestSanitizeNames(t *testing.T) {
+	b := circuit.NewBuilder("my design!", circuit.NoOptimizations())
+	x := b.Input("x[0]")
+	y := b.Input("x[1]")
+	b.Output("out[0]", b.And(x, y))
+	nl := b.MustBuild()
+	src, err := Emit(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	if back.NumInputs != 2 {
+		t.Fatalf("inputs lost: %v", back)
+	}
+}
+
+func TestConstOutputs(t *testing.T) {
+	b := circuit.NewBuilder("consts", circuit.AllOptimizations())
+	x := b.Input("x")
+	b.Output("zero", b.Xor(x, x))
+	b.Output("one", b.Xnor(x, x))
+	nl := b.MustBuild()
+	src, err := Emit(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	out, _ := back.Evaluate([]bool{true})
+	if out[0] != false || out[1] != true {
+		t.Fatalf("const outputs = %v", out)
+	}
+}

@@ -1,0 +1,38 @@
+package vipbench
+
+import (
+	"fmt"
+
+	"pytfhe/internal/chiseltorch"
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/models"
+)
+
+// NNWorkload is a compiled neural-network benchmark (MNIST_S/M/L or
+// Attention_S/L) with its metadata.
+type NNWorkload struct {
+	Name     string
+	Netlist  *circuit.Netlist
+	Compiled *chiseltorch.Compiled
+}
+
+// CompileMNIST builds one of the paper's MNIST CNNs at the given data type
+// (nil = Fixed(8,8)). Pass a scaled spec for quick runs.
+func CompileMNIST(spec models.MNISTSpec, dt chiseltorch.DType) (*NNWorkload, error) {
+	model := spec.ToChiselTorch(dt)
+	c, err := model.Compile(1, spec.Image, spec.Image)
+	if err != nil {
+		return nil, fmt.Errorf("vipbench: %s: %w", spec.Name, err)
+	}
+	return &NNWorkload{Name: spec.Name, Netlist: c.Netlist, Compiled: c}, nil
+}
+
+// CompileAttention builds one of the paper's self-attention layers.
+func CompileAttention(spec models.AttentionSpec, dt chiseltorch.DType) (*NNWorkload, error) {
+	model := spec.ToChiselTorch(dt)
+	c, err := model.Compile(spec.Seq, spec.Hidden)
+	if err != nil {
+		return nil, fmt.Errorf("vipbench: %s: %w", spec.Name, err)
+	}
+	return &NNWorkload{Name: spec.Name, Netlist: c.Netlist, Compiled: c}, nil
+}
