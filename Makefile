@@ -1,0 +1,14 @@
+.PHONY: build test verify bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# vet + build + race-checked tests on the concurrency-heavy packages.
+verify:
+	./scripts/verify.sh
+
+bench:
+	go test -bench=. -benchmem -run '^$$' .

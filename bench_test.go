@@ -234,6 +234,57 @@ func BenchmarkPoolBackend(b *testing.B) {
 	}
 }
 
+// rippleImbalanced builds a deep, irregular netlist of ripple-carry-style
+// serial chains with unequal depths. Most wavefronts hold five ready gates
+// — one more than the four benchmark workers — so the barriered executor
+// pays a nearly-empty second round per level (three workers idle on the
+// remainder gate), while the dependency-driven executor streams the next
+// level's ready gates into that slack.
+func rippleImbalanced() *circuit.Netlist {
+	b := circuit.NewBuilder("ripple-imbalanced", circuit.NoOptimizations())
+	depths := []int{30, 30, 30, 30, 30, 12, 6}
+	ins := b.Inputs("x", len(depths)+1)
+	for c, depth := range depths {
+		cur := ins[c]
+		for d := 0; d < depth; d++ {
+			cur = b.Gate(logic.NAND, cur, ins[len(depths)])
+		}
+		b.Output("o", cur)
+	}
+	return b.MustBuild()
+}
+
+// BenchmarkAsyncBackend compares the barriered Pool and the barrier-free
+// Async executor at equal worker counts on the imbalanced ripple workload
+// (real homomorphic evaluation at test parameters). The async executor
+// must report strictly higher gates/s at ≥4 workers.
+func BenchmarkAsyncBackend(b *testing.B) {
+	kp := testKeys(b)
+	nl := rippleImbalanced()
+	bits := make([]bool, nl.NumInputs)
+	const workers = 4
+	b.Run("pool-4w", func(b *testing.B) {
+		be := backend.NewPool(kp.Cloud, workers)
+		for i := 0; i < b.N; i++ {
+			if _, err := be.Run(nl, kp.EncryptBits(bits)); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(be.Stats.GatesPerSec, "gates/s")
+		}
+	})
+	b.Run("async-4w", func(b *testing.B) {
+		be := backend.NewAsync(kp.Cloud, workers)
+		for i := 0; i < b.N; i++ {
+			if _, err := be.Run(nl, kp.EncryptBits(bits)); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(be.Stats.GatesPerSec, "gates/s")
+			b.ReportMetric(100*be.Stats.Utilization, "util-%")
+			b.ReportMetric(float64(be.Stats.AvgQueueWait.Microseconds()), "qwait-µs")
+		}
+	})
+}
+
 // BenchmarkCompileMNISTS measures ChiselTorch compile time for the scaled
 // MNIST_S model.
 func BenchmarkCompileMNISTS(b *testing.B) {

@@ -6,6 +6,7 @@
 //	experiments -fig 10              # one figure
 //	experiments -table 4
 //	experiments -calibrate           # measure the real gate time first
+//	experiments -executors           # measured Pool-vs-Async CPU scaling
 //
 // Without -calibrate, the cost models use -gatetime (default 100ms, the
 // magnitude of this repository's pure-Go bootstrap at 128-bit parameters).
@@ -15,12 +16,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"pytfhe/internal/core"
 	"pytfhe/internal/experiments"
 	"pytfhe/internal/params"
+	"pytfhe/internal/vipbench"
 )
 
 func main() {
@@ -31,6 +34,9 @@ func main() {
 	calibrate := flag.Bool("calibrate", false, "measure the bootstrapped-gate time with real keys first")
 	gatetime := flag.Duration("gatetime", 0, "assumed single-core gate time (overrides -calibrate)")
 	testParams := flag.Bool("testparams", false, "use the fast test parameter set for measured experiments")
+	executors := flag.Bool("executors", false, "measure real Pool-vs-Async CPU scaling (Fig. 10 on the in-process executors)")
+	execBench := flag.String("execbench", "hamming-distance", "VIP-Bench kernel for -executors")
+	execWorkers := flag.String("execworkers", "1,2,4,8", "comma-separated worker counts for -executors")
 	flag.Parse()
 
 	cfg := experiments.Config{Quick: *quick, GateTime: *gatetime}
@@ -68,7 +74,7 @@ func main() {
 			tables[t] = true
 		}
 	}
-	if len(figs) == 0 && len(tables) == 0 {
+	if len(figs) == 0 && len(tables) == 0 && !*executors {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -131,6 +137,30 @@ func main() {
 		d, err := experiments.Fig14GateDistribution(cfg)
 		fatal(err)
 		d.Render(w)
+		fmt.Fprintln(w)
+	}
+	if *executors {
+		p := params.Default128()
+		if *testParams || *quick {
+			p = params.Test()
+		}
+		fmt.Fprintf(os.Stderr, "generating %s keys for the measured executor run...\n", p.Name)
+		kp, err := core.GenerateKeysSeeded(p, []byte("experiments-executors"))
+		fatal(err)
+		b, err := vipbench.ByName(*execBench)
+		fatal(err)
+		nl, err := b.Build()
+		fatal(err)
+		var counts []int
+		for _, s := range strings.Split(*execWorkers, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			fatal(err)
+			counts = append(counts, n)
+		}
+		inputs := kp.EncryptBits(make([]bool, nl.NumInputs))
+		rows, err := experiments.ExecutorScaling(kp.Cloud, nl, inputs, counts)
+		fatal(err)
+		experiments.RenderExecutorScaling(w, b.Name, rows)
 		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "done in %v\n", time.Since(start).Round(time.Millisecond))

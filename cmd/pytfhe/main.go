@@ -3,7 +3,7 @@
 //	pytfhe keygen     -params test|default128 -out keys/
 //	pytfhe compile    -bench <vip-bench name> | -mnist S|M|L [-image N] -out prog.ptfhe [-verilog prog.v]
 //	pytfhe inspect    -prog prog.ptfhe [-listing]
-//	pytfhe run        -prog prog.ptfhe -keys keys/ -backend plain|single|pool:N -in 1011,0110,...
+//	pytfhe run        -prog prog.ptfhe -keys keys/ -backend plain|single|pool:N|async:N -in 1011,0110,...
 //	pytfhe calibrate  -keys keys/ [-samples N]
 //
 // Programs are PyTFHE binaries (the 128-bit instruction format of the
@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"pytfhe/internal/asm"
 	"pytfhe/internal/backend"
@@ -243,7 +244,9 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	path := fs.String("prog", "", "PyTFHE binary path")
 	keys := fs.String("keys", "keys", "key directory from `pytfhe keygen`")
-	be := fs.String("backend", "single", "plain, single, or pool:N")
+	be := fs.String("backend", "auto", "plain, single, pool[:N], async[:N], or auto")
+	workers := fs.Int("workers", 1, "worker count for auto/pool/async without an explicit :N")
+	stats := fs.Bool("stats", false, "print executor statistics after the run")
 	in := fs.String("in", "", "input bits as 0/1 characters (LSB first), e.g. 10110")
 	fs.Parse(args)
 	if *path == "" {
@@ -284,19 +287,11 @@ func cmdRun(args []string) error {
 	}
 	kp := &core.KeyPair{Secret: &sk, Cloud: &ck}
 
-	var runner backend.Backend
-	switch {
-	case *be == "single":
-		runner = backend.NewSingle(kp.Cloud)
-	case strings.HasPrefix(*be, "pool:"):
-		n, err := strconv.Atoi(strings.TrimPrefix(*be, "pool:"))
-		if err != nil {
-			return fmt.Errorf("bad pool worker count: %w", err)
-		}
-		runner = backend.NewPool(kp.Cloud, n)
-	default:
-		return fmt.Errorf("unknown backend %q", *be)
+	spec, err := parseBackendSpec(*be, *workers)
+	if err != nil {
+		return err
 	}
+	runner := spec.build(kp.Cloud)
 
 	fmt.Printf("encrypting %d input bits...\n", len(bits))
 	cts := kp.EncryptBits(bits)
@@ -306,7 +301,83 @@ func cmdRun(args []string) error {
 		return err
 	}
 	fmt.Printf("outputs: %s\n", formatBits(kp.DecryptBits(outs)))
+	if *stats {
+		printRunStats(runner)
+	}
 	return nil
+}
+
+// backendSpec is a parsed -backend/-workers selection, kept separate from
+// construction so it can be validated without keys.
+type backendSpec struct {
+	kind    string // "single", "pool" or "async"
+	workers int
+}
+
+// parseBackendSpec resolves the -backend flag. "auto" picks the
+// single-core evaluator for one worker and the barrier-free Async executor
+// for multi-worker runs — the async executor is the default whenever more
+// than one worker is requested; the barriered pool remains selectable as
+// the Algorithm 1 baseline.
+func parseBackendSpec(s string, workers int) (backendSpec, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	kind, count := s, workers
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		kind = s[:i]
+		n, err := strconv.Atoi(s[i+1:])
+		if err != nil || n < 1 {
+			return backendSpec{}, fmt.Errorf("bad %s worker count %q", kind, s[i+1:])
+		}
+		count = n
+	}
+	switch kind {
+	case "auto":
+		if count > 1 {
+			return backendSpec{kind: "async", workers: count}, nil
+		}
+		return backendSpec{kind: "single", workers: 1}, nil
+	case "single":
+		return backendSpec{kind: "single", workers: 1}, nil
+	case "pool", "async":
+		return backendSpec{kind: kind, workers: count}, nil
+	}
+	return backendSpec{}, fmt.Errorf("unknown backend %q (want plain, single, pool[:N], async[:N] or auto)", s)
+}
+
+func (bs backendSpec) build(ck *boot.CloudKey) backend.Backend {
+	switch bs.kind {
+	case "pool":
+		return backend.NewPool(ck, bs.workers)
+	case "async":
+		return backend.NewAsync(ck, bs.workers)
+	}
+	return backend.NewSingle(ck)
+}
+
+// printRunStats reports the executor breakdown recorded by the last Run.
+func printRunStats(runner backend.Backend) {
+	var st backend.RunStats
+	switch r := runner.(type) {
+	case *backend.Single:
+		st = r.Stats
+	case *backend.Pool:
+		st = r.Stats
+	case *backend.Async:
+		st = r.Stats
+	default:
+		return
+	}
+	fmt.Printf("stats: %d gates (%d bootstrapped) in %v — %.1f gates/s\n",
+		st.Gates, st.Bootstraps, st.Elapsed.Round(time.Millisecond), st.GatesPerSec)
+	if st.Levels > 0 {
+		fmt.Printf("       %d wavefronts, %d workers\n", st.Levels, st.Workers)
+	}
+	if st.WorkerBusy > 0 {
+		fmt.Printf("       %d workers, %.0f%% utilization, avg queue wait %v\n",
+			st.Workers, 100*st.Utilization, st.AvgQueueWait.Round(time.Microsecond))
+	}
 }
 
 func cmdCalibrate(args []string) error {

@@ -57,6 +57,39 @@ func TestParseDType(t *testing.T) {
 	var _ chiseltorch.DType // dtype interface is the contract under test
 }
 
+func TestParseBackendSpec(t *testing.T) {
+	cases := []struct {
+		in      string
+		workers int
+		kind    string
+		count   int
+	}{
+		{"auto", 1, "single", 1},
+		{"auto", 4, "async", 4}, // async is the default multi-worker executor
+		{"auto:6", 1, "async", 6},
+		{"single", 8, "single", 1},
+		{"pool", 3, "pool", 3},
+		{"pool:5", 1, "pool", 5},
+		{"async", 2, "async", 2},
+		{"async:7", 1, "async", 7},
+		{"async", 0, "async", 1},
+	}
+	for _, c := range cases {
+		spec, err := parseBackendSpec(c.in, c.workers)
+		if err != nil {
+			t.Fatalf("%s/%d: %v", c.in, c.workers, err)
+		}
+		if spec.kind != c.kind || spec.workers != c.count {
+			t.Fatalf("%s/%d -> %+v, want %s:%d", c.in, c.workers, spec, c.kind, c.count)
+		}
+	}
+	for _, bad := range []string{"", "ray", "pool:", "pool:x", "async:0", "async:-2"} {
+		if _, err := parseBackendSpec(bad, 1); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}
+
 func TestParamSet(t *testing.T) {
 	for _, name := range []string{"test", "default128", "default"} {
 		if _, err := paramSet(name); err != nil {

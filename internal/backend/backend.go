@@ -1,14 +1,17 @@
 // Package backend implements the in-process PyTFHE execution backends: the
 // Plain functional reference, the Single single-core homomorphic evaluator,
-// and Pool, the multi-worker wavefront evaluator implementing Algorithm 1
-// of the paper (a BFS over the gate DAG that submits every ready gate to a
-// worker). The distributed multi-node backend lives in internal/cluster;
-// the GPU-simulator backend in internal/gpu.
+// Pool, the multi-worker wavefront evaluator implementing Algorithm 1 of
+// the paper (a BFS over the gate DAG that submits every ready gate to a
+// worker and barriers per level), and Async, the barrier-free
+// dependency-driven executor that dispatches each gate the moment its
+// operands are produced (see async.go). The distributed multi-node backend
+// lives in internal/cluster; the GPU-simulator backend in internal/gpu.
 package backend
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pytfhe/internal/circuit"
@@ -30,9 +33,17 @@ type Backend interface {
 type RunStats struct {
 	Gates       int           // gates evaluated (including free gates)
 	Bootstraps  int           // bootstrapped gate evaluations
-	Levels      int           // wavefronts executed
+	Levels      int           // wavefronts executed (0 for barrier-free Async)
 	Elapsed     time.Duration // wall-clock for the Run call
 	GatesPerSec float64
+
+	// Breakdowns recorded by the concurrent executors (Pool leaves them
+	// zero except Workers; Async fills them all).
+	Workers      int           // worker goroutines used
+	QueueWait    time.Duration // cumulative time gates sat in the ready queue
+	AvgQueueWait time.Duration // QueueWait / Gates
+	WorkerBusy   time.Duration // cumulative time workers spent evaluating
+	Utilization  float64       // WorkerBusy / (Elapsed * Workers)
 }
 
 // ciphertextPool recycles LWE samples between gates so large programs do
@@ -163,7 +174,7 @@ func (p *Pool) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample, er
 	}
 
 	levels := nl.Levels()
-	stats := RunStats{Gates: len(nl.Gates), Levels: len(levels)}
+	stats := RunStats{Gates: len(nl.Gates), Levels: len(levels), Workers: p.workers}
 	for _, g := range nl.Gates {
 		if g.Kind.NeedsBootstrap() {
 			stats.Bootstraps++
@@ -194,17 +205,26 @@ func (p *Pool) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample, er
 		for _, gi := range level {
 			values[nl.GateID(gi)] = pool.get()
 		}
+		// Workers pull the next gate via an atomic counter rather than
+		// pre-sliced chunks: with static chunking one slow chunk (a run of
+		// bootstrapped gates landing in the same slice) stalls the whole
+		// level barrier while the other workers sit idle.
+		var next int64
 		var wg sync.WaitGroup
-		chunk := (len(level) + p.workers - 1) / p.workers
-		for w := 0; w < p.workers && w*chunk < len(level); w++ {
-			lo, hi := w*chunk, (w+1)*chunk
-			if hi > len(level) {
-				hi = len(level)
-			}
+		nw := p.workers
+		if nw > len(level) {
+			nw = len(level)
+		}
+		for w := 0; w < nw; w++ {
 			wg.Add(1)
-			go func(eng *gate.Engine, gates []int) {
+			go func(eng *gate.Engine) {
 				defer wg.Done()
-				for _, gi := range gates {
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= len(level) {
+						return
+					}
+					gi := level[i]
 					g := nl.Gates[gi]
 					if err := eng.Binary(g.Kind, values[nl.GateID(gi)], values[g.A], values[g.B]); err != nil {
 						errMu.Lock()
@@ -215,7 +235,7 @@ func (p *Pool) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample, er
 						return
 					}
 				}
-			}(p.engines[w], level[lo:hi])
+			}(p.engines[w])
 		}
 		wg.Wait()
 		if firstErr != nil {

@@ -6,7 +6,12 @@ import (
 	"testing"
 	"time"
 
+	"pytfhe/internal/backend"
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/logic"
 	"pytfhe/internal/params"
+	"pytfhe/internal/tfhe/boot"
+	"pytfhe/internal/trand"
 )
 
 var quick = Config{Quick: true, GateTime: 10 * time.Millisecond}
@@ -209,6 +214,48 @@ func TestFig14Shape(t *testing.T) {
 	d.Render(&buf)
 	if !strings.Contains(buf.String(), "transpiler") {
 		t.Fatal("render missing frameworks")
+	}
+}
+
+func TestExecutorScalingMeasured(t *testing.T) {
+	rng := trand.NewSeeded([]byte("executor-scaling-test"))
+	sk, ck, err := boot.GenerateKeys(params.Test(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four independent NAND chains: enough slack for 2 workers, deep
+	// enough that the level barrier is visible.
+	b := circuit.NewBuilder("scaling", circuit.NoOptimizations())
+	ins := b.Inputs("x", 5)
+	for c := 0; c < 4; c++ {
+		cur := ins[c]
+		for d := 0; d < 5; d++ {
+			cur = b.Gate(logic.NAND, cur, ins[4])
+		}
+		b.Output("o", cur)
+	}
+	nl := b.MustBuild()
+	inputs := backend.EncryptInputs(sk, make([]bool, nl.NumInputs))
+
+	rows, err := ExecutorScaling(ck, nl, inputs, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Pool.Elapsed <= 0 || r.Async.Elapsed <= 0 || r.Predicted <= 0 {
+			t.Fatalf("row not measured: %+v", r)
+		}
+		if r.Async.Utilization <= 0 {
+			t.Fatalf("async utilization not recorded: %+v", r.Async)
+		}
+	}
+	var buf bytes.Buffer
+	RenderExecutorScaling(&buf, nl.Name, rows)
+	if !strings.Contains(buf.String(), "async/pool") {
+		t.Fatal("render missing comparison column")
 	}
 }
 

@@ -93,6 +93,27 @@ func itoa(v int) string {
 	return string(b[i:])
 }
 
+// LocalPool models the in-process multi-worker executors (backend.Pool and
+// backend.Async): workers goroutines on one node sharing memory, so gates
+// pay no network cost and dispatch is a channel operation — negligible next
+// to a bootstrap. Feeding it a measured gate time makes SimulateAsync's
+// makespan directly comparable to backend.Async's wall clock (see the
+// calibration test in internal/backend).
+func LocalPool(workers int, gateTime time.Duration) Platform {
+	if workers < 1 {
+		workers = 1
+	}
+	return Platform{
+		Name:           "local-pool",
+		Nodes:          1,
+		WorkersPerNode: workers,
+		Cost: CostModel{
+			GateTime:     gateTime,
+			FreeGateTime: gateTime / 2000,
+		},
+	}
+}
+
 // SingleCore models the single-threaded CPU backend baseline.
 func SingleCore(gateTime time.Duration) Platform {
 	return Platform{

@@ -143,6 +143,25 @@ func TestGateThroughput(t *testing.T) {
 	}
 }
 
+func TestLocalPoolPlatform(t *testing.T) {
+	p := LocalPool(4, gt)
+	if p.Workers() != 4 || p.Nodes != 1 {
+		t.Fatalf("local pool shape: %+v", p)
+	}
+	if LocalPool(0, gt).Workers() != 1 {
+		t.Fatal("worker floor not applied")
+	}
+	// No network, no dispatch model: a wide workload approaches the ideal.
+	nl := wideNetlist(64, 4)
+	r := SimulateAsync(nl, p)
+	if sp := r.Speedup(); sp < 3.5 || sp > 4.0 {
+		t.Fatalf("local-pool async speedup %f, want near the 4-worker ideal", sp)
+	}
+	if r.Comm != 0 || r.Overhead != 0 {
+		t.Fatalf("local pool should pay no comm/dispatch: %+v", r)
+	}
+}
+
 func TestAsyncNeverSlowerThanLevelSync(t *testing.T) {
 	// Removing the barrier can only help (same dispatch model).
 	for _, nl := range []*struct {

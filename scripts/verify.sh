@@ -1,0 +1,10 @@
+#!/bin/sh
+# Repository verification: vet, build, then race-checked tests on the
+# concurrency-heavy packages (executors, scheduler, cluster).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./internal/backend/... ./internal/sched/... ./internal/cluster/...
