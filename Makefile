@@ -1,4 +1,4 @@
-.PHONY: build test verify bench
+.PHONY: build test lint verify bench
 
 build:
 	go build ./...
@@ -6,7 +6,12 @@ build:
 test:
 	go test ./...
 
-# vet + build + race-checked tests on the concurrency-heavy packages.
+# Static analysis: crypto-safety/concurrency analyzers over the Go module.
+lint:
+	go run ./cmd/pytfhelint ./...
+
+# gofmt + vet + lint + build + race-checked tests on the concurrency-heavy
+# packages + netlist lint of a compiled benchmark.
 verify:
 	./scripts/verify.sh
 

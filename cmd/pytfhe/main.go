@@ -3,7 +3,8 @@
 //	pytfhe keygen     -params test|default128 -out keys/
 //	pytfhe compile    -bench <vip-bench name> | -mnist S|M|L [-image N] -out prog.ptfhe [-verilog prog.v]
 //	pytfhe inspect    -prog prog.ptfhe [-listing]
-//	pytfhe run        -prog prog.ptfhe -keys keys/ -backend plain|single|pool:N|async:N -in 1011,0110,...
+//	pytfhe lint       prog.ptfhe  (or -prog prog.ptfhe)
+//	pytfhe run        -prog prog.ptfhe -keys keys/ -backend plain|single|pool:N|async:N [-sched critical|fifo] [-strict] -in 1011,0110,...
 //	pytfhe calibrate  -keys keys/ [-samples N]
 //
 // Programs are PyTFHE binaries (the 128-bit instruction format of the
@@ -44,6 +45,8 @@ func main() {
 		err = cmdCompile(os.Args[2:])
 	case "inspect":
 		err = cmdInspect(os.Args[2:])
+	case "lint":
+		err = cmdLint(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
 	case "calibrate":
@@ -68,6 +71,7 @@ commands:
   keygen     generate a secret/cloud key pair
   compile    compile a VIP-Bench kernel or MNIST model to a PyTFHE binary
   inspect    show the structure of a PyTFHE binary
+  lint       statically verify a PyTFHE binary (cycles, wiring, gate types)
   run        execute a PyTFHE binary over encrypted inputs
   calibrate  measure the single-core bootstrapped-gate time`)
 }
@@ -240,23 +244,56 @@ func cmdInspect(args []string) error {
 	return nil
 }
 
+// cmdLint statically verifies a program binary: binary framing, gate-graph
+// wiring (cycles, undriven wires, bad gate types), output ports, dead
+// logic, and the depth/fan-out structure report.
+func cmdLint(args []string) error {
+	fs := flag.NewFlagSet("lint", flag.ExitOnError)
+	path := fs.String("prog", "", "PyTFHE binary path (or pass it as the argument)")
+	fs.Parse(args)
+	if *path == "" && fs.NArg() == 1 {
+		*path = fs.Arg(0)
+	}
+	if *path == "" {
+		return fmt.Errorf("usage: pytfhe lint <prog.ptfhe>")
+	}
+	bin, err := os.ReadFile(*path)
+	if err != nil {
+		return err
+	}
+	rep := asm.Lint(bin)
+	rep.Name = filepath.Base(*path)
+	fmt.Print(rep)
+	return rep.Err()
+}
+
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	path := fs.String("prog", "", "PyTFHE binary path")
 	keys := fs.String("keys", "keys", "key directory from `pytfhe keygen`")
 	be := fs.String("backend", "auto", "plain, single, pool[:N], async[:N], or auto")
 	workers := fs.Int("workers", 1, "worker count for auto/pool/async without an explicit :N")
+	sched := fs.String("sched", "critical", "async ready-queue policy: critical (longest remaining depth first) or fifo")
 	stats := fs.Bool("stats", false, "print executor statistics after the run")
+	strict := fs.Bool("strict", false, "lint the program at load time and refuse to run on any error")
 	in := fs.String("in", "", "input bits as 0/1 characters (LSB first), e.g. 10110")
 	fs.Parse(args)
 	if *path == "" {
 		return fmt.Errorf("-prog is required")
 	}
+	schedPolicy, err := backend.ParseSched(*sched)
+	if err != nil {
+		return err
+	}
 	bin, err := os.ReadFile(*path)
 	if err != nil {
 		return err
 	}
-	prog, err := core.Load(bin)
+	load := core.Load
+	if *strict {
+		load = core.LoadStrict
+	}
+	prog, err := load(bin)
 	if err != nil {
 		return err
 	}
@@ -291,6 +328,7 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	spec.sched = schedPolicy
 	runner := spec.build(kp.Cloud)
 
 	fmt.Printf("encrypting %d input bits...\n", len(bits))
@@ -312,6 +350,7 @@ func cmdRun(args []string) error {
 type backendSpec struct {
 	kind    string // "single", "pool" or "async"
 	workers int
+	sched   backend.Sched // async ready-queue policy
 }
 
 // parseBackendSpec resolves the -backend flag. "auto" picks the
@@ -351,7 +390,7 @@ func (bs backendSpec) build(ck *boot.CloudKey) backend.Backend {
 	case "pool":
 		return backend.NewPool(ck, bs.workers)
 	case "async":
-		return backend.NewAsync(ck, bs.workers)
+		return backend.NewAsyncSched(ck, bs.workers, bs.sched)
 	}
 	return backend.NewSingle(ck)
 }

@@ -21,10 +21,32 @@ package asm
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"pytfhe/internal/circuit"
 	"pytfhe/internal/logic"
+)
+
+// Typed decode/encode failures. Callers can classify malformed programs
+// with errors.Is; every error returned by Assemble, Inspect, Disassemble
+// and Lint wraps one of these sentinels.
+var (
+	// ErrTruncated: the byte length is not a whole number of instructions.
+	ErrTruncated = errors.New("asm: truncated or misaligned program")
+	// ErrEmpty: zero instructions (not even a header).
+	ErrEmpty = errors.New("asm: empty program")
+	// ErrBadHeader: the first instruction is not a valid header.
+	ErrBadHeader = errors.New("asm: malformed header instruction")
+	// ErrBadLayout: input/gate/output records out of the mandated order.
+	ErrBadLayout = errors.New("asm: instruction stream out of order")
+	// ErrGateCount: the header's gate count disagrees with the stream.
+	ErrGateCount = errors.New("asm: header gate count mismatch")
+	// ErrIndexSpace: the program needs indices past the 62-bit limit.
+	ErrIndexSpace = errors.New("asm: program exceeds the 2^62 index space")
+	// ErrMalformed: the decoded program violates netlist invariants
+	// (dangling references, forward references, bad ports).
+	ErrMalformed = errors.New("asm: decoded program is malformed")
 )
 
 // InstructionSize is the size of one encoded instruction in bytes.
@@ -52,6 +74,20 @@ const (
 	KindGate
 	KindOutput
 )
+
+func (k Kind) String() string {
+	switch k {
+	case KindHeader:
+		return "header"
+	case KindInput:
+		return "input"
+	case KindGate:
+		return "gate"
+	case KindOutput:
+		return "output"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
 
 // Classify determines the instruction kind from its markers. The header is
 // positional (first instruction) and cannot be distinguished by content
@@ -129,7 +165,7 @@ func Assemble(nl *circuit.Netlist) ([]byte, error) {
 	}
 
 	if uint64(nl.NumInputs)+uint64(len(gates)) > MaxIndex {
-		return nil, fmt.Errorf("asm: program exceeds the 2^62 index space")
+		return nil, fmt.Errorf("%w: %d inputs + %d gates", ErrIndexSpace, nl.NumInputs, len(gates))
 	}
 
 	n := 1 + nl.NumInputs + len(gates) + len(outputs)
@@ -165,16 +201,16 @@ type Info struct {
 func Inspect(bin []byte) (Info, error) {
 	var info Info
 	if len(bin)%InstructionSize != 0 {
-		return info, fmt.Errorf("asm: binary length %d is not a multiple of %d", len(bin), InstructionSize)
+		return info, fmt.Errorf("%w: %d bytes is not a multiple of %d", ErrTruncated, len(bin), InstructionSize)
 	}
 	n := len(bin) / InstructionSize
 	if n == 0 {
-		return info, fmt.Errorf("asm: empty program")
+		return info, ErrEmpty
 	}
 	info.Instructions = n
 	header := decode(bin[:InstructionSize])
 	if header.F1 != 0 || header.Type != 0 {
-		return info, fmt.Errorf("asm: malformed header instruction")
+		return info, fmt.Errorf("%w: F1=%d type=%#x", ErrBadHeader, header.F1, header.Type)
 	}
 	declaredGates := header.F2
 
@@ -195,12 +231,12 @@ func Inspect(bin []byte) (Info, error) {
 	for ; i < n; i++ {
 		inst := decode(bin[i*InstructionSize:])
 		if inst.Classify() != KindOutput {
-			return info, fmt.Errorf("asm: instruction %d: expected output instruction", i)
+			return info, fmt.Errorf("%w: instruction %d: expected output instruction, got %v", ErrBadLayout, i, inst.Classify())
 		}
 		info.Outputs++
 	}
 	if uint64(info.Gates) != declaredGates {
-		return info, fmt.Errorf("asm: header declares %d gates, found %d", declaredGates, info.Gates)
+		return info, fmt.Errorf("%w: header declares %d gates, found %d", ErrGateCount, declaredGates, info.Gates)
 	}
 	return info, nil
 }
@@ -241,7 +277,7 @@ func Disassemble(bin []byte) (*circuit.Netlist, error) {
 		nl.Outputs = append(nl.Outputs, circuit.NodeID(inst.F2))
 	}
 	if err := nl.Validate(); err != nil {
-		return nil, fmt.Errorf("asm: decoded program is malformed: %w", err)
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
 	}
 	return nl, nil
 }

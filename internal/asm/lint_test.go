@@ -1,0 +1,172 @@
+package asm
+
+import (
+	"testing"
+
+	"pytfhe/internal/circuit"
+)
+
+// craft hand-assembles a binary from raw instructions, bypassing every
+// Assemble-side invariant — the attacker's view of the format.
+func craft(insts ...Instruction) []byte {
+	buf := make([]byte, 0, len(insts)*InstructionSize)
+	var b [InstructionSize]byte
+	for _, in := range insts {
+		in.encode(b[:])
+		buf = append(buf, b[:]...)
+	}
+	return buf
+}
+
+func lintCodes(t *testing.T, bin []byte) map[string]int {
+	t.Helper()
+	codes := map[string]int{}
+	for _, d := range Lint(bin).Diags {
+		codes[d.Code]++
+	}
+	return codes
+}
+
+func TestLintCleanBinary(t *testing.T) {
+	bin, err := Assemble(halfAdder(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Lint(bin)
+	if err := rep.Err(); err != nil {
+		t.Fatalf("clean binary flagged: %v\n%s", err, rep)
+	}
+	if len(rep.Diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", rep.Diags)
+	}
+	if rep.Inputs != 2 || rep.Gates != 2 || rep.Outputs != 2 {
+		t.Fatalf("structure report wrong: %+v", rep)
+	}
+}
+
+// TestLintRejectsCyclicBinary: gates 2 and 3 read each other. Disassemble
+// refuses such a stream outright (topological order); Lint must name the
+// cycle with its own diagnostic code.
+func TestLintRejectsCyclicBinary(t *testing.T) {
+	bin := craft(
+		Instruction{F1: 0, F2: 2, Type: 0},                   // header: 2 gates
+		Instruction{F1: allOnes62, F2: allOnes62, Type: 0xF}, // input 1
+		Instruction{F1: 3, F2: 1, Type: 8},                   // gate 2 = AND(3, 1)
+		Instruction{F1: 2, F2: 1, Type: 14},                  // gate 3 = OR(2, 1)
+		Instruction{F1: allOnes62, F2: 3, Type: 0x3},         // output <- 3
+	)
+	codes := lintCodes(t, bin)
+	if codes[circuit.CodeCycle] == 0 {
+		t.Fatalf("cycle not detected: %v", Lint(bin).Diags)
+	}
+	if codes[circuit.CodeUndrivenWire] != 0 || codes[circuit.CodeBadGateType] != 0 {
+		t.Fatalf("cyclic binary produced unrelated diagnostics: %v", codes)
+	}
+	if Lint(bin).Err() == nil {
+		t.Fatal("cyclic binary must be an error")
+	}
+}
+
+// TestLintRejectsUndrivenWire: a gate operand past the last defined node.
+func TestLintRejectsUndrivenWire(t *testing.T) {
+	bin := craft(
+		Instruction{F1: 0, F2: 1, Type: 0},                   // header: 1 gate
+		Instruction{F1: allOnes62, F2: allOnes62, Type: 0xF}, // input 1
+		Instruction{F1: 9, F2: 1, Type: 8},                   // gate 2 = AND(9, 1); node 9 undriven
+		Instruction{F1: allOnes62, F2: 2, Type: 0x3},
+	)
+	codes := lintCodes(t, bin)
+	if codes[circuit.CodeUndrivenWire] == 0 {
+		t.Fatalf("undriven wire not detected: %v", Lint(bin).Diags)
+	}
+	if codes[circuit.CodeCycle] != 0 || codes[circuit.CodeBadGateType] != 0 {
+		t.Fatalf("undriven-wire binary produced unrelated diagnostics: %v", codes)
+	}
+	if Lint(bin).Err() == nil {
+		t.Fatal("undriven wire must be an error")
+	}
+}
+
+// TestLintRejectsUnknownTypeNibble: a marker record (F1 all-ones) whose
+// type nibble is neither the input marker 0xF nor the output marker 0x3.
+func TestLintRejectsUnknownTypeNibble(t *testing.T) {
+	bin := craft(
+		Instruction{F1: 0, F2: 1, Type: 0},
+		Instruction{F1: allOnes62, F2: allOnes62, Type: 0xF},
+		Instruction{F1: 1, F2: 1, Type: 8},           // gate 2 = AND(1, 1)
+		Instruction{F1: allOnes62, F2: 2, Type: 0x7}, // marker with bogus nibble
+		Instruction{F1: allOnes62, F2: 2, Type: 0x3},
+	)
+	codes := lintCodes(t, bin)
+	if codes[circuit.CodeBadGateType] == 0 {
+		t.Fatalf("unknown type nibble not detected: %v", Lint(bin).Diags)
+	}
+	if codes[circuit.CodeCycle] != 0 || codes[circuit.CodeUndrivenWire] != 0 {
+		t.Fatalf("bad-nibble binary produced unrelated diagnostics: %v", codes)
+	}
+	if Lint(bin).Err() == nil {
+		t.Fatal("unknown type nibble must be an error")
+	}
+}
+
+// TestLintDuplicateOutputRecords: two output records exporting the same
+// node — legal to execute, so a warning, not an error.
+func TestLintDuplicateOutputRecords(t *testing.T) {
+	bin := craft(
+		Instruction{F1: 0, F2: 1, Type: 0},
+		Instruction{F1: allOnes62, F2: allOnes62, Type: 0xF},
+		Instruction{F1: 1, F2: 1, Type: 6}, // gate 2 = XOR(1, 1)
+		Instruction{F1: allOnes62, F2: 2, Type: 0x3},
+		Instruction{F1: allOnes62, F2: 2, Type: 0x3},
+	)
+	rep := Lint(bin)
+	codes := lintCodes(t, bin)
+	if codes[circuit.CodeDupOutput] != 1 {
+		t.Fatalf("duplicate output not detected: %v", rep.Diags)
+	}
+	if rep.Err() != nil {
+		t.Fatalf("duplicate outputs must stay a warning: %v", rep.Err())
+	}
+}
+
+// TestLintBinaryFraming: truncation, emptiness and header corruption get
+// binary-level codes and short-circuit the graph analysis.
+func TestLintBinaryFraming(t *testing.T) {
+	bin, err := Assemble(halfAdder(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := lintCodes(t, bin[:len(bin)-3]); c[CodeTruncated] != 1 {
+		t.Fatalf("truncation: %v", c)
+	}
+	if c := lintCodes(t, nil); c[CodeEmpty] != 1 {
+		t.Fatalf("empty: %v", c)
+	}
+	bad := append([]byte(nil), bin...)
+	bad[15] = 0xFF // high bits of the header's F1
+	if c := lintCodes(t, bad); c[CodeBadHeader] != 1 {
+		t.Fatalf("bad header: %v", c)
+	}
+}
+
+// TestLintLayoutAndCount: misplaced records and a lying header are
+// reported but do not stop the graph analysis behind them.
+func TestLintLayoutAndCount(t *testing.T) {
+	bin := craft(
+		Instruction{F1: 0, F2: 3, Type: 0},                   // header lies: declares 3 gates
+		Instruction{F1: allOnes62, F2: allOnes62, Type: 0xF}, // input 1
+		Instruction{F1: 1, F2: 1, Type: 8},                   // gate 2
+		Instruction{F1: allOnes62, F2: allOnes62, Type: 0xF}, // input after gates
+		Instruction{F1: allOnes62, F2: 2, Type: 0x3},
+	)
+	codes := lintCodes(t, bin)
+	if codes[CodeBadLayout] != 1 {
+		t.Fatalf("misplaced input not detected: %v", Lint(bin).Diags)
+	}
+	if codes[CodeGateCount] != 1 {
+		t.Fatalf("gate-count lie not detected: %v", Lint(bin).Diags)
+	}
+	if Lint(bin).Err() == nil {
+		t.Fatal("layout violations must be errors")
+	}
+}

@@ -1,0 +1,136 @@
+package asm
+
+import (
+	"errors"
+	"testing"
+
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/logic"
+)
+
+// TestInspectTypedErrors pins the sentinel each class of malformed input
+// maps to, so callers can rely on errors.Is across refactors.
+func TestInspectTypedErrors(t *testing.T) {
+	good, err := Assemble(halfAdder(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	truncated := good[:len(good)-5]
+	if _, err := Inspect(truncated); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated header: got %v, want ErrTruncated", err)
+	}
+
+	if _, err := Inspect([]byte{}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty: got %v, want ErrEmpty", err)
+	}
+
+	badHeader := append([]byte(nil), good...)
+	badHeader[15] = 0x80 // nonzero F1 in the header
+	if _, err := Inspect(badHeader); !errors.Is(err, ErrBadHeader) {
+		t.Errorf("bad header: got %v, want ErrBadHeader", err)
+	}
+
+	outOfOrder := craft(
+		Instruction{F1: 0, F2: 1, Type: 0},
+		Instruction{F1: allOnes62, F2: allOnes62, Type: 0xF},
+		Instruction{F1: 1, F2: 1, Type: 8},
+		Instruction{F1: allOnes62, F2: 2, Type: 0x3},
+		Instruction{F1: 1, F2: 1, Type: 8}, // gate after the output section
+	)
+	if _, err := Inspect(outOfOrder); !errors.Is(err, ErrBadLayout) {
+		t.Errorf("out of order: got %v, want ErrBadLayout", err)
+	}
+
+	countLie := craft(
+		Instruction{F1: 0, F2: 7, Type: 0}, // declares 7 gates
+		Instruction{F1: allOnes62, F2: allOnes62, Type: 0xF},
+		Instruction{F1: 1, F2: 1, Type: 8},
+		Instruction{F1: allOnes62, F2: 2, Type: 0x3},
+	)
+	if _, err := Inspect(countLie); !errors.Is(err, ErrGateCount) {
+		t.Errorf("gate-count lie: got %v, want ErrGateCount", err)
+	}
+}
+
+// TestDisassembleTypedErrors: decodable framing but a malformed graph.
+func TestDisassembleTypedErrors(t *testing.T) {
+	dangling := craft(
+		Instruction{F1: 0, F2: 1, Type: 0},
+		Instruction{F1: allOnes62, F2: allOnes62, Type: 0xF},
+		Instruction{F1: MaxIndex, F2: 1, Type: 8}, // reads an index near 2^62
+		Instruction{F1: allOnes62, F2: 2, Type: 0x3},
+	)
+	if _, err := Disassemble(dangling); !errors.Is(err, ErrMalformed) {
+		t.Errorf("dangling 2^62-scale reference: got %v, want ErrMalformed", err)
+	}
+}
+
+// TestAssembleIndexSpace: a netlist that would need indices past the
+// 62-bit limit is refused before any buffer is sized.
+func TestAssembleIndexSpace(t *testing.T) {
+	nl := &circuit.Netlist{
+		Name:      "huge",
+		NumInputs: int(MaxIndex), // indices 1..2^62-2 consumed by inputs
+		Gates:     []circuit.Gate{{Kind: logic.AND, A: 1, B: 2}},
+		Outputs:   []circuit.NodeID{circuit.NodeID(MaxIndex) + 1},
+	}
+	if _, err := Assemble(nl); !errors.Is(err, ErrIndexSpace) {
+		t.Errorf("index-space overflow: got %v, want ErrIndexSpace", err)
+	}
+}
+
+// FuzzInspect throws arbitrary bytes at the three decoders. Nothing may
+// panic, and a program that Lint passes without error-severity findings
+// must also survive the strict Disassemble path.
+func FuzzInspect(f *testing.F) {
+	good, err := Assemble(halfAdderForFuzz())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(good[:len(good)-5])                        // truncated
+	f.Add(craft(Instruction{F1: 1, F2: 0, Type: 0})) // bad header
+	f.Add(craft(Instruction{F1: 0, F2: 9, Type: 0})) // gate-count lie
+	f.Add(craft(                                     // cyclic
+		Instruction{F1: 0, F2: 2, Type: 0},
+		Instruction{F1: allOnes62, F2: allOnes62, Type: 0xF},
+		Instruction{F1: 3, F2: 1, Type: 8},
+		Instruction{F1: 2, F2: 1, Type: 14},
+		Instruction{F1: allOnes62, F2: 3, Type: 0x3},
+	))
+	f.Add(craft( // marker with unknown nibble
+		Instruction{F1: 0, F2: 0, Type: 0},
+		Instruction{F1: allOnes62, F2: allOnes62, Type: 0xF},
+		Instruction{F1: allOnes62, F2: 1, Type: 0x7},
+	))
+	f.Add(craft( // gate reading the top of the index space
+		Instruction{F1: 0, F2: 1, Type: 0},
+		Instruction{F1: allOnes62, F2: allOnes62, Type: 0xF},
+		Instruction{F1: MaxIndex, F2: MaxIndex, Type: 8},
+		Instruction{F1: allOnes62, F2: 2, Type: 0x3},
+	))
+
+	f.Fuzz(func(t *testing.T, bin []byte) {
+		Inspect(bin)
+		Disassemble(bin)
+		rep := Lint(bin)
+		if rep.Err() == nil {
+			if _, err := Disassemble(bin); err != nil {
+				t.Fatalf("Lint passed but Disassemble failed: %v", err)
+			}
+		}
+	})
+}
+
+// halfAdderForFuzz rebuilds the half adder without a *testing.T, for use
+// as a fuzz seed.
+func halfAdderForFuzz() *circuit.Netlist {
+	b := circuit.NewBuilder("half-adder", circuit.NoOptimizations())
+	x := b.Input("x")
+	y := b.Input("y")
+	b.Output("s", b.Xor(x, y))
+	b.Output("c", b.And(x, y))
+	return b.MustBuild()
+}

@@ -33,17 +33,29 @@ import (
 // Outputs hold one reference each (circuit.FanOut counts them), so a result
 // can never be recycled before collectOutputs reads it, even when the
 // output node also feeds interior gates.
+//
+// The ready set is ordered by the Sched policy: SchedCritical (default)
+// pops the gate with the deepest remaining bootstrap chain first, so
+// limited workers always advance the DAG's critical path; SchedFIFO keeps
+// plain arrival order as the baseline.
 type Async struct {
 	ck      *boot.CloudKey
 	workers int
+	sched   Sched
 	engines []*gate.Engine
 	Stats   RunStats
 }
 
 // NewAsync returns a dependency-driven backend with the given worker count
-// (minimum 1). Like Pool, an Async value is not safe for concurrent Run
-// calls: the engines persist across runs and each run reuses them.
+// (minimum 1) and the critical-path scheduler. Like Pool, an Async value
+// is not safe for concurrent Run calls: the engines persist across runs
+// and each run reuses them.
 func NewAsync(ck *boot.CloudKey, workers int) *Async {
+	return NewAsyncSched(ck, workers, SchedCritical)
+}
+
+// NewAsyncSched is NewAsync with an explicit ready-queue policy.
+func NewAsyncSched(ck *boot.CloudKey, workers int, sched Sched) *Async {
 	if workers < 1 {
 		workers = 1
 	}
@@ -51,11 +63,16 @@ func NewAsync(ck *boot.CloudKey, workers int) *Async {
 	for i := range engines {
 		engines[i] = gate.NewEngine(ck)
 	}
-	return &Async{ck: ck, workers: workers, engines: engines}
+	return &Async{ck: ck, workers: workers, sched: sched, engines: engines}
 }
 
 // Name implements Backend.
-func (a *Async) Name() string { return fmt.Sprintf("async-cpu(%d)", a.workers) }
+func (a *Async) Name() string {
+	if a.sched == SchedFIFO {
+		return fmt.Sprintf("async-cpu(%d,fifo)", a.workers)
+	}
+	return fmt.Sprintf("async-cpu(%d)", a.workers)
+}
 
 // Run implements Backend.
 func (a *Async) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample, error) {
@@ -100,33 +117,37 @@ func (a *Async) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample, e
 		refs[i] = int32(f)
 	}
 
-	// The queue holds every gate index at most once, so with capacity
-	// nGates no send can ever block — abort paths need no draining.
-	ready := make(chan int32, nGates)
+	// The ready queue holds every gate index at most once. Under
+	// SchedCritical it is a max-heap on each gate's remaining critical-path
+	// depth; under SchedFIFO it preserves arrival order.
+	var prio []int64
+	if a.sched == SchedCritical {
+		prio = remainingDepth(nl, children)
+	}
+	ready := newReadyQueue(nGates, prio)
 	readyAt := make([]int64, nGates) // ns timestamp of enqueue, for QueueWait
 	now := time.Now().UnixNano()
 	for i := range nl.Gates {
 		if pending[i] == 0 {
 			readyAt[i] = now
-			ready <- int32(i)
+			ready.push(int32(i))
 		}
 	}
 	if nGates == 0 {
-		close(ready)
+		ready.finish()
 	}
 
 	var (
-		done        int32 // gates fully processed; the last one closes ready
+		done        int32 // gates fully processed; the last one finishes ready
 		queueWaitNs int64
 		busyNs      int64
 		runErr      error
 		errOnce     sync.Once
 	)
-	stop := make(chan struct{})
 	fail := func(err error) {
 		errOnce.Do(func() {
 			runErr = err
-			close(stop)
+			ready.finish()
 		})
 	}
 
@@ -154,41 +175,37 @@ func (a *Async) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample, e
 				}
 			}
 			for {
-				select {
-				case <-stop:
+				gi, ok := ready.pop()
+				if !ok {
 					return
-				case gi, ok := <-ready:
-					if !ok {
-						return
+				}
+				popped := time.Now()
+				atomic.AddInt64(&queueWaitNs, popped.UnixNano()-readyAt[gi])
+				g := nl.Gates[gi]
+				id := nl.GateID(int(gi))
+				out := local.get()
+				if err := eng.Binary(g.Kind, out, values[g.A], values[g.B]); err != nil {
+					local.put(out)
+					fail(fmt.Errorf("backend: gate %d: %w", id, err))
+					return
+				}
+				// Publish the result, then wake children: the atomic
+				// decrement plus the queue's mutex order the write to
+				// values[id] before any child's read of it.
+				values[id] = out
+				for _, child := range children[id] {
+					if atomic.AddInt32(&pending[child], -1) == 0 {
+						readyAt[child] = time.Now().UnixNano()
+						ready.push(child)
 					}
-					popped := time.Now()
-					atomic.AddInt64(&queueWaitNs, popped.UnixNano()-readyAt[gi])
-					g := nl.Gates[gi]
-					id := nl.GateID(int(gi))
-					out := local.get()
-					if err := eng.Binary(g.Kind, out, values[g.A], values[g.B]); err != nil {
-						local.put(out)
-						fail(fmt.Errorf("backend: gate %d: %w", id, err))
-						return
-					}
-					// Publish the result, then wake children: the atomic
-					// decrement plus the channel send order the write to
-					// values[id] before any child's read of it.
-					values[id] = out
-					for _, child := range children[id] {
-						if atomic.AddInt32(&pending[child], -1) == 0 {
-							readyAt[child] = time.Now().UnixNano()
-							ready <- child
-						}
-					}
-					release(g.A)
-					release(g.B)
-					busy += time.Since(popped)
-					if atomic.AddInt32(&done, 1) == int32(nGates) {
-						// All gates evaluated, so every enqueue has already
-						// happened; closing wakes the idle workers.
-						close(ready)
-					}
+				}
+				release(g.A)
+				release(g.B)
+				busy += time.Since(popped)
+				if atomic.AddInt32(&done, 1) == int32(nGates) {
+					// All gates evaluated, so every push has already
+					// happened; finishing wakes the idle workers.
+					ready.finish()
 				}
 			}
 		}(a.engines[w])

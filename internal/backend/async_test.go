@@ -91,7 +91,9 @@ func TestBackendsAgreeAcrossWorkerCounts(t *testing.T) {
 		}
 		backends := []Backend{NewSingle(ck)}
 		for _, w := range workerCounts {
-			backends = append(backends, NewPool(ck, w), NewAsync(ck, w))
+			backends = append(backends, NewPool(ck, w),
+				NewAsyncSched(ck, w, SchedCritical),
+				NewAsyncSched(ck, w, SchedFIFO))
 		}
 		for _, be := range backends {
 			outs, err := be.Run(nl, EncryptInputs(sk, in))

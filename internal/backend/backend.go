@@ -115,6 +115,7 @@ func (s *Single) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample, 
 		id := nl.GateID(i)
 		out := pool.get()
 		if err := s.eng.Binary(g.Kind, out, values[g.A], values[g.B]); err != nil {
+			pool.put(out)
 			return nil, fmt.Errorf("backend: gate %d: %w", id, err)
 		}
 		if g.Kind.NeedsBootstrap() {

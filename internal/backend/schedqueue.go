@@ -1,0 +1,170 @@
+package backend
+
+import (
+	"fmt"
+	"sync"
+
+	"pytfhe/internal/circuit"
+)
+
+// Sched selects the Async executor's ready-queue policy.
+type Sched uint8
+
+const (
+	// SchedCritical pops the ready gate with the longest remaining
+	// bootstrap-weighted dependency chain first. Under limited workers this
+	// keeps the DAG's critical path moving and defers wide-but-shallow
+	// side branches, which FIFO arrival order interleaves arbitrarily.
+	// This is the default.
+	SchedCritical Sched = iota
+	// SchedFIFO pops gates in arrival order — the policy of the original
+	// channel-based executor, kept as the A/B baseline (-sched fifo).
+	SchedFIFO
+)
+
+func (s Sched) String() string {
+	if s == SchedFIFO {
+		return "fifo"
+	}
+	return "critical"
+}
+
+// ParseSched resolves a -sched flag value.
+func ParseSched(s string) (Sched, error) {
+	switch s {
+	case "", "critical":
+		return SchedCritical, nil
+	case "fifo":
+		return SchedFIFO, nil
+	}
+	return 0, fmt.Errorf("backend: unknown scheduler %q (want critical or fifo)", s)
+}
+
+// remainingDepth computes, for every gate, the number of bootstrapped
+// gates on the longest dependency chain from that gate to any sink —
+// the gate's remaining critical-path cost. Bootstraps dominate runtime
+// by orders of magnitude, so linear gates weigh zero. Gates are in
+// topological order (Validate forbids forward references), so one
+// reverse sweep over the prebuilt children lists suffices.
+func remainingDepth(nl *circuit.Netlist, children [][]int32) []int64 {
+	rem := make([]int64, len(nl.Gates))
+	for i := len(nl.Gates) - 1; i >= 0; i-- {
+		var longest int64
+		for _, c := range children[nl.GateID(i)] {
+			if rem[c] > longest {
+				longest = rem[c]
+			}
+		}
+		var w int64
+		if nl.Gates[i].Kind.NeedsBootstrap() {
+			w = 1
+		}
+		rem[i] = w + longest
+	}
+	return rem
+}
+
+// readyQueue is the blocking multi-producer multi-consumer ready set of
+// the Async executor. With a priority slice it is a max-heap keyed by
+// prio[gate] (critical-path-first); without one it degenerates to a FIFO
+// ring. finish wakes all waiters for both normal completion and abort,
+// replacing the old stop-channel + close(chan) pair.
+type readyQueue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items []int32
+	head  int     // FIFO consumption point; unused in heap mode
+	prio  []int64 // non-nil → max-heap keyed by prio[item]
+	done  bool
+}
+
+func newReadyQueue(capacity int, prio []int64) *readyQueue {
+	q := &readyQueue{items: make([]int32, 0, capacity), prio: prio}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *readyQueue) push(gi int32) {
+	q.mu.Lock()
+	q.items = append(q.items, gi)
+	if q.prio != nil {
+		q.up(len(q.items) - 1)
+	}
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop blocks until an item is available or the queue is finished; the
+// second result is false once finish has been called.
+func (q *readyQueue) pop() (int32, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.done {
+			return 0, false
+		}
+		if q.prio != nil {
+			if len(q.items) > 0 {
+				top := q.items[0]
+				last := len(q.items) - 1
+				q.items[0] = q.items[last]
+				q.items = q.items[:last]
+				if last > 0 {
+					q.down(0)
+				}
+				return top, true
+			}
+		} else if q.head < len(q.items) {
+			gi := q.items[q.head]
+			q.head++
+			if q.head == len(q.items) {
+				q.items = q.items[:0]
+				q.head = 0
+			}
+			return gi, true
+		}
+		q.cond.Wait()
+	}
+}
+
+// finish makes every current and future pop return false and wakes all
+// blocked workers. Called when the last gate completes or the run aborts;
+// pushes racing with an abort land in the slice but are never popped.
+func (q *readyQueue) finish() {
+	q.mu.Lock()
+	q.done = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+func (q *readyQueue) less(i, j int) bool { return q.prio[q.items[i]] > q.prio[q.items[j]] }
+
+func (q *readyQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *readyQueue) down(i int) {
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && q.less(l, best) {
+			best = l
+		}
+		if r < n && q.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		q.items[i], q.items[best] = q.items[best], q.items[i]
+		i = best
+	}
+}

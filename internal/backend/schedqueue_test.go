@@ -1,0 +1,111 @@
+package backend
+
+import (
+	"sync"
+	"testing"
+
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/logic"
+)
+
+func TestReadyQueuePriorityOrder(t *testing.T) {
+	prio := []int64{5, 1, 9, 3, 7}
+	q := newReadyQueue(5, prio)
+	for gi := range prio {
+		q.push(int32(gi))
+	}
+	want := []int32{2, 4, 0, 3, 1} // descending remaining depth
+	for _, w := range want {
+		gi, ok := q.pop()
+		if !ok || gi != w {
+			t.Fatalf("pop = %d,%v; want %d", gi, ok, w)
+		}
+	}
+	q.finish()
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop after finish must report done")
+	}
+}
+
+func TestReadyQueueFIFOOrder(t *testing.T) {
+	q := newReadyQueue(4, nil)
+	for _, gi := range []int32{3, 1, 2, 0} {
+		q.push(gi)
+	}
+	for _, w := range []int32{3, 1, 2, 0} {
+		gi, ok := q.pop()
+		if !ok || gi != w {
+			t.Fatalf("pop = %d,%v; want %d", gi, ok, w)
+		}
+	}
+}
+
+// TestReadyQueueBlockingPop: a pop blocked on an empty queue is woken by a
+// later push, and finish releases all remaining waiters.
+func TestReadyQueueBlockingPop(t *testing.T) {
+	q := newReadyQueue(1, nil)
+	var wg sync.WaitGroup
+	got := make(chan int32, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		gi, ok := q.pop()
+		if ok {
+			got <- gi
+		}
+		// Second pop parks until finish.
+		if _, ok := q.pop(); ok {
+			t.Error("second pop should observe finish")
+		}
+	}()
+	q.push(42)
+	if gi := <-got; gi != 42 {
+		t.Fatalf("blocked pop woke with %d", gi)
+	}
+	q.finish()
+	wg.Wait()
+}
+
+// TestRemainingDepth: on a chain a→b→c plus a side gate off a, the chain
+// head must carry the full remaining bootstrap count and the side gate a
+// shallower one, so the scheduler prefers the chain.
+func TestRemainingDepth(t *testing.T) {
+	b := circuit.NewBuilder("depth", circuit.NoOptimizations())
+	x := b.Input("x")
+	y := b.Input("y")
+	g0 := b.Gate(logic.NAND, x, y) // chain head, remaining 3
+	g1 := b.Gate(logic.NAND, g0, y)
+	g2 := b.Gate(logic.NAND, g1, y)
+	side := b.Gate(logic.AND, x, y) // independent, remaining 1
+	b.Output("chain", g2)
+	b.Output("side", side)
+	nl := b.MustBuild()
+
+	children := make([][]int32, nl.NumNodes()+1)
+	for i, g := range nl.Gates {
+		for _, in := range [2]circuit.NodeID{g.A, g.B} {
+			if nl.GateIndex(in) >= 0 {
+				children[in] = append(children[in], int32(i))
+			}
+		}
+	}
+	rem := remainingDepth(nl, children)
+	if rem[0] != 3 || rem[1] != 2 || rem[2] != 1 || rem[3] != 1 {
+		t.Fatalf("remaining depths = %v, want [3 2 1 1]", rem)
+	}
+}
+
+func TestParseSched(t *testing.T) {
+	if s, err := ParseSched("critical"); err != nil || s != SchedCritical {
+		t.Fatalf("critical: %v %v", s, err)
+	}
+	if s, err := ParseSched("fifo"); err != nil || s != SchedFIFO {
+		t.Fatalf("fifo: %v %v", s, err)
+	}
+	if s, err := ParseSched(""); err != nil || s != SchedCritical {
+		t.Fatalf("default: %v %v", s, err)
+	}
+	if _, err := ParseSched("lifo"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}

@@ -1,0 +1,335 @@
+package circuit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pytfhe/internal/logic"
+)
+
+// Severity ranks a lint diagnostic.
+type Severity int
+
+// Severities. Errors make a program unsafe to execute; warnings are
+// legal-but-suspicious shapes; infos are reports.
+const (
+	SevError Severity = iota
+	SevWarning
+	SevInfo
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	}
+	return "info"
+}
+
+// Diagnostic is one netlist lint finding. Code is a stable machine-readable
+// identifier; each distinct defect class gets its own code.
+type Diagnostic struct {
+	Severity Severity
+	Code     string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s [%s]: %s", d.Severity, d.Code, d.Message)
+}
+
+// Diagnostic codes emitted by Lint.
+const (
+	CodeCycle         = "cycle"           // gate dependency cycle
+	CodeUndrivenWire  = "undriven-wire"   // gate operand names a node no instruction drives
+	CodeBadGateType   = "bad-gate-type"   // gate kind outside the 4-bit alphabet
+	CodeConstGate     = "const-gate"      // constant TRUE/FALSE gate survived synthesis
+	CodeDanglingOut   = "dangling-output" // output port names a nonexistent node
+	CodeDupOutput     = "dup-output"      // two output ports export the same node
+	CodeNoOutputs     = "no-outputs"      // program computes nothing observable
+	CodeDeadGates     = "dead-gates"      // gates unreachable from any output
+	CodeForwardRef    = "forward-ref"     // operand defined later than its reader (needs re-sort)
+	CodeShapeMismatch = "shape-mismatch"  // name tables disagree with port counts
+)
+
+// Report is the result of linting one netlist: diagnostics plus the
+// structural summary (depth, widths, fan-out) used by capacity planning.
+type Report struct {
+	Name  string
+	Diags []Diagnostic
+
+	// Structure summary; valid when the netlist is acyclic.
+	Inputs       int
+	Gates        int
+	Outputs      int
+	Bootstrapped int
+	Depth        int
+	Levels       int
+	MaxWidth     int
+	DeadGates    int
+	MaxFanOut    int
+	MaxFanOutID  NodeID
+}
+
+// Err returns a non-nil error summarizing the report when any
+// error-severity diagnostic is present.
+func (r *Report) Err() error {
+	n := 0
+	var first *Diagnostic
+	for i := range r.Diags {
+		if r.Diags[i].Severity == SevError {
+			if first == nil {
+				first = &r.Diags[i]
+			}
+			n++
+		}
+	}
+	if first == nil {
+		return nil
+	}
+	return fmt.Errorf("circuit: netlist %q has %d lint error(s), first: %s", r.Name, n, *first)
+}
+
+// String renders the report for humans: diagnostics, then the structure
+// summary.
+func (r *Report) String() string {
+	var sb strings.Builder
+	for _, d := range r.Diags {
+		fmt.Fprintf(&sb, "%s\n", d)
+	}
+	fmt.Fprintf(&sb, "netlist %s: %d inputs, %d gates (%d bootstrapped), %d outputs\n",
+		r.Name, r.Inputs, r.Gates, r.Bootstrapped, r.Outputs)
+	fmt.Fprintf(&sb, "depth %d, %d wavefronts (widest %d), %d dead gate(s), max fan-out %d (node %d)\n",
+		r.Depth, r.Levels, r.MaxWidth, r.DeadGates, r.MaxFanOut, r.MaxFanOutID)
+	return sb.String()
+}
+
+// Lint statically verifies a netlist before execution. Unlike Validate —
+// which enforces the builder's invariants and assumes topological order —
+// Lint treats the netlist as an untrusted general graph (the shape a
+// hand-crafted or corrupted program binary can take) and reports every
+// defect it can find rather than stopping at the first:
+//
+//   - dependency cycles over the gate DAG (cycle)
+//   - operands that no instruction drives (undriven-wire) and operands
+//     defined after their reader (forward-ref)
+//   - gate types outside the 4-bit alphabet (bad-gate-type) and constant
+//     gates that synthesis should have folded (const-gate)
+//   - output ports naming nonexistent nodes (dangling-output), duplicate
+//     exports (dup-output), and programs with no outputs at all
+//   - gates whose results can never reach an output (dead-gates)
+//
+// plus a depth / wavefront / fan-out structure report.
+func Lint(nl *Netlist) *Report {
+	r := &Report{
+		Name:    nl.Name,
+		Inputs:  nl.NumInputs,
+		Gates:   len(nl.Gates),
+		Outputs: len(nl.Outputs),
+	}
+	diag := func(sev Severity, code, format string, args ...any) {
+		r.Diags = append(r.Diags, Diagnostic{sev, code, fmt.Sprintf(format, args...)})
+	}
+
+	if nl.NumInputs < 0 {
+		diag(SevError, CodeShapeMismatch, "negative input count %d", nl.NumInputs)
+		return r
+	}
+	if nl.InputNames != nil && len(nl.InputNames) != nl.NumInputs {
+		diag(SevError, CodeShapeMismatch, "%d input names for %d inputs", len(nl.InputNames), nl.NumInputs)
+	}
+	if nl.OutputNames != nil && len(nl.OutputNames) != len(nl.Outputs) {
+		diag(SevError, CodeShapeMismatch, "%d output names for %d outputs", len(nl.OutputNames), len(nl.Outputs))
+	}
+
+	numNodes := NodeID(nl.NumNodes())
+
+	// Per-gate wiring and type checks.
+	for i, g := range nl.Gates {
+		id := nl.GateID(i)
+		if g.Kind >= logic.NumKinds {
+			diag(SevError, CodeBadGateType, "gate %d has type %d, outside the 4-bit gate alphabet", id, g.Kind)
+		} else if g.Kind.IsConst() {
+			diag(SevWarning, CodeConstGate, "gate %d is constant %s; synthesis should have folded it", id, g.Kind)
+		}
+		for _, in := range [2]NodeID{g.A, g.B} {
+			switch {
+			case in <= 0:
+				diag(SevError, CodeUndrivenWire, "gate %d (%s) reads node %d, which no instruction drives", id, g.Kind, in)
+			case in > numNodes:
+				diag(SevError, CodeUndrivenWire, "gate %d (%s) reads node %d, past the last defined node %d", id, g.Kind, in, numNodes)
+			case in >= id:
+				diag(SevError, CodeForwardRef, "gate %d (%s) reads node %d, defined at or after it", id, g.Kind, in)
+			}
+		}
+	}
+
+	// Output port checks.
+	seen := map[NodeID][]int{}
+	for i, out := range nl.Outputs {
+		if out.IsConst() {
+			continue
+		}
+		if out <= 0 || out > numNodes {
+			diag(SevError, CodeDanglingOut, "output %d names nonexistent node %d", i, out)
+			continue
+		}
+		seen[out] = append(seen[out], i)
+	}
+	dups := make([]NodeID, 0, len(seen))
+	for id, ports := range seen {
+		if len(ports) > 1 {
+			dups = append(dups, id)
+		}
+	}
+	sort.Slice(dups, func(i, j int) bool { return dups[i] < dups[j] })
+	for _, id := range dups {
+		diag(SevWarning, CodeDupOutput, "node %d is exported by output ports %v", id, seen[id])
+	}
+	if len(nl.Outputs) == 0 {
+		diag(SevWarning, CodeNoOutputs, "netlist has no outputs; nothing is observable")
+	}
+
+	// Cycle detection over the gate graph, treating the netlist as a
+	// general (possibly non-topological) graph.
+	if cycle := findCycle(nl); cycle != nil {
+		diag(SevError, CodeCycle, "gate dependency cycle: %s", formatCycle(cycle))
+	} else {
+		// The structure summary is only meaningful on an acyclic graph.
+		for _, g := range nl.Gates {
+			if g.Kind < logic.NumKinds && g.Kind.NeedsBootstrap() {
+				r.Bootstrapped++
+			}
+		}
+		r.DeadGates = countDeadGates(nl)
+		if r.DeadGates > 0 {
+			diag(SevInfo, CodeDeadGates, "%d of %d gates cannot reach any output (dead logic)", r.DeadGates, len(nl.Gates))
+		}
+		// Depth/wavefront/fan-out passes index by node id and assume a
+		// defect-free graph; skip them when wiring errors were found.
+		if wellFormed(r) {
+			stats := nl.ComputeStats()
+			r.Depth, r.Levels, r.MaxWidth = stats.Depth, stats.Levels, stats.MaxWidth
+			for id, f := range nl.FanOut() {
+				if f > r.MaxFanOut {
+					r.MaxFanOut, r.MaxFanOutID = f, NodeID(id)
+				}
+			}
+		}
+	}
+	return r
+}
+
+// wellFormed reports whether the report so far has no error diagnostics —
+// the precondition for running the order-assuming Stats passes.
+func wellFormed(r *Report) bool {
+	for _, d := range r.Diags {
+		if d.Severity == SevError {
+			return false
+		}
+	}
+	return true
+}
+
+// findCycle runs an iterative three-color DFS over the gate dependency
+// graph (edges gate -> operand gate) and returns one cycle as a node-id
+// sequence, or nil. Out-of-range operands are ignored here; they are
+// reported separately as undriven wires.
+func findCycle(nl *Netlist) []NodeID {
+	const (
+		white = 0 // unvisited
+		gray  = 1 // on the current DFS path
+		black = 2 // finished
+	)
+	color := make([]byte, len(nl.Gates))
+	parent := make([]int, len(nl.Gates))
+
+	operands := func(gi int) []int {
+		var ops []int
+		g := nl.Gates[gi]
+		for _, in := range [2]NodeID{g.A, g.B} {
+			if j := nl.GateIndex(in); j >= 0 {
+				ops = append(ops, j)
+			}
+		}
+		return ops
+	}
+
+	for start := range nl.Gates {
+		if color[start] != white {
+			continue
+		}
+		parent[start] = -1
+		stack := []int{start}
+		for len(stack) > 0 {
+			gi := stack[len(stack)-1]
+			if color[gi] == white {
+				color[gi] = gray
+				for _, op := range operands(gi) {
+					switch color[op] {
+					case white:
+						parent[op] = gi
+						stack = append(stack, op)
+					case gray:
+						// Back edge: walk parents from gi to op.
+						cycle := []NodeID{nl.GateID(op)}
+						for v := gi; v != op && v >= 0; v = parent[v] {
+							cycle = append(cycle, nl.GateID(v))
+						}
+						cycle = append(cycle, nl.GateID(op))
+						// Reverse into dependency order.
+						for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+							cycle[i], cycle[j] = cycle[j], cycle[i]
+						}
+						return cycle
+					}
+				}
+			} else {
+				color[gi] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+func formatCycle(cycle []NodeID) string {
+	parts := make([]string, len(cycle))
+	for i, id := range cycle {
+		parts[i] = fmt.Sprintf("%d", id)
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// countDeadGates counts gates whose output can never reach an output port,
+// via reverse reachability from the output set.
+func countDeadGates(nl *Netlist) int {
+	live := make([]bool, len(nl.Gates))
+	var stack []int
+	mark := func(id NodeID) {
+		if gi := nl.GateIndex(id); gi >= 0 && !live[gi] {
+			live[gi] = true
+			stack = append(stack, gi)
+		}
+	}
+	for _, out := range nl.Outputs {
+		mark(out)
+	}
+	for len(stack) > 0 {
+		gi := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		g := nl.Gates[gi]
+		mark(g.A)
+		mark(g.B)
+	}
+	dead := 0
+	for _, l := range live {
+		if !l {
+			dead++
+		}
+	}
+	return dead
+}

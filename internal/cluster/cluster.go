@@ -12,6 +12,7 @@ package cluster
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -109,8 +110,8 @@ func (c *Coordinator) AcceptWorkers(n int) error {
 		w := &workerConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
 		var hello Message
 		if err := w.dec.Decode(&hello); err != nil || hello.Hello == nil {
-			conn.Close()
-			return fmt.Errorf("cluster: bad hello from %s: %v", conn.RemoteAddr(), err)
+			closeErr := conn.Close()
+			return errors.Join(fmt.Errorf("cluster: bad hello from %s: %v", conn.RemoteAddr(), err), closeErr)
 		}
 		w.slots = hello.Hello.Slots
 		if w.slots < 1 {
@@ -118,8 +119,8 @@ func (c *Coordinator) AcceptWorkers(n int) error {
 		}
 		// Broadcast the evaluation key to the new worker.
 		if err := w.enc.Encode(Message{Key: c.ck}); err != nil {
-			conn.Close()
-			return fmt.Errorf("cluster: key broadcast: %w", err)
+			closeErr := conn.Close()
+			return errors.Join(fmt.Errorf("cluster: key broadcast: %w", err), closeErr)
 		}
 		c.mu.Lock()
 		c.workers = append(c.workers, w)
@@ -134,16 +135,23 @@ func (c *Coordinator) workerCount() int {
 	return len(c.workers)
 }
 
-// Close shuts down the coordinator and asks workers to exit.
+// Close shuts down the coordinator and asks workers to exit. Teardown
+// continues past individual failures; every error is reported, joined.
 func (c *Coordinator) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var errs []error
 	for _, w := range c.workers {
-		_ = w.enc.Encode(Message{Bye: true})
-		w.conn.Close()
+		if err := w.enc.Encode(Message{Bye: true}); err != nil {
+			errs = append(errs, fmt.Errorf("cluster: bye to %s: %w", w.conn.RemoteAddr(), err))
+		}
+		if err := w.conn.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("cluster: close %s: %w", w.conn.RemoteAddr(), err))
+		}
 	}
 	c.workers = nil
-	return c.ln.Close()
+	errs = append(errs, c.ln.Close())
+	return errors.Join(errs...)
 }
 
 // Name identifies the backend in reports.

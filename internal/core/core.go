@@ -78,6 +78,17 @@ func Compile(nl *circuit.Netlist) (*Program, error) {
 	}, nil
 }
 
+// LoadStrict decodes a PyTFHE binary after running the full static lint
+// suite (asm.Lint: framing, cycles, wiring, gate types, outputs) over it.
+// Any error-severity diagnostic rejects the program — the pre-flight gate
+// for long homomorphic runs, exposed as `pytfhe run -strict`.
+func LoadStrict(bin []byte) (*Program, error) {
+	if err := asm.Lint(bin).Err(); err != nil {
+		return nil, fmt.Errorf("core: strict load rejected: %w", err)
+	}
+	return Load(bin)
+}
+
 // Load decodes a PyTFHE binary back into a runnable program.
 func Load(bin []byte) (*Program, error) {
 	nl, err := asm.Disassemble(bin)

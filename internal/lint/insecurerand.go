@@ -1,0 +1,86 @@
+package lint
+
+import "strings"
+
+// cryptoRoots name the package directories whose code (and transitive
+// module-internal dependencies) must never touch math/rand: the TFHE
+// scheme itself, torus arithmetic, the secure sampler, and the key
+// generation surface. All randomness on these paths must come from
+// internal/trand, which is seeded from crypto/rand.
+var cryptoRoots = []string{
+	"internal/tfhe",
+	"internal/torus",
+	"internal/trand",
+	"internal/core",
+}
+
+// insecureRand reports math/rand imports in any package reachable from the
+// crypto roots. math/rand is deterministic and seedable; using it for key
+// material or ciphertext noise silently destroys the security of the
+// scheme (the classic TFHE deployment defect TFHE-Coder catalogues), so
+// the rule is reachability-based rather than per-package: a helper package
+// pulled into a key-generation path is held to the same standard.
+type insecureRand struct{}
+
+func (*insecureRand) Name() string { return "insecure-rand" }
+func (*insecureRand) Doc() string {
+	return "math/rand imported by code reachable from the TFHE/torus/keygen packages"
+}
+
+// Match accepts every package; reachability is decided in Check.
+func (*insecureRand) Match(string) bool { return true }
+
+func (a *insecureRand) Check(m *Module, pkg *Package) []Finding {
+	if !reachableFromCryptoRoots(m)[pkg.Path] {
+		return nil
+	}
+	var findings []Finding
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				findings = append(findings, Finding{
+					Analyzer: a.Name(),
+					Pos:      m.Fset.Position(imp.Pos()),
+					Message:  "package on a crypto path imports " + path + "; use internal/trand (crypto/rand-seeded) instead",
+				})
+			}
+		}
+	}
+	return findings
+}
+
+// reachableFromCryptoRoots computes, once per module, the set of package
+// paths reachable (over module-internal import edges) from the crypto
+// roots — including the roots themselves.
+func reachableFromCryptoRoots(m *Module) map[string]bool {
+	if m.cryptoReach != nil {
+		return m.cryptoReach
+	}
+	reach := map[string]bool{}
+	var visit func(path string)
+	visit = func(path string) {
+		if reach[path] {
+			return
+		}
+		pkg, ok := m.Packages[path]
+		if !ok {
+			return
+		}
+		reach[path] = true
+		for _, imp := range pkg.Imports {
+			if imp == m.Path || strings.HasPrefix(imp, m.Path+"/") {
+				visit(imp)
+			}
+		}
+	}
+	for path := range m.Packages {
+		for _, root := range cryptoRoots {
+			if pathHasDir(path, root) {
+				visit(path)
+			}
+		}
+	}
+	m.cryptoReach = reach
+	return reach
+}

@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// leakedCiphertext verifies acquire/release balance on the refcounted
+// ciphertext recycling pool of the executors (backend.ciphertextPool): a
+// sample obtained with pool.get() must, on every path, either be published
+// into the shared values table (assigned through an index or selector
+// expression), returned to the caller, or handed back with pool.put()
+// before the function returns. An early `return err` that forgets the put
+// leaks one ciphertext per failing gate — exactly the imbalance that turns
+// a long MNIST run into an OOM.
+//
+// The walker is branch-aware but deliberately optimistic: a release on any
+// branch counts as a release, so it only reports paths where no release
+// can be proven anywhere. That keeps it free of false positives on the
+// real executors while still catching the forgotten-put pattern.
+type leakedCiphertext struct{}
+
+func (*leakedCiphertext) Name() string { return "leaked-ciphertext" }
+func (*leakedCiphertext) Doc() string {
+	return "ciphertext pool get() without put/publish on some return path"
+}
+
+func (*leakedCiphertext) Match(path string) bool {
+	return pathHasDir(path, "internal/backend")
+}
+
+func (a *leakedCiphertext) Check(m *Module, pkg *Package) []Finding {
+	pool := pkg.Types.Scope().Lookup("ciphertextPool")
+	if pool == nil {
+		return nil
+	}
+	poolType := pool.Type()
+	var findings []Finding
+	for _, f := range pkg.Files {
+		for _, fb := range funcBodies(f) {
+			w := &leakWalker{
+				m:        m,
+				pkg:      pkg,
+				analyzer: a.Name(),
+				fn:       fb.name,
+				poolType: poolType,
+				held:     map[*types.Var]token.Pos{},
+			}
+			w.walkBlock(fb.body)
+			// Anything still held when the function body ends fell off the
+			// end of a scope unreleased.
+			for v, pos := range w.held {
+				w.report(v, pos, "still held at end of "+fb.name)
+			}
+			findings = append(findings, w.findings...)
+		}
+	}
+	return findings
+}
+
+// leakWalker tracks pool-acquired variables through one function body.
+type leakWalker struct {
+	m        *Module
+	pkg      *Package
+	analyzer string
+	fn       string
+	poolType types.Type
+	held     map[*types.Var]token.Pos // acquired, not yet released/published
+	findings []Finding
+}
+
+func (w *leakWalker) report(v *types.Var, acquired token.Pos, what string) {
+	w.findings = append(w.findings, Finding{
+		Analyzer: w.analyzer,
+		Pos:      w.m.Fset.Position(acquired),
+		Message: "ciphertext " + v.Name() + " acquired from the pool is neither published, returned, nor put back (" +
+			what + ")",
+	})
+}
+
+func (w *leakWalker) walkBlock(b *ast.BlockStmt) {
+	w.walkStmts(b.List)
+}
+
+func (w *leakWalker) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		w.walkStmt(s)
+	}
+}
+
+func (w *leakWalker) walkStmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.AssignStmt:
+		w.handleAssign(st)
+	case *ast.ExprStmt:
+		w.handleCallStmt(st.X)
+	case *ast.DeferStmt:
+		w.dischargeCallArgs(st.Call) // defer pool.put(x) releases x
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.dischargeUses(e) // returning x transfers ownership out
+		}
+		for v, pos := range w.held {
+			w.report(v, pos, "leaked on return in "+w.fn)
+			delete(w.held, v) // one report per acquisition
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		w.walkStmt(st.Body)
+		if st.Else != nil {
+			w.walkStmt(st.Else)
+		}
+	case *ast.BlockStmt:
+		w.walkStmts(st.List)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		w.walkStmt(st.Body)
+	case *ast.RangeStmt:
+		w.walkStmt(st.Body)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		w.walkCaseBodies(st.Body)
+	case *ast.TypeSwitchStmt:
+		w.walkCaseBodies(st.Body)
+	case *ast.SelectStmt:
+		w.walkCaseBodies(st.Body)
+	case *ast.LabeledStmt:
+		w.walkStmt(st.Stmt)
+	case *ast.GoStmt:
+		w.dischargeCallArgs(st.Call) // ownership moves into the goroutine
+	case *ast.SendStmt:
+		w.dischargeUses(st.Value) // ownership moves through the channel
+	}
+}
+
+func (w *leakWalker) walkCaseBodies(body *ast.BlockStmt) {
+	for _, c := range body.List {
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			w.walkStmts(cc.Body)
+		case *ast.CommClause:
+			w.walkStmts(cc.Body)
+		}
+	}
+}
+
+// handleAssign tracks acquisitions (x := pool.get()) and publications
+// (values[id] = x, s.field = x, y = x).
+func (w *leakWalker) handleAssign(st *ast.AssignStmt) {
+	if len(st.Rhs) == 1 && w.isPoolGet(st.Rhs[0]) && len(st.Lhs) == 1 {
+		if id, ok := st.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			if v := w.varOf(id); v != nil {
+				w.held[v] = st.Rhs[0].Pos()
+				return
+			}
+		}
+		// Assigned straight into an index/selector expression: published.
+		return
+	}
+	// A held variable is published only when it is *stored*: appearing as
+	// a whole right-hand side (values[id] = out, alias := out), inside a
+	// composite literal, or as an append argument. Merely passing it to a
+	// call (err := eng.Binary(kind, out, a, b)) keeps it held — the callee
+	// writes into it and hands it straight back.
+	for _, e := range st.Rhs {
+		w.dischargeStores(e)
+	}
+}
+
+// dischargeStores releases variables that e stores somewhere: a direct
+// identifier, composite-literal elements, or append arguments.
+func (w *leakWalker) dischargeStores(e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if v := w.varOf(x); v != nil {
+			delete(w.held, v)
+		}
+	case *ast.UnaryExpr:
+		w.dischargeStores(x.X)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			w.dischargeUses(el)
+		}
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "append" {
+			for _, arg := range x.Args {
+				w.dischargeUses(arg)
+			}
+		}
+	}
+}
+
+// handleCallStmt releases arguments of pool.put calls and treats passing a
+// held ciphertext to another function as a potential transfer only for
+// put; other calls (eng.Binary writes into it) keep it held.
+func (w *leakWalker) handleCallStmt(e ast.Expr) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	w.dischargeCallArgs(call)
+}
+
+// dischargeCallArgs releases held variables passed to a pool put() call.
+func (w *leakWalker) dischargeCallArgs(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "put" || !w.isPoolExpr(sel.X) {
+		return
+	}
+	for _, arg := range call.Args {
+		w.dischargeUses(arg)
+	}
+}
+
+// dischargeUses removes from the held set every variable referenced in e.
+func (w *leakWalker) dischargeUses(e ast.Expr) {
+	if e == nil || len(w.held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v := w.varOf(id); v != nil {
+				delete(w.held, v)
+			}
+		}
+		return true
+	})
+}
+
+// isPoolGet reports whether e is a call to ciphertextPool.get.
+func (w *leakWalker) isPoolGet(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "get" && w.isPoolExpr(sel.X)
+}
+
+// isPoolExpr reports whether e has the ciphertextPool type (or pointer).
+func (w *leakWalker) isPoolExpr(e ast.Expr) bool {
+	t := w.pkg.Info.TypeOf(e)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return t != nil && types.Identical(t, w.poolType)
+}
+
+// varOf resolves an identifier to its *types.Var, or nil.
+func (w *leakWalker) varOf(id *ast.Ident) *types.Var {
+	if obj, ok := w.pkg.Info.Defs[id]; ok {
+		if v, ok := obj.(*types.Var); ok {
+			return v
+		}
+	}
+	if obj, ok := w.pkg.Info.Uses[id]; ok {
+		if v, ok := obj.(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}

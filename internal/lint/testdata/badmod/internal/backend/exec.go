@@ -1,0 +1,81 @@
+// Package backend is the fixture executor: it triggers discarded-error,
+// locked-bootstrap and leaked-ciphertext exactly once each (plus one
+// suppressed finding to exercise the ignore directive).
+package backend
+
+import (
+	"errors"
+	"sync"
+
+	"badmod/internal/tfhe"
+)
+
+// ciphertextPool mirrors the real executor's recycling pool; the
+// leaked-ciphertext analyzer keys on this type name.
+type ciphertextPool struct {
+	free []*tfhe.Sample
+}
+
+func (p *ciphertextPool) get() *tfhe.Sample {
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		return s
+	}
+	return &tfhe.Sample{}
+}
+
+func (p *ciphertextPool) put(s *tfhe.Sample) {
+	if s != nil {
+		p.free = append(p.free, s)
+	}
+}
+
+func doWork() error { return errors.New("boom") }
+
+func doTwo() (int, error) { return 0, errors.New("boom") }
+
+// DropErrors triggers discarded-error three ways: a bare call, a blank
+// assignment, and a blank slot in a multi-value assignment. The fourth
+// discard is suppressed by an ignore directive and must not be reported.
+func DropErrors() int {
+	doWork()        // finding: bare call discard
+	_ = doWork()    // finding: blank assignment
+	v, _ := doTwo() // finding: blank error slot
+	//lint:ignore discarded-error fixture for the suppression test
+	_ = doWork()
+	return v
+}
+
+// LockedEval triggers locked-bootstrap: a Binary call inside the mutex
+// critical section. The second Binary call runs after Unlock and is fine.
+func LockedEval(eng *tfhe.Engine, mu *sync.Mutex, dst, a, b *tfhe.Sample) error {
+	mu.Lock()
+	err := eng.Binary(1, dst, a, b) // finding: bootstrap under lock
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return eng.Binary(2, dst, a, b) // clean: lock released
+}
+
+// LeakOnError triggers leaked-ciphertext: the error path returns without
+// putting the acquired sample back.
+func LeakOnError(eng *tfhe.Engine, pool *ciphertextPool, a, b *tfhe.Sample) (*tfhe.Sample, error) {
+	out := pool.get()
+	if err := eng.Binary(3, out, a, b); err != nil {
+		return nil, err // finding: out leaked
+	}
+	return out, nil
+}
+
+// BalancedEval is the clean counterpart: every path puts or returns.
+func BalancedEval(eng *tfhe.Engine, pool *ciphertextPool, values []*tfhe.Sample, a, b *tfhe.Sample) error {
+	out := pool.get()
+	if err := eng.Binary(4, out, a, b); err != nil {
+		pool.put(out)
+		return err
+	}
+	values[0] = out
+	return nil
+}

@@ -1,0 +1,8 @@
+// Package mathutil is a helper pulled into the fixture's key-generation
+// path; its math/rand import must be reported transitively.
+package mathutil
+
+import "math/rand"
+
+// Jitter returns a random perturbation (insecurely).
+func Jitter() float64 { return rand.Float64() }

@@ -1,0 +1,26 @@
+// Package tfhe is the fixture's stand-in for the real TFHE engine: it is a
+// crypto root for the insecure-rand analyzer and the declaring package for
+// bootstrap-class operations.
+package tfhe
+
+import (
+	"math/rand"
+
+	"badmod/internal/mathutil"
+)
+
+// Sample is a fixture ciphertext.
+type Sample struct {
+	Body []float64
+}
+
+// Engine evaluates fixture gates.
+type Engine struct{}
+
+// Binary is the fixture's bootstrap-class operation.
+func (e *Engine) Binary(kind uint8, dst, a, b *Sample) error {
+	dst.Body = append(dst.Body[:0], mathutil.Jitter(), rand.Float64(), float64(kind))
+	_ = a
+	_ = b
+	return nil
+}

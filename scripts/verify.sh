@@ -1,10 +1,30 @@
 #!/bin/sh
-# Repository verification: vet, build, then race-checked tests on the
-# concurrency-heavy packages (executors, scheduler, cluster).
+# Repository verification: formatting, vet, static analysis, build, then
+# race-checked tests on the concurrency-heavy packages (executors,
+# scheduler, cluster), and finally an end-to-end netlist lint of a
+# compiled benchmark program.
 set -eux
 
 cd "$(dirname "$0")/.."
 
+# gofmt must be a no-op over the whole module (testdata fixtures included).
+fmt_diff=$(gofmt -l .)
+if [ -n "$fmt_diff" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt_diff" >&2
+    exit 1
+fi
+
 go vet ./...
 go build ./...
+
+# Crypto-safety and concurrency static analysis over the module.
+go run ./cmd/pytfhelint ./...
+
 go test -race ./internal/backend/... ./internal/sched/... ./internal/cluster/...
+
+# End-to-end: compile a VIP-Bench kernel and lint the emitted binary.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/pytfhe compile -bench hamming-distance -out "$tmp/prog.ptfhe"
+go run ./cmd/pytfhe lint "$tmp/prog.ptfhe"
