@@ -1,4 +1,4 @@
-.PHONY: build test lint verify bench
+.PHONY: build test lint verify serve-test bench
 
 build:
 	go build ./...
@@ -14,6 +14,11 @@ lint:
 # packages + netlist lint of a compiled benchmark.
 verify:
 	./scripts/verify.sh
+
+# Race-checked tests for the serving stack: shared executor, wire format,
+# and the pytfhed server (concurrent sessions, backpressure, drain).
+serve-test:
+	go test -race ./internal/serve/... ./internal/wire/... ./internal/backend/...
 
 bench:
 	go test -bench=. -benchmem -run '^$$' .

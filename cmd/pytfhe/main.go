@@ -6,6 +6,10 @@
 //	pytfhe lint       prog.ptfhe  (or -prog prog.ptfhe)
 //	pytfhe run        -prog prog.ptfhe -keys keys/ -backend plain|single|pool:N|async:N [-sched critical|fifo] [-strict] -in 1011,0110,...
 //	pytfhe calibrate  -keys keys/ [-samples N]
+//	pytfhe serve      [-listen addr] [-max-concurrent N] [-queue N]   (the pytfhed daemon, in-process)
+//	pytfhe register   -server addr -prog prog.ptfhe
+//	pytfhe eval       -server addr -keys keys/ (-prog prog.ptfhe | -hash H) -in 1011...
+//	pytfhe server-stats -server addr
 //
 // Programs are PyTFHE binaries (the 128-bit instruction format of the
 // paper); keys serialize with encoding/gob.
@@ -27,6 +31,7 @@ import (
 	"pytfhe/internal/core"
 	"pytfhe/internal/models"
 	"pytfhe/internal/params"
+	"pytfhe/internal/serve"
 	"pytfhe/internal/tfhe/boot"
 	"pytfhe/internal/verilog"
 	"pytfhe/internal/vipbench"
@@ -51,6 +56,14 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "calibrate":
 		err = cmdCalibrate(os.Args[2:])
+	case "serve":
+		err = serve.RunDaemon(os.Args[2:], os.Stdout)
+	case "register":
+		err = cmdRegister(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "server-stats":
+		err = cmdServerStats(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -73,7 +86,11 @@ commands:
   inspect    show the structure of a PyTFHE binary
   lint       statically verify a PyTFHE binary (cycles, wiring, gate types)
   run        execute a PyTFHE binary over encrypted inputs
-  calibrate  measure the single-core bootstrapped-gate time`)
+  calibrate  measure the single-core bootstrapped-gate time
+  serve      run the pytfhed evaluation daemon in-process
+  register   upload a PyTFHE binary to a pytfhed daemon
+  eval       evaluate a registered program on a pytfhed daemon
+  server-stats  print a pytfhed daemon's statistics`)
 }
 
 func paramSet(name string) (*params.GateParams, error) {
@@ -417,6 +434,133 @@ func printRunStats(runner backend.Backend) {
 		fmt.Printf("       %d workers, %.0f%% utilization, avg queue wait %v\n",
 			st.Workers, 100*st.Utilization, st.AvgQueueWait.Round(time.Microsecond))
 	}
+}
+
+// cmdRegister uploads a program binary to a running pytfhed daemon.
+func cmdRegister(args []string) error {
+	fs := flag.NewFlagSet("register", flag.ExitOnError)
+	server := fs.String("server", "127.0.0.1:7701", "pytfhed address")
+	path := fs.String("prog", "", "PyTFHE binary path")
+	fs.Parse(args)
+	if *path == "" && fs.NArg() == 1 {
+		*path = fs.Arg(0)
+	}
+	if *path == "" {
+		return fmt.Errorf("-prog is required")
+	}
+	bin, err := os.ReadFile(*path)
+	if err != nil {
+		return err
+	}
+	cl, err := serve.Dial(*server)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	info, err := cl.RegisterProgram(bin)
+	if err != nil {
+		return err
+	}
+	state := "admitted"
+	if info.Cached {
+		state = "cached"
+	}
+	fmt.Printf("%s (%s): %d inputs, %d gates (%d bootstrapped), %d outputs, depth %d\n",
+		info.Name, state, info.Inputs, info.Gates, info.Bootstrapped, info.Outputs, info.Depth)
+	fmt.Printf("hash: %s\n", info.Hash)
+	return nil
+}
+
+// cmdEval opens a session (cloud-key upload) against a pytfhed daemon and
+// evaluates one registered program over encrypted inputs; decryption stays
+// client-side, under the secret key the server never sees.
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	server := fs.String("server", "127.0.0.1:7701", "pytfhed address")
+	keys := fs.String("keys", "keys", "key directory from `pytfhe keygen`")
+	path := fs.String("prog", "", "PyTFHE binary to register and evaluate")
+	hash := fs.String("hash", "", "hash of an already-registered program")
+	in := fs.String("in", "", "input bits as 0/1 characters (LSB first)")
+	timeout := fs.Duration("timeout", 0, "per-request timeout (0: server default)")
+	fs.Parse(args)
+	if (*path == "") == (*hash == "") {
+		return fmt.Errorf("exactly one of -prog or -hash is required")
+	}
+	bits, err := parseBits(*in)
+	if err != nil {
+		return err
+	}
+
+	var sk boot.SecretKey
+	if err := readGob(filepath.Join(*keys, "secret.key"), &sk); err != nil {
+		return err
+	}
+	var ck boot.CloudKey
+	if err := readGob(filepath.Join(*keys, "cloud.key"), &ck); err != nil {
+		return err
+	}
+	kp := &core.KeyPair{Secret: &sk, Cloud: &ck}
+
+	cl, err := serve.Dial(*server)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	progHash := *hash
+	nInputs := len(bits)
+	if *path != "" {
+		bin, err := os.ReadFile(*path)
+		if err != nil {
+			return err
+		}
+		info, err := cl.RegisterProgram(bin)
+		if err != nil {
+			return err
+		}
+		progHash = info.Hash
+		nInputs = info.Inputs
+		fmt.Printf("registered %s as %.16s…\n", info.Name, info.Hash)
+	}
+	if len(bits) != nInputs {
+		return fmt.Errorf("program takes %d input bits, got %d", nInputs, len(bits))
+	}
+	sess, err := cl.OpenSession(kp.Cloud)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("session %d open, cloud key uploaded — evaluating %d encrypted bits\n", sess.ID, len(bits))
+	outs, err := cl.EvaluateTimeout(progHash, kp.EncryptBits(bits), *timeout)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("outputs: %s\n", formatBits(kp.DecryptBits(outs)))
+	return nil
+}
+
+// cmdServerStats prints a pytfhed statistics snapshot.
+func cmdServerStats(args []string) error {
+	fs := flag.NewFlagSet("server-stats", flag.ExitOnError)
+	server := fs.String("server", "127.0.0.1:7701", "pytfhed address")
+	fs.Parse(args)
+	cl, err := serve.Dial(*server)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	st, err := cl.Stats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("uptime %v, %d sessions, %d programs registered\n",
+		(time.Duration(st.UptimeMs) * time.Millisecond).Round(time.Second), st.Sessions, st.Programs)
+	fmt.Printf("evaluations: %d done, %d shed (overloaded), queue depth %d, in flight %d\n",
+		st.Evaluations, st.Rejected, st.QueueDepth, st.InFlight)
+	fmt.Printf("executor: %d gates evaluated, %.1f bootstrapped gates/s\n", st.ExecutorGates, st.GatesPerSec)
+	for hash, hits := range st.PerProgram {
+		fmt.Printf("  %.16s… %d evaluations\n", hash, hits)
+	}
+	return nil
 }
 
 func cmdCalibrate(args []string) error {

@@ -1,0 +1,26 @@
+// Command pytfhed is the persistent PyTFHE evaluation daemon: a
+// multi-tenant TCP server with a program registry (upload a PyTFHE binary
+// once, evaluate it many times), per-session cloud keys, a bounded
+// admission queue with ErrOverloaded backpressure, and one shared
+// dependency-driven executor interleaving gates from concurrent requests.
+//
+//	pytfhed -listen 127.0.0.1:7701 -workers 8 -max-concurrent 16 -queue 64
+//
+// SIGTERM/SIGINT triggers a graceful drain: the daemon stops accepting,
+// finishes in-flight evaluations, then exits. Clients use the `pytfhe`
+// subcommands register, eval and server-stats, or serve.Client in Go.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pytfhe/internal/serve"
+)
+
+func main() {
+	if err := serve.RunDaemon(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "pytfhed: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,448 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/tfhe/boot"
+	"pytfhe/internal/tfhe/gate"
+	"pytfhe/internal/tfhe/lwe"
+)
+
+// ErrExecutorClosed is returned by Shared.Submit once Close has been
+// called; in-flight submissions are failed with it too.
+var ErrExecutorClosed = errors.New("backend: shared executor closed")
+
+// Shared is the multi-tenant variant of Async: one persistent worker set
+// that evaluates gates from any number of concurrent Submit calls, over any
+// number of cloud keys. Where Async owns a single run at a time, Shared
+// interleaves the ready gates of every in-flight netlist in one global
+// priority queue, so a small circuit never leaves workers idle while a
+// large one drains — the serving-layer analogue of the paper amortizing
+// CUDA-Graph construction across batches. Each worker lazily builds one
+// gate.Engine per registered key (engines are not safe to share), and
+// recycles ciphertexts through per-dimension local pools exactly as Async
+// does.
+//
+// Ordering within a run is critical-path-first (remainingDepth, as
+// SchedCritical); across runs, equal priorities fall back to global
+// arrival order, which keeps concurrent tenants roughly fair.
+type Shared struct {
+	workers int
+	q       *sharedQueue
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	runs   map[*sharedRun]struct{}
+	keySeq int64
+
+	// Cumulative counters since construction (atomics).
+	gatesDone  int64
+	bootsDone  int64
+	busyNs     int64
+	submits    int64
+	inflightRn int32
+}
+
+// SharedKey is a cloud key registered with a Shared executor. Every worker
+// caches one engine per SharedKey, so registering the same key once per
+// tenant session (rather than per request) is what makes key upload a
+// session-scoped cost.
+type SharedKey struct {
+	owner *Shared
+	id    int64
+	ck    *boot.CloudKey
+}
+
+// Params exposes the key's parameter set.
+func (k *SharedKey) Params() *boot.CloudKey { return k.ck }
+
+// NewShared starts a shared executor with the given worker count
+// (minimum 1). It owns its goroutines until Close.
+func NewShared(workers int) *Shared {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Shared{
+		workers: workers,
+		q:       newSharedQueue(),
+		runs:    make(map[*sharedRun]struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Workers returns the size of the worker set.
+func (s *Shared) Workers() int { return s.workers }
+
+// RegisterKey makes a cloud key available to the worker set and returns
+// the handle Submit requires. Engines for the key are created lazily, one
+// per worker, on first use.
+func (s *Shared) RegisterKey(ck *boot.CloudKey) (*SharedKey, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrExecutorClosed
+	}
+	s.keySeq++
+	return &SharedKey{owner: s, id: s.keySeq, ck: ck}, nil
+}
+
+// SharedStats is a snapshot of the executor's cumulative counters.
+type SharedStats struct {
+	Workers    int
+	QueueDepth int           // gates currently ready and waiting
+	InFlight   int           // submissions currently executing
+	Gates      int64         // gates evaluated since construction
+	Bootstraps int64         // bootstrapped gates since construction
+	Submits    int64         // Submit calls accepted
+	WorkerBusy time.Duration // cumulative evaluation time across workers
+}
+
+// GatesPerSec is the executor's cumulative bootstrapped-gate throughput
+// per busy worker-second — the figure of merit the paper reports.
+func (st SharedStats) GatesPerSec() float64 {
+	if st.WorkerBusy <= 0 {
+		return 0
+	}
+	return float64(st.Bootstraps) / st.WorkerBusy.Seconds() * float64(st.Workers)
+}
+
+// Stats returns a snapshot of the executor counters.
+func (s *Shared) Stats() SharedStats {
+	return SharedStats{
+		Workers:    s.workers,
+		QueueDepth: s.q.depth(),
+		InFlight:   int(atomic.LoadInt32(&s.inflightRn)),
+		Gates:      atomic.LoadInt64(&s.gatesDone),
+		Bootstraps: atomic.LoadInt64(&s.bootsDone),
+		Submits:    atomic.LoadInt64(&s.submits),
+		WorkerBusy: time.Duration(atomic.LoadInt64(&s.busyNs)),
+	}
+}
+
+// Close shuts the worker set down. In-flight submissions fail with
+// ErrExecutorClosed; Close blocks until every worker has exited.
+func (s *Shared) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	runs := make([]*sharedRun, 0, len(s.runs))
+	for r := range s.runs {
+		runs = append(runs, r)
+	}
+	s.mu.Unlock()
+	for _, r := range runs {
+		r.abort(ErrExecutorClosed)
+	}
+	s.q.finish()
+	s.wg.Wait()
+}
+
+// sharedRun is the per-submission dependency state, mirroring Async.Run's
+// locals so concurrent submissions stay fully independent.
+type sharedRun struct {
+	nl       *circuit.Netlist
+	key      *SharedKey
+	values   []*lwe.Sample
+	children [][]int32
+	pending  []int32
+	refs     []int32
+	prio     []int64
+	nGates   int32
+	done     int32
+
+	aborted atomic.Bool
+	once    sync.Once
+	err     error
+	doneCh  chan struct{}
+}
+
+func (r *sharedRun) finish(err error) {
+	r.once.Do(func() {
+		r.err = err
+		close(r.doneCh)
+	})
+}
+
+func (r *sharedRun) abort(err error) {
+	r.aborted.Store(true)
+	r.finish(err)
+}
+
+// Submit evaluates nl's gates on the shared worker set under the given
+// key, blocking until the outputs are ready, the context is done, or the
+// executor closes. It is safe to call from any number of goroutines; the
+// inputs are not modified and the caller keeps ownership of them.
+func (s *Shared) Submit(ctx context.Context, key *SharedKey, nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample, error) {
+	if key == nil || key.owner != s {
+		return nil, fmt.Errorf("backend: key not registered with this executor")
+	}
+	dim := key.ck.Params.LWEDimension
+	if err := checkInputs(nl, inputs, dim); err != nil {
+		return nil, err
+	}
+
+	nGates := len(nl.Gates)
+	r := &sharedRun{
+		nl:     nl,
+		key:    key,
+		values: make([]*lwe.Sample, nl.NumNodes()+1),
+		nGates: int32(nGates),
+		doneCh: make(chan struct{}),
+	}
+	for i, in := range inputs {
+		r.values[i+1] = in
+	}
+	r.children = make([][]int32, nl.NumNodes()+1)
+	r.pending = make([]int32, nGates)
+	for i, g := range nl.Gates {
+		for _, in := range [2]circuit.NodeID{g.A, g.B} {
+			if nl.GateIndex(in) >= 0 {
+				r.pending[i]++
+				r.children[in] = append(r.children[in], int32(i))
+			}
+		}
+	}
+	// The initial ready set must be fixed before the first push: workers
+	// start decrementing pending counters the moment a task is visible.
+	var initial []int32
+	for i := range nl.Gates {
+		if r.pending[i] == 0 {
+			initial = append(initial, int32(i))
+		}
+	}
+	fan := nl.FanOut()
+	r.refs = make([]int32, len(fan))
+	for i, f := range fan {
+		r.refs[i] = int32(f)
+	}
+	r.prio = remainingDepth(nl, r.children)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrExecutorClosed
+	}
+	s.runs[r] = struct{}{}
+	s.mu.Unlock()
+	atomic.AddInt64(&s.submits, 1)
+	atomic.AddInt32(&s.inflightRn, 1)
+	defer func() {
+		atomic.AddInt32(&s.inflightRn, -1)
+		s.mu.Lock()
+		delete(s.runs, r)
+		s.mu.Unlock()
+	}()
+
+	if nGates == 0 {
+		return collectOutputs(nl, r.values, dim)
+	}
+	for _, gi := range initial {
+		s.q.push(r, gi, r.prio[gi])
+	}
+
+	select {
+	case <-r.doneCh:
+	case <-ctx.Done():
+		// Mark first so workers popping this run's queued gates drop them;
+		// gates whose operands never arrive are simply never enqueued.
+		r.abort(ctx.Err())
+		<-r.doneCh
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return collectOutputs(nl, r.values, dim)
+}
+
+// worker is one persistent evaluation goroutine. It keeps an engine per
+// registered key and a ciphertext pool per LWE dimension, and survives
+// individual run failures — only Close stops it.
+func (s *Shared) worker() {
+	defer s.wg.Done()
+	engines := make(map[int64]*gate.Engine)
+	pools := make(map[int]*ciphertextPool)
+	for {
+		t, ok := s.q.pop()
+		if !ok {
+			return
+		}
+		r := t.run
+		if r.aborted.Load() {
+			continue
+		}
+		dim := r.key.ck.Params.LWEDimension
+		pool := pools[dim]
+		if pool == nil {
+			pool = &ciphertextPool{dim: dim}
+			pools[dim] = pool
+		}
+		eng := engines[r.key.id]
+		if eng == nil {
+			eng = gate.NewEngine(r.key.ck)
+			engines[r.key.id] = eng
+		}
+
+		g := r.nl.Gates[t.gi]
+		id := r.nl.GateID(int(t.gi))
+		out := pool.get()
+		start := time.Now()
+		if err := eng.Binary(g.Kind, out, r.values[g.A], r.values[g.B]); err != nil {
+			pool.put(out)
+			r.abort(fmt.Errorf("backend: gate %d: %w", id, err))
+			continue
+		}
+		// Publish the result, then wake children: the queue's mutex orders
+		// the write to values[id] before any child's read of it.
+		r.values[id] = out
+		for _, child := range r.children[id] {
+			if atomic.AddInt32(&r.pending[child], -1) == 0 {
+				s.q.push(r, child, r.prio[child])
+			}
+		}
+		s.release(r, g.A, pool)
+		s.release(r, g.B, pool)
+		atomic.AddInt64(&s.busyNs, int64(time.Since(start)))
+		atomic.AddInt64(&s.gatesDone, 1)
+		if g.Kind.NeedsBootstrap() {
+			atomic.AddInt64(&s.bootsDone, 1)
+		}
+		if atomic.AddInt32(&r.done, 1) == r.nGates {
+			r.finish(nil)
+		}
+	}
+}
+
+// release drops one fan-out reference to a node; the last reader returns
+// the ciphertext to the releasing worker's pool. Inputs belong to the
+// caller and are never recycled; outputs hold a FanOut reference until
+// collectOutputs reads them.
+func (s *Shared) release(r *sharedRun, id circuit.NodeID, pool *ciphertextPool) {
+	if id <= 0 || r.nl.IsInput(id) {
+		return
+	}
+	if atomic.AddInt32(&r.refs[id], -1) == 0 {
+		pool.put(r.values[id])
+		r.values[id] = nil
+	}
+}
+
+// sharedTask is one ready gate of one in-flight submission.
+type sharedTask struct {
+	run  *sharedRun
+	gi   int32
+	prio int64
+	seq  uint64
+}
+
+// sharedQueue is the blocking cross-run ready set: a max-heap on the
+// gate's remaining critical-path depth, arrival order breaking ties so no
+// tenant starves. finish wakes all workers for shutdown.
+type sharedQueue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items []sharedTask
+	seq   uint64
+	done  bool
+}
+
+func newSharedQueue() *sharedQueue {
+	q := &sharedQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *sharedQueue) push(r *sharedRun, gi int32, prio int64) {
+	q.mu.Lock()
+	q.seq++
+	q.items = append(q.items, sharedTask{run: r, gi: gi, prio: prio, seq: q.seq})
+	q.up(len(q.items) - 1)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+func (q *sharedQueue) pop() (sharedTask, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.done {
+			return sharedTask{}, false
+		}
+		if len(q.items) > 0 {
+			top := q.items[0]
+			last := len(q.items) - 1
+			q.items[0] = q.items[last]
+			q.items[last] = sharedTask{} // release the run pointer
+			q.items = q.items[:last]
+			if last > 0 {
+				q.down(0)
+			}
+			return top, true
+		}
+		q.cond.Wait()
+	}
+}
+
+func (q *sharedQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+func (q *sharedQueue) finish() {
+	q.mu.Lock()
+	q.done = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+func (q *sharedQueue) less(i, j int) bool {
+	if q.items[i].prio != q.items[j].prio {
+		return q.items[i].prio > q.items[j].prio
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+
+func (q *sharedQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *sharedQueue) down(i int) {
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && q.less(l, best) {
+			best = l
+		}
+		if r < n && q.less(r, best) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		q.items[i], q.items[best] = q.items[best], q.items[i]
+		i = best
+	}
+}

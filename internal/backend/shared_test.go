@@ -1,0 +1,146 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pytfhe/internal/params"
+	"pytfhe/internal/tfhe/boot"
+	"pytfhe/internal/trand"
+)
+
+// secondKeys generates a distinct tenant key pair, so Shared tests exercise
+// cross-key engine caching rather than a single shared key.
+var (
+	secondOnce sync.Once
+	secondSK   *boot.SecretKey
+	secondCK   *boot.CloudKey
+)
+
+func keys2(t testing.TB) (*boot.SecretKey, *boot.CloudKey) {
+	secondOnce.Do(func() {
+		rng := trand.NewSeeded([]byte("backend-test-keys-tenant2"))
+		sk, ck, err := boot.GenerateKeys(params.Test(), rng)
+		if err != nil {
+			panic(err)
+		}
+		secondSK, secondCK = sk, ck
+	})
+	return secondSK, secondCK
+}
+
+// TestSharedMatchesSingle runs concurrent submissions from two tenants
+// (distinct cloud keys) on one Shared worker set and checks every result
+// against the single-core reference under the matching key.
+func TestSharedMatchesSingle(t *testing.T) {
+	sk1, ck1 := keys(t)
+	sk2, ck2 := keys2(t)
+	nl := adder4(t)
+
+	ex := NewShared(3)
+	defer ex.Close()
+	k1, err := ex.RegisterKey(ck1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := ex.RegisterKey(ck2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type tenant struct {
+		sk  *boot.SecretKey
+		key *SharedKey
+	}
+	tenants := []tenant{{sk1, k1}, {sk2, k2}, {sk1, k1}, {sk2, k2}}
+	cases := [][2]uint64{{3, 5}, {15, 15}, {0, 9}, {7, 12}}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(tenants))
+	for i, tn := range tenants {
+		wg.Add(1)
+		go func(i int, tn tenant) {
+			defer wg.Done()
+			tc := cases[i]
+			in := append(bitsOf(tc[0], 4), bitsOf(tc[1], 4)...)
+			outs, err := ex.Submit(context.Background(), tn.key, nl, EncryptInputs(tn.sk, in))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if got := uintOf(DecryptOutputs(tn.sk, outs)); got != tc[0]+tc[1] {
+				t.Errorf("tenant %d: %d+%d = %d on shared executor", i, tc[0], tc[1], got)
+			}
+		}(i, tn)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("tenant %d: %v", i, err)
+		}
+	}
+
+	st := ex.Stats()
+	if st.Submits != 4 || st.Gates == 0 || st.Bootstraps == 0 || st.InFlight != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestSharedContextCancel checks a submission aborts promptly when its
+// context is cancelled and the executor survives to serve later work.
+func TestSharedContextCancel(t *testing.T) {
+	sk, ck := keys(t)
+	nl := adder4(t)
+	ex := NewShared(1)
+	defer ex.Close()
+	key, err := ex.RegisterKey(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: the run must not start from scratch and hang
+	in := append(bitsOf(1, 4), bitsOf(2, 4)...)
+	if _, err := ex.Submit(ctx, key, nl, EncryptInputs(sk, in)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled submit: err = %v, want context.Canceled", err)
+	}
+
+	outs, err := ex.Submit(context.Background(), key, nl, EncryptInputs(sk, in))
+	if err != nil {
+		t.Fatalf("executor unusable after cancel: %v", err)
+	}
+	if got := uintOf(DecryptOutputs(sk, outs)); got != 3 {
+		t.Fatalf("1+2 = %d after cancel", got)
+	}
+}
+
+// TestSharedCloseFailsInFlight checks Close aborts pending submissions
+// with ErrExecutorClosed rather than leaving them blocked.
+func TestSharedCloseFailsInFlight(t *testing.T) {
+	sk, ck := keys(t)
+	nl := adder4(t)
+	ex := NewShared(1)
+	key, err := ex.RegisterKey(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in := EncryptInputs(sk, bitsOf(0x35, 8))
+	done := make(chan error, 1)
+	go func() {
+		_, err := ex.Submit(context.Background(), key, nl, in)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the run enter the queue
+	ex.Close()
+	err = <-done
+	if err != nil && !errors.Is(err, ErrExecutorClosed) {
+		t.Fatalf("in-flight submit after Close: %v", err)
+	}
+	if _, err := ex.Submit(context.Background(), key, nl, in); !errors.Is(err, ErrExecutorClosed) {
+		t.Fatalf("submit after Close: err = %v, want ErrExecutorClosed", err)
+	}
+}

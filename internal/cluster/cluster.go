@@ -23,7 +23,21 @@ import (
 	"pytfhe/internal/tfhe/boot"
 	"pytfhe/internal/tfhe/gate"
 	"pytfhe/internal/tfhe/lwe"
+	"pytfhe/internal/wire"
 )
+
+func init() { wire.Register() }
+
+// ErrWorkerLost marks a worker that died mid-run (connection error or a
+// missed per-job read deadline). The coordinator drops the worker and
+// requeues its batch onto the survivors; the error only surfaces when no
+// workers remain.
+var ErrWorkerLost = errors.New("cluster: worker lost")
+
+// DefaultJobTimeout is the per-job read deadline when Coordinator.JobTimeout
+// is left zero: generous enough for a wide default128 wavefront batch, small
+// enough that a hung worker cannot stall a run forever.
+const DefaultJobTimeout = 2 * time.Minute
 
 // GateTask ships one gate evaluation: the gate kind and its two input
 // ciphertexts.
@@ -61,13 +75,14 @@ type JobResult struct {
 
 // Stats summarizes a distributed run.
 type Stats struct {
-	Workers    int
-	Slots      int
-	Levels     int
-	Gates      int
-	Bootstraps int
-	Elapsed    time.Duration
-	BytesSent  int64 // ciphertext payload shipped to workers (estimate)
+	Workers     int
+	Slots       int
+	Levels      int
+	Gates       int
+	Bootstraps  int
+	WorkersLost int // workers dropped mid-run (batches requeued on survivors)
+	Elapsed     time.Duration
+	BytesSent   int64 // ciphertext payload shipped to workers (estimate)
 }
 
 // Coordinator owns the listening socket and the connected workers.
@@ -77,6 +92,10 @@ type Coordinator struct {
 	mu       sync.Mutex
 	workers  []*workerConn
 	LastStat Stats
+	// JobTimeout is the per-job read deadline; a worker that does not
+	// answer a job within it is declared lost and its batch is requeued on
+	// the survivors. Zero means DefaultJobTimeout.
+	JobTimeout time.Duration
 }
 
 type workerConn struct {
@@ -135,6 +154,21 @@ func (c *Coordinator) workerCount() int {
 	return len(c.workers)
 }
 
+// dropWorker removes a dead worker from the roster and closes its
+// connection; subsequent dispatch rounds no longer see it.
+func (c *Coordinator) dropWorker(w *workerConn) {
+	c.mu.Lock()
+	for i, cur := range c.workers {
+		if cur == w {
+			c.workers = append(c.workers[:i], c.workers[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+	//lint:ignore discarded-error evicting a dead worker; the close error carries no information
+	w.conn.Close()
+}
+
 // Close shuts down the coordinator and asks workers to exit. Teardown
 // continues past individual failures; every error is reported, joined.
 func (c *Coordinator) Close() error {
@@ -183,66 +217,114 @@ func (c *Coordinator) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sam
 	}
 
 	stats := Stats{Workers: len(workers), Slots: totalSlots, Gates: len(nl.Gates)}
+	for _, g := range nl.Gates {
+		if g.Kind.NeedsBootstrap() {
+			stats.Bootstraps++
+		}
+	}
 	ctBytes := int64(c.ck.Params.CiphertextBytes())
+	jobTimeout := c.JobTimeout
+	if jobTimeout <= 0 {
+		jobTimeout = DefaultJobTimeout
+	}
 	levels := nl.Levels()
 	stats.Levels = len(levels)
 	seq := 0
 	for _, level := range levels {
-		// Partition the level's gates across workers proportionally to
-		// their slot counts.
-		parts := partition(level, workers)
-		type reply struct {
-			wi   int
-			res  *JobResult
-			err  error
-			part []int
-		}
-		ch := make(chan reply, len(workers))
-		launched := 0
-		for wi, part := range parts {
-			if len(part) == 0 {
-				continue
+		// Dispatch the level, requeueing any lost worker's batch onto the
+		// survivors until every gate of the wavefront has a result. The
+		// run only fails once no workers remain (or a worker reports an
+		// application error, which no retry would fix).
+		remaining := level
+		for len(remaining) > 0 {
+			c.mu.Lock()
+			workers = append(workers[:0:0], c.workers...)
+			c.mu.Unlock()
+			if len(workers) == 0 {
+				return nil, fmt.Errorf("cluster: no workers left for level batch of %d gates: %w", len(remaining), ErrWorkerLost)
 			}
-			launched++
-			tasks := make([]GateTask, len(part))
-			for ti, gi := range part {
-				g := nl.Gates[gi]
-				tasks[ti] = GateTask{Kind: uint8(g.Kind), A: values[g.A], B: values[g.B]}
-				stats.BytesSent += 3 * ctBytes
-				if g.Kind.NeedsBootstrap() {
-					stats.Bootstraps++
+			// Partition the batch across live workers proportionally to
+			// their slot counts.
+			parts := partition(remaining, workers)
+			type reply struct {
+				w    *workerConn
+				res  *JobResult
+				err  error
+				lost bool
+				part []int
+			}
+			ch := make(chan reply, len(workers))
+			launched := 0
+			for wi, part := range parts {
+				if len(part) == 0 {
+					continue
+				}
+				launched++
+				tasks := make([]GateTask, len(part))
+				for ti, gi := range part {
+					g := nl.Gates[gi]
+					tasks[ti] = GateTask{Kind: uint8(g.Kind), A: values[g.A], B: values[g.B]}
+					stats.BytesSent += 3 * ctBytes
+				}
+				go func(w *workerConn, wi, seq int, tasks []GateTask, part []int) {
+					if err := w.enc.Encode(Message{Job: &Job{Seq: seq, Tasks: tasks}}); err != nil {
+						ch <- reply{w: w, lost: true, part: part,
+							err: fmt.Errorf("cluster: send to worker %d: %w", wi, err)}
+						return
+					}
+					// The per-job read deadline turns a hung or silently
+					// dead worker into a detectable loss instead of a
+					// coordinator that blocks forever. A connection that
+					// cannot take a deadline is already broken: same loss.
+					if err := w.conn.SetReadDeadline(time.Now().Add(jobTimeout)); err != nil {
+						ch <- reply{w: w, lost: true, part: part,
+							err: fmt.Errorf("cluster: worker %d deadline: %w", wi, err)}
+						return
+					}
+					var msg Message
+					err := w.dec.Decode(&msg)
+					if cerr := w.conn.SetReadDeadline(time.Time{}); err == nil && cerr != nil {
+						err = fmt.Errorf("cluster: worker %d clear deadline: %w", wi, cerr)
+					}
+					if err != nil {
+						ch <- reply{w: w, lost: true, part: part,
+							err: fmt.Errorf("cluster: receive from worker %d: %w", wi, err)}
+						return
+					}
+					if msg.Error != "" {
+						ch <- reply{w: w, err: fmt.Errorf("cluster: worker %d: %s", wi, msg.Error)}
+						return
+					}
+					if msg.Result == nil || len(msg.Result.Outputs) != len(tasks) {
+						ch <- reply{w: w, lost: true, part: part,
+							err: fmt.Errorf("cluster: worker %d returned malformed result", wi)}
+						return
+					}
+					ch <- reply{w: w, res: msg.Result, part: part}
+				}(workers[wi], wi, seq, tasks, part)
+			}
+			seq++
+			var retry []int
+			var appErr error
+			for i := 0; i < launched; i++ {
+				r := <-ch
+				switch {
+				case r.lost:
+					c.dropWorker(r.w)
+					stats.WorkersLost++
+					retry = append(retry, r.part...)
+				case r.err != nil:
+					appErr = r.err
+				default:
+					for ti, gi := range r.part {
+						values[nl.GateID(gi)] = r.res.Outputs[ti]
+					}
 				}
 			}
-			go func(w *workerConn, wi, seq int, tasks []GateTask, part []int) {
-				if err := w.enc.Encode(Message{Job: &Job{Seq: seq, Tasks: tasks}}); err != nil {
-					ch <- reply{wi: wi, err: fmt.Errorf("cluster: send to worker %d: %w", wi, err)}
-					return
-				}
-				var msg Message
-				if err := w.dec.Decode(&msg); err != nil {
-					ch <- reply{wi: wi, err: fmt.Errorf("cluster: receive from worker %d: %w", wi, err)}
-					return
-				}
-				if msg.Error != "" {
-					ch <- reply{wi: wi, err: fmt.Errorf("cluster: worker %d: %s", wi, msg.Error)}
-					return
-				}
-				if msg.Result == nil || len(msg.Result.Outputs) != len(tasks) {
-					ch <- reply{wi: wi, err: fmt.Errorf("cluster: worker %d returned malformed result", wi)}
-					return
-				}
-				ch <- reply{wi: wi, res: msg.Result, part: part}
-			}(workers[wi], wi, seq, tasks, part)
-		}
-		seq++
-		for i := 0; i < launched; i++ {
-			r := <-ch
-			if r.err != nil {
-				return nil, r.err
+			if appErr != nil {
+				return nil, appErr
 			}
-			for ti, gi := range r.part {
-				values[nl.GateID(gi)] = r.res.Outputs[ti]
-			}
+			remaining = retry
 		}
 	}
 

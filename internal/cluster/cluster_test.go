@@ -3,9 +3,11 @@ package cluster
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"pytfhe/internal/backend"
 	"pytfhe/internal/circuit"
@@ -216,10 +218,79 @@ func TestWorkerDisconnectSurfacesError(t *testing.T) {
 	sk := testSK
 	nl := adder4()
 	in := backend.EncryptInputs(sk, bitsOf(1, 8))
-	if _, err := coord.Run(nl, in); err == nil {
+	_, err = coord.Run(nl, in)
+	if err == nil {
 		t.Fatal("coordinator should report the dropped worker")
 	}
+	if !errors.Is(err, ErrWorkerLost) {
+		t.Fatalf("err = %v, want ErrWorkerLost (no surviving workers)", err)
+	}
 	<-done
+}
+
+// deadAfterFirstJob joins the cluster as a well-behaved worker, then drops
+// the connection the moment its first job arrives — a worker crashing
+// mid-run.
+func deadAfterFirstJob(t *testing.T, addr string) <-chan struct{} {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return
+		}
+		enc := gob.NewEncoder(conn)
+		dec := gob.NewDecoder(conn)
+		if err := enc.Encode(Message{Hello: &Hello{Slots: 1}}); err != nil {
+			return
+		}
+		var key Message
+		if err := dec.Decode(&key); err != nil {
+			return
+		}
+		var job Message
+		_ = dec.Decode(&job)
+		conn.Close()
+	}()
+	return done
+}
+
+// TestWorkerLostMidRunRequeues kills one of two workers mid-run and checks
+// that the coordinator requeues the dead worker's batch onto the survivor
+// and still produces the right sum, rather than blocking forever or
+// failing the run.
+func TestWorkerLostMidRunRequeues(t *testing.T) {
+	sk, ck := keys(t)
+	coord, err := NewCoordinator(ck, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	coord.JobTimeout = 10 * time.Second
+
+	go func() { _ = NewWorker(1).Serve(coord.Addr()) }()
+	dead := deadAfterFirstJob(t, coord.Addr())
+	if err := coord.AcceptWorkers(2); err != nil {
+		t.Fatal(err)
+	}
+
+	nl := adder4()
+	in := append(bitsOf(9, 4), bitsOf(6, 4)...)
+	outs, err := coord.Run(nl, backend.EncryptInputs(sk, in))
+	if err != nil {
+		t.Fatalf("run with one dead worker: %v", err)
+	}
+	if got := uintOf(backend.DecryptOutputs(sk, outs)); got != 15 {
+		t.Fatalf("9+6 = %d after requeue", got)
+	}
+	<-dead
+	if coord.workerCount() != 1 {
+		t.Fatalf("dead worker still on the roster: %d workers", coord.workerCount())
+	}
+	if coord.LastStat.WorkersLost != 1 {
+		t.Fatalf("stats.WorkersLost = %d, want 1", coord.LastStat.WorkersLost)
+	}
 }
 
 // TestKeyBroadcastSize sanity-checks that the broadcast cloud key is the

@@ -118,3 +118,33 @@ func TestGenerateKeysValidatesParams(t *testing.T) {
 		t.Fatal("invalid parameters accepted")
 	}
 }
+
+// TestMessageRoundTrip checks EncryptMessage/DecryptMessage across message
+// space sizes, including negative messages (which wrap to their canonical
+// residue mod msize) and the m == msize boundary (which wraps to 0).
+func TestMessageRoundTrip(t *testing.T) {
+	kp := keyPair(t)
+	for _, msize := range []int32{2, 4, 8, 16, 64} {
+		messages := []int32{0, 1, msize / 2, msize - 1, msize, msize + 1, -1, -2, -msize}
+		for _, m := range messages {
+			want := ((m % msize) + msize) % msize
+			ct := kp.EncryptMessage(m, msize)
+			if got := kp.DecryptMessage(ct, msize); got != want {
+				t.Errorf("msize %d: message %d decrypted to %d, want %d", msize, m, got, want)
+			}
+		}
+	}
+}
+
+// TestMessageSlotsDistinct checks every slot of the largest supported test
+// message space decodes to itself — fresh noise stays within half a slot.
+func TestMessageSlotsDistinct(t *testing.T) {
+	kp := keyPair(t)
+	const msize = 64
+	for m := int32(0); m < msize; m++ {
+		ct := kp.EncryptMessage(m, msize)
+		if got := kp.DecryptMessage(ct, msize); got != m {
+			t.Errorf("slot %d decoded as %d", m, got)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// RunDaemon parses daemon flags, starts a Server, and blocks until
+// SIGTERM/SIGINT triggers a graceful drain: stop accepting, finish
+// in-flight evaluations, then exit. It backs both `pytfhed` and
+// `pytfhe serve`.
+func RunDaemon(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pytfhed", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7701", "TCP listen address (port 0 picks a free port)")
+	workers := fs.Int("workers", 0, "executor worker goroutines (0: NumCPU)")
+	maxConc := fs.Int("max-concurrent", 0, "evaluations running at once (0: 2x workers)")
+	queue := fs.Int("queue", 0, "admission queue bound beyond max-concurrent (0: 64)")
+	timeout := fs.Duration("timeout", 0, "default per-request evaluation timeout (0: 5m)")
+	drainT := fs.Duration("drain-timeout", time.Minute, "grace period for in-flight work on shutdown")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := New(Config{
+		Workers:        *workers,
+		MaxConcurrent:  *maxConc,
+		QueueCap:       *queue,
+		DefaultTimeout: *timeout,
+	})
+	if err := srv.Start(*listen); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "pytfhed: serving on %s (workers=%d, max-concurrent=%d, queue=%d)\n",
+		srv.Addr(), srv.cfg.Workers, srv.cfg.MaxConcurrent, srv.cfg.QueueCap)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
+			srv.Close()
+			return err
+		}
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	sig := <-sigCh
+	signal.Stop(sigCh)
+	fmt.Fprintf(stdout, "pytfhed: %v — draining (grace %v)\n", sig, *drainT)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		return fmt.Errorf("pytfhed: drain cut short: %w", err)
+	}
+	fmt.Fprintln(stdout, "pytfhed: drained, exiting")
+	return nil
+}

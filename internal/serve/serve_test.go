@@ -1,0 +1,416 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pytfhe/internal/backend"
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/core"
+	"pytfhe/internal/params"
+	"pytfhe/internal/tfhe/boot"
+	"pytfhe/internal/trand"
+)
+
+// Two tenant key pairs, generated once (test parameters, seeded).
+var (
+	keyOnce sync.Once
+	tenants [2]*core.KeyPair
+)
+
+func tenantKeys(t testing.TB) [2]*core.KeyPair {
+	t.Helper()
+	keyOnce.Do(func() {
+		for i, seed := range []string{"serve-tenant-0", "serve-tenant-1"} {
+			rng := trand.NewSeeded([]byte(seed))
+			sk, ck, err := boot.GenerateKeys(params.Test(), rng)
+			if err != nil {
+				panic(err)
+			}
+			tenants[i] = &core.KeyPair{Secret: sk, Cloud: ck}
+		}
+	})
+	return tenants
+}
+
+// adderProg and xor4Prog are the distinct serving workloads.
+func adderProg(t testing.TB, width int) *core.Program {
+	t.Helper()
+	b := circuit.NewBuilder(fmt.Sprintf("adder%d", width), circuit.AllOptimizations())
+	a := b.Inputs("a", width)
+	bb := b.Inputs("b", width)
+	carry := b.Const(false)
+	for i := 0; i < width; i++ {
+		axb := b.Xor(a[i], bb[i])
+		b.Output("s", b.Xor(axb, carry))
+		carry = b.Or(b.And(a[i], bb[i]), b.And(axb, carry))
+	}
+	b.Output("cout", carry)
+	return compile(t, b)
+}
+
+func adder4Prog(t testing.TB) *core.Program { return adderProg(t, 4) }
+
+func xor4Prog(t testing.TB) *core.Program {
+	t.Helper()
+	b := circuit.NewBuilder("xor4", circuit.AllOptimizations())
+	a := b.Inputs("a", 4)
+	bb := b.Inputs("b", 4)
+	for i := 0; i < 4; i++ {
+		b.Output("x", b.Xor(b.Nand(a[i], a[i]), bb[i]))
+	}
+	return compile(t, b)
+}
+
+func compile(t testing.TB, b *circuit.Builder) *core.Program {
+	t.Helper()
+	prog, err := core.Compile(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func bitsOf(v uint64, n int) []bool {
+	bits := make([]bool, n)
+	for i := range bits {
+		bits[i] = v>>uint(i)&1 == 1
+	}
+	return bits
+}
+
+func uintOf(bits []bool) uint64 {
+	var v uint64
+	for i, b := range bits {
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv := New(cfg)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestServeConcurrentSessions is the acceptance scenario: four concurrent
+// client sessions across two tenants and two distinct programs, every
+// decrypted result checked against a direct core.Run of the same program
+// on a local single-core backend.
+func TestServeConcurrentSessions(t *testing.T) {
+	kps := tenantKeys(t)
+	progs := []*core.Program{adder4Prog(t), xor4Prog(t)}
+	srv := startServer(t, Config{Workers: 3})
+
+	type sessionCase struct {
+		kp   *core.KeyPair
+		prog *core.Program
+		vals [2]uint64
+	}
+	sessions := []sessionCase{
+		{kps[0], progs[0], [2]uint64{5, 9}},
+		{kps[1], progs[0], [2]uint64{15, 15}},
+		{kps[0], progs[1], [2]uint64{0xA, 0x3}},
+		{kps[1], progs[1], [2]uint64{0x5, 0xF}},
+	}
+
+	var wg sync.WaitGroup
+	for i, sc := range sessions {
+		wg.Add(1)
+		go func(i int, sc sessionCase) {
+			defer wg.Done()
+			cl, err := Dial(srv.Addr())
+			if err != nil {
+				t.Errorf("session %d: %v", i, err)
+				return
+			}
+			defer cl.Close()
+			info, err := cl.RegisterProgram(sc.prog.Binary)
+			if err != nil {
+				t.Errorf("session %d register: %v", i, err)
+				return
+			}
+			if _, err := cl.OpenSession(sc.kp.Cloud); err != nil {
+				t.Errorf("session %d open: %v", i, err)
+				return
+			}
+			in := append(bitsOf(sc.vals[0], 4), bitsOf(sc.vals[1], 4)...)
+			outs, err := cl.Evaluate(info.Hash, sc.kp.EncryptBits(in))
+			if err != nil {
+				t.Errorf("session %d evaluate: %v", i, err)
+				return
+			}
+			got := sc.kp.DecryptBits(outs)
+
+			// Reference: a direct core.Run of the same program, same key.
+			refOuts, err := core.Run(sc.prog, backend.NewSingle(sc.kp.Cloud), sc.kp.EncryptBits(in))
+			if err != nil {
+				t.Errorf("session %d reference run: %v", i, err)
+				return
+			}
+			want := sc.kp.DecryptBits(refOuts)
+			if uintOf(got) != uintOf(want) {
+				t.Errorf("session %d (%s): served %#x, direct core.Run %#x",
+					i, sc.prog.Name, uintOf(got), uintOf(want))
+			}
+		}(i, sc)
+	}
+	wg.Wait()
+
+	// The registry deduplicated: 4 sessions, 2 programs, every eval counted.
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Programs != 2 || st.Sessions != 4 || st.Evaluations != 4 {
+		t.Fatalf("stats = %+v, want 2 programs, 4 sessions, 4 evaluations", st)
+	}
+	var hits int64
+	for _, h := range st.PerProgram {
+		hits += h
+	}
+	if hits != 4 {
+		t.Fatalf("per-program hits sum to %d, want 4", hits)
+	}
+}
+
+// TestServeRegistryAdmission checks malformed binaries are rejected at
+// registration and re-registering is a cache hit.
+func TestServeRegistryAdmission(t *testing.T) {
+	prog := adder4Prog(t)
+	srv := startServer(t, Config{Workers: 1})
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.RegisterProgram([]byte("not a pytfhe binary")); !errors.Is(err, ErrRejected) {
+		t.Fatalf("garbage register: err = %v, want ErrRejected", err)
+	}
+	info, err := cl.RegisterProgram(prog.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Cached {
+		t.Fatal("first registration reported as cached")
+	}
+	again, err := cl.RegisterProgram(prog.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.Hash != info.Hash {
+		t.Fatalf("re-registration: cached=%v hash match=%v", again.Cached, again.Hash == info.Hash)
+	}
+
+	// Evaluating an unregistered hash is a typed failure.
+	if _, err := cl.OpenSession(tenantKeys(t)[0].Cloud); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Evaluate("deadbeef", nil); !errors.Is(err, ErrUnknownProgram) {
+		t.Fatalf("unknown hash: err = %v, want ErrUnknownProgram", err)
+	}
+	// Evaluating before OpenSession is too.
+	cl2, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	if _, err := cl2.Evaluate(info.Hash, nil); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("no session: err = %v, want ErrNoSession", err)
+	}
+}
+
+// TestServeBackpressure saturates a deliberately tiny admission queue and
+// checks the server sheds load with ErrOverloaded instead of queueing
+// without bound, then keeps serving afterwards.
+func TestServeBackpressure(t *testing.T) {
+	kp := tenantKeys(t)[0]
+	prog := adder4Prog(t)
+	srv := startServer(t, Config{Workers: 1, MaxConcurrent: 1, QueueCap: 1})
+
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	info, err := cl.RegisterProgram(prog.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const burst = 8
+	var overloaded, succeeded atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				t.Errorf("dial %d: %v", i, err)
+				return
+			}
+			defer c.Close()
+			if _, err := c.OpenSession(kp.Cloud); err != nil {
+				t.Errorf("open %d: %v", i, err)
+				return
+			}
+			in := append(bitsOf(uint64(i), 4), bitsOf(3, 4)...)
+			outs, err := c.Evaluate(info.Hash, kp.EncryptBits(in))
+			switch {
+			case errors.Is(err, ErrOverloaded):
+				overloaded.Add(1)
+			case err != nil:
+				t.Errorf("eval %d: %v", i, err)
+			default:
+				succeeded.Add(1)
+				if got := uintOf(kp.DecryptBits(outs)); got != uint64(i)+3 {
+					t.Errorf("eval %d: %d+3 = %d under load", i, i, got)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if overloaded.Load() == 0 {
+		t.Fatalf("no ErrOverloaded out of %d concurrent requests on a 1+1 queue", burst)
+	}
+	if succeeded.Load() == 0 {
+		t.Fatal("every request shed: admission control is rejecting admitted work")
+	}
+	t.Logf("burst %d: %d served, %d shed", burst, succeeded.Load(), overloaded.Load())
+
+	// The shed requests left no residue: the server still serves.
+	if _, err := cl.OpenSession(kp.Cloud); err != nil {
+		t.Fatal(err)
+	}
+	outs, err := cl.Evaluate(info.Hash, kp.EncryptBits(bitsOf(0x21, 8)))
+	if err != nil {
+		t.Fatalf("server wedged after overload burst: %v", err)
+	}
+	if got := uintOf(kp.DecryptBits(outs)); got != 3 {
+		t.Fatalf("1+2 = %d after overload burst", got)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rejected != overloaded.Load() {
+		t.Fatalf("stats.Rejected = %d, clients saw %d", st.Rejected, overloaded.Load())
+	}
+}
+
+// TestServeTimeout checks the per-request deadline fires (queue wait
+// included) as ErrTimeout.
+func TestServeTimeout(t *testing.T) {
+	kp := tenantKeys(t)[0]
+	prog := adder4Prog(t)
+	srv := startServer(t, Config{Workers: 1})
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	info, err := cl.RegisterProgram(prog.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.OpenSession(kp.Cloud); err != nil {
+		t.Fatal(err)
+	}
+	in := kp.EncryptBits(bitsOf(0x42, 8))
+	if _, err := cl.EvaluateTimeout(info.Hash, in, time.Nanosecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("1ns evaluation: err = %v, want ErrTimeout", err)
+	}
+}
+
+// TestServeGracefulDrain starts evaluations, drains the server mid-flight,
+// and checks every in-flight request completes with a correct result while
+// new work is refused.
+func TestServeGracefulDrain(t *testing.T) {
+	kp := tenantKeys(t)[0]
+	// A 16-bit adder is long enough (≈80 bootstraps) that the drain
+	// reliably lands while evaluations are in flight.
+	prog := adderProg(t, 16)
+	srv := startServer(t, Config{Workers: 2})
+
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	info, err := cl.RegisterProgram(prog.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const inflight = 3
+	results := make(chan error, inflight)
+	for i := 0; i < inflight; i++ {
+		c, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.OpenSession(kp.Cloud); err != nil {
+			t.Fatal(err)
+		}
+		go func(i int, c *Client) {
+			defer c.Close()
+			in := append(bitsOf(uint64(i), 16), bitsOf(5, 16)...)
+			outs, err := c.Evaluate(info.Hash, kp.EncryptBits(in))
+			if err != nil {
+				results <- err
+				return
+			}
+			if got := uintOf(kp.DecryptBits(outs)); got != uint64(i)+5 {
+				results <- errors.New("wrong sum under drain")
+				return
+			}
+			results <- nil
+		}(i, c)
+	}
+
+	// Wait until every evaluation has been admitted (or already served):
+	// evals is bumped before the queued decrement, so the sum counts
+	// admissions monotonically. Draining any earlier could bounce a
+	// late-arriving request with ErrDraining.
+	admitted := func() int64 {
+		return atomic.LoadInt64(&srv.evals) + int64(atomic.LoadInt32(&srv.queued))
+	}
+	for deadline := time.Now().Add(60 * time.Second); admitted() < inflight; {
+		if time.Now().After(deadline) {
+			t.Fatal("evaluations never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for i := 0; i < inflight; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("in-flight request during drain: %v", err)
+		}
+	}
+	// The drained server accepts nothing new.
+	if _, err := Dial(srv.Addr()); err == nil {
+		t.Fatal("drained server accepted a new connection")
+	}
+}

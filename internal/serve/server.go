@@ -1,0 +1,439 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pytfhe/internal/backend"
+	"pytfhe/internal/core"
+	"pytfhe/internal/tfhe/boot"
+)
+
+// Config tunes the daemon. Zero values take the documented defaults.
+type Config struct {
+	// Workers is the shared executor's worker-goroutine count
+	// (default runtime.NumCPU()).
+	Workers int
+	// MaxConcurrent caps evaluations running on the executor at once
+	// (default 2×Workers). Requests past it wait in the admission queue.
+	MaxConcurrent int
+	// QueueCap bounds the admission queue: a request arriving when
+	// MaxConcurrent evaluations run and QueueCap more wait is rejected
+	// with ErrOverloaded instead of queueing without bound (default 64).
+	QueueCap int
+	// DefaultTimeout bounds each evaluation, queue wait included
+	// (default 5m; ≤0 keeps the default). EvalRequest.TimeoutMs overrides
+	// it per request.
+	DefaultTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.MaxConcurrent < 1 {
+		c.MaxConcurrent = 2 * c.Workers
+	}
+	if c.QueueCap < 1 {
+		c.QueueCap = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	return c
+}
+
+// programEntry is one registry slot: the compiled program plus its
+// evaluation hit count.
+type programEntry struct {
+	prog *core.Program
+	hits int64 // atomic
+}
+
+// Server is the pytfhed daemon: program registry, session key cache,
+// bounded admission queue, and the shared executor every request runs on.
+type Server struct {
+	cfg   Config
+	exec  *backend.Shared
+	ln    net.Listener
+	start time.Time
+
+	mu       sync.Mutex
+	programs map[string]*programEntry
+	keys     map[string]*backend.SharedKey // cloud-key hash → handle
+	conns    map[net.Conn]struct{}
+
+	slots    chan struct{} // MaxConcurrent evaluation slots
+	queued   int32         // atomic: admitted requests (waiting + running)
+	inflight int32         // atomic: requests holding an evaluation slot
+	sessions uint64        // atomic: sessions opened since start
+	evals    int64         // atomic: completed evaluations
+	rejected int64         // atomic: ErrOverloaded rejections
+	draining int32         // atomic bool
+
+	kickCh chan struct{}  // closed on forced shutdown to unblock slot waiters
+	connWG sync.WaitGroup // connection handler goroutines
+	evalWG sync.WaitGroup // evaluations in flight (response write included)
+}
+
+// New builds a server; call Start to begin listening.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:      cfg,
+		exec:     backend.NewShared(cfg.Workers),
+		start:    time.Now(),
+		programs: make(map[string]*programEntry),
+		keys:     make(map[string]*backend.SharedKey),
+		conns:    make(map[net.Conn]struct{}),
+		slots:    make(chan struct{}, cfg.MaxConcurrent),
+		kickCh:   make(chan struct{}),
+	}
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves connections in the
+// background until Drain or Close.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen: %w", err)
+	}
+	s.ln = ln
+	s.connWG.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.connWG.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed: drain or shutdown
+		}
+		s.mu.Lock()
+		if atomic.LoadInt32(&s.draining) != 0 {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.connWG.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+// handleConn serves one client connection: requests are processed in
+// order, one session key per connection.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.connWG.Done()
+	defer s.dropConn(conn)
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	var session *backend.SharedKey
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // connection closed or broken framing
+		}
+		var resp Response
+		evalStarted := false
+		switch {
+		case req.Bye:
+			return
+		case req.Register != nil:
+			resp = s.handleRegister(req.Register)
+		case req.Open != nil:
+			resp = s.handleOpen(req.Open, &session)
+		case req.Eval != nil:
+			// The evalWG entry covers the response write too, so Drain
+			// never closes a connection under a result in transit.
+			if s.beginEval() {
+				evalStarted = true
+				resp = s.handleEval(session, req.Eval)
+			} else {
+				resp = Response{Err: toWire(ErrDraining)}
+			}
+		case req.Stats != nil:
+			resp = s.handleStats()
+		default:
+			resp = Response{Err: &WireError{Code: codeInternal, Msg: "empty request envelope"}}
+		}
+		err := enc.Encode(resp)
+		if evalStarted {
+			s.evalWG.Done()
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// beginEval claims an evalWG entry unless the server is draining. The
+// re-check after Add closes the race with Drain's flag flip.
+func (s *Server) beginEval() bool {
+	if atomic.LoadInt32(&s.draining) != 0 {
+		return false
+	}
+	s.evalWG.Add(1)
+	if atomic.LoadInt32(&s.draining) != 0 {
+		s.evalWG.Done()
+		return false
+	}
+	return true
+}
+
+func hashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// handleRegister admits a program binary into the registry: lint, strict
+// load, cache under the content hash. Malformed or cyclic netlists are
+// rejected here, before any ciphertext is ever submitted against them.
+func (s *Server) handleRegister(req *RegisterProgram) Response {
+	hash := hashBytes(req.Binary)
+	s.mu.Lock()
+	entry, cached := s.programs[hash]
+	s.mu.Unlock()
+	if !cached {
+		prog, err := core.LoadStrict(req.Binary)
+		if err != nil {
+			return Response{Err: toWire(fmt.Errorf("%w: %v", ErrRejected, err))}
+		}
+		s.mu.Lock()
+		if existing, ok := s.programs[hash]; ok {
+			entry, cached = existing, true // lost a registration race
+		} else {
+			entry = &programEntry{prog: prog}
+			s.programs[hash] = entry
+		}
+		s.mu.Unlock()
+	}
+	st := entry.prog.Stats
+	return Response{Program: &ProgramInfo{
+		Hash:         hash,
+		Name:         entry.prog.Name,
+		Cached:       cached,
+		Inputs:       st.Inputs,
+		Gates:        st.Gates,
+		Bootstrapped: st.Bootstrapped,
+		Outputs:      st.Outputs,
+		Depth:        st.Depth,
+	}}
+}
+
+// handleOpen registers the session's cloud key with the shared executor.
+// Identical keys (by content hash) share one executor handle, so N
+// sessions of the same tenant cost one engine set, not N.
+func (s *Server) handleOpen(req *OpenSession, session **backend.SharedKey) Response {
+	if req.Key == nil {
+		return Response{Err: &WireError{Code: codeInternal, Msg: "open session carried no cloud key"}}
+	}
+	if err := req.Key.Params.Validate(); err != nil {
+		return Response{Err: &WireError{Code: codeInternal, Msg: fmt.Sprintf("bad cloud key: %v", err)}}
+	}
+	keyHash, err := hashKey(req.Key)
+	if err != nil {
+		return Response{Err: &WireError{Code: codeInternal, Msg: err.Error()}}
+	}
+	s.mu.Lock()
+	handle, shared := s.keys[keyHash]
+	s.mu.Unlock()
+	if !shared {
+		h, err := s.exec.RegisterKey(req.Key)
+		if err != nil {
+			return Response{Err: toWire(err)}
+		}
+		s.mu.Lock()
+		if existing, ok := s.keys[keyHash]; ok {
+			handle, shared = existing, true
+		} else {
+			handle = h
+			s.keys[keyHash] = h
+		}
+		s.mu.Unlock()
+	}
+	*session = handle
+	id := atomic.AddUint64(&s.sessions, 1)
+	return Response{Session: &SessionInfo{ID: id, KeyShared: shared}}
+}
+
+// hashKey content-addresses a cloud key by streaming its gob encoding
+// through SHA-256 (no buffering of the ~MB key).
+func hashKey(ck *boot.CloudKey) (string, error) {
+	h := sha256.New()
+	if err := gob.NewEncoder(h).Encode(ck); err != nil {
+		return "", fmt.Errorf("serve: hash cloud key: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// handleEval is the admission-controlled evaluation path: bounded queue,
+// slot acquisition with deadline, then the shared executor.
+func (s *Server) handleEval(session *backend.SharedKey, req *EvalRequest) Response {
+	if session == nil {
+		return Response{Err: toWire(ErrNoSession)}
+	}
+	s.mu.Lock()
+	entry := s.programs[req.ProgramHash]
+	s.mu.Unlock()
+	if entry == nil {
+		return Response{Err: toWire(fmt.Errorf("%w: %.16s…", ErrUnknownProgram, req.ProgramHash))}
+	}
+	prog := entry.prog
+	if len(req.Inputs) != prog.Stats.Inputs {
+		return Response{Err: &WireError{Code: codeInternal,
+			Msg: fmt.Sprintf("program %s takes %d inputs, got %d", prog.Name, prog.Stats.Inputs, len(req.Inputs))}}
+	}
+
+	// Admission: the queue is bounded at MaxConcurrent running plus
+	// QueueCap waiting; past that the request is shed immediately.
+	if n := atomic.AddInt32(&s.queued, 1); int(n) > s.cfg.MaxConcurrent+s.cfg.QueueCap {
+		atomic.AddInt32(&s.queued, -1)
+		atomic.AddInt64(&s.rejected, 1)
+		return Response{Err: toWire(ErrOverloaded)}
+	}
+	defer atomic.AddInt32(&s.queued, -1)
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		return Response{Err: toWire(fmt.Errorf("%w after %v in queue", ErrTimeout, timeout))}
+	case <-s.kickCh:
+		return Response{Err: toWire(ErrDraining)}
+	}
+	atomic.AddInt32(&s.inflight, 1)
+	defer func() {
+		atomic.AddInt32(&s.inflight, -1)
+		<-s.slots
+	}()
+
+	start := time.Now()
+	outs, err := s.exec.Submit(ctx, session, prog.Netlist, req.Inputs)
+	if err != nil {
+		if ctx.Err() != nil {
+			return Response{Err: toWire(fmt.Errorf("%w after %v", ErrTimeout, timeout))}
+		}
+		if errors.Is(err, backend.ErrExecutorClosed) {
+			return Response{Err: toWire(ErrDraining)}
+		}
+		return Response{Err: toWire(err)}
+	}
+	atomic.AddInt64(&entry.hits, 1)
+	atomic.AddInt64(&s.evals, 1)
+	return Response{Eval: &EvalResult{
+		Outputs:   outs,
+		ElapsedMs: time.Since(start).Milliseconds(),
+	}}
+}
+
+func (s *Server) handleStats() Response {
+	ex := s.exec.Stats()
+	s.mu.Lock()
+	per := make(map[string]int64, len(s.programs))
+	for hash, entry := range s.programs {
+		per[hash] = atomic.LoadInt64(&entry.hits)
+	}
+	nProgs := len(s.programs)
+	s.mu.Unlock()
+	queued := atomic.LoadInt32(&s.queued)
+	inflight := atomic.LoadInt32(&s.inflight)
+	depth := int(queued - inflight)
+	if depth < 0 {
+		depth = 0
+	}
+	return Response{Stats: &StatsReply{
+		QueueDepth:    depth,
+		InFlight:      int(inflight),
+		Sessions:      atomic.LoadUint64(&s.sessions),
+		Programs:      nProgs,
+		Evaluations:   atomic.LoadInt64(&s.evals),
+		Rejected:      atomic.LoadInt64(&s.rejected),
+		GatesPerSec:   ex.GatesPerSec(),
+		UptimeMs:      time.Since(s.start).Milliseconds(),
+		PerProgram:    per,
+		ExecutorGates: ex.Gates,
+	}}
+}
+
+// Drain gracefully shuts the server down: stop accepting connections,
+// reject new evaluations with ErrDraining, wait for in-flight evaluations
+// (responses included) to finish — or for ctx to expire — then close all
+// connections and the executor. It returns ctx.Err() when the deadline
+// cut the wait short, nil on a clean drain.
+func (s *Server) Drain(ctx context.Context) error {
+	if !atomic.CompareAndSwapInt32(&s.draining, 0, 1) {
+		s.connWG.Wait()
+		return nil
+	}
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.evalWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Forced shutdown: kick requests still waiting for a slot and
+		// abort in-flight executor submissions, or the connection
+		// handlers below could block for the full request timeout.
+		err = ctx.Err()
+		close(s.kickCh)
+		s.exec.Close()
+	}
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	s.exec.Close()
+	return err
+}
+
+// Close shuts down immediately: in-flight evaluations are aborted by the
+// executor closing under them.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Drain(ctx)
+	if err == context.Canceled {
+		return nil
+	}
+	return err
+}
+
+// Executor exposes the shared executor (tests and the daemon's log line).
+func (s *Server) Executor() *backend.Shared { return s.exec }

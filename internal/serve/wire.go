@@ -1,0 +1,169 @@
+// Package serve implements pytfhed, the persistent multi-tenant FHE
+// evaluation daemon: a gob-framed TCP protocol (the wire style of
+// internal/cluster) over a program registry, per-session cloud keys, a
+// bounded admission queue, and one shared backend executor. Where the CLI
+// pays key distribution and program compilation per invocation, the daemon
+// pays them once per session and once per program hash — the serving-layer
+// analogue of the paper amortizing CUDA-Graph construction across batches
+// and cloud-key broadcast across wavefronts (PAPER.md §IV).
+package serve
+
+import (
+	"errors"
+	"fmt"
+
+	"pytfhe/internal/tfhe/boot"
+	"pytfhe/internal/tfhe/lwe"
+	"pytfhe/internal/wire"
+)
+
+func init() { wire.Register() }
+
+// Typed request failures. The wire carries a stable code for each; the
+// client rehydrates them so callers can classify with errors.Is.
+var (
+	// ErrOverloaded: the bounded admission queue is full. Back off and
+	// retry; the server sheds load instead of queueing without bound.
+	ErrOverloaded = errors.New("serve: server overloaded")
+	// ErrUnknownProgram: the program hash was never registered (or the
+	// registry was restarted). Re-register the binary.
+	ErrUnknownProgram = errors.New("serve: unknown program")
+	// ErrNoSession: Evaluate before OpenSession on this connection.
+	ErrNoSession = errors.New("serve: no session key registered")
+	// ErrTimeout: the request exceeded its evaluation deadline (queue wait
+	// included).
+	ErrTimeout = errors.New("serve: evaluation timed out")
+	// ErrDraining: the server is shutting down and admits no new work.
+	ErrDraining = errors.New("serve: server draining")
+	// ErrRejected: the program failed admission linting.
+	ErrRejected = errors.New("serve: program rejected")
+)
+
+// Request is the single client→server envelope; exactly one field is set.
+type Request struct {
+	Register *RegisterProgram
+	Open     *OpenSession
+	Eval     *EvalRequest
+	Stats    *StatsRequest
+	Bye      bool
+}
+
+// RegisterProgram uploads an assembled PyTFHE binary. The server lints it
+// (asm.Lint via core.LoadStrict), compiles it once, and caches it under
+// its content hash; re-registering an already-cached binary is a cheap
+// cache hit.
+type RegisterProgram struct {
+	Binary []byte
+}
+
+// OpenSession registers the client's cloud evaluation key for this
+// connection. The ~MB key upload is paid once here; every subsequent
+// Evaluate on the connection reuses it.
+type OpenSession struct {
+	Key *boot.CloudKey
+}
+
+// EvalRequest submits one encrypted evaluation of a registered program.
+type EvalRequest struct {
+	ProgramHash string
+	Inputs      []*lwe.Sample
+	// TimeoutMs overrides the server's default per-request timeout when
+	// positive.
+	TimeoutMs int64
+}
+
+// StatsRequest asks for a server statistics snapshot.
+type StatsRequest struct{}
+
+// Response is the single server→client envelope; Err is set on failure,
+// otherwise exactly one result field is.
+type Response struct {
+	Program *ProgramInfo
+	Session *SessionInfo
+	Eval    *EvalResult
+	Stats   *StatsReply
+	Err     *WireError
+}
+
+// ProgramInfo describes a registered program.
+type ProgramInfo struct {
+	Hash   string // hex SHA-256 of the binary
+	Name   string
+	Cached bool // true when the hash was already in the registry
+	Inputs, Gates, Bootstrapped, Outputs,
+	Depth int
+}
+
+// SessionInfo acknowledges an opened session.
+type SessionInfo struct {
+	ID        uint64
+	KeyShared bool // true when an identical cloud key was already registered
+}
+
+// EvalResult carries the output ciphertexts of one evaluation.
+type EvalResult struct {
+	Outputs   []*lwe.Sample
+	ElapsedMs int64
+}
+
+// StatsReply is the Stats RPC payload.
+type StatsReply struct {
+	QueueDepth    int // admission queue occupancy (waiting, not running)
+	InFlight      int // evaluations currently executing
+	Sessions      uint64
+	Programs      int
+	Evaluations   int64 // completed evaluations
+	Rejected      int64 // ErrOverloaded rejections
+	GatesPerSec   float64
+	UptimeMs      int64
+	PerProgram    map[string]int64 // hash → evaluation count
+	ExecutorGates int64            // gates evaluated by the shared executor
+}
+
+// WireError is the serialized form of a typed failure.
+type WireError struct {
+	Code string
+	Msg  string
+}
+
+// Stable wire codes for the typed errors.
+const (
+	codeOverloaded     = "overloaded"
+	codeUnknownProgram = "unknown-program"
+	codeNoSession      = "no-session"
+	codeTimeout        = "timeout"
+	codeDraining       = "draining"
+	codeRejected       = "rejected"
+	codeInternal       = "internal"
+)
+
+var errCodes = map[string]error{
+	codeOverloaded:     ErrOverloaded,
+	codeUnknownProgram: ErrUnknownProgram,
+	codeNoSession:      ErrNoSession,
+	codeTimeout:        ErrTimeout,
+	codeDraining:       ErrDraining,
+	codeRejected:       ErrRejected,
+}
+
+// toWire converts a server-side error to its wire form.
+func toWire(err error) *WireError {
+	for code, sentinel := range errCodes {
+		if errors.Is(err, sentinel) {
+			return &WireError{Code: code, Msg: err.Error()}
+		}
+	}
+	return &WireError{Code: codeInternal, Msg: err.Error()}
+}
+
+// Err rehydrates a wire error into one that matches the package sentinels
+// under errors.Is.
+func (w *WireError) Err() error {
+	if sentinel, ok := errCodes[w.Code]; ok {
+		if w.Msg == sentinel.Error() {
+			return sentinel
+		}
+		return fmt.Errorf("%w: %s", sentinel, w.Msg)
+	}
+	return fmt.Errorf("serve: server error: %s", w.Msg)
+}

@@ -1,0 +1,35 @@
+// Package wire centralizes encoding/gob type registration for PyTFHE's
+// network protocols. Both TCP protocols in the tree — the cluster
+// coordinator↔worker link and the pytfhed client↔daemon link — frame their
+// envelopes with gob and ship the same payload types: LWE ciphertexts and
+// the cloud evaluation key. Registration used to be implicit and repeated
+// per connection path; it now happens exactly once per process, from an
+// init() in each protocol package calling Register.
+//
+// The package also pins the serialized ciphertext size. The paper's Fig. 7
+// communication profile charges ≈2.46 KB per ciphertext — (n+1) 4-byte
+// torus elements at n = 630 — and the coordinator's BytesSent accounting
+// relies on params.CiphertextBytes matching that figure. A regression test
+// here keeps both the raw figure and gob's framing overhead honest.
+package wire
+
+import (
+	"encoding/gob"
+	"sync"
+
+	"pytfhe/internal/tfhe/boot"
+	"pytfhe/internal/tfhe/lwe"
+)
+
+var once sync.Once
+
+// Register records every payload type the PyTFHE wire protocols exchange
+// with the gob type registry. It is idempotent and safe to call from any
+// number of packages; cluster and serve both invoke it from init().
+func Register() {
+	once.Do(func() {
+		gob.Register(&lwe.Sample{})
+		gob.Register(&boot.CloudKey{})
+		gob.Register(&boot.SecretKey{})
+	})
+}

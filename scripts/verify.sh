@@ -21,10 +21,41 @@ go build ./...
 # Crypto-safety and concurrency static analysis over the module.
 go run ./cmd/pytfhelint ./...
 
-go test -race ./internal/backend/... ./internal/sched/... ./internal/cluster/...
+go test -race ./internal/backend/... ./internal/sched/... ./internal/cluster/... \
+    ./internal/serve/... ./internal/wire/...
 
 # End-to-end: compile a VIP-Bench kernel and lint the emitted binary.
 tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT
+daemon_pid=
+trap 'if [ -n "$daemon_pid" ]; then kill "$daemon_pid" 2>/dev/null || true; fi; rm -rf "$tmp"' EXIT
 go run ./cmd/pytfhe compile -bench hamming-distance -out "$tmp/prog.ptfhe"
 go run ./cmd/pytfhe lint "$tmp/prog.ptfhe"
+
+# End-to-end serving: start pytfhed on a random port, run one encrypted
+# evaluation through the registry/session/executor path, then drain it
+# with SIGTERM and require a clean exit.
+go build -o "$tmp/pytfhed" ./cmd/pytfhed
+go build -o "$tmp/pytfhe" ./cmd/pytfhe
+"$tmp/pytfhe" keygen -params test -out "$tmp/keys"
+"$tmp/pytfhed" -listen 127.0.0.1:0 -addr-file "$tmp/addr" -workers 2 &
+daemon_pid=$!
+i=0
+while [ ! -s "$tmp/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "pytfhed never wrote its address" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$tmp/addr")
+# Hamming distance of a 64-bit word with itself is zero: 7 output bits,
+# all clear.
+word=1011001110001111000010100110010111010010001101011100101000110111
+out=$("$tmp/pytfhe" eval -server "$addr" -keys "$tmp/keys" \
+    -prog "$tmp/prog.ptfhe" -in "$word$word" | grep '^outputs:')
+[ "$out" = "outputs: 0000000" ]
+"$tmp/pytfhe" server-stats -server "$addr"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+daemon_pid=
