@@ -20,5 +20,8 @@ verify:
 serve-test:
 	go test -race ./internal/serve/... ./internal/wire/... ./internal/backend/...
 
+# Go benchmarks plus the plan capture/replay measurement, which lands as
+# BENCH_PLAN.json — the first point on the replay performance trajectory.
 bench:
 	go test -bench=. -benchmem -run '^$$' .
+	go run ./cmd/experiments -quick -planbench -planout BENCH_PLAN.json

@@ -5,6 +5,7 @@
 package pytfhe_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -281,6 +282,61 @@ func BenchmarkAsyncBackend(b *testing.B) {
 			b.ReportMetric(be.Stats.GatesPerSec, "gates/s")
 			b.ReportMetric(100*be.Stats.Utilization, "util-%")
 			b.ReportMetric(float64(be.Stats.AvgQueueWait.Microseconds()), "qwait-µs")
+		}
+	})
+}
+
+// BenchmarkPlannedReplay compares the capture/replay backend against the
+// dynamic executors on the imbalanced ripple workload: plan replay vs the
+// barrier-free Async executor vs the multi-tenant Shared executor, all at
+// four workers. Gates/s is logical bootstraps per second — the program's
+// effective throughput. The plan backend must report ≥1.2× Async: capture
+// pays the scheduling and the exact functional deduplication once, so
+// replay executes only the netlist's distinct boolean functions (the
+// periodic NAND chains collapse from 168 logical bootstraps to 14).
+func BenchmarkPlannedReplay(b *testing.B) {
+	kp := testKeys(b)
+	nl := rippleImbalanced()
+	bits := make([]bool, nl.NumInputs)
+	boots := float64(nl.ComputeStats().Bootstrapped)
+	const workers = 4
+	b.Run("async-4w", func(b *testing.B) {
+		be := backend.NewAsync(kp.Cloud, workers)
+		for i := 0; i < b.N; i++ {
+			if _, err := be.Run(nl, kp.EncryptBits(bits)); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(be.Stats.GatesPerSec, "gates/s")
+		}
+	})
+	b.Run("shared-4w", func(b *testing.B) {
+		ex := backend.NewShared(workers)
+		defer ex.Close()
+		key, err := ex.RegisterKey(kp.Cloud)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			if _, err := ex.Submit(context.Background(), key, nl, kp.EncryptBits(bits)); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(boots/time.Since(start).Seconds(), "gates/s")
+		}
+	})
+	b.Run("plan-4w", func(b *testing.B) {
+		be := backend.NewPlanned(kp.Cloud, workers)
+		// Warm-up run pays the capture; the timed runs replay the cache.
+		if _, err := be.Run(nl, kp.EncryptBits(bits)); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := be.Run(nl, kp.EncryptBits(bits)); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(be.Stats.GatesPerSec, "gates/s")
+			b.ReportMetric(float64(be.PlanStats.ExecBootstraps), "exec-bootstraps")
 		}
 	})
 }

@@ -4,7 +4,7 @@
 //	pytfhe compile    -bench <vip-bench name> | -mnist S|M|L [-image N] -out prog.ptfhe [-verilog prog.v]
 //	pytfhe inspect    -prog prog.ptfhe [-listing]
 //	pytfhe lint       prog.ptfhe  (or -prog prog.ptfhe)
-//	pytfhe run        -prog prog.ptfhe -keys keys/ -backend plain|single|pool:N|async:N [-sched critical|fifo] [-strict] -in 1011,0110,...
+//	pytfhe run        -prog prog.ptfhe -keys keys/ -backend plain|single|pool:N|async:N|plan:N [-sched critical|fifo] [-strict] -in 1011,0110,...
 //	pytfhe calibrate  -keys keys/ [-samples N]
 //	pytfhe serve      [-listen addr] [-max-concurrent N] [-queue N]   (the pytfhed daemon, in-process)
 //	pytfhe register   -server addr -prog prog.ptfhe
@@ -288,7 +288,7 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	path := fs.String("prog", "", "PyTFHE binary path")
 	keys := fs.String("keys", "keys", "key directory from `pytfhe keygen`")
-	be := fs.String("backend", "auto", "plain, single, pool[:N], async[:N], or auto")
+	be := fs.String("backend", "auto", "plain, single, pool[:N], async[:N], plan[:N], or auto")
 	workers := fs.Int("workers", 1, "worker count for auto/pool/async without an explicit :N")
 	sched := fs.String("sched", "critical", "async ready-queue policy: critical (longest remaining depth first) or fifo")
 	stats := fs.Bool("stats", false, "print executor statistics after the run")
@@ -396,10 +396,10 @@ func parseBackendSpec(s string, workers int) (backendSpec, error) {
 		return backendSpec{kind: "single", workers: 1}, nil
 	case "single":
 		return backendSpec{kind: "single", workers: 1}, nil
-	case "pool", "async":
+	case "pool", "async", "plan":
 		return backendSpec{kind: kind, workers: count}, nil
 	}
-	return backendSpec{}, fmt.Errorf("unknown backend %q (want plain, single, pool[:N], async[:N] or auto)", s)
+	return backendSpec{}, fmt.Errorf("unknown backend %q (want plain, single, pool[:N], async[:N], plan[:N] or auto)", s)
 }
 
 func (bs backendSpec) build(ck *boot.CloudKey) backend.Backend {
@@ -408,6 +408,8 @@ func (bs backendSpec) build(ck *boot.CloudKey) backend.Backend {
 		return backend.NewPool(ck, bs.workers)
 	case "async":
 		return backend.NewAsyncSched(ck, bs.workers, bs.sched)
+	case "plan":
+		return backend.NewPlanned(ck, bs.workers)
 	}
 	return backend.NewSingle(ck)
 }
@@ -422,6 +424,12 @@ func printRunStats(runner backend.Backend) {
 		st = r.Stats
 	case *backend.Async:
 		st = r.Stats
+	case *backend.Planned:
+		st = r.Stats
+		ps := r.PlanStats
+		fmt.Printf("plan:  %d logical bootstraps captured as %d executed (%d levels, %d arena slots), compiled in %v\n",
+			ps.LogicalBootstraps, ps.ExecBootstraps, ps.Levels, ps.ArenaSlots,
+			ps.CompileTime.Round(time.Microsecond))
 	default:
 		return
 	}
@@ -557,7 +565,14 @@ func cmdServerStats(args []string) error {
 	fmt.Printf("evaluations: %d done, %d shed (overloaded), queue depth %d, in flight %d\n",
 		st.Evaluations, st.Rejected, st.QueueDepth, st.InFlight)
 	fmt.Printf("executor: %d gates evaluated, %.1f bootstrapped gates/s\n", st.ExecutorGates, st.GatesPerSec)
+	fmt.Printf("plan cache: %d hits, %d misses — %d replays, %d dynamic fallbacks, arena high water %d ciphertexts\n",
+		st.PlanHits, st.PlanMisses, st.PlanReplays, st.PlanFallbacks, st.ArenaHighWater)
 	for hash, hits := range st.PerProgram {
+		if lat, ok := st.PerProgramLatency[hash]; ok && lat.Samples > 0 {
+			fmt.Printf("  %.16s… %d evaluations, p50 %.1fms, p95 %.1fms\n",
+				hash, hits, lat.P50Ms, lat.P95Ms)
+			continue
+		}
 		fmt.Printf("  %.16s… %d evaluations\n", hash, hits)
 	}
 	return nil

@@ -147,7 +147,7 @@ func TestBackendsAgreeOnRandomCircuits(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, be := range []Backend{NewSingle(ck), NewPool(ck, 3), NewAsync(ck, 3)} {
+		for _, be := range []Backend{NewSingle(ck), NewPool(ck, 3), NewAsync(ck, 3), NewPlanned(ck, 3)} {
 			outs, err := be.Run(nl, EncryptInputs(sk, in))
 			if err != nil {
 				t.Fatalf("%s: %v", be.Name(), err)

@@ -1,0 +1,131 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/plan"
+	"pytfhe/internal/tfhe/boot"
+	"pytfhe/internal/tfhe/gate"
+	"pytfhe/internal/tfhe/lwe"
+)
+
+// Planned is the capture/replay backend — the CPU analogue of the paper's
+// CUDA-Graph batch scheduling. The first Run of a netlist captures it into
+// an immutable execution plan (streamed, so level 0 executes while later
+// levels are still being laid out); every later Run of the same netlist
+// replays the cached plan with no scheduling work at all: no ready heap,
+// no per-gate atomics, no refcounting, and no ciphertext allocations
+// (the arena persists in the runtime).
+//
+// Capture also performs exact functional deduplication, so replay executes
+// only the netlist's distinct boolean functions. Stats reports the
+// *logical* gate and bootstrap counts — GatesPerSec is the program's
+// effective throughput (logical bootstraps per second), the number
+// comparable across backends; PlanStats carries the executed counts.
+type Planned struct {
+	ck      *boot.CloudKey
+	workers int
+	engines []*gate.Engine
+
+	mu    sync.Mutex
+	plans map[*circuit.Netlist]*plan.Plan
+	rt    *plan.Runtime
+
+	Stats     RunStats
+	PlanStats plan.Stats
+}
+
+// NewPlanned returns a capture/replay backend with the given worker count
+// (minimum 1).
+func NewPlanned(ck *boot.CloudKey, workers int) *Planned {
+	if workers < 1 {
+		workers = 1
+	}
+	engines := make([]*gate.Engine, workers)
+	for i := range engines {
+		engines[i] = gate.NewEngine(ck)
+	}
+	return &Planned{
+		ck:      ck,
+		workers: workers,
+		engines: engines,
+		plans:   make(map[*circuit.Netlist]*plan.Plan),
+		rt:      plan.NewRuntime(ck.Params.LWEDimension),
+	}
+}
+
+// Name implements Backend.
+func (p *Planned) Name() string { return fmt.Sprintf("plan-cpu(%d)", p.workers) }
+
+// ArenaHighWater returns the peak number of arena ciphertexts held across
+// all runs.
+func (p *Planned) ArenaHighWater() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rt.HighWater()
+}
+
+// Plan returns the cached plan for nl, compiling it if needed.
+func (p *Planned) Plan(nl *circuit.Netlist) (*plan.Plan, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if cached, ok := p.plans[nl]; ok {
+		return cached, nil
+	}
+	compiled, err := plan.Compile(nl, p.workers)
+	if err != nil {
+		return nil, err
+	}
+	p.plans[nl] = compiled
+	return compiled, nil
+}
+
+// Run implements Backend.
+func (p *Planned) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample, error) {
+	if err := checkInputs(nl, inputs, p.ck.Params.LWEDimension); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	start := time.Now()
+
+	var outs []*lwe.Sample
+	compiled, hit := p.plans[nl]
+	if hit {
+		var err error
+		outs, err = plan.Replay(context.Background(), compiled, p.engines, inputs, p.rt)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Cold path: capture and execute overlapped, then cache the plan.
+		s, err := plan.CompileStream(nl, p.workers)
+		if err != nil {
+			return nil, err
+		}
+		outs, err = plan.ReplayStream(context.Background(), s, p.engines, inputs, p.rt)
+		if err != nil {
+			return nil, err
+		}
+		compiled = s.Plan()
+		p.plans[nl] = compiled
+	}
+
+	st := compiled.Stats()
+	p.PlanStats = st
+	p.Stats = RunStats{
+		Gates:      st.LogicalGates,
+		Bootstraps: st.LogicalBootstraps,
+		Levels:     st.Levels,
+		Elapsed:    time.Since(start),
+		Workers:    p.workers,
+	}
+	if secs := p.Stats.Elapsed.Seconds(); secs > 0 {
+		p.Stats.GatesPerSec = float64(st.LogicalBootstraps) / secs
+	}
+	return outs, nil
+}

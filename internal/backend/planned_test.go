@@ -1,0 +1,144 @@
+package backend
+
+import (
+	"math/rand"
+	"testing"
+
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/logic"
+	"pytfhe/internal/plan"
+)
+
+func TestPlannedBackendHomomorphic(t *testing.T) {
+	sk, ck := keys(t)
+	nl := adder4(t)
+	for _, workers := range []int{1, 2, 4} {
+		be := NewPlanned(ck, workers)
+		for run := 0; run < 2; run++ { // second run replays the cached plan
+			in := append(bitsOf(11, 4), bitsOf(6, 4)...)
+			outs, err := be.Run(nl, EncryptInputs(sk, in))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := uintOf(DecryptOutputs(sk, outs))
+			if got != 17 {
+				t.Fatalf("plan(%d) run %d: 11+6 = %d", workers, run, got)
+			}
+		}
+		if be.Stats.Bootstraps == 0 || be.Stats.GatesPerSec <= 0 {
+			t.Fatalf("plan(%d): stats not recorded: %+v", workers, be.Stats)
+		}
+		if be.PlanStats.ExecBootstraps == 0 || be.PlanStats.ExecBootstraps > be.PlanStats.LogicalBootstraps {
+			t.Fatalf("plan(%d): implausible plan stats: %+v", workers, be.PlanStats)
+		}
+		if hw := be.ArenaHighWater(); hw == 0 || hw > be.PlanStats.ArenaSlots {
+			t.Fatalf("plan(%d): arena high water %d outside (0, %d]", workers, hw, be.PlanStats.ArenaSlots)
+		}
+	}
+}
+
+// TestPlannedAgreesWithDynamicBackends is the cross-backend agreement
+// check for the capture/replay path: Planned at 1, 2 and 4 workers must
+// decrypt bit-identically to Single, Pool and Async on the same netlists.
+func TestPlannedAgreesWithDynamicBackends(t *testing.T) {
+	sk, ck := keys(t)
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 2; trial++ {
+		b := circuit.NewBuilder("rand", circuit.NoOptimizations())
+		nodes := []circuit.NodeID{b.Input("a"), b.Input("b"), b.Input("c"), b.Input("d")}
+		for i := 0; i < 14; i++ {
+			kind := logic.TFHEGates()[rng.Intn(11)]
+			nodes = append(nodes, b.Gate(kind, nodes[rng.Intn(len(nodes))], nodes[rng.Intn(len(nodes))]))
+		}
+		b.Output("o0", nodes[len(nodes)-1])
+		b.Output("o1", nodes[len(nodes)-4])
+		nl := b.MustBuild()
+
+		in := []bool{rng.Intn(2) == 1, rng.Intn(2) == 1, rng.Intn(2) == 1, rng.Intn(2) == 1}
+		var want []bool
+		for _, be := range []Backend{
+			NewSingle(ck), NewPool(ck, 2), NewAsync(ck, 2),
+			NewPlanned(ck, 1), NewPlanned(ck, 2), NewPlanned(ck, 4),
+		} {
+			outs, err := be.Run(nl, EncryptInputs(sk, in))
+			if err != nil {
+				t.Fatalf("%s: %v", be.Name(), err)
+			}
+			got := DecryptOutputs(sk, outs)
+			if want == nil {
+				want = got
+				continue
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s trial %d output %d: got %v want %v", be.Name(), trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPlanLivenessMatchesRefcounting checks the compile-time arena
+// assignment against the invariant the dynamic executors enforce with
+// runtime refcounts: the arena is never larger than the peak number of
+// simultaneously live gate ciphertexts (computed here with the same
+// barrier-granularity refcount walk Pool and Async perform at runtime).
+func TestPlanLivenessMatchesRefcounting(t *testing.T) {
+	nls := []*circuit.Netlist{adder4(t)}
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 3; trial++ {
+		b := circuit.NewBuilder("rand", circuit.NoOptimizations())
+		nodes := []circuit.NodeID{b.Input("a"), b.Input("b"), b.Input("c"), b.Input("d"), b.Input("e")}
+		for i := 0; i < 60; i++ {
+			kind := logic.TFHEGates()[rng.Intn(11)]
+			nodes = append(nodes, b.Gate(kind, nodes[rng.Intn(len(nodes))], nodes[rng.Intn(len(nodes))]))
+		}
+		b.Output("o0", nodes[len(nodes)-1])
+		b.Output("o1", nodes[len(nodes)-7])
+		nls = append(nls, b.MustBuild())
+	}
+	for _, nl := range nls {
+		// Barrier-granularity refcount simulation over the logical netlist:
+		// a gate's ciphertext is live from its level until the level after
+		// its last reader (outputs stay live to the end) — exactly the
+		// executors' release() discipline.
+		remaining := nl.FanOut()
+		live, peak := 0, 0
+		values := make(map[circuit.NodeID]bool)
+		for _, level := range nl.Levels() {
+			for _, gi := range level {
+				values[nl.GateID(gi)] = true
+				live++
+			}
+			if live > peak {
+				peak = live
+			}
+			for _, gi := range level {
+				for _, op := range [2]circuit.NodeID{nl.Gates[gi].A, nl.Gates[gi].B} {
+					if nl.IsInput(op) {
+						continue
+					}
+					remaining[op]--
+					if remaining[op] == 0 && values[op] {
+						values[op] = false
+						live--
+					}
+				}
+			}
+		}
+		for _, workers := range []int{1, 2, 4} {
+			p, err := plan.Compile(nl, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.ArenaSlots() > peak {
+				t.Fatalf("%s w=%d: arena %d exceeds refcounted peak live %d",
+					nl.Name, workers, p.ArenaSlots(), peak)
+			}
+			st := p.Stats()
+			if st.ExecBootstraps > st.LogicalBootstraps {
+				t.Fatalf("%s w=%d: dedup grew the program: %+v", nl.Name, workers, st)
+			}
+		}
+	}
+}

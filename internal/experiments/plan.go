@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"pytfhe/internal/backend"
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/logic"
+	"pytfhe/internal/tfhe/boot"
+	"pytfhe/internal/tfhe/lwe"
+)
+
+// ImbalancedNetlist builds the deep, irregular ripple workload the executor
+// benchmarks share: seven serial NAND chains of unequal depths {30, 30, 30,
+// 30, 30, 12, 6} against one shared operand, with builder optimizations off
+// so the logical gate count is exactly the sum of the depths. Most
+// wavefronts hold five ready gates — one more than four workers — so
+// barriered executors pay a nearly-empty second round per level, while the
+// chains' period-2 ciphertext sequences give the plan backend's exact
+// functional deduplication its best case.
+func ImbalancedNetlist() *circuit.Netlist {
+	b := circuit.NewBuilder("ripple-imbalanced", circuit.NoOptimizations())
+	depths := []int{30, 30, 30, 30, 30, 12, 6}
+	ins := b.Inputs("x", len(depths)+1)
+	for c, depth := range depths {
+		cur := ins[c]
+		for d := 0; d < depth; d++ {
+			cur = b.Gate(logic.NAND, cur, ins[len(depths)])
+		}
+		b.Output("o", cur)
+	}
+	return b.MustBuild()
+}
+
+// PlanBenchReport is one point on the plan-replay performance trajectory:
+// the capture/replay backend against the dynamic executors on the same
+// netlist at the same worker count, plus the capture statistics that explain
+// the gap. Gates/s is logical bootstraps per second — the program's
+// effective throughput, so deduplication counts as speedup. Serialized to
+// BENCH_PLAN.json by `make bench`.
+type PlanBenchReport struct {
+	Netlist           string  `json:"netlist"`
+	Workers           int     `json:"workers"`
+	LogicalGates      int     `json:"logical_gates"`
+	LogicalBootstraps int     `json:"logical_bootstraps"`
+	ExecBootstraps    int     `json:"exec_bootstraps"`
+	Levels            int     `json:"levels"`
+	ArenaSlots        int     `json:"arena_slots"`
+	CompileMs         float64 `json:"compile_ms"`
+	AsyncGatesPerSec  float64 `json:"async_gates_per_sec"`
+	SharedGatesPerSec float64 `json:"shared_gates_per_sec"`
+	PlanGatesPerSec   float64 `json:"plan_gates_per_sec"`
+	// PlanSpeedup is PlanGatesPerSec / AsyncGatesPerSec, the acceptance
+	// metric (must be ≥ 1.2 at 4 workers).
+	PlanSpeedup float64 `json:"plan_speedup_vs_async"`
+}
+
+// PlanBench measures the plan backend against Async and Shared on one
+// netlist. The plan backend runs once untimed to pay the capture, then the
+// timed runs replay the cached plan — the steady state of a server
+// evaluating the same program repeatedly.
+func PlanBench(ck *boot.CloudKey, nl *circuit.Netlist, inputs []*lwe.Sample, workers int) (*PlanBenchReport, error) {
+	boots := float64(nl.ComputeStats().Bootstrapped)
+	r := &PlanBenchReport{Netlist: nl.Name, Workers: workers}
+
+	async := backend.NewAsync(ck, workers)
+	if _, err := async.Run(nl, inputs); err != nil {
+		return nil, fmt.Errorf("experiments: plan bench async(%d): %w", workers, err)
+	}
+	r.AsyncGatesPerSec = async.Stats.GatesPerSec
+
+	shared := backend.NewShared(workers)
+	defer shared.Close()
+	key, err := shared.RegisterKey(ck)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: plan bench shared key: %w", err)
+	}
+	start := time.Now()
+	if _, err := shared.Submit(context.Background(), key, nl, inputs); err != nil {
+		return nil, fmt.Errorf("experiments: plan bench shared(%d): %w", workers, err)
+	}
+	if e := time.Since(start).Seconds(); e > 0 {
+		r.SharedGatesPerSec = boots / e
+	}
+
+	planned := backend.NewPlanned(ck, workers)
+	if _, err := planned.Run(nl, inputs); err != nil { // untimed capture
+		return nil, fmt.Errorf("experiments: plan bench capture(%d): %w", workers, err)
+	}
+	const replays = 3
+	start = time.Now()
+	for i := 0; i < replays; i++ {
+		if _, err := planned.Run(nl, inputs); err != nil {
+			return nil, fmt.Errorf("experiments: plan bench replay(%d): %w", workers, err)
+		}
+	}
+	if e := time.Since(start).Seconds(); e > 0 {
+		r.PlanGatesPerSec = replays * boots / e
+	}
+
+	ps := planned.PlanStats
+	r.LogicalGates = ps.LogicalGates
+	r.LogicalBootstraps = ps.LogicalBootstraps
+	r.ExecBootstraps = ps.ExecBootstraps
+	r.Levels = ps.Levels
+	r.ArenaSlots = ps.ArenaSlots
+	r.CompileMs = float64(ps.CompileTime.Microseconds()) / 1e3
+	if r.AsyncGatesPerSec > 0 {
+		r.PlanSpeedup = r.PlanGatesPerSec / r.AsyncGatesPerSec
+	}
+	return r, nil
+}
+
+// WritePlanBench serializes the report as indented JSON at path.
+func WritePlanBench(path string, r *PlanBenchReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments: marshal plan bench: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RenderPlanBench writes the human-readable form of the report.
+func RenderPlanBench(w io.Writer, r *PlanBenchReport) {
+	fprintf(w, "Plan capture/replay vs dynamic executors on %s (%d workers)\n", r.Netlist, r.Workers)
+	fprintf(w, "  %12s %12s %12s %10s\n", "async", "shared", "plan", "plan/async")
+	fprintf(w, "  %9.1f/s %9.1f/s %9.1f/s %9.2fx\n",
+		r.AsyncGatesPerSec, r.SharedGatesPerSec, r.PlanGatesPerSec, r.PlanSpeedup)
+	fprintf(w, "  capture: %d logical bootstraps → %d executed over %d levels, %d arena slots, compiled in %.1fms\n",
+		r.LogicalBootstraps, r.ExecBootstraps, r.Levels, r.ArenaSlots, r.CompileMs)
+	fprintf(w, "  (gates/s = logical bootstraps per second; deduplication counts as speedup)\n")
+}

@@ -6,14 +6,14 @@ import (
 	"go/types"
 )
 
-// leakedCiphertext verifies acquire/release balance on the refcounted
-// ciphertext recycling pool of the executors (backend.ciphertextPool): a
-// sample obtained with pool.get() must, on every path, either be published
-// into the shared values table (assigned through an index or selector
-// expression), returned to the caller, or handed back with pool.put()
-// before the function returns. An early `return err` that forgets the put
-// leaks one ciphertext per failing gate — exactly the imbalance that turns
-// a long MNIST run into an OOM.
+// leakedCiphertext verifies acquire/release balance on the ciphertext
+// recycling pools of the executors — backend.ciphertextPool and the plan
+// replay arena (plan.arena): a sample obtained with pool.get() must, on
+// every path, either be published into the shared values table (assigned
+// through an index or selector expression), returned to the caller, or
+// handed back with pool.put() before the function returns. An early
+// `return err` that forgets the put leaks one ciphertext per failing gate —
+// exactly the imbalance that turns a long MNIST run into an OOM.
 //
 // The walker is branch-aware but deliberately optimistic: a release on any
 // branch counts as a release, so it only reports paths where no release
@@ -27,25 +27,33 @@ func (*leakedCiphertext) Doc() string {
 }
 
 func (*leakedCiphertext) Match(path string) bool {
-	return pathHasDir(path, "internal/backend")
+	return pathHasDir(path, "internal/backend") || pathHasDir(path, "internal/plan")
 }
 
+// poolTypeNames are the unexported recycling-pool types the analyzer keys
+// on: the dynamic executors' refcounted pool and the plan replay arena.
+var poolTypeNames = []string{"ciphertextPool", "arena"}
+
 func (a *leakedCiphertext) Check(m *Module, pkg *Package) []Finding {
-	pool := pkg.Types.Scope().Lookup("ciphertextPool")
-	if pool == nil {
+	var poolTypes []types.Type
+	for _, name := range poolTypeNames {
+		if pool := pkg.Types.Scope().Lookup(name); pool != nil {
+			poolTypes = append(poolTypes, pool.Type())
+		}
+	}
+	if len(poolTypes) == 0 {
 		return nil
 	}
-	poolType := pool.Type()
 	var findings []Finding
 	for _, f := range pkg.Files {
 		for _, fb := range funcBodies(f) {
 			w := &leakWalker{
-				m:        m,
-				pkg:      pkg,
-				analyzer: a.Name(),
-				fn:       fb.name,
-				poolType: poolType,
-				held:     map[*types.Var]token.Pos{},
+				m:         m,
+				pkg:       pkg,
+				analyzer:  a.Name(),
+				fn:        fb.name,
+				poolTypes: poolTypes,
+				held:      map[*types.Var]token.Pos{},
 			}
 			w.walkBlock(fb.body)
 			// Anything still held when the function body ends fell off the
@@ -61,13 +69,13 @@ func (a *leakedCiphertext) Check(m *Module, pkg *Package) []Finding {
 
 // leakWalker tracks pool-acquired variables through one function body.
 type leakWalker struct {
-	m        *Module
-	pkg      *Package
-	analyzer string
-	fn       string
-	poolType types.Type
-	held     map[*types.Var]token.Pos // acquired, not yet released/published
-	findings []Finding
+	m         *Module
+	pkg       *Package
+	analyzer  string
+	fn        string
+	poolTypes []types.Type
+	held      map[*types.Var]token.Pos // acquired, not yet released/published
+	findings  []Finding
 }
 
 func (w *leakWalker) report(v *types.Var, acquired token.Pos, what string) {
@@ -234,7 +242,7 @@ func (w *leakWalker) dischargeUses(e ast.Expr) {
 	})
 }
 
-// isPoolGet reports whether e is a call to ciphertextPool.get.
+// isPoolGet reports whether e is a get() call on a recycling pool type.
 func (w *leakWalker) isPoolGet(e ast.Expr) bool {
 	call, ok := e.(*ast.CallExpr)
 	if !ok {
@@ -244,13 +252,21 @@ func (w *leakWalker) isPoolGet(e ast.Expr) bool {
 	return ok && sel.Sel.Name == "get" && w.isPoolExpr(sel.X)
 }
 
-// isPoolExpr reports whether e has the ciphertextPool type (or pointer).
+// isPoolExpr reports whether e has a recycling-pool type (or pointer).
 func (w *leakWalker) isPoolExpr(e ast.Expr) bool {
 	t := w.pkg.Info.TypeOf(e)
 	if p, ok := t.(*types.Pointer); ok {
 		t = p.Elem()
 	}
-	return t != nil && types.Identical(t, w.poolType)
+	if t == nil {
+		return false
+	}
+	for _, pt := range w.poolTypes {
+		if types.Identical(t, pt) {
+			return true
+		}
+	}
+	return false
 }
 
 // varOf resolves an identifier to its *types.Var, or nil.

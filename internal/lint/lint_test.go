@@ -34,6 +34,7 @@ func TestFixtureModuleLoads(t *testing.T) {
 		"badmod/internal/tfhe",
 		"badmod/internal/mathutil",
 		"badmod/internal/backend",
+		"badmod/internal/plan",
 	} {
 		if m.Packages[want] == nil {
 			t.Errorf("package %s not loaded", want)
@@ -91,11 +92,19 @@ func TestLockedBootstrapFindings(t *testing.T) {
 func TestLeakedCiphertextFindings(t *testing.T) {
 	m := loadFixture(t)
 	got := findingsFor(Run(m, Analyzers()), "leaked-ciphertext")
-	if len(got) != 1 {
-		t.Fatalf("leaked-ciphertext findings = %d, want 1 (BalancedEval is clean):\n%v", len(got), got)
+	if len(got) != 2 {
+		t.Fatalf("leaked-ciphertext findings = %d, want 2 (pool + arena; BalancedEval and BindSlot are clean):\n%v", len(got), got)
 	}
-	if !strings.Contains(got[0].Message, "out") {
-		t.Fatalf("unexpected message: %s", got[0].Message)
+	var files []string
+	for _, f := range got {
+		if !strings.Contains(f.Message, "out") {
+			t.Fatalf("unexpected message: %s", f.Message)
+		}
+		files = append(files, filepath.Base(f.Pos.Filename))
+	}
+	joined := strings.Join(files, ",")
+	if !strings.Contains(joined, "exec.go") || !strings.Contains(joined, "replay.go") {
+		t.Fatalf("findings in %v, want exec.go (ciphertextPool) and replay.go (arena)", files)
 	}
 }
 

@@ -1,0 +1,50 @@
+// Package plan is the fixture replay runtime: its arena mirrors the real
+// plan package's slot allocator and triggers leaked-ciphertext exactly once.
+package plan
+
+import (
+	"badmod/internal/tfhe"
+)
+
+// arena mirrors the real replay arena; the leaked-ciphertext analyzer keys
+// on this type name alongside the executors' ciphertextPool.
+type arena struct {
+	free []*tfhe.Sample
+}
+
+func (a *arena) get() *tfhe.Sample {
+	if n := len(a.free); n > 0 {
+		s := a.free[n-1]
+		a.free = a.free[:n-1]
+		return s
+	}
+	return &tfhe.Sample{}
+}
+
+func (a *arena) put(s *tfhe.Sample) {
+	if s != nil {
+		a.free = append(a.free, s)
+	}
+}
+
+// LeakSlot triggers leaked-ciphertext: the error path returns without
+// handing the slot back to the arena.
+func LeakSlot(eng *tfhe.Engine, ar *arena, x, y *tfhe.Sample) (*tfhe.Sample, error) {
+	out := ar.get()
+	if err := eng.Binary(5, out, x, y); err != nil {
+		return nil, err // finding: out leaked
+	}
+	return out, nil
+}
+
+// BindSlot is the clean counterpart: the slot is published into the value
+// table on success and put back on failure.
+func BindSlot(eng *tfhe.Engine, ar *arena, vals []*tfhe.Sample, x, y *tfhe.Sample) error {
+	out := ar.get()
+	if err := eng.Binary(6, out, x, y); err != nil {
+		ar.put(out)
+		return err
+	}
+	vals[0] = out
+	return nil
+}

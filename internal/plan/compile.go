@@ -1,0 +1,389 @@
+package plan
+
+import (
+	"fmt"
+	"time"
+
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/logic"
+)
+
+// maxSupport bounds the functional-deduplication window: a node whose
+// boolean function depends on more than this many live frontier nodes is
+// treated as opaque (it becomes a frontier variable itself). Six variables
+// keep every truth table in one uint64, so sweeping stays a few dozen
+// word operations per gate no matter how large the program is.
+const maxSupport = 6
+
+// fn is a node's exact boolean function over a small support: vars is the
+// sorted list of frontier exec-node ids, table the truth table with bit i
+// holding the function value for the assignment where var j takes bit j
+// of i.
+type fn struct {
+	vars  []int32
+	table uint64
+}
+
+// identityFn is the function of a frontier variable itself.
+func identityFn(id int32) fn { return fn{vars: []int32{id}, table: 0b10} }
+
+// key serializes the function into a map key: the support ids then the
+// table. Two nodes with equal keys compute the same boolean function of
+// the same live values and are therefore interchangeable.
+func (f fn) key() string {
+	b := make([]byte, 0, 8+4*len(f.vars))
+	for _, v := range f.vars {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	b = append(b, byte(f.table), byte(f.table>>8), byte(f.table>>16), byte(f.table>>24),
+		byte(f.table>>32), byte(f.table>>40), byte(f.table>>48), byte(f.table>>56))
+	return string(b)
+}
+
+// combine computes kind(a, b) as a truth table over the union support, or
+// ok=false when the union exceeds maxSupport.
+func combine(kind logic.Kind, a, b fn) (fn, bool) {
+	union := make([]int32, 0, maxSupport)
+	i, j := 0, 0
+	for i < len(a.vars) || j < len(b.vars) {
+		switch {
+		case j >= len(b.vars) || (i < len(a.vars) && a.vars[i] < b.vars[j]):
+			union = append(union, a.vars[i])
+			i++
+		case i >= len(a.vars) || b.vars[j] < a.vars[i]:
+			union = append(union, b.vars[j])
+			j++
+		default:
+			union = append(union, a.vars[i])
+			i++
+			j++
+		}
+		if len(union) > maxSupport {
+			return fn{}, false
+		}
+	}
+	// posA[i] is the union position of a.vars[i]; same for posB.
+	var posA, posB [maxSupport]int
+	for i, v := range a.vars {
+		for u, uv := range union {
+			if uv == v {
+				posA[i] = u
+			}
+		}
+	}
+	for i, v := range b.vars {
+		for u, uv := range union {
+			if uv == v {
+				posB[i] = u
+			}
+		}
+	}
+	k := len(union)
+	var table uint64
+	for m := 0; m < 1<<k; m++ {
+		var ia, ib int
+		for i := range a.vars {
+			ia |= int(m>>posA[i]&1) << i
+		}
+		for i := range b.vars {
+			ib |= int(m>>posB[i]&1) << i
+		}
+		out := kind.EvalBit(uint8(a.table>>ia), uint8(b.table>>ib))
+		table |= uint64(out) << m
+	}
+	return fn{vars: union, table: table}.dropDummies(), true
+}
+
+// dropDummies removes support variables the table does not depend on —
+// this is what folds COPY chains onto their source and constant-valued
+// cones onto a single class.
+func (f fn) dropDummies() fn {
+	for i := 0; i < len(f.vars); {
+		k := len(f.vars)
+		if dependsOn(f.table, k, i) {
+			i++
+			continue
+		}
+		// Project the table onto var i = 0 and drop the variable.
+		var nt uint64
+		for m := 0; m < 1<<(k-1); m++ {
+			src := m&(1<<i-1) | (m>>i)<<(i+1)
+			nt |= f.table >> src & 1 << m
+		}
+		f.table = nt
+		f.vars = append(f.vars[:i], f.vars[i+1:]...)
+	}
+	return f
+}
+
+// dependsOn reports whether the k-variable table depends on variable i.
+func dependsOn(table uint64, k, i int) bool {
+	for m := 0; m < 1<<k; m++ {
+		if m>>i&1 == 0 && table>>m&1 != table>>(m|1<<i)&1 {
+			return true
+		}
+	}
+	return false
+}
+
+// execGate is one deduplicated gate of the capture: operands are exec-node
+// ids (inputs occupy ids 0..NumInputs-1, gates follow in creation order).
+type execGate struct {
+	kind  logic.Kind
+	a, b  int32
+	level int32
+}
+
+// Stream is an in-flight compilation. Levels are emitted on Levels() as
+// they are laid out (the paper's overlapped batch construction); Plan()
+// blocks until capture finishes and returns the completed immutable plan.
+type Stream struct {
+	p        *Plan
+	ch       chan Level
+	done     chan struct{}
+	maxArena int // exec-gate count: upper bound on the final arena size
+}
+
+// Levels returns the channel of planned levels, closed after the last
+// level. ReplayStream consumes it; a caller that only wants the finished
+// plan can ignore it and call Plan().
+func (s *Stream) Levels() <-chan Level { return s.ch }
+
+// Plan waits for capture to finish and returns the completed plan.
+func (s *Stream) Plan() *Plan {
+	<-s.done
+	return s.p
+}
+
+// Compile captures nl into an execution plan partitioned for the given
+// worker count. It is the blocking form of CompileStream.
+func Compile(nl *circuit.Netlist, workers int) (*Plan, error) {
+	s, err := CompileStream(nl, workers)
+	if err != nil {
+		return nil, err
+	}
+	return s.Plan(), nil
+}
+
+// CompileStream captures nl and streams the planned levels. Validation and
+// the functional-deduplication pass run synchronously (errors surface
+// here); level layout — arena slot assignment and worker partitioning —
+// runs in a background goroutine so replay can overlap execution with
+// construction. The Levels channel is buffered for the whole plan, so the
+// planner never blocks on a slow consumer.
+func CompileStream(nl *circuit.Netlist, workers int) (*Stream, error) {
+	start := time.Now()
+	if workers < 1 {
+		workers = 1
+	}
+	if err := nl.Validate(); err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
+	for i, g := range nl.Gates {
+		if g.Kind >= logic.NumKinds {
+			return nil, fmt.Errorf("plan: gate %d has kind %d outside the gate alphabet", nl.GateID(i), g.Kind)
+		}
+	}
+
+	numInputs := nl.NumInputs
+	stats := Stats{LogicalGates: len(nl.Gates)}
+	for _, g := range nl.Gates {
+		if g.Kind.NeedsBootstrap() {
+			stats.LogicalBootstraps++
+		}
+	}
+
+	// Pass 1 — functional deduplication. Walk gates in topological order,
+	// computing each node's exact function over a bounded support of live
+	// exec nodes; nodes with an already-seen function reuse its exec node.
+	execOf := make([]int32, nl.NumNodes()+1) // logical node id → exec id
+	fns := make([]fn, numInputs, numInputs+len(nl.Gates))
+	var gates []execGate
+	fnIndex := make(map[string]int32, numInputs+len(nl.Gates))
+	structIndex := make(map[uint64]int32, len(nl.Gates))
+	for i := 0; i < numInputs; i++ {
+		fns[i] = identityFn(int32(i))
+		fnIndex[fns[i].key()] = int32(i)
+		execOf[i+1] = int32(i)
+	}
+	for i, g := range nl.Gates {
+		kind := g.Kind
+		ea, eb := execOf[g.A], execOf[g.B]
+		// Canonical operand order: f(a,b) = f.SwapInputs()(b,a), so sorting
+		// the operands merges commuted duplicates (AND(x,y) with AND(y,x),
+		// ANDNY(x,y) with ANDYN(y,x), ...).
+		if ea > eb {
+			ea, eb = eb, ea
+			kind = kind.SwapInputs()
+		}
+		var id int32
+		if f, ok := combine(kind, fns[ea], fns[eb]); ok {
+			if hit, seen := fnIndex[f.key()]; seen {
+				execOf[nl.GateID(i)] = hit
+				continue
+			}
+			id = newExec(&gates, &fns, kind, ea, eb, f)
+			fnIndex[f.key()] = id
+		} else {
+			// Support overflow: fall back to structural hash-consing, and
+			// let the new node be a frontier variable for its readers.
+			skey := uint64(kind)<<60 | uint64(ea)<<30 | uint64(eb)
+			if hit, seen := structIndex[skey]; seen {
+				execOf[nl.GateID(i)] = hit
+				continue
+			}
+			id = newExec(&gates, &fns, kind, ea, eb, fn{})
+			fns[id] = identityFn(id)
+			fnIndex[fns[id].key()] = id
+			structIndex[skey] = id
+		}
+		execOf[nl.GateID(i)] = id
+	}
+	stats.ExecGates = len(gates)
+	for _, g := range gates {
+		if g.kind.NeedsBootstrap() {
+			stats.ExecBootstraps++
+		}
+	}
+
+	// Levelize the exec graph and record, per exec node, the last level
+	// that reads it — the compile-time counterpart of the async executor's
+	// runtime fan-out refcounts.
+	level := make([]int32, numInputs+len(gates)) // inputs at level 0
+	lastRead := make([]int32, numInputs+len(gates))
+	numLevels := 0
+	for i := range gates {
+		g := &gates[i]
+		l := level[g.a]
+		if lb := level[g.b]; lb > l {
+			l = lb
+		}
+		g.level = l + 1
+		level[int32(numInputs)+int32(i)] = g.level
+		if int(g.level) > numLevels {
+			numLevels = int(g.level)
+		}
+		if g.level > lastRead[g.a] {
+			lastRead[g.a] = g.level
+		}
+		if g.level > lastRead[g.b] {
+			lastRead[g.b] = g.level
+		}
+	}
+	byLevel := make([][]int32, numLevels)
+	for i := range gates {
+		l := gates[i].level - 1
+		byLevel[l] = append(byLevel[l], int32(i))
+	}
+
+	// Outputs pin their exec nodes for the whole replay (collectors read
+	// them after the last barrier).
+	const pinned = int32(1<<31 - 1)
+	outputs := make([]Ref, len(nl.Outputs))
+	for i, out := range nl.Outputs {
+		switch out {
+		case circuit.ConstFalse:
+			outputs[i] = ConstFalse
+		case circuit.ConstTrue:
+			outputs[i] = ConstTrue
+		default:
+			lastRead[execOf[out]] = pinned
+		}
+	}
+
+	p := &Plan{
+		Name:      nl.Name,
+		NumInputs: numInputs,
+		Workers:   workers,
+		levels:    make([]Level, 0, numLevels),
+		outputs:   outputs,
+	}
+	s := &Stream{p: p, ch: make(chan Level, numLevels), done: make(chan struct{}), maxArena: len(gates)}
+
+	// Pass 2 — streamed level layout: arena slot assignment by liveness
+	// (a slot frees one level after its last read, so no reuse can race a
+	// reader across the barrier) and per-worker batch partitioning.
+	go func() {
+		defer close(s.done)
+		defer close(s.ch)
+		slotOf := make([]int32, len(gates))
+		refOf := func(id int32) Ref {
+			if id < int32(numInputs) {
+				return id
+			}
+			return int32(numInputs) + slotOf[id-int32(numInputs)]
+		}
+		var freeSlots []int32
+		freeAt := make([][]int32, numLevels+1) // level → slots released after it
+		arena := 0
+		for l, gs := range byLevel {
+			lvl := int32(l + 1)
+			for _, slot := range freeAt[l] {
+				freeSlots = append(freeSlots, slot)
+			}
+			// Slot assignment for this wavefront's outputs.
+			for _, gi := range gs {
+				var slot int32
+				if n := len(freeSlots); n > 0 {
+					slot = freeSlots[n-1]
+					freeSlots = freeSlots[:n-1]
+				} else {
+					slot = int32(arena)
+					arena++
+				}
+				slotOf[gi] = slot
+				if lr := lastRead[int32(numInputs)+gi]; lr != pinned {
+					if lr < lvl { // no reader at all: dead exec node (outputs only)
+						lr = lvl
+					}
+					freeAt[lr] = append(freeAt[lr], slot)
+				}
+			}
+			// Partition across workers, heaviest-first greedy on bootstrap
+			// weight so no batch ends up with all the expensive gates.
+			batches := make([][]Instr, workers)
+			load := make([]int, workers)
+			for _, gi := range gs {
+				g := gates[gi]
+				w := 0
+				for c := 1; c < workers; c++ {
+					if load[c] < load[w] {
+						w = c
+					}
+				}
+				cost := 1
+				if g.kind.NeedsBootstrap() {
+					cost = 1024
+				}
+				load[w] += cost
+				batches[w] = append(batches[w], Instr{
+					Kind: g.kind,
+					Out:  int32(numInputs) + slotOf[gi],
+					A:    refOf(g.a),
+					B:    refOf(g.b),
+				})
+			}
+			lv := Level{Batches: batches}
+			p.levels = append(p.levels, lv)
+			s.ch <- lv
+		}
+		for i, out := range nl.Outputs {
+			if outputs[i] >= 0 {
+				p.outputs[i] = refOf(execOf[out])
+			}
+		}
+		stats.Levels = numLevels
+		stats.ArenaSlots = arena
+		stats.CompileTime = time.Since(start)
+		p.stats = stats
+	}()
+	return s, nil
+}
+
+// newExec appends an exec gate and its function, returning the node id.
+func newExec(gates *[]execGate, fns *[]fn, kind logic.Kind, a, b int32, f fn) int32 {
+	id := int32(len(*fns))
+	*gates = append(*gates, execGate{kind: kind, a: a, b: b})
+	*fns = append(*fns, f)
+	return id
+}

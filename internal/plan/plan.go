@@ -1,0 +1,95 @@
+// Package plan is the execution-plan capture & replay subsystem — the CPU
+// analogue of the paper's CUDA-Graph batch scheduling. Compile runs once
+// per program and turns a gate netlist into an immutable Plan: levelized
+// gate batches pre-partitioned across workers, a flat ciphertext arena
+// whose slot indices come from compile-time liveness analysis (replacing
+// the executors' runtime refcounting), and precomputed per-instruction
+// operand/output slot references. Replay executes the plan with no ready
+// heap, no per-gate atomics (synchronization is one barrier per level) and
+// zero ciphertext allocations after warm-up, so a program served hundreds
+// of times pays its scheduling cost exactly once.
+//
+// Capture is also where analysis that is too expensive for the dynamic
+// executors runs: Compile performs bounded-support functional
+// deduplication (exact truth-table sweeping over supports of up to six
+// live nodes, the plan-level counterpart of internal/synth's cut-based
+// resynthesis), so replay evaluates only the program's distinct boolean
+// functions and shares the resulting ciphertexts. The merge is provably
+// exact — two nodes merge only when their truth tables over the same
+// support agree — and gate evaluation is deterministic, so replayed
+// outputs decrypt bit-identically to the dynamic executors' outputs.
+//
+// Mirroring the paper's overlapped batch construction, CompileStream
+// emits levels over a channel as they are planned, and ReplayStream starts
+// executing level 0 while later levels are still being laid out.
+package plan
+
+import (
+	"time"
+
+	"pytfhe/internal/logic"
+)
+
+// Ref names a replay value: refs below Plan.NumInputs index the caller's
+// input ciphertexts, refs at or above it index the arena
+// (slot = ref - NumInputs). Output refs may also be the two constant
+// sentinels.
+type Ref = int32
+
+// Constant output sentinels, mirroring circuit.ConstFalse/ConstTrue.
+const (
+	ConstFalse Ref = -1
+	ConstTrue  Ref = -2
+)
+
+// Instr is one captured gate evaluation: values[Out] = Kind(values[A],
+// values[B]). All three refs are resolved at compile time.
+type Instr struct {
+	Kind logic.Kind
+	Out  Ref
+	A, B Ref
+}
+
+// Level is one wavefront of the plan: Batches[w] is the instruction
+// sequence pre-assigned to worker w. Instructions within a level are
+// mutually independent; a per-level barrier is the only synchronization
+// replay needs.
+type Level struct {
+	Batches [][]Instr
+}
+
+// Stats summarizes what capture did to the program.
+type Stats struct {
+	LogicalGates      int // gates in the source netlist
+	LogicalBootstraps int // bootstrapped gates in the source netlist
+	ExecGates         int // instructions replay actually executes
+	ExecBootstraps    int // bootstrapped instructions after deduplication
+	Levels            int
+	ArenaSlots        int // ciphertexts the arena holds (peak liveness)
+	CompileTime       time.Duration
+}
+
+// Plan is an immutable compiled execution plan. A Plan is safe to share
+// between goroutines and replay concurrently (each replay brings its own
+// Runtime and engines).
+type Plan struct {
+	Name      string
+	NumInputs int
+	Workers   int // batch partitions per level
+
+	levels  []Level
+	outputs []Ref
+	stats   Stats
+}
+
+// Levels exposes the level list (read-only by convention).
+func (p *Plan) Levels() []Level { return p.levels }
+
+// Outputs exposes the output refs (read-only by convention).
+func (p *Plan) Outputs() []Ref { return p.outputs }
+
+// Stats returns the capture summary.
+func (p *Plan) Stats() Stats { return p.stats }
+
+// ArenaSlots returns the arena size liveness analysis assigned.
+func (p *Plan) ArenaSlots() int { return p.stats.ArenaSlots }

@@ -1,0 +1,417 @@
+package plan
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/logic"
+	"pytfhe/internal/params"
+	"pytfhe/internal/tfhe/boot"
+	"pytfhe/internal/tfhe/gate"
+	"pytfhe/internal/trand"
+)
+
+var (
+	keyOnce sync.Once
+	testSK  *boot.SecretKey
+	testCK  *boot.CloudKey
+)
+
+func testKeys(t testing.TB) (*boot.SecretKey, *boot.CloudKey) {
+	keyOnce.Do(func() {
+		rng := trand.NewSeeded([]byte("plan-test-keys"))
+		sk, ck, err := boot.GenerateKeys(params.Test(), rng)
+		if err != nil {
+			panic(err)
+		}
+		testSK, testCK = sk, ck
+	})
+	return testSK, testCK
+}
+
+// evalPlan interprets the plan over cleartext bits, mirroring exactly what
+// replay does over ciphertexts (value table = inputs then arena slots).
+func evalPlan(p *Plan, inputs []bool) []bool {
+	vals := make([]bool, p.NumInputs+p.stats.ArenaSlots)
+	copy(vals, inputs)
+	for _, lv := range p.levels {
+		for _, batch := range lv.Batches {
+			for _, ins := range batch {
+				vals[ins.Out] = ins.Kind.Eval(vals[ins.A], vals[ins.B])
+			}
+		}
+	}
+	outs := make([]bool, len(p.outputs))
+	for i, ref := range p.outputs {
+		switch ref {
+		case ConstTrue:
+			outs[i] = true
+		case ConstFalse:
+			outs[i] = false
+		default:
+			outs[i] = vals[ref]
+		}
+	}
+	return outs
+}
+
+func randomNetlist(seed int64, numInputs, numGates int) *circuit.Netlist {
+	rng := rand.New(rand.NewSource(seed))
+	b := circuit.NewBuilder("rand", circuit.NoOptimizations())
+	nodes := make([]circuit.NodeID, 0, numInputs+numGates)
+	for i := 0; i < numInputs; i++ {
+		nodes = append(nodes, b.Input("x"))
+	}
+	for i := 0; i < numGates; i++ {
+		kind := logic.TFHEGates()[rng.Intn(11)]
+		x := nodes[rng.Intn(len(nodes))]
+		y := nodes[rng.Intn(len(nodes))]
+		nodes = append(nodes, b.Gate(kind, x, y))
+	}
+	for i := 0; i < 4; i++ {
+		b.Output("o", nodes[len(nodes)-1-i*2])
+	}
+	return b.MustBuild()
+}
+
+// nandChains builds c parallel NAND chains of the given depth that all
+// share the second operand — the shape of the imbalanced benchmark
+// netlist. The chain is algebraically periodic with period 2
+// (c3 = NAND(NAND(NAND(x,y),y),y) = NAND(x,y)), so functional
+// deduplication collapses each chain to two executed bootstraps.
+func nandChains(chains, depth int) *circuit.Netlist {
+	b := circuit.NewBuilder("nand-chains", circuit.NoOptimizations())
+	starts := b.Inputs("x", chains)
+	y := b.Input("y")
+	for c := 0; c < chains; c++ {
+		n := starts[c]
+		for d := 0; d < depth; d++ {
+			n = b.Gate(logic.NAND, n, y)
+		}
+		b.Output("o", n)
+	}
+	return b.MustBuild()
+}
+
+// TestPlanMatchesEvaluate checks, exhaustively over all input assignments,
+// that compiled plans compute the same function as the netlist reference
+// interpreter — this is the end-to-end correctness proof of the functional
+// deduplication, liveness analysis and arena assignment.
+func TestPlanMatchesEvaluate(t *testing.T) {
+	netlists := []*circuit.Netlist{
+		randomNetlist(1, 5, 40),
+		randomNetlist(2, 6, 80),
+		randomNetlist(3, 4, 200),
+		nandChains(3, 17),
+	}
+	for _, nl := range netlists {
+		for _, workers := range []int{1, 2, 4} {
+			p, err := Compile(nl, workers)
+			if err != nil {
+				t.Fatalf("%s w=%d: %v", nl.Name, workers, err)
+			}
+			for m := 0; m < 1<<nl.NumInputs; m++ {
+				in := make([]bool, nl.NumInputs)
+				for i := range in {
+					in[i] = m>>i&1 == 1
+				}
+				want, err := nl.Evaluate(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := evalPlan(p, in)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s w=%d input %b output %d: plan %v, reference %v",
+							nl.Name, workers, m, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDedupCollapsesPeriodicChains asserts the capture-time win the plan
+// backend is built for: the periodic NAND chains execute two bootstraps
+// per chain regardless of depth.
+func TestDedupCollapsesPeriodicChains(t *testing.T) {
+	nl := nandChains(7, 30)
+	p, err := Compile(nl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.LogicalBootstraps != 7*30 {
+		t.Fatalf("logical bootstraps = %d, want %d", st.LogicalBootstraps, 7*30)
+	}
+	if want := 7 * 2; st.ExecBootstraps != want {
+		t.Fatalf("exec bootstraps = %d, want %d (period-2 chains)", st.ExecBootstraps, want)
+	}
+	if st.Levels != 2 {
+		t.Fatalf("levels = %d, want 2", st.Levels)
+	}
+}
+
+// TestArenaLiveness verifies the compile-time slot assignment against the
+// refcounting invariants the dynamic executors enforce at runtime: no
+// arena slot is overwritten while a previous value in it still has a
+// pending reader (barrier granularity: reuse is legal only from the level
+// after the last read), and the arena is no larger than the peak number of
+// simultaneously live values.
+func TestArenaLiveness(t *testing.T) {
+	for seed := int64(10); seed < 16; seed++ {
+		nl := randomNetlist(seed, 6, 150)
+		for _, workers := range []int{1, 3, 4} {
+			p, err := Compile(nl, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			type version struct{ write, lastRead int }
+			var versions []version
+			current := make(map[Ref]int)     // slot ref → live version index
+			outputRefs := make(map[Ref]bool) // pinned until the end
+			for _, ref := range p.Outputs() {
+				if ref >= Ref(p.NumInputs) {
+					outputRefs[ref] = true
+				}
+			}
+			for li, lv := range p.Levels() {
+				level := li + 1
+				written := make(map[Ref]bool)
+				for _, batch := range lv.Batches {
+					for _, ins := range batch {
+						for _, op := range [2]Ref{ins.A, ins.B} {
+							if op < Ref(p.NumInputs) {
+								continue
+							}
+							v, ok := current[op]
+							if !ok {
+								t.Fatalf("w=%d level %d reads slot %d before any write", workers, level, op)
+							}
+							versions[v].lastRead = level
+						}
+					}
+				}
+				for _, batch := range lv.Batches {
+					for _, ins := range batch {
+						if written[ins.Out] {
+							t.Fatalf("w=%d level %d writes slot %d twice", workers, level, ins.Out)
+						}
+						written[ins.Out] = true
+						if v, ok := current[ins.Out]; ok && versions[v].lastRead >= level {
+							t.Fatalf("w=%d level %d reuses slot %d whose value is read at level %d",
+								workers, level, ins.Out, versions[v].lastRead)
+						}
+						versions = append(versions, version{write: level, lastRead: level})
+						current[ins.Out] = len(versions) - 1
+					}
+				}
+			}
+			// Output slots must still hold their final version (no overwrite
+			// was flagged above), and the arena must not exceed peak liveness.
+			for ref := range outputRefs {
+				versions[current[ref]].lastRead = p.Stats().Levels + 1
+			}
+			peak := 0
+			for l := 1; l <= p.Stats().Levels; l++ {
+				live := 0
+				for _, v := range versions {
+					if v.write <= l && l <= v.lastRead {
+						live++
+					}
+				}
+				if live > peak {
+					peak = live
+				}
+			}
+			if p.ArenaSlots() > peak {
+				t.Fatalf("w=%d arena %d exceeds peak liveness %d", workers, p.ArenaSlots(), peak)
+			}
+		}
+	}
+}
+
+// TestStreamMatchesBlocking checks the streamed levels are exactly the
+// finished plan's levels.
+func TestStreamMatchesBlocking(t *testing.T) {
+	nl := randomNetlist(42, 6, 120)
+	s, err := CompileStream(nl, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []Level
+	for lv := range s.Levels() {
+		streamed = append(streamed, lv)
+	}
+	p := s.Plan()
+	if len(streamed) != len(p.Levels()) {
+		t.Fatalf("streamed %d levels, plan has %d", len(streamed), len(p.Levels()))
+	}
+	for i, lv := range p.Levels() {
+		if len(streamed[i].Batches) != len(lv.Batches) {
+			t.Fatalf("level %d batch count mismatch", i)
+		}
+		for w, batch := range lv.Batches {
+			if len(streamed[i].Batches[w]) != len(batch) {
+				t.Fatalf("level %d batch %d length mismatch", i, w)
+			}
+			for j, ins := range batch {
+				if streamed[i].Batches[w][j] != ins {
+					t.Fatalf("level %d batch %d instr %d mismatch", i, w, j)
+				}
+			}
+		}
+	}
+	if s.maxArena < p.ArenaSlots() {
+		t.Fatalf("maxArena %d below final arena %d", s.maxArena, p.ArenaSlots())
+	}
+}
+
+// TestReplayHomomorphic runs encrypted replays — blocking and streaming,
+// one and two engines — against the cleartext reference, and checks the
+// runtime reuses its arena across replays (the zero-allocation property).
+func TestReplayHomomorphic(t *testing.T) {
+	sk, ck := testKeys(t)
+	nl := randomNetlist(7, 4, 24)
+	p, err := Compile(nl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := []*gate.Engine{gate.NewEngine(ck), gate.NewEngine(ck)}
+	rt := NewRuntime(ck.Params.LWEDimension)
+
+	encrypt := func(in []bool) []*gate.Ciphertext {
+		rng := trand.NewSeeded([]byte{byte(len(in))})
+		cts := make([]*gate.Ciphertext, len(in))
+		for i, b := range in {
+			cts[i] = gate.NewCiphertext(sk.Params)
+			gate.Encrypt(cts[i], b, sk, rng)
+		}
+		return cts
+	}
+	check := func(in []bool, outs []*gate.Ciphertext) {
+		t.Helper()
+		want, err := nl.Evaluate(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ct := range outs {
+			if got := gate.Decrypt(ct, sk); got != want[i] {
+				t.Fatalf("output %d: got %v want %v", i, got, want[i])
+			}
+		}
+	}
+
+	for trial := 0; trial < 3; trial++ {
+		in := []bool{trial&1 == 1, trial&2 != 0, true, trial == 0}
+		outs, err := Replay(context.Background(), p, engines, encrypt(in), rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(in, outs)
+	}
+	hw := rt.HighWater()
+	if hw == 0 || hw > p.ArenaSlots() {
+		t.Fatalf("high water %d outside (0, %d]", hw, p.ArenaSlots())
+	}
+
+	// Single-engine sequential path.
+	in := []bool{true, false, true, true}
+	outs, err := Replay(context.Background(), p, engines[:1], encrypt(in), rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(in, outs)
+
+	// Streaming replay overlapped with compilation.
+	s, err := CompileStream(nl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err = ReplayStream(context.Background(), s, engines, encrypt(in), NewRuntime(ck.Params.LWEDimension))
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(in, outs)
+	if rt.HighWater() != hw {
+		t.Fatalf("high water moved from %d to %d across replays", hw, rt.HighWater())
+	}
+}
+
+// TestReplayEdgeCases covers constant and pass-through outputs, input
+// validation, and context cancellation.
+func TestReplayEdgeCases(t *testing.T) {
+	sk, ck := testKeys(t)
+	b := circuit.NewBuilder("edges", circuit.NoOptimizations())
+	x := b.Input("x")
+	y := b.Input("y")
+	n := b.Gate(logic.XNOR, x, x) // constant true after dedup
+	b.Output("one", n)
+	b.Output("echo", b.Gate(logic.COPY, y, y))
+	b.Output("cf", circuit.ConstFalse)
+	nl := b.MustBuild()
+
+	p, err := Compile(nl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := []*gate.Engine{gate.NewEngine(ck)}
+	rt := NewRuntime(ck.Params.LWEDimension)
+	rng := trand.NewSeeded([]byte("edge"))
+	in := make([]*gate.Ciphertext, 2)
+	for i, bit := range []bool{true, false} {
+		in[i] = gate.NewCiphertext(sk.Params)
+		gate.Encrypt(in[i], bit, sk, rng)
+	}
+	outs, err := Replay(context.Background(), p, engines, in, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []bool{true, false, false} {
+		if got := gate.Decrypt(outs[i], sk); got != want {
+			t.Fatalf("output %d: got %v want %v", i, got, want)
+		}
+	}
+
+	if _, err := Replay(context.Background(), p, engines, in[:1], rt); err == nil {
+		t.Fatal("short inputs not rejected")
+	}
+	if _, err := Replay(context.Background(), p, nil, in, rt); err == nil {
+		t.Fatal("missing engines not rejected")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	big := randomNetlist(9, 4, 60)
+	bp, err := Compile(big, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := make([]*gate.Ciphertext, 4)
+	for i := range bin {
+		bin[i] = gate.NewCiphertext(sk.Params)
+		gate.Encrypt(bin[i], i%2 == 0, sk, rng)
+	}
+	if _, err := Replay(ctx, bp, engines, bin, NewRuntime(ck.Params.LWEDimension)); err == nil {
+		t.Fatal("cancelled context not honored")
+	}
+}
+
+// TestRuntimeReset verifies Reset releases slots for rebinding to another
+// plan.
+func TestRuntimeReset(t *testing.T) {
+	rt := NewRuntime(4)
+	rt.bind(make([]*gate.Ciphertext, 0), 3)
+	rt.vals[0] = rt.pool.get()
+	rt.vals[2] = rt.pool.get()
+	rt.settle()
+	if rt.HighWater() != 2 {
+		t.Fatalf("high water = %d, want 2", rt.HighWater())
+	}
+	rt.Reset()
+	if len(rt.pool.free) != 2 {
+		t.Fatalf("reset returned %d samples, want 2", len(rt.pool.free))
+	}
+}

@@ -1,0 +1,364 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"pytfhe/internal/tfhe/gate"
+	"pytfhe/internal/tfhe/lwe"
+)
+
+// arena is the flat ciphertext store replay runs out of. It recycles LWE
+// samples exactly like the backends' ciphertextPool — get acquires a
+// sample, put returns it — but slots are bound once per plan by the
+// compile-time liveness analysis instead of refcounted at runtime.
+type arena struct {
+	dim  int
+	free []*lwe.Sample
+}
+
+func (a *arena) get() *lwe.Sample {
+	if n := len(a.free); n > 0 {
+		s := a.free[n-1]
+		a.free = a.free[:n-1]
+		return s
+	}
+	return lwe.NewSample(a.dim)
+}
+
+func (a *arena) put(s *lwe.Sample) {
+	if s != nil {
+		a.free = append(a.free, s)
+	}
+}
+
+// Runtime holds the mutable replay state: the arena ciphertexts and the
+// resolved value table. It persists across replays of the same plan, which
+// is what makes the second and later runs allocation-free (output
+// ciphertexts excepted — the caller owns those). A Runtime is single-use
+// at a time: serialize replays that share one.
+type Runtime struct {
+	pool arena
+	// vals is the ref-indexed value table: the first NumInputs entries are
+	// the caller's input ciphertexts (rebound per replay), the rest are
+	// arena slots allocated lazily the first time a level writes them.
+	vals      []*lwe.Sample
+	numInputs int
+	highWater int
+}
+
+// NewRuntime returns a replay runtime allocating ciphertexts of the given
+// LWE dimension.
+func NewRuntime(dim int) *Runtime { return &Runtime{pool: arena{dim: dim}} }
+
+// HighWater returns the largest number of arena ciphertexts this runtime
+// has held live at once across all replays.
+func (rt *Runtime) HighWater() int { return rt.highWater }
+
+// Reset releases every arena ciphertext back to the free list, for reuse
+// when the runtime is rebound to a different plan.
+func (rt *Runtime) Reset() {
+	for i := rt.numInputs; i < len(rt.vals); i++ {
+		rt.pool.put(rt.vals[i])
+		rt.vals[i] = nil
+	}
+	rt.vals = rt.vals[:0]
+	rt.numInputs = 0
+}
+
+// bind sizes the value table for a plan with the given input count and
+// arena bound, and installs the run's input ciphertexts.
+func (rt *Runtime) bind(inputs []*lwe.Sample, arenaSlots int) {
+	if rt.numInputs != len(inputs) {
+		// Input count changed (different plan): slots shift, start over.
+		rt.Reset()
+		rt.numInputs = len(inputs)
+	}
+	n := len(inputs) + arenaSlots
+	for len(rt.vals) < n {
+		rt.vals = append(rt.vals, nil)
+	}
+	copy(rt.vals, inputs)
+}
+
+// settle recounts live arena slots after a run.
+func (rt *Runtime) settle() {
+	live := 0
+	for i := rt.numInputs; i < len(rt.vals); i++ {
+		if rt.vals[i] != nil {
+			live++
+		}
+	}
+	if live > rt.highWater {
+		rt.highWater = live
+	}
+}
+
+// unbindInputs drops the run's input refs after output collection (the
+// caller owns the inputs; holding them would pin their memory).
+func (rt *Runtime) unbindInputs() {
+	for i := 0; i < rt.numInputs && i < len(rt.vals); i++ {
+		rt.vals[i] = nil
+	}
+}
+
+// levelFeed hands planned levels to the replay workers in order. For a
+// finished plan it is pre-filled; for a streaming compile a receiver
+// goroutine appends levels as the planner emits them and workers block in
+// get until their next level (or the end of the plan) is known.
+type levelFeed struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	levels []Level
+	closed bool
+}
+
+func newLevelFeed() *levelFeed {
+	f := &levelFeed{}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+func (f *levelFeed) add(lv Level) {
+	f.mu.Lock()
+	f.levels = append(f.levels, lv)
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+func (f *levelFeed) finish() {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// get blocks until level i exists (ok=true) or the plan is known to have
+// only i levels (ok=false).
+func (f *levelFeed) get(i int) (Level, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.levels) <= i && !f.closed {
+		f.cond.Wait()
+	}
+	if i < len(f.levels) {
+		return f.levels[i], true
+	}
+	return Level{}, false
+}
+
+// barrier is a cyclic barrier for the replay workers: the only
+// synchronization between gate evaluations (one await per level).
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	waiting int
+	gen     uint64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.waiting++
+	if b.waiting == b.n {
+		b.waiting = 0
+		b.gen++
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for b.gen == gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Replay executes a finished plan: one engine per worker (engine 0 is
+// used alone when only one is supplied), the caller's input ciphertexts,
+// and a persistent Runtime. The returned slice parallels the source
+// netlist's outputs and is freshly allocated; inputs are not modified.
+func Replay(ctx context.Context, p *Plan, engines []*gate.Engine, inputs []*lwe.Sample, rt *Runtime) ([]*lwe.Sample, error) {
+	feed := newLevelFeed()
+	feed.levels = p.levels
+	feed.closed = true
+	defer rt.unbindInputs()
+	if err := execute(ctx, feed, p.NumInputs, p.Workers, p.stats.ArenaSlots, engines, inputs, rt); err != nil {
+		return nil, err
+	}
+	return collect(p, rt, engines[0].Params().LWEDimension)
+}
+
+// ReplayStream executes a plan while it is still being compiled,
+// overlapping level execution with level construction: level 0 runs as
+// soon as the planner emits it. It blocks until both the compile and the
+// replay finish.
+func ReplayStream(ctx context.Context, s *Stream, engines []*gate.Engine, inputs []*lwe.Sample, rt *Runtime) ([]*lwe.Sample, error) {
+	feed := newLevelFeed()
+	go func() {
+		for lv := range s.Levels() {
+			feed.add(lv)
+		}
+		feed.finish()
+	}()
+	// The final arena size is not known until the planner finishes, so the
+	// value table is sized to the exec-gate upper bound; slots themselves
+	// are only allocated when a level writes them. The workers drain the
+	// feed to the end even on failure, so by the time execute returns the
+	// planner goroutine has finished and Plan() does not block.
+	defer rt.unbindInputs()
+	if err := execute(ctx, feed, s.p.NumInputs, s.p.Workers, s.maxArena, engines, inputs, rt); err != nil {
+		s.Plan()
+		return nil, err
+	}
+	p := s.Plan()
+	return collect(p, rt, engines[0].Params().LWEDimension)
+}
+
+// execute runs every level of the feed over the runtime's value table.
+func execute(ctx context.Context, feed *levelFeed, numInputs, planWorkers, arenaSlots int, engines []*gate.Engine, inputs []*lwe.Sample, rt *Runtime) error {
+	if len(engines) == 0 {
+		return fmt.Errorf("plan: replay needs at least one engine")
+	}
+	if len(inputs) != numInputs {
+		return fmt.Errorf("plan: %d inputs supplied, want %d", len(inputs), numInputs)
+	}
+	dim := engines[0].Params().LWEDimension
+	for i, in := range inputs {
+		if in.Dimension() != dim {
+			return fmt.Errorf("plan: input %d has dimension %d, want %d", i, in.Dimension(), dim)
+		}
+	}
+	rt.bind(inputs, arenaSlots)
+	defer rt.settle()
+
+	nw := len(engines)
+	if nw > planWorkers {
+		// More engines than plan partitions: the extras would only spin on
+		// the barrier.
+		nw = planWorkers
+	}
+	if nw == 1 {
+		return executeSeq(ctx, feed, engines[0], rt)
+	}
+
+	// Worker w owns batches j with j % nw == w of every level, so a plan
+	// partitioned for more workers than we have engines still replays
+	// correctly (batches are merely coarser than ideal). The per-level
+	// barrier is the only synchronization; on error or cancellation the
+	// workers keep arriving at the barrier (skipping the gate work) so
+	// nobody deadlocks mid-plan.
+	bar := newBarrier(nw)
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int, eng *gate.Engine) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				lv, ok := feed.get(i)
+				if !ok {
+					return
+				}
+				if !failed() {
+					if w == 0 && ctx.Err() != nil {
+						fail(ctx.Err())
+					} else {
+						for j := w; j < len(lv.Batches); j += nw {
+							if err := runBatch(eng, lv.Batches[j], rt); err != nil {
+								fail(err)
+								break
+							}
+						}
+					}
+				}
+				bar.await()
+			}
+		}(w, engines[w])
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// executeSeq is the single-engine fast path: no barrier, no goroutines.
+func executeSeq(ctx context.Context, feed *levelFeed, eng *gate.Engine, rt *Runtime) error {
+	for i := 0; ; i++ {
+		lv, ok := feed.get(i)
+		if !ok {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			// Let a streaming planner finish feeding before returning.
+			for {
+				if _, more := feed.get(i + 1); !more {
+					break
+				}
+				i++
+			}
+			return err
+		}
+		for _, batch := range lv.Batches {
+			if err := runBatch(eng, batch, rt); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// runBatch evaluates one worker's instruction sequence for one level.
+// Output slots are allocated on first touch; each slot is written by
+// exactly one instruction per level, so the lazy allocation is race-free.
+func runBatch(eng *gate.Engine, batch []Instr, rt *Runtime) error {
+	for _, ins := range batch {
+		out := rt.vals[ins.Out]
+		if out == nil {
+			out = rt.pool.get()
+			rt.vals[ins.Out] = out
+		}
+		if err := eng.Binary(ins.Kind, out, rt.vals[ins.A], rt.vals[ins.B]); err != nil {
+			return fmt.Errorf("plan: replay instr: %w", err)
+		}
+	}
+	return nil
+}
+
+// collect materializes the output ciphertexts from the value table.
+func collect(p *Plan, rt *Runtime, dim int) ([]*lwe.Sample, error) {
+	outs := make([]*lwe.Sample, len(p.outputs))
+	for i, ref := range p.outputs {
+		out := lwe.NewSample(dim)
+		switch {
+		case ref == ConstTrue:
+			gate.Trivial(out, true)
+		case ref == ConstFalse:
+			gate.Trivial(out, false)
+		case int(ref) >= len(rt.vals) || rt.vals[ref] == nil:
+			return nil, fmt.Errorf("plan: output %d references unset ref %d", i, ref)
+		default:
+			out.Copy(rt.vals[ref])
+		}
+		outs[i] = out
+	}
+	return outs, nil
+}

@@ -316,6 +316,61 @@ func TestServeBackpressure(t *testing.T) {
 	}
 }
 
+// TestServePlanCacheAndLatency drives the same program through repeated
+// evaluations and checks the capture/replay serving path: the first
+// request pays the plan compile (a miss), every later request is a cache
+// hit replaying the plan, and the Stats RPC reports the counters, the
+// arena high-water mark, and per-program latency quantiles.
+func TestServePlanCacheAndLatency(t *testing.T) {
+	kp := tenantKeys(t)[0]
+	prog := adder4Prog(t)
+	srv := startServer(t, Config{Workers: 2})
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	info, err := cl.RegisterProgram(prog.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.OpenSession(kp.Cloud); err != nil {
+		t.Fatal(err)
+	}
+	const runs = 3
+	for i := 0; i < runs; i++ {
+		in := append(bitsOf(uint64(i), 4), bitsOf(7, 4)...)
+		outs, err := cl.Evaluate(info.Hash, kp.EncryptBits(in))
+		if err != nil {
+			t.Fatalf("eval %d: %v", i, err)
+		}
+		if got := uintOf(kp.DecryptBits(outs)); got != uint64(i)+7 {
+			t.Fatalf("eval %d: %d+7 = %d on the replay path", i, i, got)
+		}
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PlanMisses != 1 || st.PlanHits != runs-1 {
+		t.Fatalf("plan cache: %d misses, %d hits; want 1 and %d", st.PlanMisses, st.PlanHits, runs-1)
+	}
+	if st.PlanReplays != runs || st.PlanFallbacks != 0 {
+		t.Fatalf("plan execution: %d replays, %d fallbacks; want %d and 0",
+			st.PlanReplays, st.PlanFallbacks, runs)
+	}
+	if st.ArenaHighWater <= 0 {
+		t.Fatalf("arena high water = %d, want > 0", st.ArenaHighWater)
+	}
+	lat, ok := st.PerProgramLatency[info.Hash]
+	if !ok || lat.Samples != runs {
+		t.Fatalf("latency window = %+v (ok=%v), want %d samples", lat, ok, runs)
+	}
+	if lat.P50Ms <= 0 || lat.P95Ms < lat.P50Ms {
+		t.Fatalf("latency quantiles implausible: %+v", lat)
+	}
+}
+
 // TestServeTimeout checks the per-request deadline fires (queue wait
 // included) as ErrTimeout.
 func TestServeTimeout(t *testing.T) {

@@ -9,13 +9,17 @@ import (
 	"fmt"
 	"net"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pytfhe/internal/backend"
 	"pytfhe/internal/core"
+	"pytfhe/internal/plan"
 	"pytfhe/internal/tfhe/boot"
+	"pytfhe/internal/tfhe/gate"
+	"pytfhe/internal/tfhe/lwe"
 )
 
 // Config tunes the daemon. Zero values take the documented defaults.
@@ -52,11 +56,73 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// programEntry is one registry slot: the compiled program plus its
-// evaluation hit count.
+// latencyWindow is the per-program sliding window the latency quantiles
+// are computed over.
+const latencyWindow = 128
+
+// programEntry is one registry slot: the compiled program, its evaluation
+// hit count, the cached execution plan, and a latency window.
 type programEntry struct {
 	prog *core.Program
 	hits int64 // atomic
+
+	// planMu guards the plan cache. The first evaluation compiles the plan
+	// (a PlanMiss) and holds the lock until it is stored; contemporaries
+	// that fail the TryLock fall back to the dynamic executor rather than
+	// queueing behind the compile.
+	planMu  sync.Mutex
+	plan    *plan.Plan
+	planErr error // sticky compile failure: fall back forever
+
+	latMu sync.Mutex
+	lat   [latencyWindow]float64 // recent latencies, ms
+	latN  int64                  // total recorded (ring position = latN % window)
+}
+
+// recordLatency appends one evaluation latency to the sliding window.
+func (e *programEntry) recordLatency(ms float64) {
+	e.latMu.Lock()
+	e.lat[e.latN%latencyWindow] = ms
+	e.latN++
+	e.latMu.Unlock()
+}
+
+// latencyStats computes the window quantiles (zero Samples when no
+// evaluation has completed yet).
+func (e *programEntry) latencyStats() LatencyStats {
+	e.latMu.Lock()
+	n := int(e.latN)
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	window := make([]float64, n)
+	copy(window, e.lat[:n])
+	e.latMu.Unlock()
+	if n == 0 {
+		return LatencyStats{}
+	}
+	sort.Float64s(window)
+	return LatencyStats{
+		Samples: n,
+		P50Ms:   window[(n-1)*50/100],
+		P95Ms:   window[(n-1)*95/100],
+	}
+}
+
+// planRunner is the per-cloud-key replay context: worker engines and a
+// persistent arena runtime. One evaluation replays at a time per key
+// (TryLock); contended requests use the shared dynamic executor instead.
+type planRunner struct {
+	mu      sync.Mutex
+	engines []*gate.Engine
+	rt      *plan.Runtime
+}
+
+// session is the per-connection evaluation context established by
+// OpenSession: the shared-executor key handle and the replay runner.
+type session struct {
+	handle *backend.SharedKey
+	runner *planRunner
 }
 
 // Server is the pytfhed daemon: program registry, session key cache,
@@ -70,6 +136,7 @@ type Server struct {
 	mu       sync.Mutex
 	programs map[string]*programEntry
 	keys     map[string]*backend.SharedKey // cloud-key hash → handle
+	runners  map[string]*planRunner        // cloud-key hash → replay runner
 	conns    map[net.Conn]struct{}
 
 	slots    chan struct{} // MaxConcurrent evaluation slots
@@ -79,6 +146,12 @@ type Server struct {
 	evals    int64         // atomic: completed evaluations
 	rejected int64         // atomic: ErrOverloaded rejections
 	draining int32         // atomic bool
+
+	planHits      int64 // atomic: evals that found a cached plan
+	planMisses    int64 // atomic: evals that paid the plan compile
+	planReplays   int64 // atomic: evals served by capture/replay
+	planFallbacks int64 // atomic: evals served by the dynamic executor
+	arenaHW       int64 // atomic max: peak replay-arena ciphertexts
 
 	kickCh chan struct{}  // closed on forced shutdown to unblock slot waiters
 	connWG sync.WaitGroup // connection handler goroutines
@@ -94,6 +167,7 @@ func New(cfg Config) *Server {
 		start:    time.Now(),
 		programs: make(map[string]*programEntry),
 		keys:     make(map[string]*backend.SharedKey),
+		runners:  make(map[string]*planRunner),
 		conns:    make(map[net.Conn]struct{}),
 		slots:    make(chan struct{}, cfg.MaxConcurrent),
 		kickCh:   make(chan struct{}),
@@ -150,7 +224,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	defer s.dropConn(conn)
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
-	var session *backend.SharedKey
+	var sess *session
 	for {
 		var req Request
 		if err := dec.Decode(&req); err != nil {
@@ -164,13 +238,13 @@ func (s *Server) handleConn(conn net.Conn) {
 		case req.Register != nil:
 			resp = s.handleRegister(req.Register)
 		case req.Open != nil:
-			resp = s.handleOpen(req.Open, &session)
+			resp = s.handleOpen(req.Open, &sess)
 		case req.Eval != nil:
 			// The evalWG entry covers the response write too, so Drain
 			// never closes a connection under a result in transit.
 			if s.beginEval() {
 				evalStarted = true
-				resp = s.handleEval(session, req.Eval)
+				resp = s.handleEval(sess, req.Eval)
 			} else {
 				resp = Response{Err: toWire(ErrDraining)}
 			}
@@ -243,10 +317,11 @@ func (s *Server) handleRegister(req *RegisterProgram) Response {
 	}}
 }
 
-// handleOpen registers the session's cloud key with the shared executor.
-// Identical keys (by content hash) share one executor handle, so N
-// sessions of the same tenant cost one engine set, not N.
-func (s *Server) handleOpen(req *OpenSession, session **backend.SharedKey) Response {
+// handleOpen registers the session's cloud key with the shared executor
+// and binds the key's replay runner. Identical keys (by content hash)
+// share one executor handle and one runner, so N sessions of the same
+// tenant cost one engine set, not N.
+func (s *Server) handleOpen(req *OpenSession, sess **session) Response {
 	if req.Key == nil {
 		return Response{Err: &WireError{Code: codeInternal, Msg: "open session carried no cloud key"}}
 	}
@@ -274,7 +349,20 @@ func (s *Server) handleOpen(req *OpenSession, session **backend.SharedKey) Respo
 		}
 		s.mu.Unlock()
 	}
-	*session = handle
+	s.mu.Lock()
+	runner, ok := s.runners[keyHash]
+	if !ok {
+		runner = &planRunner{
+			engines: make([]*gate.Engine, s.cfg.Workers),
+			rt:      plan.NewRuntime(req.Key.Params.LWEDimension),
+		}
+		for i := range runner.engines {
+			runner.engines[i] = gate.NewEngine(req.Key)
+		}
+		s.runners[keyHash] = runner
+	}
+	s.mu.Unlock()
+	*sess = &session{handle: handle, runner: runner}
 	id := atomic.AddUint64(&s.sessions, 1)
 	return Response{Session: &SessionInfo{ID: id, KeyShared: shared}}
 }
@@ -290,9 +378,10 @@ func hashKey(ck *boot.CloudKey) (string, error) {
 }
 
 // handleEval is the admission-controlled evaluation path: bounded queue,
-// slot acquisition with deadline, then the shared executor.
-func (s *Server) handleEval(session *backend.SharedKey, req *EvalRequest) Response {
-	if session == nil {
+// slot acquisition with deadline, then either a plan replay (fast path)
+// or the shared executor.
+func (s *Server) handleEval(sess *session, req *EvalRequest) Response {
+	if sess == nil {
 		return Response{Err: toWire(ErrNoSession)}
 	}
 	s.mu.Lock()
@@ -337,7 +426,7 @@ func (s *Server) handleEval(session *backend.SharedKey, req *EvalRequest) Respon
 	}()
 
 	start := time.Now()
-	outs, err := s.exec.Submit(ctx, session, prog.Netlist, req.Inputs)
+	outs, err := s.evaluate(ctx, sess, entry, req.Inputs)
 	if err != nil {
 		if ctx.Err() != nil {
 			return Response{Err: toWire(fmt.Errorf("%w after %v", ErrTimeout, timeout))}
@@ -347,20 +436,101 @@ func (s *Server) handleEval(session *backend.SharedKey, req *EvalRequest) Respon
 		}
 		return Response{Err: toWire(err)}
 	}
+	elapsed := time.Since(start)
+	entry.recordLatency(float64(elapsed.Nanoseconds()) / 1e6)
 	atomic.AddInt64(&entry.hits, 1)
 	atomic.AddInt64(&s.evals, 1)
 	return Response{Eval: &EvalResult{
 		Outputs:   outs,
-		ElapsedMs: time.Since(start).Milliseconds(),
+		ElapsedMs: elapsed.Milliseconds(),
 	}}
+}
+
+// evaluate runs one admitted request: the replay fast path when the
+// program's plan and the session's runner are available, the shared
+// dynamic executor otherwise. The plan cache is keyed by the program's
+// content hash (entry identity): the first request pays the compile — a
+// PlanMiss, overlapped with its own execution via the level stream — and
+// every later request is a PlanHit that replays with zero scheduling work.
+func (s *Server) evaluate(ctx context.Context, sess *session, entry *programEntry, inputs []*lwe.Sample) ([]*lwe.Sample, error) {
+	var cached *plan.Plan
+	var stream *plan.Stream
+	if entry.planMu.TryLock() {
+		switch {
+		case entry.plan != nil:
+			cached = entry.plan
+			entry.planMu.Unlock()
+			atomic.AddInt64(&s.planHits, 1)
+		case entry.planErr != nil:
+			entry.planMu.Unlock()
+		default:
+			// We are the compiling request: keep planMu until the finished
+			// plan (or the sticky error) is stored so contemporaries fall
+			// back instead of compiling twice.
+			atomic.AddInt64(&s.planMisses, 1)
+			st, err := plan.CompileStream(entry.prog.Netlist, s.cfg.Workers)
+			if err != nil {
+				entry.planErr = err
+				entry.planMu.Unlock()
+			} else {
+				stream = st
+				defer func() {
+					entry.plan = stream.Plan()
+					entry.planMu.Unlock()
+				}()
+			}
+		}
+	}
+
+	if (cached != nil || stream != nil) && sess.runner.mu.TryLock() {
+		runner := sess.runner
+		defer runner.mu.Unlock()
+		// A forced Drain must be able to abort a replay just like it
+		// aborts shared-executor submissions.
+		rctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-s.kickCh:
+				cancel()
+			case <-stop:
+			}
+		}()
+		atomic.AddInt64(&s.planReplays, 1)
+		var outs []*lwe.Sample
+		var err error
+		if stream != nil {
+			outs, err = plan.ReplayStream(rctx, stream, runner.engines, inputs, runner.rt)
+		} else {
+			outs, err = plan.Replay(rctx, cached, runner.engines, inputs, runner.rt)
+		}
+		hw := int64(runner.rt.HighWater())
+		for {
+			cur := atomic.LoadInt64(&s.arenaHW)
+			if hw <= cur || atomic.CompareAndSwapInt64(&s.arenaHW, cur, hw) {
+				break
+			}
+		}
+		return outs, err
+	}
+
+	// Dynamic fallback: runner contended, plan unavailable, or compile
+	// failed. The stream (if we hold one) still finishes in the background
+	// and is cached by the deferred store above.
+	atomic.AddInt64(&s.planFallbacks, 1)
+	return s.exec.Submit(ctx, sess.handle, entry.prog.Netlist, inputs)
 }
 
 func (s *Server) handleStats() Response {
 	ex := s.exec.Stats()
 	s.mu.Lock()
 	per := make(map[string]int64, len(s.programs))
+	lat := make(map[string]LatencyStats, len(s.programs))
 	for hash, entry := range s.programs {
 		per[hash] = atomic.LoadInt64(&entry.hits)
+		lat[hash] = entry.latencyStats()
 	}
 	nProgs := len(s.programs)
 	s.mu.Unlock()
@@ -381,6 +551,13 @@ func (s *Server) handleStats() Response {
 		UptimeMs:      time.Since(s.start).Milliseconds(),
 		PerProgram:    per,
 		ExecutorGates: ex.Gates,
+
+		PlanHits:          atomic.LoadInt64(&s.planHits),
+		PlanMisses:        atomic.LoadInt64(&s.planMisses),
+		PlanReplays:       atomic.LoadInt64(&s.planReplays),
+		PlanFallbacks:     atomic.LoadInt64(&s.planFallbacks),
+		ArenaHighWater:    int(atomic.LoadInt64(&s.arenaHW)),
+		PerProgramLatency: lat,
 	}}
 }
 

@@ -118,6 +118,29 @@ type StatsReply struct {
 	UptimeMs      int64
 	PerProgram    map[string]int64 // hash → evaluation count
 	ExecutorGates int64            // gates evaluated by the shared executor
+
+	// Plan cache counters: an eval request that finds its program's
+	// execution plan already compiled is a PlanHit; the request that pays
+	// the compile is a PlanMiss. PlanReplays ran on the capture/replay
+	// fast path, PlanFallbacks on the shared dynamic executor (replay
+	// runner busy or plan unavailable).
+	PlanHits      int64
+	PlanMisses    int64
+	PlanReplays   int64
+	PlanFallbacks int64
+	// ArenaHighWater is the peak ciphertext count across all replay
+	// arenas.
+	ArenaHighWater int
+	// PerProgramLatency maps program hash → evaluation latency quantiles
+	// over a sliding window of recent requests.
+	PerProgramLatency map[string]LatencyStats
+}
+
+// LatencyStats summarizes recent evaluation latencies of one program.
+type LatencyStats struct {
+	Samples int // window occupancy (≤ latencyWindow)
+	P50Ms   float64
+	P95Ms   float64
 }
 
 // WireError is the serialized form of a typed failure.

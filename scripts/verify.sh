@@ -22,7 +22,7 @@ go build ./...
 go run ./cmd/pytfhelint ./...
 
 go test -race ./internal/backend/... ./internal/sched/... ./internal/cluster/... \
-    ./internal/serve/... ./internal/wire/...
+    ./internal/serve/... ./internal/wire/... ./internal/plan/...
 
 # End-to-end: compile a VIP-Bench kernel and lint the emitted binary.
 tmp=$(mktemp -d)
@@ -55,7 +55,13 @@ word=1011001110001111000010100110010111010010001101011100101000110111
 out=$("$tmp/pytfhe" eval -server "$addr" -keys "$tmp/keys" \
     -prog "$tmp/prog.ptfhe" -in "$word$word" | grep '^outputs:')
 [ "$out" = "outputs: 0000000" ]
-"$tmp/pytfhe" server-stats -server "$addr"
+# A second evaluation of the same program must hit the server's plan cache:
+# the first request paid the capture (one miss), the repeat replays it.
+out=$("$tmp/pytfhe" eval -server "$addr" -keys "$tmp/keys" \
+    -prog "$tmp/prog.ptfhe" -in "$word$word" | grep '^outputs:')
+[ "$out" = "outputs: 0000000" ]
+"$tmp/pytfhe" server-stats -server "$addr" | tee "$tmp/stats"
+grep -q 'plan cache: 1 hits, 1 misses' "$tmp/stats"
 kill -TERM "$daemon_pid"
 wait "$daemon_pid"
 daemon_pid=
