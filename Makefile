@@ -21,7 +21,9 @@ serve-test:
 	go test -race ./internal/serve/... ./internal/wire/... ./internal/backend/...
 
 # Go benchmarks plus the plan capture/replay measurement, which lands as
-# BENCH_PLAN.json — the first point on the replay performance trajectory.
+# BENCH_PLAN.json — the replay performance trajectory. The -planbaseline
+# flag is the bench-parity guard: the fresh Async and Planned throughputs
+# must stay within 10% of the committed baseline.
 bench:
 	go test -bench=. -benchmem -run '^$$' .
-	go run ./cmd/experiments -quick -planbench -planout BENCH_PLAN.json
+	go run ./cmd/experiments -quick -planbench -planbaseline BENCH_PLAN.json -planout BENCH_PLAN.json

@@ -40,6 +40,7 @@ func main() {
 	execWorkers := flag.String("execworkers", "1,2,4,8", "comma-separated worker counts for -executors")
 	planBench := flag.Bool("planbench", false, "measure plan capture/replay vs the dynamic executors on the imbalanced ripple netlist")
 	planOut := flag.String("planout", "", "write the -planbench report as JSON to this path (e.g. BENCH_PLAN.json)")
+	planBaseline := flag.String("planbaseline", "", "compare the -planbench report against this committed JSON baseline and fail on >10% regression")
 	planWorkers := flag.Int("planworkers", 4, "worker count for -planbench")
 	flag.Parse()
 
@@ -180,6 +181,12 @@ func main() {
 		report, err := experiments.PlanBench(kp.Cloud, nl, inputs, *planWorkers)
 		fatal(err)
 		experiments.RenderPlanBench(w, report)
+		if *planBaseline != "" {
+			base, err := experiments.LoadPlanBaseline(*planBaseline)
+			fatal(err)
+			fatal(experiments.CheckPlanParity(report, base, 0.10))
+			fmt.Fprintf(os.Stderr, "bench parity vs %s: async and plan within 10%%\n", *planBaseline)
+		}
 		if *planOut != "" {
 			fatal(experiments.WritePlanBench(*planOut, report))
 			fmt.Fprintf(os.Stderr, "wrote %s\n", *planOut)

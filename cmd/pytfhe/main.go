@@ -433,8 +433,8 @@ func printRunStats(runner backend.Backend) {
 	default:
 		return
 	}
-	fmt.Printf("stats: %d gates (%d bootstrapped) in %v — %.1f gates/s\n",
-		st.Gates, st.Bootstraps, st.Elapsed.Round(time.Millisecond), st.GatesPerSec)
+	fmt.Printf("stats: %d gates (%d bootstrapped) in %v — %.1f gates/s, %.1f bootstraps/s\n",
+		st.Gates, st.Bootstraps, st.Elapsed.Round(time.Millisecond), st.GatesPerSec, st.BootstrapsPerSec)
 	if st.Levels > 0 {
 		fmt.Printf("       %d wavefronts, %d workers\n", st.Levels, st.Workers)
 	}
@@ -564,7 +564,8 @@ func cmdServerStats(args []string) error {
 		(time.Duration(st.UptimeMs) * time.Millisecond).Round(time.Second), st.Sessions, st.Programs)
 	fmt.Printf("evaluations: %d done, %d shed (overloaded), queue depth %d, in flight %d\n",
 		st.Evaluations, st.Rejected, st.QueueDepth, st.InFlight)
-	fmt.Printf("executor: %d gates evaluated, %.1f bootstrapped gates/s\n", st.ExecutorGates, st.GatesPerSec)
+	fmt.Printf("executor: %d gates evaluated, %.1f gates/s, %.1f bootstraps/s\n",
+		st.ExecutorGates, st.GatesPerSec, st.BootstrapsPerSec)
 	fmt.Printf("plan cache: %d hits, %d misses — %d replays, %d dynamic fallbacks, arena high water %d ciphertexts\n",
 		st.PlanHits, st.PlanMisses, st.PlanReplays, st.PlanFallbacks, st.ArenaHighWater)
 	for hash, hits := range st.PerProgram {

@@ -2,48 +2,33 @@ package backend
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
-	"time"
 
 	"pytfhe/internal/circuit"
+	"pytfhe/internal/exec"
 	"pytfhe/internal/tfhe/boot"
-	"pytfhe/internal/tfhe/gate"
 	"pytfhe/internal/tfhe/lwe"
 )
 
 // Async is the barrier-free, dependency-driven CPU executor. Where Pool
 // drains the DAG wavefront by wavefront with a barrier per level
 // (Algorithm 1 verbatim), Async dispatches every gate the moment its last
-// operand is produced: each gate carries an atomic pending-operand counter,
-// finished gates decrement their children's counters, and a counter hitting
-// zero pushes the child onto a shared ready queue served by persistent
-// worker goroutines (one gate.Engine each, spun up once per Run, not per
-// level). This is how a real task runtime such as Ray — the paper's backend
-// — actually behaves, and it is the executor that internal/sched's
-// SimulateAsync models; on deep or irregular netlists it keeps workers
-// saturated where the level barrier would leave them idle.
-//
-// Ciphertext recycling is lock-free on the hot path: every node carries an
-// atomic fan-out refcount, each worker owns a private ciphertextPool, a
-// gate's output slot is claimed from the popping worker's pool when the
-// gate is popped, and an operand is returned to the releasing worker's pool
-// the moment its refcount hits zero. Peak memory therefore still tracks the
-// live frontier of the DAG, as in Pool, but with no shared free-list lock.
-// Outputs hold one reference each (circuit.FanOut counts them), so a result
-// can never be recycled before collectOutputs reads it, even when the
-// output node also feeds interior gates.
+// operand is produced — exec.RunReady's policy: atomic pending-operand
+// counters, a blocking ready queue served by persistent worker
+// goroutines (one gate.Engine each), and per-worker ciphertext pools so
+// recycling stays lock-free on the hot path. This is how a real task
+// runtime such as Ray — the paper's backend — actually behaves, and it is
+// the executor that internal/sched's SimulateAsync models; on deep or
+// irregular netlists it keeps workers saturated where the level barrier
+// would leave them idle.
 //
 // The ready set is ordered by the Sched policy: SchedCritical (default)
 // pops the gate with the deepest remaining bootstrap chain first, so
 // limited workers always advance the DAG's critical path; SchedFIFO keeps
 // plain arrival order as the baseline.
 type Async struct {
-	ck      *boot.CloudKey
-	workers int
-	sched   Sched
-	engines []*gate.Engine
-	Stats   RunStats
+	ws    *exec.Workers
+	sched Sched
+	Stats RunStats
 }
 
 // NewAsync returns a dependency-driven backend with the given worker count
@@ -56,180 +41,22 @@ func NewAsync(ck *boot.CloudKey, workers int) *Async {
 
 // NewAsyncSched is NewAsync with an explicit ready-queue policy.
 func NewAsyncSched(ck *boot.CloudKey, workers int, sched Sched) *Async {
-	if workers < 1 {
-		workers = 1
-	}
-	engines := make([]*gate.Engine, workers)
-	for i := range engines {
-		engines[i] = gate.NewEngine(ck)
-	}
-	return &Async{ck: ck, workers: workers, sched: sched, engines: engines}
+	return &Async{ws: exec.NewWorkers(ck, workers), sched: sched}
 }
 
 // Name implements Backend.
 func (a *Async) Name() string {
 	if a.sched == SchedFIFO {
-		return fmt.Sprintf("async-cpu(%d,fifo)", a.workers)
+		return fmt.Sprintf("async-cpu(%d,fifo)", a.ws.N())
 	}
-	return fmt.Sprintf("async-cpu(%d)", a.workers)
+	return fmt.Sprintf("async-cpu(%d)", a.ws.N())
 }
 
 // Run implements Backend.
 func (a *Async) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample, error) {
-	dim := a.ck.Params.LWEDimension
-	if err := checkInputs(nl, inputs, dim); err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	nGates := len(nl.Gates)
-
-	values := make([]*lwe.Sample, nl.NumNodes()+1)
-	for i, in := range inputs {
-		values[i+1] = in
-	}
-
-	stats := RunStats{Gates: nGates, Workers: a.workers}
-	for _, g := range nl.Gates {
-		if g.Kind.NeedsBootstrap() {
-			stats.Bootstraps++
-		}
-	}
-
-	// Dependency bookkeeping, mirroring sched.SimulateAsync: children of
-	// each node, and per-gate atomic counters of unproduced gate operands.
-	// A unary gate reading node X twice counts X twice, matching FanOut.
-	children := make([][]int32, nl.NumNodes()+1)
-	pending := make([]int32, nGates)
-	for i, g := range nl.Gates {
-		for _, in := range [2]circuit.NodeID{g.A, g.B} {
-			if nl.GateIndex(in) >= 0 {
-				pending[i]++
-				children[in] = append(children[in], int32(i))
-			}
-		}
-	}
-
-	// Atomic fan-out refcounts drive recycling; inputs are never recycled
-	// (the caller owns them) and outputs hold a reference until collection.
-	fan := nl.FanOut()
-	refs := make([]int32, len(fan))
-	for i, f := range fan {
-		refs[i] = int32(f)
-	}
-
-	// The ready queue holds every gate index at most once. Under
-	// SchedCritical it is a max-heap on each gate's remaining critical-path
-	// depth; under SchedFIFO it preserves arrival order.
-	var prio []int64
-	if a.sched == SchedCritical {
-		prio = remainingDepth(nl, children)
-	}
-	ready := newReadyQueue(nGates, prio)
-	readyAt := make([]int64, nGates) // ns timestamp of enqueue, for QueueWait
-	now := time.Now().UnixNano()
-	for i := range nl.Gates {
-		if pending[i] == 0 {
-			readyAt[i] = now
-			ready.push(int32(i))
-		}
-	}
-	if nGates == 0 {
-		ready.finish()
-	}
-
-	var (
-		done        int32 // gates fully processed; the last one finishes ready
-		queueWaitNs int64
-		busyNs      int64
-		runErr      error
-		errOnce     sync.Once
-	)
-	fail := func(err error) {
-		errOnce.Do(func() {
-			runErr = err
-			ready.finish()
-		})
-	}
-
-	workers := a.workers
-	if workers > nGates && nGates > 0 {
-		workers = nGates
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(eng *gate.Engine) {
-			defer wg.Done()
-			local := &ciphertextPool{dim: dim}
-			var busy time.Duration
-			defer func() { atomic.AddInt64(&busyNs, int64(busy)) }()
-			release := func(id circuit.NodeID) {
-				if id <= 0 || nl.IsInput(id) {
-					return
-				}
-				if atomic.AddInt32(&refs[id], -1) == 0 {
-					// Every reader decremented after finishing its own
-					// evaluation, so nobody can still be reading this slot.
-					local.put(values[id])
-					values[id] = nil
-				}
-			}
-			for {
-				gi, ok := ready.pop()
-				if !ok {
-					return
-				}
-				popped := time.Now()
-				atomic.AddInt64(&queueWaitNs, popped.UnixNano()-readyAt[gi])
-				g := nl.Gates[gi]
-				id := nl.GateID(int(gi))
-				out := local.get()
-				if err := eng.Binary(g.Kind, out, values[g.A], values[g.B]); err != nil {
-					local.put(out)
-					fail(fmt.Errorf("backend: gate %d: %w", id, err))
-					return
-				}
-				// Publish the result, then wake children: the atomic
-				// decrement plus the queue's mutex order the write to
-				// values[id] before any child's read of it.
-				values[id] = out
-				for _, child := range children[id] {
-					if atomic.AddInt32(&pending[child], -1) == 0 {
-						readyAt[child] = time.Now().UnixNano()
-						ready.push(child)
-					}
-				}
-				release(g.A)
-				release(g.B)
-				busy += time.Since(popped)
-				if atomic.AddInt32(&done, 1) == int32(nGates) {
-					// All gates evaluated, so every push has already
-					// happened; finishing wakes the idle workers.
-					ready.finish()
-				}
-			}
-		}(a.engines[w])
-	}
-	wg.Wait()
-	if runErr != nil {
-		return nil, runErr
-	}
-
-	outs, err := collectOutputs(nl, values, dim)
+	outs, stats, err := exec.RunReady(a.ws, nl, inputs, a.sched, exec.NewPoolMemory)
 	if err != nil {
 		return nil, err
-	}
-	stats.Elapsed = time.Since(start)
-	stats.QueueWait = time.Duration(queueWaitNs)
-	stats.WorkerBusy = time.Duration(busyNs)
-	if nGates > 0 {
-		stats.AvgQueueWait = stats.QueueWait / time.Duration(nGates)
-	}
-	if stats.Elapsed > 0 && workers > 0 {
-		stats.Utilization = float64(stats.WorkerBusy) / (float64(stats.Elapsed) * float64(workers))
-	}
-	if secs := stats.Elapsed.Seconds(); secs > 0 {
-		stats.GatesPerSec = float64(stats.Bootstraps) / secs
 	}
 	a.Stats = stats
 	return outs, nil

@@ -1,7 +1,6 @@
 package backend
 
 import (
-	"math/rand"
 	"sort"
 	"testing"
 	"time"
@@ -39,73 +38,6 @@ func TestAsyncBackendHomomorphic(t *testing.T) {
 		}
 		if st.QueueWait < 0 || st.AvgQueueWait < 0 {
 			t.Fatalf("async(%d): queue wait negative: %+v", workers, st)
-		}
-	}
-}
-
-// randomDeepNetlist builds a randomized DAG whose outputs include nodes that
-// are *also* operands of later gates — the shape that catches a recycler
-// freeing a result before collectOutputs reads it.
-func randomDeepNetlist(rng *rand.Rand, nGates int) *circuit.Netlist {
-	b := circuit.NewBuilder("rand-deep", circuit.NoOptimizations())
-	nodes := []circuit.NodeID{b.Input("a"), b.Input("b"), b.Input("c"), b.Input("d"), b.Input("e")}
-	for i := 0; i < nGates-1; i++ {
-		kind := logic.TFHEGates()[rng.Intn(11)]
-		// Bias toward recent nodes so the DAG gets deep and irregular.
-		var x circuit.NodeID
-		if rng.Intn(2) == 0 {
-			x = nodes[len(nodes)-1]
-		} else {
-			x = nodes[rng.Intn(len(nodes))]
-		}
-		y := nodes[rng.Intn(len(nodes))]
-		nodes = append(nodes, b.Gate(kind, x, y))
-	}
-	// An output that is also an interior operand: the final gate reads mid,
-	// and mid is exported as an output alongside the final gate itself.
-	mid := nodes[len(nodes)/2]
-	last := b.Gate(logic.AND, mid, nodes[len(nodes)-1])
-	b.Output("mid", mid)
-	b.Output("last", last)
-	b.Output("other", nodes[len(nodes)-2])
-	return b.MustBuild()
-}
-
-// TestBackendsAgreeAcrossWorkerCounts is the recycling regression test:
-// identical decrypted outputs from Single, Pool and Async at worker counts
-// {1, 2, 3, 7} on randomized netlists, including netlists whose outputs are
-// also interior gate operands.
-func TestBackendsAgreeAcrossWorkerCounts(t *testing.T) {
-	sk, ck := keys(t)
-	rng := rand.New(rand.NewSource(1234))
-	workerCounts := []int{1, 2, 3, 7}
-	for trial := 0; trial < 2; trial++ {
-		nl := randomDeepNetlist(rng, 14)
-		in := make([]bool, nl.NumInputs)
-		for i := range in {
-			in[i] = rng.Intn(2) == 1
-		}
-		want, err := nl.Evaluate(in)
-		if err != nil {
-			t.Fatal(err)
-		}
-		backends := []Backend{NewSingle(ck)}
-		for _, w := range workerCounts {
-			backends = append(backends, NewPool(ck, w),
-				NewAsyncSched(ck, w, SchedCritical),
-				NewAsyncSched(ck, w, SchedFIFO))
-		}
-		for _, be := range backends {
-			outs, err := be.Run(nl, EncryptInputs(sk, in))
-			if err != nil {
-				t.Fatalf("%s: %v", be.Name(), err)
-			}
-			got := DecryptOutputs(sk, outs)
-			for i := range want {
-				if got[i] != want[i] {
-					t.Fatalf("%s trial %d output %d: got %v want %v", be.Name(), trial, i, got[i], want[i])
-				}
-			}
 		}
 	}
 }

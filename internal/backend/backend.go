@@ -4,17 +4,19 @@
 // the paper (a BFS over the gate DAG that submits every ready gate to a
 // worker and barriers per level), and Async, the barrier-free
 // dependency-driven executor that dispatches each gate the moment its
-// operands are produced (see async.go). The distributed multi-node backend
-// lives in internal/cluster; the GPU-simulator backend in internal/gpu.
+// operands are produced (see async.go). Every backend is a thin scheduling
+// policy over the shared execution core of internal/exec — the value
+// table, input checks, refcount release, ciphertext recycling, worker
+// engine sets, stats, and output collection live there exactly once. The
+// distributed multi-node backend lives in internal/cluster; the
+// GPU-simulator backend in internal/gpu.
 package backend
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
-	"time"
 
 	"pytfhe/internal/circuit"
+	"pytfhe/internal/exec"
 	"pytfhe/internal/tfhe/boot"
 	"pytfhe/internal/tfhe/gate"
 	"pytfhe/internal/tfhe/lwe"
@@ -30,45 +32,27 @@ type Backend interface {
 }
 
 // RunStats captures execution metrics from the most recent Run.
-type RunStats struct {
-	Gates       int           // gates evaluated (including free gates)
-	Bootstraps  int           // bootstrapped gate evaluations
-	Levels      int           // wavefronts executed (0 for barrier-free Async)
-	Elapsed     time.Duration // wall-clock for the Run call
-	GatesPerSec float64
+type RunStats = exec.Stats
 
-	// Breakdowns recorded by the concurrent executors (Pool leaves them
-	// zero except Workers; Async fills them all).
-	Workers      int           // worker goroutines used
-	QueueWait    time.Duration // cumulative time gates sat in the ready queue
-	AvgQueueWait time.Duration // QueueWait / Gates
-	WorkerBusy   time.Duration // cumulative time workers spent evaluating
-	Utilization  float64       // WorkerBusy / (Elapsed * Workers)
-}
+// ErrNilInput marks a nil ciphertext among a run's inputs.
+var ErrNilInput = exec.ErrNilInput
 
-// ciphertextPool recycles LWE samples between gates so large programs do
-// not allocate one ciphertext per node.
-type ciphertextPool struct {
-	dim  int
-	free []*lwe.Sample
-}
+// Sched selects the ready-driven executors' queue policy.
+type Sched = exec.Sched
 
-func (p *ciphertextPool) get() *lwe.Sample {
-	if n := len(p.free); n > 0 {
-		s := p.free[n-1]
-		p.free = p.free[:n-1]
-		return s
-	}
-	return lwe.NewSample(p.dim)
-}
+const (
+	// SchedCritical pops the ready gate with the longest remaining
+	// bootstrap-weighted dependency chain first (the default).
+	SchedCritical = exec.SchedCritical
+	// SchedFIFO pops gates in arrival order — the A/B baseline.
+	SchedFIFO = exec.SchedFIFO
+)
 
-func (p *ciphertextPool) put(s *lwe.Sample) {
-	if s != nil {
-		p.free = append(p.free, s)
-	}
-}
+// ParseSched resolves a -sched flag value.
+func ParseSched(s string) (Sched, error) { return exec.ParseSched(s) }
 
-// Single evaluates gates sequentially on one core.
+// Single evaluates gates sequentially on one core — the sequential driver
+// over a refcounted free-list pool.
 type Single struct {
 	eng   *gate.Engine
 	Stats RunStats
@@ -87,51 +71,9 @@ func (s *Single) Engine() *gate.Engine { return s.eng }
 
 // Run implements Backend.
 func (s *Single) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample, error) {
-	if err := checkInputs(nl, inputs, s.eng.Params().LWEDimension); err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	dim := s.eng.Params().LWEDimension
-	pool := &ciphertextPool{dim: dim}
-
-	values := make([]*lwe.Sample, nl.NumNodes()+1)
-	for i, in := range inputs {
-		values[i+1] = in
-	}
-	remaining := nl.FanOut()
-
-	stats := RunStats{Gates: len(nl.Gates)}
-	release := func(id circuit.NodeID) {
-		if id <= 0 {
-			return
-		}
-		remaining[id]--
-		if remaining[id] == 0 && !nl.IsInput(id) {
-			pool.put(values[id])
-			values[id] = nil
-		}
-	}
-	for i, g := range nl.Gates {
-		id := nl.GateID(i)
-		out := pool.get()
-		if err := s.eng.Binary(g.Kind, out, values[g.A], values[g.B]); err != nil {
-			pool.put(out)
-			return nil, fmt.Errorf("backend: gate %d: %w", id, err)
-		}
-		if g.Kind.NeedsBootstrap() {
-			stats.Bootstraps++
-		}
-		values[id] = out
-		release(g.A)
-		release(g.B)
-	}
-	outs, err := collectOutputs(nl, values, dim)
+	outs, stats, err := exec.RunSequential(s.eng, nl, inputs, exec.NewPool(s.eng.Params().LWEDimension))
 	if err != nil {
 		return nil, err
-	}
-	stats.Elapsed = time.Since(start)
-	if secs := stats.Elapsed.Seconds(); secs > 0 {
-		stats.GatesPerSec = float64(stats.Bootstraps) / secs
 	}
 	s.Stats = stats
 	return outs, nil
@@ -139,156 +81,28 @@ func (s *Single) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample, 
 
 // Pool evaluates the DAG wavefront by wavefront with W worker goroutines,
 // each owning a gate engine over the shared cloud key — the in-process
-// equivalent of the paper's Ray actors.
+// equivalent of the paper's Ray actors, and the level driver of the
+// execution core.
 type Pool struct {
-	ck      *boot.CloudKey
-	workers int
-	engines []*gate.Engine
-	Stats   RunStats
+	ws    *exec.Workers
+	Stats RunStats
 }
 
 // NewPool returns a backend with the given worker count (minimum 1).
 func NewPool(ck *boot.CloudKey, workers int) *Pool {
-	if workers < 1 {
-		workers = 1
-	}
-	engines := make([]*gate.Engine, workers)
-	for i := range engines {
-		engines[i] = gate.NewEngine(ck)
-	}
-	return &Pool{ck: ck, workers: workers, engines: engines}
+	return &Pool{ws: exec.NewWorkers(ck, workers)}
 }
 
 // Name implements Backend.
-func (p *Pool) Name() string { return fmt.Sprintf("pool-cpu(%d)", p.workers) }
+func (p *Pool) Name() string { return fmt.Sprintf("pool-cpu(%d)", p.ws.N()) }
 
 // Run implements Backend.
 func (p *Pool) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample, error) {
-	dim := p.ck.Params.LWEDimension
-	if err := checkInputs(nl, inputs, dim); err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	values := make([]*lwe.Sample, nl.NumNodes()+1)
-	for i, in := range inputs {
-		values[i+1] = in
-	}
-
-	levels := nl.Levels()
-	stats := RunStats{Gates: len(nl.Gates), Levels: len(levels), Workers: p.workers}
-	for _, g := range nl.Gates {
-		if g.Kind.NeedsBootstrap() {
-			stats.Bootstraps++
-		}
-	}
-
-	// Reference counting lets finished wavefronts return their ciphertexts
-	// to a free list: peak memory follows the live frontier, not the whole
-	// program (a 2M-gate MNIST netlist would otherwise hold ~5 GB).
-	remaining := nl.FanOut()
-	pool := &ciphertextPool{dim: dim}
-	release := func(id circuit.NodeID) {
-		if id <= 0 || nl.IsInput(id) {
-			return
-		}
-		remaining[id]--
-		if remaining[id] == 0 {
-			pool.put(values[id])
-			values[id] = nil
-		}
-	}
-
-	var firstErr error
-	var errMu sync.Mutex
-	for _, level := range levels {
-		// Algorithm 1: every gate in this wavefront has all parents ready;
-		// submit them to the workers and barrier before the next level.
-		for _, gi := range level {
-			values[nl.GateID(gi)] = pool.get()
-		}
-		// Workers pull the next gate via an atomic counter rather than
-		// pre-sliced chunks: with static chunking one slow chunk (a run of
-		// bootstrapped gates landing in the same slice) stalls the whole
-		// level barrier while the other workers sit idle.
-		var next int64
-		var wg sync.WaitGroup
-		nw := p.workers
-		if nw > len(level) {
-			nw = len(level)
-		}
-		for w := 0; w < nw; w++ {
-			wg.Add(1)
-			go func(eng *gate.Engine) {
-				defer wg.Done()
-				for {
-					i := int(atomic.AddInt64(&next, 1)) - 1
-					if i >= len(level) {
-						return
-					}
-					gi := level[i]
-					g := nl.Gates[gi]
-					if err := eng.Binary(g.Kind, values[nl.GateID(gi)], values[g.A], values[g.B]); err != nil {
-						errMu.Lock()
-						if firstErr == nil {
-							firstErr = fmt.Errorf("backend: gate %d: %w", nl.GateID(gi), err)
-						}
-						errMu.Unlock()
-						return
-					}
-				}
-			}(p.engines[w])
-		}
-		wg.Wait()
-		if firstErr != nil {
-			return nil, firstErr
-		}
-		// Operand releases happen after the barrier so no worker frees a
-		// ciphertext another worker is still reading.
-		for _, gi := range level {
-			release(nl.Gates[gi].A)
-			release(nl.Gates[gi].B)
-		}
-	}
-	outs, err := collectOutputs(nl, values, dim)
+	outs, stats, err := exec.RunLevels(p.ws, nl, inputs, exec.NewPool(p.ws.Dim()))
 	if err != nil {
 		return nil, err
 	}
-	stats.Elapsed = time.Since(start)
-	if secs := stats.Elapsed.Seconds(); secs > 0 {
-		stats.GatesPerSec = float64(stats.Bootstraps) / secs
-	}
 	p.Stats = stats
-	return outs, nil
-}
-
-func checkInputs(nl *circuit.Netlist, inputs []*lwe.Sample, dim int) error {
-	if len(inputs) != nl.NumInputs {
-		return fmt.Errorf("backend: %d inputs supplied, want %d", len(inputs), nl.NumInputs)
-	}
-	for i, in := range inputs {
-		if in.Dimension() != dim {
-			return fmt.Errorf("backend: input %d has dimension %d, want %d", i, in.Dimension(), dim)
-		}
-	}
-	return nil
-}
-
-func collectOutputs(nl *circuit.Netlist, values []*lwe.Sample, dim int) ([]*lwe.Sample, error) {
-	outs := make([]*lwe.Sample, len(nl.Outputs))
-	for i, id := range nl.Outputs {
-		out := lwe.NewSample(dim)
-		switch {
-		case id == circuit.ConstTrue:
-			gate.Trivial(out, true)
-		case id == circuit.ConstFalse:
-			gate.Trivial(out, false)
-		case values[id] == nil:
-			return nil, fmt.Errorf("backend: output %d references freed node %d", i, id)
-		default:
-			out.Copy(values[id])
-		}
-		outs[i] = out
-	}
 	return outs, nil
 }
 

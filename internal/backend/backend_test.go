@@ -1,12 +1,10 @@
 package backend
 
 import (
-	"math/rand"
 	"sync"
 	"testing"
 
 	"pytfhe/internal/circuit"
-	"pytfhe/internal/logic"
 	"pytfhe/internal/params"
 	"pytfhe/internal/tfhe/boot"
 	"pytfhe/internal/trand"
@@ -120,44 +118,6 @@ func TestPoolBackendHomomorphic(t *testing.T) {
 		}
 		if be.Stats.Levels == 0 {
 			t.Fatalf("pool(%d): levels not recorded", workers)
-		}
-	}
-}
-
-// TestBackendsAgreeOnRandomCircuits cross-checks the homomorphic backends
-// against the plaintext interpreter on random DAGs.
-func TestBackendsAgreeOnRandomCircuits(t *testing.T) {
-	sk, ck := keys(t)
-	rng := rand.New(rand.NewSource(77))
-	for trial := 0; trial < 3; trial++ {
-		b := circuit.NewBuilder("rand", circuit.NoOptimizations())
-		nodes := []circuit.NodeID{b.Input("a"), b.Input("b"), b.Input("c"), b.Input("d")}
-		for i := 0; i < 12; i++ {
-			kind := logic.TFHEGates()[rng.Intn(11)]
-			x := nodes[rng.Intn(len(nodes))]
-			y := nodes[rng.Intn(len(nodes))]
-			nodes = append(nodes, b.Gate(kind, x, y))
-		}
-		b.Output("o0", nodes[len(nodes)-1])
-		b.Output("o1", nodes[len(nodes)-3])
-		nl := b.MustBuild()
-
-		in := []bool{rng.Intn(2) == 1, rng.Intn(2) == 1, rng.Intn(2) == 1, rng.Intn(2) == 1}
-		want, err := nl.Evaluate(in)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, be := range []Backend{NewSingle(ck), NewPool(ck, 3), NewAsync(ck, 3), NewPlanned(ck, 3)} {
-			outs, err := be.Run(nl, EncryptInputs(sk, in))
-			if err != nil {
-				t.Fatalf("%s: %v", be.Name(), err)
-			}
-			got := DecryptOutputs(sk, outs)
-			for i := range want {
-				if got[i] != want[i] {
-					t.Fatalf("%s trial %d output %d: got %v want %v", be.Name(), trial, i, got[i], want[i])
-				}
-			}
 		}
 	}
 }

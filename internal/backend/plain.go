@@ -1,9 +1,8 @@
 package backend
 
 import (
-	"fmt"
-
 	"pytfhe/internal/circuit"
+	"pytfhe/internal/exec"
 	"pytfhe/internal/tfhe/gate"
 	"pytfhe/internal/tfhe/lwe"
 	"pytfhe/internal/trand"
@@ -21,8 +20,10 @@ func (Plain) Name() string { return "plain" }
 
 // Run implements Backend.
 func (Plain) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample, error) {
-	if len(inputs) != nl.NumInputs {
-		return nil, fmt.Errorf("backend: %d inputs supplied, want %d", len(inputs), nl.NumInputs)
+	// dim 0 skips the dimension check: Plain takes whatever dimension the
+	// trivial samples carry.
+	if err := exec.CheckRawInputs(inputs, nl.NumInputs, 0); err != nil {
+		return nil, err
 	}
 	bits := make([]bool, len(inputs))
 	for i, in := range inputs {

@@ -7,9 +7,9 @@ import (
 	"time"
 
 	"pytfhe/internal/circuit"
+	"pytfhe/internal/exec"
 	"pytfhe/internal/plan"
 	"pytfhe/internal/tfhe/boot"
-	"pytfhe/internal/tfhe/gate"
 	"pytfhe/internal/tfhe/lwe"
 )
 
@@ -19,17 +19,15 @@ import (
 // levels are still being laid out); every later Run of the same netlist
 // replays the cached plan with no scheduling work at all: no ready heap,
 // no per-gate atomics, no refcounting, and no ciphertext allocations
-// (the arena persists in the runtime).
+// (the exec.Arena persists in the runtime).
 //
 // Capture also performs exact functional deduplication, so replay executes
 // only the netlist's distinct boolean functions. Stats reports the
-// *logical* gate and bootstrap counts — GatesPerSec is the program's
+// *logical* gate and bootstrap counts — BootstrapsPerSec is the program's
 // effective throughput (logical bootstraps per second), the number
 // comparable across backends; PlanStats carries the executed counts.
 type Planned struct {
-	ck      *boot.CloudKey
-	workers int
-	engines []*gate.Engine
+	ws *exec.Workers
 
 	mu    sync.Mutex
 	plans map[*circuit.Netlist]*plan.Plan
@@ -42,24 +40,16 @@ type Planned struct {
 // NewPlanned returns a capture/replay backend with the given worker count
 // (minimum 1).
 func NewPlanned(ck *boot.CloudKey, workers int) *Planned {
-	if workers < 1 {
-		workers = 1
-	}
-	engines := make([]*gate.Engine, workers)
-	for i := range engines {
-		engines[i] = gate.NewEngine(ck)
-	}
+	ws := exec.NewWorkers(ck, workers)
 	return &Planned{
-		ck:      ck,
-		workers: workers,
-		engines: engines,
-		plans:   make(map[*circuit.Netlist]*plan.Plan),
-		rt:      plan.NewRuntime(ck.Params.LWEDimension),
+		ws:    ws,
+		plans: make(map[*circuit.Netlist]*plan.Plan),
+		rt:    plan.NewRuntime(ws.Dim()),
 	}
 }
 
 // Name implements Backend.
-func (p *Planned) Name() string { return fmt.Sprintf("plan-cpu(%d)", p.workers) }
+func (p *Planned) Name() string { return fmt.Sprintf("plan-cpu(%d)", p.ws.N()) }
 
 // ArenaHighWater returns the peak number of arena ciphertexts held across
 // all runs.
@@ -76,7 +66,7 @@ func (p *Planned) Plan(nl *circuit.Netlist) (*plan.Plan, error) {
 	if cached, ok := p.plans[nl]; ok {
 		return cached, nil
 	}
-	compiled, err := plan.Compile(nl, p.workers)
+	compiled, err := plan.Compile(nl, p.ws.N())
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +76,7 @@ func (p *Planned) Plan(nl *circuit.Netlist) (*plan.Plan, error) {
 
 // Run implements Backend.
 func (p *Planned) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample, error) {
-	if err := checkInputs(nl, inputs, p.ck.Params.LWEDimension); err != nil {
+	if err := exec.CheckInputs(nl, inputs, p.ws.Dim()); err != nil {
 		return nil, err
 	}
 	p.mu.Lock()
@@ -97,17 +87,17 @@ func (p *Planned) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample,
 	compiled, hit := p.plans[nl]
 	if hit {
 		var err error
-		outs, err = plan.Replay(context.Background(), compiled, p.engines, inputs, p.rt)
+		outs, err = plan.Replay(context.Background(), compiled, p.ws.Engines(), inputs, p.rt)
 		if err != nil {
 			return nil, err
 		}
 	} else {
 		// Cold path: capture and execute overlapped, then cache the plan.
-		s, err := plan.CompileStream(nl, p.workers)
+		s, err := plan.CompileStream(nl, p.ws.N())
 		if err != nil {
 			return nil, err
 		}
-		outs, err = plan.ReplayStream(context.Background(), s, p.engines, inputs, p.rt)
+		outs, err = plan.ReplayStream(context.Background(), s, p.ws.Engines(), inputs, p.rt)
 		if err != nil {
 			return nil, err
 		}
@@ -121,11 +111,8 @@ func (p *Planned) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample,
 		Gates:      st.LogicalGates,
 		Bootstraps: st.LogicalBootstraps,
 		Levels:     st.Levels,
-		Elapsed:    time.Since(start),
-		Workers:    p.workers,
+		Workers:    p.ws.N(),
 	}
-	if secs := p.Stats.Elapsed.Seconds(); secs > 0 {
-		p.Stats.GatesPerSec = float64(st.LogicalBootstraps) / secs
-	}
+	p.Stats.Finish(start)
 	return outs, nil
 }

@@ -37,47 +37,6 @@ func TestPlannedBackendHomomorphic(t *testing.T) {
 	}
 }
 
-// TestPlannedAgreesWithDynamicBackends is the cross-backend agreement
-// check for the capture/replay path: Planned at 1, 2 and 4 workers must
-// decrypt bit-identically to Single, Pool and Async on the same netlists.
-func TestPlannedAgreesWithDynamicBackends(t *testing.T) {
-	sk, ck := keys(t)
-	rng := rand.New(rand.NewSource(31))
-	for trial := 0; trial < 2; trial++ {
-		b := circuit.NewBuilder("rand", circuit.NoOptimizations())
-		nodes := []circuit.NodeID{b.Input("a"), b.Input("b"), b.Input("c"), b.Input("d")}
-		for i := 0; i < 14; i++ {
-			kind := logic.TFHEGates()[rng.Intn(11)]
-			nodes = append(nodes, b.Gate(kind, nodes[rng.Intn(len(nodes))], nodes[rng.Intn(len(nodes))]))
-		}
-		b.Output("o0", nodes[len(nodes)-1])
-		b.Output("o1", nodes[len(nodes)-4])
-		nl := b.MustBuild()
-
-		in := []bool{rng.Intn(2) == 1, rng.Intn(2) == 1, rng.Intn(2) == 1, rng.Intn(2) == 1}
-		var want []bool
-		for _, be := range []Backend{
-			NewSingle(ck), NewPool(ck, 2), NewAsync(ck, 2),
-			NewPlanned(ck, 1), NewPlanned(ck, 2), NewPlanned(ck, 4),
-		} {
-			outs, err := be.Run(nl, EncryptInputs(sk, in))
-			if err != nil {
-				t.Fatalf("%s: %v", be.Name(), err)
-			}
-			got := DecryptOutputs(sk, outs)
-			if want == nil {
-				want = got
-				continue
-			}
-			for i := range want {
-				if got[i] != want[i] {
-					t.Fatalf("%s trial %d output %d: got %v want %v", be.Name(), trial, i, got[i], want[i])
-				}
-			}
-		}
-	}
-}
-
 // TestPlanLivenessMatchesRefcounting checks the compile-time arena
 // assignment against the invariant the dynamic executors enforce with
 // runtime refcounts: the arena is never larger than the peak number of

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"pytfhe/internal/circuit"
+	"pytfhe/internal/exec"
 	"pytfhe/internal/tfhe/boot"
 	"pytfhe/internal/tfhe/gate"
 	"pytfhe/internal/tfhe/lwe"
@@ -26,21 +27,23 @@ var ErrExecutorClosed = errors.New("backend: shared executor closed")
 // large one drains — the serving-layer analogue of the paper amortizing
 // CUDA-Graph construction across batches. Each worker lazily builds one
 // gate.Engine per registered key (engines are not safe to share), and
-// recycles ciphertexts through per-dimension local pools exactly as Async
-// does.
+// recycles ciphertexts through per-dimension exec.Pool free lists exactly
+// as the ready driver does; each run's value table, dependency counters,
+// and refcount release are the shared exec.State/exec.Deps machinery.
 //
-// Ordering within a run is critical-path-first (remainingDepth, as
+// Ordering within a run is critical-path-first (exec.CriticalDepth, as
 // SchedCritical); across runs, equal priorities fall back to global
 // arrival order, which keeps concurrent tenants roughly fair.
 type Shared struct {
 	workers int
-	q       *sharedQueue
+	q       *exec.Queue[sharedTask]
 	wg      sync.WaitGroup
 
 	mu     sync.Mutex
 	closed bool
 	runs   map[*sharedRun]struct{}
 	keySeq int64
+	seq    uint64 // arrival tiebreak for queued tasks (atomic)
 
 	// Cumulative counters since construction (atomics).
 	gatesDone  int64
@@ -71,7 +74,7 @@ func NewShared(workers int) *Shared {
 	}
 	s := &Shared{
 		workers: workers,
-		q:       newSharedQueue(),
+		q:       exec.NewQueue[sharedTask](0, taskLess),
 		runs:    make(map[*sharedRun]struct{}),
 	}
 	for i := 0; i < workers; i++ {
@@ -108,20 +111,30 @@ type SharedStats struct {
 	WorkerBusy time.Duration // cumulative evaluation time across workers
 }
 
-// GatesPerSec is the executor's cumulative bootstrapped-gate throughput
-// per busy worker-second — the figure of merit the paper reports.
-func (st SharedStats) GatesPerSec() float64 {
+// BootstrapsPerSec is the executor's cumulative bootstrapped-gate
+// throughput per busy worker-second — the figure of merit the paper
+// reports (an earlier revision mislabeled it GatesPerSec).
+func (st SharedStats) BootstrapsPerSec() float64 {
 	if st.WorkerBusy <= 0 {
 		return 0
 	}
 	return float64(st.Bootstraps) / st.WorkerBusy.Seconds() * float64(st.Workers)
 }
 
+// GatesPerSec is the executor's cumulative all-gate throughput per busy
+// worker-second, free gates included.
+func (st SharedStats) GatesPerSec() float64 {
+	if st.WorkerBusy <= 0 {
+		return 0
+	}
+	return float64(st.Gates) / st.WorkerBusy.Seconds() * float64(st.Workers)
+}
+
 // Stats returns a snapshot of the executor counters.
 func (s *Shared) Stats() SharedStats {
 	return SharedStats{
 		Workers:    s.workers,
-		QueueDepth: s.q.depth(),
+		QueueDepth: s.q.Len(),
 		InFlight:   int(atomic.LoadInt32(&s.inflightRn)),
 		Gates:      atomic.LoadInt64(&s.gatesDone),
 		Bootstraps: atomic.LoadInt64(&s.bootsDone),
@@ -148,22 +161,21 @@ func (s *Shared) Close() {
 	for _, r := range runs {
 		r.abort(ErrExecutorClosed)
 	}
-	s.q.finish()
+	s.q.Finish()
 	s.wg.Wait()
 }
 
-// sharedRun is the per-submission dependency state, mirroring Async.Run's
-// locals so concurrent submissions stay fully independent.
+// sharedRun is the per-submission scheduling state: the shared execution
+// core's value table and dependency counters, plus the completion latch
+// that lets concurrent submissions stay fully independent.
 type sharedRun struct {
-	nl       *circuit.Netlist
-	key      *SharedKey
-	values   []*lwe.Sample
-	children [][]int32
-	pending  []int32
-	refs     []int32
-	prio     []int64
-	nGates   int32
-	done     int32
+	nl     *circuit.Netlist
+	key    *SharedKey
+	st     *exec.State
+	deps   *exec.Deps
+	prio   []int64
+	nGates int32
+	done   int32
 
 	aborted atomic.Bool
 	once    sync.Once
@@ -192,7 +204,8 @@ func (s *Shared) Submit(ctx context.Context, key *SharedKey, nl *circuit.Netlist
 		return nil, fmt.Errorf("backend: key not registered with this executor")
 	}
 	dim := key.ck.Params.LWEDimension
-	if err := checkInputs(nl, inputs, dim); err != nil {
+	st, err := exec.NewState(nl, inputs, dim)
+	if err != nil {
 		return nil, err
 	}
 
@@ -200,37 +213,15 @@ func (s *Shared) Submit(ctx context.Context, key *SharedKey, nl *circuit.Netlist
 	r := &sharedRun{
 		nl:     nl,
 		key:    key,
-		values: make([]*lwe.Sample, nl.NumNodes()+1),
+		st:     st,
+		deps:   exec.NewDeps(nl),
 		nGates: int32(nGates),
 		doneCh: make(chan struct{}),
 	}
-	for i, in := range inputs {
-		r.values[i+1] = in
-	}
-	r.children = make([][]int32, nl.NumNodes()+1)
-	r.pending = make([]int32, nGates)
-	for i, g := range nl.Gates {
-		for _, in := range [2]circuit.NodeID{g.A, g.B} {
-			if nl.GateIndex(in) >= 0 {
-				r.pending[i]++
-				r.children[in] = append(r.children[in], int32(i))
-			}
-		}
-	}
 	// The initial ready set must be fixed before the first push: workers
 	// start decrementing pending counters the moment a task is visible.
-	var initial []int32
-	for i := range nl.Gates {
-		if r.pending[i] == 0 {
-			initial = append(initial, int32(i))
-		}
-	}
-	fan := nl.FanOut()
-	r.refs = make([]int32, len(fan))
-	for i, f := range fan {
-		r.refs[i] = int32(f)
-	}
-	r.prio = remainingDepth(nl, r.children)
+	initial := r.deps.Ready()
+	r.prio = exec.CriticalDepth(nl, r.deps.Children)
 
 	s.mu.Lock()
 	if s.closed {
@@ -249,10 +240,10 @@ func (s *Shared) Submit(ctx context.Context, key *SharedKey, nl *circuit.Netlist
 	}()
 
 	if nGates == 0 {
-		return collectOutputs(nl, r.values, dim)
+		return r.st.Collect(dim)
 	}
 	for _, gi := range initial {
-		s.q.push(r, gi, r.prio[gi])
+		s.push(r, gi)
 	}
 
 	select {
@@ -266,7 +257,13 @@ func (s *Shared) Submit(ctx context.Context, key *SharedKey, nl *circuit.Netlist
 	if r.err != nil {
 		return nil, r.err
 	}
-	return collectOutputs(nl, r.values, dim)
+	return r.st.Collect(dim)
+}
+
+// push enqueues one ready gate of r, stamping the global arrival sequence
+// that breaks priority ties across tenants.
+func (s *Shared) push(r *sharedRun, gi int32) {
+	s.q.Push(sharedTask{run: r, gi: gi, prio: r.prio[gi], seq: atomic.AddUint64(&s.seq, 1)})
 }
 
 // worker is one persistent evaluation goroutine. It keeps an engine per
@@ -275,9 +272,9 @@ func (s *Shared) Submit(ctx context.Context, key *SharedKey, nl *circuit.Netlist
 func (s *Shared) worker() {
 	defer s.wg.Done()
 	engines := make(map[int64]*gate.Engine)
-	pools := make(map[int]*ciphertextPool)
+	pools := make(map[int]*exec.Pool)
 	for {
-		t, ok := s.q.pop()
+		t, ok := s.q.Pop()
 		if !ok {
 			return
 		}
@@ -288,7 +285,7 @@ func (s *Shared) worker() {
 		dim := r.key.ck.Params.LWEDimension
 		pool := pools[dim]
 		if pool == nil {
-			pool = &ciphertextPool{dim: dim}
+			pool = exec.NewPool(dim)
 			pools[dim] = pool
 		}
 		eng := engines[r.key.id]
@@ -299,23 +296,23 @@ func (s *Shared) worker() {
 
 		g := r.nl.Gates[t.gi]
 		id := r.nl.GateID(int(t.gi))
-		out := pool.get()
+		out := pool.Get()
 		start := time.Now()
-		if err := eng.Binary(g.Kind, out, r.values[g.A], r.values[g.B]); err != nil {
-			pool.put(out)
+		if err := eng.Binary(g.Kind, out, r.st.Values[g.A], r.st.Values[g.B]); err != nil {
+			pool.Put(out)
 			r.abort(fmt.Errorf("backend: gate %d: %w", id, err))
 			continue
 		}
 		// Publish the result, then wake children: the queue's mutex orders
-		// the write to values[id] before any child's read of it.
-		r.values[id] = out
-		for _, child := range r.children[id] {
-			if atomic.AddInt32(&r.pending[child], -1) == 0 {
-				s.q.push(r, child, r.prio[child])
+		// the write to Values[id] before any child's read of it.
+		r.st.Values[id] = out
+		for _, child := range r.deps.Children[id] {
+			if atomic.AddInt32(&r.deps.Pending[child], -1) == 0 {
+				s.push(r, child)
 			}
 		}
-		s.release(r, g.A, pool)
-		s.release(r, g.B, pool)
+		r.st.Release(g.A, pool)
+		r.st.Release(g.B, pool)
 		atomic.AddInt64(&s.busyNs, int64(time.Since(start)))
 		atomic.AddInt64(&s.gatesDone, 1)
 		if g.Kind.NeedsBootstrap() {
@@ -327,20 +324,6 @@ func (s *Shared) worker() {
 	}
 }
 
-// release drops one fan-out reference to a node; the last reader returns
-// the ciphertext to the releasing worker's pool. Inputs belong to the
-// caller and are never recycled; outputs hold a FanOut reference until
-// collectOutputs reads them.
-func (s *Shared) release(r *sharedRun, id circuit.NodeID, pool *ciphertextPool) {
-	if id <= 0 || r.nl.IsInput(id) {
-		return
-	}
-	if atomic.AddInt32(&r.refs[id], -1) == 0 {
-		pool.put(r.values[id])
-		r.values[id] = nil
-	}
-}
-
 // sharedTask is one ready gate of one in-flight submission.
 type sharedTask struct {
 	run  *sharedRun
@@ -349,100 +332,11 @@ type sharedTask struct {
 	seq  uint64
 }
 
-// sharedQueue is the blocking cross-run ready set: a max-heap on the
-// gate's remaining critical-path depth, arrival order breaking ties so no
-// tenant starves. finish wakes all workers for shutdown.
-type sharedQueue struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	items []sharedTask
-	seq   uint64
-	done  bool
-}
-
-func newSharedQueue() *sharedQueue {
-	q := &sharedQueue{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
-}
-
-func (q *sharedQueue) push(r *sharedRun, gi int32, prio int64) {
-	q.mu.Lock()
-	q.seq++
-	q.items = append(q.items, sharedTask{run: r, gi: gi, prio: prio, seq: q.seq})
-	q.up(len(q.items) - 1)
-	q.mu.Unlock()
-	q.cond.Signal()
-}
-
-func (q *sharedQueue) pop() (sharedTask, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for {
-		if q.done {
-			return sharedTask{}, false
-		}
-		if len(q.items) > 0 {
-			top := q.items[0]
-			last := len(q.items) - 1
-			q.items[0] = q.items[last]
-			q.items[last] = sharedTask{} // release the run pointer
-			q.items = q.items[:last]
-			if last > 0 {
-				q.down(0)
-			}
-			return top, true
-		}
-		q.cond.Wait()
+// taskLess orders the cross-run ready set: deepest remaining critical
+// path first, arrival order breaking ties so no tenant starves.
+func taskLess(a, b sharedTask) bool {
+	if a.prio != b.prio {
+		return a.prio > b.prio
 	}
-}
-
-func (q *sharedQueue) depth() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return len(q.items)
-}
-
-func (q *sharedQueue) finish() {
-	q.mu.Lock()
-	q.done = true
-	q.mu.Unlock()
-	q.cond.Broadcast()
-}
-
-func (q *sharedQueue) less(i, j int) bool {
-	if q.items[i].prio != q.items[j].prio {
-		return q.items[i].prio > q.items[j].prio
-	}
-	return q.items[i].seq < q.items[j].seq
-}
-
-func (q *sharedQueue) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(i, parent) {
-			return
-		}
-		q.items[i], q.items[parent] = q.items[parent], q.items[i]
-		i = parent
-	}
-}
-
-func (q *sharedQueue) down(i int) {
-	n := len(q.items)
-	for {
-		l, r := 2*i+1, 2*i+2
-		best := i
-		if l < n && q.less(l, best) {
-			best = l
-		}
-		if r < n && q.less(r, best) {
-			best = r
-		}
-		if best == i {
-			return
-		}
-		q.items[i], q.items[best] = q.items[best], q.items[i]
-		i = best
-	}
+	return a.seq < b.seq
 }

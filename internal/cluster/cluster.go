@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"pytfhe/internal/circuit"
+	"pytfhe/internal/exec"
 	"pytfhe/internal/logic"
 	"pytfhe/internal/tfhe/boot"
 	"pytfhe/internal/tfhe/gate"
@@ -196,14 +197,17 @@ func (c *Coordinator) Name() string {
 // Run executes the netlist over the connected workers using the wavefront
 // schedule. It implements the backend.Backend contract.
 func (c *Coordinator) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample, error) {
+	// Inputs are validated before the worker-count check so callers get the
+	// typed exec errors (nil input, bad dimension) even on an empty cluster.
+	st, err := exec.NewState(nl, inputs, c.ck.Params.LWEDimension)
+	if err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	workers := append([]*workerConn(nil), c.workers...)
 	c.mu.Unlock()
 	if len(workers) == 0 {
 		return nil, fmt.Errorf("cluster: no workers connected")
-	}
-	if len(inputs) != nl.NumInputs {
-		return nil, fmt.Errorf("cluster: %d inputs supplied, want %d", len(inputs), nl.NumInputs)
 	}
 	start := time.Now()
 
@@ -211,10 +215,7 @@ func (c *Coordinator) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sam
 	for _, w := range workers {
 		totalSlots += w.slots
 	}
-	values := make([]*lwe.Sample, nl.NumNodes()+1)
-	for i, in := range inputs {
-		values[i+1] = in
-	}
+	values := st.Values
 
 	stats := Stats{Workers: len(workers), Slots: totalSlots, Gates: len(nl.Gates)}
 	for _, g := range nl.Gates {
@@ -326,21 +327,18 @@ func (c *Coordinator) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sam
 			}
 			remaining = retry
 		}
+		// The wavefront is complete: drop drained operands so coordinator
+		// memory follows the live frontier. The ciphertexts came from remote
+		// workers, so there is no local free list to return them to.
+		for _, gi := range level {
+			st.Release(nl.Gates[gi].A, nil)
+			st.Release(nl.Gates[gi].B, nil)
+		}
 	}
 
-	outs := make([]*lwe.Sample, len(nl.Outputs))
-	dim := c.ck.Params.LWEDimension
-	for i, id := range nl.Outputs {
-		out := lwe.NewSample(dim)
-		switch {
-		case id == circuit.ConstTrue:
-			gate.Trivial(out, true)
-		case id == circuit.ConstFalse:
-			gate.Trivial(out, false)
-		default:
-			out.Copy(values[id])
-		}
-		outs[i] = out
+	outs, err := st.Collect(c.ck.Params.LWEDimension)
+	if err != nil {
+		return nil, err
 	}
 	stats.Elapsed = time.Since(start)
 	c.LastStat = stats

@@ -11,6 +11,7 @@ import (
 
 	"pytfhe/internal/backend"
 	"pytfhe/internal/circuit"
+	"pytfhe/internal/exec"
 	"pytfhe/internal/params"
 	"pytfhe/internal/tfhe/boot"
 	"pytfhe/internal/trand"
@@ -142,6 +143,22 @@ func TestRunWithoutWorkersFails(t *testing.T) {
 	defer coord.Close()
 	if _, err := coord.Run(adder4(), nil); err == nil {
 		t.Fatal("expected error with no workers")
+	}
+}
+
+// TestNilInputRejected: input validation runs before worker dispatch, so
+// the typed exec error surfaces even on a coordinator with no workers.
+func TestNilInputRejected(t *testing.T) {
+	sk, ck := keys(t)
+	coord, err := NewCoordinator(ck, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	inputs := backend.EncryptInputs(sk, bitsOf(0, 8))
+	inputs[3] = nil
+	if _, err := coord.Run(adder4(), inputs); !errors.Is(err, exec.ErrNilInput) {
+		t.Fatalf("error = %v, want exec.ErrNilInput", err)
 	}
 }
 

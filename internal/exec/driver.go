@@ -1,0 +1,252 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/tfhe/gate"
+	"pytfhe/internal/tfhe/lwe"
+)
+
+// MemStrategy builds one Memory per worker for the concurrent drivers —
+// NewPoolMemory for refcounted free lists, or a capture hook in tests.
+type MemStrategy func(dim int) Memory
+
+// NewPoolMemory is the default MemStrategy: a refcounted free-list Pool.
+func NewPoolMemory(dim int) Memory { return NewPool(dim) }
+
+// RunSequential is the single-core driver: gates evaluate in netlist
+// order on one engine, recycling operands through mem the moment their
+// fan-out drains. This is the Single backend's policy.
+func RunSequential(eng *gate.Engine, nl *circuit.Netlist, inputs []*lwe.Sample, mem Memory) ([]*lwe.Sample, Stats, error) {
+	dim := eng.Params().LWEDimension
+	st, err := NewState(nl, inputs, dim)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	start := time.Now()
+	stats := Stats{Gates: len(nl.Gates)}
+	for i, g := range nl.Gates {
+		id := nl.GateID(i)
+		out := mem.Get()
+		if err := eng.Binary(g.Kind, out, st.Values[g.A], st.Values[g.B]); err != nil {
+			mem.Put(out)
+			return nil, Stats{}, fmt.Errorf("exec: gate %d: %w", id, err)
+		}
+		if g.Kind.NeedsBootstrap() {
+			stats.Bootstraps++
+		}
+		st.Values[id] = out
+		st.Release(g.A, mem)
+		st.Release(g.B, mem)
+	}
+	outs, err := st.Collect(dim)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	stats.Finish(start)
+	return outs, stats, nil
+}
+
+// RunLevels is the wavefront driver implementing Algorithm 1 of the
+// paper: a BFS over the gate DAG that submits every ready gate of a
+// level to the workers and barriers before the next level. This is the
+// Pool backend's policy. mem is touched only between barriers (output
+// slots are claimed before a level starts, operands released after it
+// completes), so a single non-concurrent Memory serves all workers and
+// no worker can free a ciphertext another is still reading.
+func RunLevels(ws *Workers, nl *circuit.Netlist, inputs []*lwe.Sample, mem Memory) ([]*lwe.Sample, Stats, error) {
+	dim := ws.Dim()
+	st, err := NewState(nl, inputs, dim)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	start := time.Now()
+	levels := nl.Levels()
+	stats := Stats{Gates: len(nl.Gates), Levels: len(levels), Workers: ws.N()}
+	for _, g := range nl.Gates {
+		if g.Kind.NeedsBootstrap() {
+			stats.Bootstraps++
+		}
+	}
+
+	var firstErr error
+	var errMu sync.Mutex
+	for _, level := range levels {
+		for _, gi := range level {
+			st.Values[nl.GateID(gi)] = mem.Get()
+		}
+		// Workers pull the next gate via an atomic counter rather than
+		// pre-sliced chunks: with static chunking one slow chunk (a run of
+		// bootstrapped gates landing in the same slice) stalls the whole
+		// level barrier while the other workers sit idle.
+		var next int64
+		var wg sync.WaitGroup
+		nw := ws.N()
+		if nw > len(level) {
+			nw = len(level)
+		}
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func(eng *gate.Engine) {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= len(level) {
+						return
+					}
+					gi := level[i]
+					g := nl.Gates[gi]
+					if err := eng.Binary(g.Kind, st.Values[nl.GateID(gi)], st.Values[g.A], st.Values[g.B]); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("exec: gate %d: %w", nl.GateID(gi), err)
+						}
+						errMu.Unlock()
+						return
+					}
+				}
+			}(ws.Engine(w))
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, Stats{}, firstErr
+		}
+		// Operand releases happen after the barrier so no worker frees a
+		// ciphertext another worker is still reading.
+		for _, gi := range level {
+			st.Release(nl.Gates[gi].A, mem)
+			st.Release(nl.Gates[gi].B, mem)
+		}
+	}
+	outs, err := st.Collect(dim)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	stats.Finish(start)
+	return outs, stats, nil
+}
+
+// RunReady is the barrier-free, dependency-driven driver: every gate
+// carries an atomic pending-operand counter, finished gates decrement
+// their children's counters, and a counter hitting zero pushes the child
+// onto a blocking ready Queue served by the persistent workers. This is
+// the Async backend's policy and what internal/sched's SimulateAsync
+// models. Each worker owns a private Memory from newMem, so recycling is
+// lock-free on the hot path; peak memory still tracks the live frontier
+// of the DAG.
+func RunReady(ws *Workers, nl *circuit.Netlist, inputs []*lwe.Sample, sched Sched, newMem MemStrategy) ([]*lwe.Sample, Stats, error) {
+	dim := ws.Dim()
+	st, err := NewState(nl, inputs, dim)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	start := time.Now()
+	nGates := len(nl.Gates)
+	stats := Stats{Gates: nGates, Workers: ws.N()}
+	for _, g := range nl.Gates {
+		if g.Kind.NeedsBootstrap() {
+			stats.Bootstraps++
+		}
+	}
+
+	deps := NewDeps(nl)
+
+	// The ready queue holds every gate index at most once. Under
+	// SchedCritical it is a max-heap on each gate's remaining
+	// critical-path depth; under SchedFIFO it preserves arrival order.
+	var less func(a, b int32) bool
+	if sched == SchedCritical {
+		prio := CriticalDepth(nl, deps.Children)
+		less = func(a, b int32) bool { return prio[a] > prio[b] }
+	}
+	ready := NewQueue[int32](nGates, less)
+	readyAt := make([]int64, nGates) // ns timestamp of enqueue, for QueueWait
+	now := time.Now().UnixNano()
+	for _, gi := range deps.Ready() {
+		readyAt[gi] = now
+		ready.Push(gi)
+	}
+	if nGates == 0 {
+		ready.Finish()
+	}
+
+	var (
+		done        int32 // gates fully processed; the last one finishes ready
+		queueWaitNs int64
+		runErr      error
+		errOnce     sync.Once
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			runErr = err
+			ready.Finish()
+		})
+	}
+
+	ws.ResetBusy()
+	workers := ws.N()
+	if workers > nGates {
+		workers = nGates
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(eng *gate.Engine) {
+			defer wg.Done()
+			mem := newMem(dim)
+			var busy time.Duration
+			defer func() { ws.AddBusy(busy) }()
+			for {
+				gi, ok := ready.Pop()
+				if !ok {
+					return
+				}
+				popped := time.Now()
+				atomic.AddInt64(&queueWaitNs, popped.UnixNano()-readyAt[gi])
+				g := nl.Gates[gi]
+				id := nl.GateID(int(gi))
+				out := mem.Get()
+				if err := eng.Binary(g.Kind, out, st.Values[g.A], st.Values[g.B]); err != nil {
+					mem.Put(out)
+					fail(fmt.Errorf("exec: gate %d: %w", id, err))
+					return
+				}
+				// Publish the result, then wake children: the atomic
+				// decrement plus the queue's mutex order the write to
+				// Values[id] before any child's read of it.
+				st.Values[id] = out
+				for _, child := range deps.Children[id] {
+					if atomic.AddInt32(&deps.Pending[child], -1) == 0 {
+						readyAt[child] = time.Now().UnixNano()
+						ready.Push(child)
+					}
+				}
+				st.Release(g.A, mem)
+				st.Release(g.B, mem)
+				busy += time.Since(popped)
+				if atomic.AddInt32(&done, 1) == int32(nGates) {
+					// All gates evaluated, so every push has already
+					// happened; finishing wakes the idle workers.
+					ready.Finish()
+				}
+			}
+		}(ws.Engine(w))
+	}
+	wg.Wait()
+	if runErr != nil {
+		return nil, Stats{}, runErr
+	}
+
+	outs, err := st.Collect(dim)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	stats.QueueWait = time.Duration(queueWaitNs)
+	stats.WorkerBusy = ws.Busy()
+	stats.Finish(start)
+	return outs, stats, nil
+}

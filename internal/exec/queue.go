@@ -1,0 +1,157 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sched selects a ready-driven scheduler's queue policy.
+type Sched uint8
+
+const (
+	// SchedCritical pops the ready gate with the longest remaining
+	// bootstrap-weighted dependency chain first. Under limited workers this
+	// keeps the DAG's critical path moving and defers wide-but-shallow
+	// side branches, which FIFO arrival order interleaves arbitrarily.
+	// This is the default.
+	SchedCritical Sched = iota
+	// SchedFIFO pops gates in arrival order — the policy of the original
+	// channel-based executor, kept as the A/B baseline (-sched fifo).
+	SchedFIFO
+)
+
+func (s Sched) String() string {
+	if s == SchedFIFO {
+		return "fifo"
+	}
+	return "critical"
+}
+
+// ParseSched resolves a -sched flag value.
+func ParseSched(s string) (Sched, error) {
+	switch s {
+	case "", "critical":
+		return SchedCritical, nil
+	case "fifo":
+		return SchedFIFO, nil
+	}
+	return 0, fmt.Errorf("exec: unknown scheduler %q (want critical or fifo)", s)
+}
+
+// Queue is the blocking multi-producer multi-consumer ready set shared by
+// the ready-driven schedulers (Async's per-run queue of gate indices,
+// Shared's cross-run queue of tasks). With a less function it is a
+// max-heap under that ordering; without one it degenerates to a FIFO
+// ring. Finish wakes all waiters for both normal completion and abort,
+// replacing the old stop-channel + close(chan) pair.
+type Queue[T any] struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items []T
+	head  int               // FIFO consumption point; unused in heap mode
+	less  func(a, b T) bool // non-nil → heap popping the least element first
+	done  bool
+}
+
+// NewQueue returns a queue with the given initial capacity. A nil less
+// gives FIFO order; otherwise Pop returns the least element under less
+// (pass a descending comparison for a max-heap).
+func NewQueue[T any](capacity int, less func(a, b T) bool) *Queue[T] {
+	q := &Queue[T]{items: make([]T, 0, capacity), less: less}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues v and wakes one blocked Pop.
+func (q *Queue[T]) Push(v T) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	if q.less != nil {
+		q.up(len(q.items) - 1)
+	}
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// Pop blocks until an item is available or the queue is finished; the
+// second result is false once Finish has been called.
+func (q *Queue[T]) Pop() (T, bool) {
+	var zero T
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.done {
+			return zero, false
+		}
+		if q.less != nil {
+			if len(q.items) > 0 {
+				top := q.items[0]
+				last := len(q.items) - 1
+				q.items[0] = q.items[last]
+				q.items[last] = zero // release any pointers in the popped slot
+				q.items = q.items[:last]
+				if last > 0 {
+					q.down(0)
+				}
+				return top, true
+			}
+		} else if q.head < len(q.items) {
+			v := q.items[q.head]
+			q.items[q.head] = zero
+			q.head++
+			if q.head == len(q.items) {
+				q.items = q.items[:0]
+				q.head = 0
+			}
+			return v, true
+		}
+		q.cond.Wait()
+	}
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items) - q.head
+}
+
+// Finish makes every current and future Pop return false and wakes all
+// blocked workers. Called when the last gate completes or the run aborts;
+// pushes racing with an abort land in the slice but are never popped.
+func (q *Queue[T]) Finish() {
+	q.mu.Lock()
+	q.done = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+func (q *Queue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.items[i], q.items[parent]) {
+			return
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *Queue[T]) down(i int) {
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && q.less(q.items[l], q.items[best]) {
+			best = l
+		}
+		if r < n && q.less(q.items[r], q.items[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		q.items[i], q.items[best] = q.items[best], q.items[i]
+		i = best
+	}
+}

@@ -1,0 +1,41 @@
+package exec
+
+import "time"
+
+// Stats captures execution metrics from the most recent run, populated
+// uniformly by every driver. GatesPerSec counts all gates (free gates
+// included); BootstrapsPerSec counts only bootstrapped evaluations — the
+// figure of merit FHE papers report, and what an earlier revision
+// mislabeled as GatesPerSec.
+type Stats struct {
+	Gates            int           // gates evaluated (including free gates)
+	Bootstraps       int           // bootstrapped gate evaluations
+	Levels           int           // wavefronts executed (0 for ready-driven drivers)
+	Elapsed          time.Duration // wall-clock for the run
+	GatesPerSec      float64       // Gates / Elapsed
+	BootstrapsPerSec float64       // Bootstraps / Elapsed
+
+	// Breakdowns recorded by the concurrent drivers (the level driver
+	// leaves them zero except Workers; the ready driver fills them all).
+	Workers      int           // worker goroutines used
+	QueueWait    time.Duration // cumulative time gates sat in the ready queue
+	AvgQueueWait time.Duration // QueueWait / Gates
+	WorkerBusy   time.Duration // cumulative time workers spent evaluating
+	Utilization  float64       // WorkerBusy / (Elapsed * Workers)
+}
+
+// Finish stamps the elapsed time since start and computes every derived
+// rate from the counters accumulated so far.
+func (s *Stats) Finish(start time.Time) {
+	s.Elapsed = time.Since(start)
+	if secs := s.Elapsed.Seconds(); secs > 0 {
+		s.GatesPerSec = float64(s.Gates) / secs
+		s.BootstrapsPerSec = float64(s.Bootstraps) / secs
+	}
+	if s.Gates > 0 {
+		s.AvgQueueWait = s.QueueWait / time.Duration(s.Gates)
+	}
+	if s.Elapsed > 0 && s.Workers > 0 {
+		s.Utilization = float64(s.WorkerBusy) / (float64(s.Elapsed) * float64(s.Workers))
+	}
+}

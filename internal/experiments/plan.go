@@ -40,23 +40,24 @@ func ImbalancedNetlist() *circuit.Netlist {
 // PlanBenchReport is one point on the plan-replay performance trajectory:
 // the capture/replay backend against the dynamic executors on the same
 // netlist at the same worker count, plus the capture statistics that explain
-// the gap. Gates/s is logical bootstraps per second — the program's
-// effective throughput, so deduplication counts as speedup. Serialized to
-// BENCH_PLAN.json by `make bench`.
+// the gap. Throughput is logical bootstraps per second — the program's
+// effective throughput, so deduplication counts as speedup. (Earlier
+// revisions serialized these under *_gates_per_sec names; LoadPlanBaseline
+// still reads both.) Serialized to BENCH_PLAN.json by `make bench`.
 type PlanBenchReport struct {
-	Netlist           string  `json:"netlist"`
-	Workers           int     `json:"workers"`
-	LogicalGates      int     `json:"logical_gates"`
-	LogicalBootstraps int     `json:"logical_bootstraps"`
-	ExecBootstraps    int     `json:"exec_bootstraps"`
-	Levels            int     `json:"levels"`
-	ArenaSlots        int     `json:"arena_slots"`
-	CompileMs         float64 `json:"compile_ms"`
-	AsyncGatesPerSec  float64 `json:"async_gates_per_sec"`
-	SharedGatesPerSec float64 `json:"shared_gates_per_sec"`
-	PlanGatesPerSec   float64 `json:"plan_gates_per_sec"`
-	// PlanSpeedup is PlanGatesPerSec / AsyncGatesPerSec, the acceptance
-	// metric (must be ≥ 1.2 at 4 workers).
+	Netlist                string  `json:"netlist"`
+	Workers                int     `json:"workers"`
+	LogicalGates           int     `json:"logical_gates"`
+	LogicalBootstraps      int     `json:"logical_bootstraps"`
+	ExecBootstraps         int     `json:"exec_bootstraps"`
+	Levels                 int     `json:"levels"`
+	ArenaSlots             int     `json:"arena_slots"`
+	CompileMs              float64 `json:"compile_ms"`
+	AsyncBootstrapsPerSec  float64 `json:"async_bootstraps_per_sec"`
+	SharedBootstrapsPerSec float64 `json:"shared_bootstraps_per_sec"`
+	PlanBootstrapsPerSec   float64 `json:"plan_bootstraps_per_sec"`
+	// PlanSpeedup is PlanBootstrapsPerSec / AsyncBootstrapsPerSec, the
+	// acceptance metric (must be ≥ 1.2 at 4 workers).
 	PlanSpeedup float64 `json:"plan_speedup_vs_async"`
 }
 
@@ -72,7 +73,7 @@ func PlanBench(ck *boot.CloudKey, nl *circuit.Netlist, inputs []*lwe.Sample, wor
 	if _, err := async.Run(nl, inputs); err != nil {
 		return nil, fmt.Errorf("experiments: plan bench async(%d): %w", workers, err)
 	}
-	r.AsyncGatesPerSec = async.Stats.GatesPerSec
+	r.AsyncBootstrapsPerSec = async.Stats.BootstrapsPerSec
 
 	shared := backend.NewShared(workers)
 	defer shared.Close()
@@ -85,7 +86,7 @@ func PlanBench(ck *boot.CloudKey, nl *circuit.Netlist, inputs []*lwe.Sample, wor
 		return nil, fmt.Errorf("experiments: plan bench shared(%d): %w", workers, err)
 	}
 	if e := time.Since(start).Seconds(); e > 0 {
-		r.SharedGatesPerSec = boots / e
+		r.SharedBootstrapsPerSec = boots / e
 	}
 
 	planned := backend.NewPlanned(ck, workers)
@@ -100,7 +101,7 @@ func PlanBench(ck *boot.CloudKey, nl *circuit.Netlist, inputs []*lwe.Sample, wor
 		}
 	}
 	if e := time.Since(start).Seconds(); e > 0 {
-		r.PlanGatesPerSec = replays * boots / e
+		r.PlanBootstrapsPerSec = replays * boots / e
 	}
 
 	ps := planned.PlanStats
@@ -110,8 +111,8 @@ func PlanBench(ck *boot.CloudKey, nl *circuit.Netlist, inputs []*lwe.Sample, wor
 	r.Levels = ps.Levels
 	r.ArenaSlots = ps.ArenaSlots
 	r.CompileMs = float64(ps.CompileTime.Microseconds()) / 1e3
-	if r.AsyncGatesPerSec > 0 {
-		r.PlanSpeedup = r.PlanGatesPerSec / r.AsyncGatesPerSec
+	if r.AsyncBootstrapsPerSec > 0 {
+		r.PlanSpeedup = r.PlanBootstrapsPerSec / r.AsyncBootstrapsPerSec
 	}
 	return r, nil
 }
@@ -125,13 +126,68 @@ func WritePlanBench(path string, r *PlanBenchReport) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// LoadPlanBaseline reads a committed BENCH_PLAN.json. It tolerates both
+// the current *_bootstraps_per_sec field names and the *_gates_per_sec
+// names earlier revisions wrote (the values were always bootstraps per
+// second; only the labels were wrong), so parity checks keep working
+// across the rename.
+func LoadPlanBaseline(path string) (*PlanBenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: read plan baseline: %w", err)
+	}
+	var r PlanBenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("experiments: parse plan baseline %s: %w", path, err)
+	}
+	var legacy struct {
+		Async  float64 `json:"async_gates_per_sec"`
+		Shared float64 `json:"shared_gates_per_sec"`
+		Plan   float64 `json:"plan_gates_per_sec"`
+	}
+	if err := json.Unmarshal(data, &legacy); err == nil {
+		if r.AsyncBootstrapsPerSec == 0 {
+			r.AsyncBootstrapsPerSec = legacy.Async
+		}
+		if r.SharedBootstrapsPerSec == 0 {
+			r.SharedBootstrapsPerSec = legacy.Shared
+		}
+		if r.PlanBootstrapsPerSec == 0 {
+			r.PlanBootstrapsPerSec = legacy.Plan
+		}
+	}
+	return &r, nil
+}
+
+// CheckPlanParity compares a fresh report against a committed baseline:
+// the Async and Planned throughputs must be within tol (e.g. 0.10 for
+// ±10%) of the baseline, the bench-parity guard that keeps executor
+// refactors honest. Only regressions fail — running faster than the
+// baseline is not an error.
+func CheckPlanParity(r, base *PlanBenchReport, tol float64) error {
+	check := func(name string, got, want float64) error {
+		if want <= 0 {
+			return nil
+		}
+		if got < want*(1-tol) {
+			return fmt.Errorf("experiments: %s %.1f/s regressed more than %.0f%% below baseline %.1f/s",
+				name, got, tol*100, want)
+		}
+		return nil
+	}
+	if err := check("async", r.AsyncBootstrapsPerSec, base.AsyncBootstrapsPerSec); err != nil {
+		return err
+	}
+	return check("plan", r.PlanBootstrapsPerSec, base.PlanBootstrapsPerSec)
+}
+
 // RenderPlanBench writes the human-readable form of the report.
 func RenderPlanBench(w io.Writer, r *PlanBenchReport) {
 	fprintf(w, "Plan capture/replay vs dynamic executors on %s (%d workers)\n", r.Netlist, r.Workers)
 	fprintf(w, "  %12s %12s %12s %10s\n", "async", "shared", "plan", "plan/async")
 	fprintf(w, "  %9.1f/s %9.1f/s %9.1f/s %9.2fx\n",
-		r.AsyncGatesPerSec, r.SharedGatesPerSec, r.PlanGatesPerSec, r.PlanSpeedup)
+		r.AsyncBootstrapsPerSec, r.SharedBootstrapsPerSec, r.PlanBootstrapsPerSec, r.PlanSpeedup)
 	fprintf(w, "  capture: %d logical bootstraps → %d executed over %d levels, %d arena slots, compiled in %.1fms\n",
 		r.LogicalBootstraps, r.ExecBootstraps, r.Levels, r.ArenaSlots, r.CompileMs)
-	fprintf(w, "  (gates/s = logical bootstraps per second; deduplication counts as speedup)\n")
+	fprintf(w, "  (throughput = logical bootstraps per second; deduplication counts as speedup)\n")
 }

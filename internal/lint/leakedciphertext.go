@@ -7,13 +7,14 @@ import (
 )
 
 // leakedCiphertext verifies acquire/release balance on the ciphertext
-// recycling pools of the executors — backend.ciphertextPool and the plan
-// replay arena (plan.arena): a sample obtained with pool.get() must, on
-// every path, either be published into the shared values table (assigned
-// through an index or selector expression), returned to the caller, or
-// handed back with pool.put() before the function returns. An early
-// `return err` that forgets the put leaks one ciphertext per failing gate —
-// exactly the imbalance that turns a long MNIST run into an OOM.
+// recycling pools of the executors — the execution core's exec.Pool,
+// exec.Arena, and exec.Memory interface, plus the legacy unexported
+// ciphertextPool/arena shapes older trees used: a sample obtained with
+// Get() must, on every path, either be published into the shared values
+// table (assigned through an index or selector expression), returned to
+// the caller, or handed back with Put() before the function returns. An
+// early `return err` that forgets the put leaks one ciphertext per failing
+// gate — exactly the imbalance that turns a long MNIST run into an OOM.
 //
 // The walker is branch-aware but deliberately optimistic: a release on any
 // branch counts as a release, so it only reports paths where no release
@@ -27,33 +28,20 @@ func (*leakedCiphertext) Doc() string {
 }
 
 func (*leakedCiphertext) Match(path string) bool {
-	return pathHasDir(path, "internal/backend") || pathHasDir(path, "internal/plan")
+	return pathHasDir(path, "internal/backend") || pathHasDir(path, "internal/plan") ||
+		pathHasDir(path, "internal/exec")
 }
 
-// poolTypeNames are the unexported recycling-pool types the analyzer keys
-// on: the dynamic executors' refcounted pool and the plan replay arena.
-var poolTypeNames = []string{"ciphertextPool", "arena"}
-
 func (a *leakedCiphertext) Check(m *Module, pkg *Package) []Finding {
-	var poolTypes []types.Type
-	for _, name := range poolTypeNames {
-		if pool := pkg.Types.Scope().Lookup(name); pool != nil {
-			poolTypes = append(poolTypes, pool.Type())
-		}
-	}
-	if len(poolTypes) == 0 {
-		return nil
-	}
 	var findings []Finding
 	for _, f := range pkg.Files {
 		for _, fb := range funcBodies(f) {
 			w := &leakWalker{
-				m:         m,
-				pkg:       pkg,
-				analyzer:  a.Name(),
-				fn:        fb.name,
-				poolTypes: poolTypes,
-				held:      map[*types.Var]token.Pos{},
+				m:        m,
+				pkg:      pkg,
+				analyzer: a.Name(),
+				fn:       fb.name,
+				held:     map[*types.Var]token.Pos{},
 			}
 			w.walkBlock(fb.body)
 			// Anything still held when the function body ends fell off the
@@ -69,13 +57,12 @@ func (a *leakedCiphertext) Check(m *Module, pkg *Package) []Finding {
 
 // leakWalker tracks pool-acquired variables through one function body.
 type leakWalker struct {
-	m         *Module
-	pkg       *Package
-	analyzer  string
-	fn        string
-	poolTypes []types.Type
-	held      map[*types.Var]token.Pos // acquired, not yet released/published
-	findings  []Finding
+	m        *Module
+	pkg      *Package
+	analyzer string
+	fn       string
+	held     map[*types.Var]token.Pos // acquired, not yet released/published
+	findings []Finding
 }
 
 func (w *leakWalker) report(v *types.Var, acquired token.Pos, what string) {
@@ -216,10 +203,10 @@ func (w *leakWalker) handleCallStmt(e ast.Expr) {
 	w.dischargeCallArgs(call)
 }
 
-// dischargeCallArgs releases held variables passed to a pool put() call.
+// dischargeCallArgs releases held variables passed to a pool Put() call.
 func (w *leakWalker) dischargeCallArgs(call *ast.CallExpr) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "put" || !w.isPoolExpr(sel.X) {
+	if !ok || (sel.Sel.Name != "put" && sel.Sel.Name != "Put") || !w.isPoolExpr(sel.X) {
 		return
 	}
 	for _, arg := range call.Args {
@@ -242,29 +229,41 @@ func (w *leakWalker) dischargeUses(e ast.Expr) {
 	})
 }
 
-// isPoolGet reports whether e is a get() call on a recycling pool type.
+// isPoolGet reports whether e is a Get() call on a recycling pool type.
 func (w *leakWalker) isPoolGet(e ast.Expr) bool {
 	call, ok := e.(*ast.CallExpr)
 	if !ok {
 		return false
 	}
 	sel, ok := call.Fun.(*ast.SelectorExpr)
-	return ok && sel.Sel.Name == "get" && w.isPoolExpr(sel.X)
+	return ok && (sel.Sel.Name == "get" || sel.Sel.Name == "Get") && w.isPoolExpr(sel.X)
 }
 
-// isPoolExpr reports whether e has a recycling-pool type (or pointer).
+// isPoolExpr reports whether e has a recycling-pool type (or pointer to
+// one). Pool shapes are matched structurally by defining package and type
+// name — the execution core's exported Pool/Arena/Memory, or the legacy
+// unexported ciphertextPool/arena — so imported uses (backend code holding
+// an exec.Pool) are recognized, not just types declared in the analyzed
+// package.
 func (w *leakWalker) isPoolExpr(e ast.Expr) bool {
 	t := w.pkg.Info.TypeOf(e)
 	if p, ok := t.(*types.Pointer); ok {
 		t = p.Elem()
 	}
-	if t == nil {
+	named, ok := t.(*types.Named)
+	if !ok {
 		return false
 	}
-	for _, pt := range w.poolTypes {
-		if types.Identical(t, pt) {
-			return true
-		}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	switch obj.Name() {
+	case "ciphertextPool", "arena":
+		return pathHasDir(path, "internal/backend") || pathHasDir(path, "internal/plan")
+	case "Pool", "Arena", "Memory":
+		return pathHasDir(path, "internal/exec")
 	}
 	return false
 }

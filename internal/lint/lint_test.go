@@ -35,6 +35,7 @@ func TestFixtureModuleLoads(t *testing.T) {
 		"badmod/internal/mathutil",
 		"badmod/internal/backend",
 		"badmod/internal/plan",
+		"badmod/internal/exec",
 	} {
 		if m.Packages[want] == nil {
 			t.Errorf("package %s not loaded", want)
@@ -92,8 +93,8 @@ func TestLockedBootstrapFindings(t *testing.T) {
 func TestLeakedCiphertextFindings(t *testing.T) {
 	m := loadFixture(t)
 	got := findingsFor(Run(m, Analyzers()), "leaked-ciphertext")
-	if len(got) != 2 {
-		t.Fatalf("leaked-ciphertext findings = %d, want 2 (pool + arena; BalancedEval and BindSlot are clean):\n%v", len(got), got)
+	if len(got) != 3 {
+		t.Fatalf("leaked-ciphertext findings = %d, want 3 (pool + arena + Memory; the balanced counterparts are clean):\n%v", len(got), got)
 	}
 	var files []string
 	for _, f := range got {
@@ -103,8 +104,8 @@ func TestLeakedCiphertextFindings(t *testing.T) {
 		files = append(files, filepath.Base(f.Pos.Filename))
 	}
 	joined := strings.Join(files, ",")
-	if !strings.Contains(joined, "exec.go") || !strings.Contains(joined, "replay.go") {
-		t.Fatalf("findings in %v, want exec.go (ciphertextPool) and replay.go (arena)", files)
+	if !strings.Contains(joined, "exec.go") || !strings.Contains(joined, "replay.go") || !strings.Contains(joined, "memory.go") {
+		t.Fatalf("findings in %v, want exec.go (ciphertextPool), replay.go (arena), and memory.go (exec.Memory)", files)
 	}
 }
 

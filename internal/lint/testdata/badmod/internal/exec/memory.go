@@ -1,0 +1,59 @@
+// Package exec is the fixture execution core: its exported Pool and
+// Memory mirror the real internal/exec recycler API (capitalized Get/Put)
+// and trigger leaked-ciphertext exactly once.
+package exec
+
+import (
+	"badmod/internal/tfhe"
+)
+
+// Memory mirrors the real exec.Memory ownership interface; the
+// leaked-ciphertext analyzer keys on this name alongside Pool and Arena.
+type Memory interface {
+	Get() *tfhe.Sample
+	Put(s *tfhe.Sample)
+}
+
+// Pool mirrors the real exec.Pool free list.
+type Pool struct {
+	free []*tfhe.Sample
+}
+
+// Get pops a recycled sample or allocates a fresh one.
+func (p *Pool) Get() *tfhe.Sample {
+	if n := len(p.free); n > 0 {
+		s := p.free[n-1]
+		p.free = p.free[:n-1]
+		return s
+	}
+	return &tfhe.Sample{}
+}
+
+// Put returns a sample to the free list.
+func (p *Pool) Put(s *tfhe.Sample) {
+	if s != nil {
+		p.free = append(p.free, s)
+	}
+}
+
+// LeakThroughInterface triggers leaked-ciphertext: the sample acquired
+// from the Memory interface escapes on the error path without a Put.
+func LeakThroughInterface(eng *tfhe.Engine, mem Memory, a, b *tfhe.Sample) (*tfhe.Sample, error) {
+	out := mem.Get()
+	if err := eng.Binary(7, out, a, b); err != nil {
+		return nil, err // finding: out leaked
+	}
+	return out, nil
+}
+
+// PublishOrPut is the clean counterpart: the sample is either published
+// into the value table or handed back to the pool.
+func PublishOrPut(eng *tfhe.Engine, pool *Pool, values []*tfhe.Sample, a, b *tfhe.Sample) error {
+	out := pool.Get()
+	if err := eng.Binary(8, out, a, b); err != nil {
+		pool.Put(out)
+		return err
+	}
+	values[0] = out
+	return nil
+}

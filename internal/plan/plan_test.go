@@ -404,14 +404,19 @@ func TestReplayEdgeCases(t *testing.T) {
 func TestRuntimeReset(t *testing.T) {
 	rt := NewRuntime(4)
 	rt.bind(make([]*gate.Ciphertext, 0), 3)
-	rt.vals[0] = rt.pool.get()
-	rt.vals[2] = rt.pool.get()
-	rt.settle()
+	rt.vals[0] = rt.pool.Get()
+	rt.vals[2] = rt.pool.Get()
 	if rt.HighWater() != 2 {
 		t.Fatalf("high water = %d, want 2", rt.HighWater())
 	}
+	if live := rt.pool.Live(); live != 2 {
+		t.Fatalf("live = %d, want 2", live)
+	}
 	rt.Reset()
-	if len(rt.pool.free) != 2 {
-		t.Fatalf("reset returned %d samples, want 2", len(rt.pool.free))
+	if live := rt.pool.Live(); live != 0 {
+		t.Fatalf("reset left %d samples live, want 0", live)
+	}
+	if rt.HighWater() != 2 {
+		t.Fatalf("high water after reset = %d, want 2", rt.HighWater())
 	}
 }

@@ -5,33 +5,10 @@ import (
 	"fmt"
 	"sync"
 
+	"pytfhe/internal/exec"
 	"pytfhe/internal/tfhe/gate"
 	"pytfhe/internal/tfhe/lwe"
 )
-
-// arena is the flat ciphertext store replay runs out of. It recycles LWE
-// samples exactly like the backends' ciphertextPool — get acquires a
-// sample, put returns it — but slots are bound once per plan by the
-// compile-time liveness analysis instead of refcounted at runtime.
-type arena struct {
-	dim  int
-	free []*lwe.Sample
-}
-
-func (a *arena) get() *lwe.Sample {
-	if n := len(a.free); n > 0 {
-		s := a.free[n-1]
-		a.free = a.free[:n-1]
-		return s
-	}
-	return lwe.NewSample(a.dim)
-}
-
-func (a *arena) put(s *lwe.Sample) {
-	if s != nil {
-		a.free = append(a.free, s)
-	}
-}
 
 // Runtime holds the mutable replay state: the arena ciphertexts and the
 // resolved value table. It persists across replays of the same plan, which
@@ -39,28 +16,31 @@ func (a *arena) put(s *lwe.Sample) {
 // ciphertexts excepted — the caller owns those). A Runtime is single-use
 // at a time: serialize replays that share one.
 type Runtime struct {
-	pool arena
+	// pool is the shared execution core's liveness arena: slots are bound
+	// once per plan by the compile-time liveness analysis instead of
+	// refcounted at runtime, and the arena's own accounting supplies the
+	// high-water figure.
+	pool *exec.Arena
 	// vals is the ref-indexed value table: the first NumInputs entries are
 	// the caller's input ciphertexts (rebound per replay), the rest are
 	// arena slots allocated lazily the first time a level writes them.
 	vals      []*lwe.Sample
 	numInputs int
-	highWater int
 }
 
 // NewRuntime returns a replay runtime allocating ciphertexts of the given
 // LWE dimension.
-func NewRuntime(dim int) *Runtime { return &Runtime{pool: arena{dim: dim}} }
+func NewRuntime(dim int) *Runtime { return &Runtime{pool: exec.NewArena(dim)} }
 
 // HighWater returns the largest number of arena ciphertexts this runtime
 // has held live at once across all replays.
-func (rt *Runtime) HighWater() int { return rt.highWater }
+func (rt *Runtime) HighWater() int { return rt.pool.HighWater() }
 
 // Reset releases every arena ciphertext back to the free list, for reuse
 // when the runtime is rebound to a different plan.
 func (rt *Runtime) Reset() {
 	for i := rt.numInputs; i < len(rt.vals); i++ {
-		rt.pool.put(rt.vals[i])
+		rt.pool.Put(rt.vals[i])
 		rt.vals[i] = nil
 	}
 	rt.vals = rt.vals[:0]
@@ -80,19 +60,6 @@ func (rt *Runtime) bind(inputs []*lwe.Sample, arenaSlots int) {
 		rt.vals = append(rt.vals, nil)
 	}
 	copy(rt.vals, inputs)
-}
-
-// settle recounts live arena slots after a run.
-func (rt *Runtime) settle() {
-	live := 0
-	for i := rt.numInputs; i < len(rt.vals); i++ {
-		if rt.vals[i] != nil {
-			live++
-		}
-	}
-	if live > rt.highWater {
-		rt.highWater = live
-	}
 }
 
 // unbindInputs drops the run's input refs after output collection (the
@@ -227,17 +194,10 @@ func execute(ctx context.Context, feed *levelFeed, numInputs, planWorkers, arena
 	if len(engines) == 0 {
 		return fmt.Errorf("plan: replay needs at least one engine")
 	}
-	if len(inputs) != numInputs {
-		return fmt.Errorf("plan: %d inputs supplied, want %d", len(inputs), numInputs)
-	}
-	dim := engines[0].Params().LWEDimension
-	for i, in := range inputs {
-		if in.Dimension() != dim {
-			return fmt.Errorf("plan: input %d has dimension %d, want %d", i, in.Dimension(), dim)
-		}
+	if err := exec.CheckRawInputs(inputs, numInputs, engines[0].Params().LWEDimension); err != nil {
+		return err
 	}
 	rt.bind(inputs, arenaSlots)
-	defer rt.settle()
 
 	nw := len(engines)
 	if nw > planWorkers {
@@ -333,7 +293,7 @@ func runBatch(eng *gate.Engine, batch []Instr, rt *Runtime) error {
 	for _, ins := range batch {
 		out := rt.vals[ins.Out]
 		if out == nil {
-			out = rt.pool.get()
+			out = rt.pool.Get()
 			rt.vals[ins.Out] = out
 		}
 		if err := eng.Binary(ins.Kind, out, rt.vals[ins.A], rt.vals[ins.B]); err != nil {
@@ -343,22 +303,13 @@ func runBatch(eng *gate.Engine, batch []Instr, rt *Runtime) error {
 	return nil
 }
 
-// collect materializes the output ciphertexts from the value table.
+// collect materializes the output ciphertexts from the value table via
+// the shared execution core's collector.
 func collect(p *Plan, rt *Runtime, dim int) ([]*lwe.Sample, error) {
-	outs := make([]*lwe.Sample, len(p.outputs))
-	for i, ref := range p.outputs {
-		out := lwe.NewSample(dim)
-		switch {
-		case ref == ConstTrue:
-			gate.Trivial(out, true)
-		case ref == ConstFalse:
-			gate.Trivial(out, false)
-		case int(ref) >= len(rt.vals) || rt.vals[ref] == nil:
-			return nil, fmt.Errorf("plan: output %d references unset ref %d", i, ref)
-		default:
-			out.Copy(rt.vals[ref])
+	return exec.CollectOutputs(dim, p.outputs, func(ref Ref) *lwe.Sample {
+		if int(ref) >= len(rt.vals) {
+			return nil
 		}
-		outs[i] = out
-	}
-	return outs, nil
+		return rt.vals[ref]
+	})
 }

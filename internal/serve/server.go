@@ -541,16 +541,17 @@ func (s *Server) handleStats() Response {
 		depth = 0
 	}
 	return Response{Stats: &StatsReply{
-		QueueDepth:    depth,
-		InFlight:      int(inflight),
-		Sessions:      atomic.LoadUint64(&s.sessions),
-		Programs:      nProgs,
-		Evaluations:   atomic.LoadInt64(&s.evals),
-		Rejected:      atomic.LoadInt64(&s.rejected),
-		GatesPerSec:   ex.GatesPerSec(),
-		UptimeMs:      time.Since(s.start).Milliseconds(),
-		PerProgram:    per,
-		ExecutorGates: ex.Gates,
+		QueueDepth:       depth,
+		InFlight:         int(inflight),
+		Sessions:         atomic.LoadUint64(&s.sessions),
+		Programs:         nProgs,
+		Evaluations:      atomic.LoadInt64(&s.evals),
+		Rejected:         atomic.LoadInt64(&s.rejected),
+		GatesPerSec:      ex.GatesPerSec(),
+		BootstrapsPerSec: ex.BootstrapsPerSec(),
+		UptimeMs:         time.Since(s.start).Milliseconds(),
+		PerProgram:       per,
+		ExecutorGates:    ex.Gates,
 
 		PlanHits:          atomic.LoadInt64(&s.planHits),
 		PlanMisses:        atomic.LoadInt64(&s.planMisses),

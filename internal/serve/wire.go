@@ -108,16 +108,20 @@ type EvalResult struct {
 
 // StatsReply is the Stats RPC payload.
 type StatsReply struct {
-	QueueDepth    int // admission queue occupancy (waiting, not running)
-	InFlight      int // evaluations currently executing
-	Sessions      uint64
-	Programs      int
-	Evaluations   int64 // completed evaluations
-	Rejected      int64 // ErrOverloaded rejections
-	GatesPerSec   float64
-	UptimeMs      int64
-	PerProgram    map[string]int64 // hash → evaluation count
-	ExecutorGates int64            // gates evaluated by the shared executor
+	QueueDepth  int // admission queue occupancy (waiting, not running)
+	InFlight    int // evaluations currently executing
+	Sessions    uint64
+	Programs    int
+	Evaluations int64 // completed evaluations
+	Rejected    int64 // ErrOverloaded rejections
+	// GatesPerSec is the executor's all-gate throughput; BootstrapsPerSec
+	// counts only bootstrapped evaluations (the figure earlier releases
+	// mislabeled GatesPerSec).
+	GatesPerSec      float64
+	BootstrapsPerSec float64
+	UptimeMs         int64
+	PerProgram       map[string]int64 // hash → evaluation count
+	ExecutorGates    int64            // gates evaluated by the shared executor
 
 	// Plan cache counters: an eval request that finds its program's
 	// execution plan already compiled is a PlanHit; the request that pays

@@ -21,8 +21,8 @@ go build ./...
 # Crypto-safety and concurrency static analysis over the module.
 go run ./cmd/pytfhelint ./...
 
-go test -race ./internal/backend/... ./internal/sched/... ./internal/cluster/... \
-    ./internal/serve/... ./internal/wire/... ./internal/plan/...
+go test -race ./internal/exec/... ./internal/backend/... ./internal/sched/... \
+    ./internal/cluster/... ./internal/serve/... ./internal/wire/... ./internal/plan/...
 
 # End-to-end: compile a VIP-Bench kernel and lint the emitted binary.
 tmp=$(mktemp -d)
