@@ -1,4 +1,4 @@
-.PHONY: build test lint verify serve-test bench
+.PHONY: build test lint verify serve-test bench bench-kernel batch-test
 
 build:
 	go build ./...
@@ -27,3 +27,18 @@ serve-test:
 bench:
 	go test -bench=. -benchmem -run '^$$' .
 	go run ./cmd/experiments -quick -planbench -planbaseline BENCH_PLAN.json -planout BENCH_PLAN.json
+
+# Kernel hot-path microbenchmarks: the forward/inverse negacyclic FFT
+# passes (full and half-complex), the CMux blind-rotation step single vs
+# batched, and the end-to-end single-vs-batched bootstrap sweep.
+bench-kernel:
+	go test -bench 'BenchmarkKernel' -benchmem -run '^$$' ./internal/torus/ ./internal/tfhe/tgsw/
+	go test -bench 'BenchmarkBatchBootstrap' -benchmem -run '^$$' .
+
+# Race-checked equivalence tests for the batched blind-rotation engine:
+# BootstrapBatch/BinaryBatch bit-exactness against the single path, the
+# lock-free twiddle cache, and the batch-draining executors.
+batch-test:
+	go test -race -run 'Batch|Tables' ./internal/torus/ ./internal/tfhe/tgsw/ ./internal/tfhe/boot/ ./internal/tfhe/gate/
+	go test -race -run 'Batch|Matrix|Shared|Async|Replay' ./internal/exec/ ./internal/backend/ ./internal/plan/
+	go test -race -run 'TestServeCrossRequestBatching' ./internal/serve/

@@ -6,6 +6,7 @@ package pytfhe_test
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -85,6 +86,56 @@ func benchGate(b *testing.B, kp *core.KeyPair) {
 		if err := eng.Binary(logic.NAND, out, x, y); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBatchBootstrap compares the single-gate bootstrap path against
+// the batched blind-rotation engine at batch sizes 1, 4, 16 and 64: each
+// iteration evaluates 64 independent NAND gates, sequentially on the
+// single path and in fixed-size BootstrapBatch chunks on the batched path.
+// The figure of merit is boots/s; the batched path must reach ≥1.5× the
+// single path at batch ≥16 (the BENCH_PLAN.json parity guard tracks it).
+func BenchmarkBatchBootstrap(b *testing.B) {
+	kp := testKeys(b)
+	rng := trand.NewSeeded([]byte("bench-batch"))
+	const lanes = 64
+	kinds := make([]logic.Kind, lanes)
+	xs := make([]*gate.Ciphertext, lanes)
+	ys := make([]*gate.Ciphertext, lanes)
+	outs := make([]*gate.Ciphertext, lanes)
+	for m := 0; m < lanes; m++ {
+		kinds[m] = logic.NAND
+		xs[m] = gate.NewCiphertext(kp.Cloud.Params)
+		ys[m] = gate.NewCiphertext(kp.Cloud.Params)
+		outs[m] = gate.NewCiphertext(kp.Cloud.Params)
+		gate.Encrypt(xs[m], m%2 == 0, kp.Secret, rng)
+		gate.Encrypt(ys[m], m%3 == 0, kp.Secret, rng)
+	}
+	b.Run("single", func(b *testing.B) {
+		eng := gate.NewEngine(kp.Cloud)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for m := 0; m < lanes; m++ {
+				if err := eng.Binary(kinds[m], outs[m], xs[m], ys[m]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N*lanes)/b.Elapsed().Seconds(), "boots/s")
+	})
+	for _, size := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("batch-%d", size), func(b *testing.B) {
+			eng := gate.NewEngine(kp.Cloud)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for lo := 0; lo < lanes; lo += size {
+					if err := eng.BinaryBatch(kinds[lo:lo+size], outs[lo:lo+size], xs[lo:lo+size], ys[lo:lo+size]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.N*lanes)/b.Elapsed().Seconds(), "boots/s")
+		})
 	}
 }
 

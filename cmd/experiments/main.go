@@ -185,7 +185,7 @@ func main() {
 			base, err := experiments.LoadPlanBaseline(*planBaseline)
 			fatal(err)
 			fatal(experiments.CheckPlanParity(report, base, 0.10))
-			fmt.Fprintf(os.Stderr, "bench parity vs %s: async and plan within 10%%\n", *planBaseline)
+			fmt.Fprintf(os.Stderr, "bench parity vs %s: async, plan and batch within 10%%\n", *planBaseline)
 		}
 		if *planOut != "" {
 			fatal(experiments.WritePlanBench(*planOut, report))

@@ -4,9 +4,9 @@
 //	pytfhe compile    -bench <vip-bench name> | -mnist S|M|L [-image N] -out prog.ptfhe [-verilog prog.v]
 //	pytfhe inspect    -prog prog.ptfhe [-listing]
 //	pytfhe lint       prog.ptfhe  (or -prog prog.ptfhe)
-//	pytfhe run        -prog prog.ptfhe -keys keys/ -backend plain|single|pool:N|async:N|plan:N [-sched critical|fifo] [-strict] -in 1011,0110,...
+//	pytfhe run        -prog prog.ptfhe -keys keys/ -backend plain|single|pool:N|async:N|plan:N [-sched critical|fifo] [-batch N] [-strict] -in 1011,0110,...
 //	pytfhe calibrate  -keys keys/ [-samples N]
-//	pytfhe serve      [-listen addr] [-max-concurrent N] [-queue N]   (the pytfhed daemon, in-process)
+//	pytfhe serve      [-listen addr] [-max-concurrent N] [-queue N] [-batch N]   (the pytfhed daemon, in-process)
 //	pytfhe register   -server addr -prog prog.ptfhe
 //	pytfhe eval       -server addr -keys keys/ (-prog prog.ptfhe | -hash H) -in 1011...
 //	pytfhe server-stats -server addr
@@ -291,6 +291,7 @@ func cmdRun(args []string) error {
 	be := fs.String("backend", "auto", "plain, single, pool[:N], async[:N], plan[:N], or auto")
 	workers := fs.Int("workers", 1, "worker count for auto/pool/async without an explicit :N")
 	sched := fs.String("sched", "critical", "async ready-queue policy: critical (longest remaining depth first) or fifo")
+	batch := fs.Int("batch", 1, "bootstrap batch size for async/plan backends: each worker fuses up to N ready gates into one amortized blind-rotation dispatch (1: unbatched)")
 	stats := fs.Bool("stats", false, "print executor statistics after the run")
 	strict := fs.Bool("strict", false, "lint the program at load time and refuse to run on any error")
 	in := fs.String("in", "", "input bits as 0/1 characters (LSB first), e.g. 10110")
@@ -346,6 +347,10 @@ func cmdRun(args []string) error {
 		return err
 	}
 	spec.sched = schedPolicy
+	spec.batch = *batch
+	if spec.batch > 1 && (spec.kind == "single" || spec.kind == "pool") {
+		return fmt.Errorf("-batch needs the async or plan backend (got %s)", spec.kind)
+	}
 	runner := spec.build(kp.Cloud)
 
 	fmt.Printf("encrypting %d input bits...\n", len(bits))
@@ -368,6 +373,7 @@ type backendSpec struct {
 	kind    string // "single", "pool" or "async"
 	workers int
 	sched   backend.Sched // async ready-queue policy
+	batch   int           // bootstrap batch size (async/plan; ≤1 unbatched)
 }
 
 // parseBackendSpec resolves the -backend flag. "auto" picks the
@@ -407,9 +413,12 @@ func (bs backendSpec) build(ck *boot.CloudKey) backend.Backend {
 	case "pool":
 		return backend.NewPool(ck, bs.workers)
 	case "async":
+		if bs.batch > 1 {
+			return backend.NewAsyncBatch(ck, bs.workers, bs.sched, bs.batch)
+		}
 		return backend.NewAsyncSched(ck, bs.workers, bs.sched)
 	case "plan":
-		return backend.NewPlanned(ck, bs.workers)
+		return backend.NewPlannedBatch(ck, bs.workers, bs.batch)
 	}
 	return backend.NewSingle(ck)
 }
@@ -441,6 +450,14 @@ func printRunStats(runner backend.Backend) {
 	if st.WorkerBusy > 0 {
 		fmt.Printf("       %d workers, %.0f%% utilization, avg queue wait %v\n",
 			st.Workers, 100*st.Utilization, st.AvgQueueWait.Round(time.Microsecond))
+	}
+	if st.Batches > 0 {
+		fmt.Printf("batch: %d dispatches covering %d bootstraps (avg fill %.1f of %d",
+			st.Batches, st.BatchedBootstraps, st.AvgBatchFill, st.BatchSize)
+		if st.BatchFullFlushes+st.BatchDrainFlushes > 0 {
+			fmt.Printf("; %d full, %d drained early", st.BatchFullFlushes, st.BatchDrainFlushes)
+		}
+		fmt.Println(")")
 	}
 }
 
@@ -568,6 +585,10 @@ func cmdServerStats(args []string) error {
 		st.ExecutorGates, st.GatesPerSec, st.BootstrapsPerSec)
 	fmt.Printf("plan cache: %d hits, %d misses — %d replays, %d dynamic fallbacks, arena high water %d ciphertexts\n",
 		st.PlanHits, st.PlanMisses, st.PlanReplays, st.PlanFallbacks, st.ArenaHighWater)
+	if st.Batches > 0 {
+		fmt.Printf("batching: %d dispatches covering %d bootstraps (avg fill %.1f of %d), %d spanning multiple requests\n",
+			st.Batches, st.BatchedBootstraps, st.AvgBatchFill, st.BatchSize, st.CrossRunBatches)
+	}
 	for hash, hits := range st.PerProgram {
 		if lat, ok := st.PerProgramLatency[hash]; ok && lat.Samples > 0 {
 			fmt.Printf("  %.16s… %d evaluations, p50 %.1fms, p95 %.1fms\n",

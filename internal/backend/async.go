@@ -28,6 +28,7 @@ import (
 type Async struct {
 	ws    *exec.Workers
 	sched Sched
+	batch int
 	Stats RunStats
 }
 
@@ -41,20 +42,35 @@ func NewAsync(ck *boot.CloudKey, workers int) *Async {
 
 // NewAsyncSched is NewAsync with an explicit ready-queue policy.
 func NewAsyncSched(ck *boot.CloudKey, workers int, sched Sched) *Async {
-	return &Async{ws: exec.NewWorkers(ck, workers), sched: sched}
+	return &Async{ws: exec.NewWorkers(ck, workers), sched: sched, batch: 1}
+}
+
+// NewAsyncBatch is NewAsyncSched with batched bootstrap dispatch: each
+// worker drains up to batch ready bootstrapped gates per pull and
+// evaluates them through one amortized blind-rotation kernel call
+// (exec.RunReadyBatch). batch <= 1 behaves exactly like NewAsyncSched.
+func NewAsyncBatch(ck *boot.CloudKey, workers int, sched Sched, batch int) *Async {
+	if batch < 1 {
+		batch = 1
+	}
+	return &Async{ws: exec.NewWorkers(ck, workers), sched: sched, batch: batch}
 }
 
 // Name implements Backend.
 func (a *Async) Name() string {
+	name := fmt.Sprintf("async-cpu(%d)", a.ws.N())
 	if a.sched == SchedFIFO {
-		return fmt.Sprintf("async-cpu(%d,fifo)", a.ws.N())
+		name = fmt.Sprintf("async-cpu(%d,fifo)", a.ws.N())
 	}
-	return fmt.Sprintf("async-cpu(%d)", a.ws.N())
+	if a.batch > 1 {
+		name += fmt.Sprintf("[batch=%d]", a.batch)
+	}
+	return name
 }
 
 // Run implements Backend.
 func (a *Async) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample, error) {
-	outs, stats, err := exec.RunReady(a.ws, nl, inputs, a.sched, exec.NewPoolMemory)
+	outs, stats, err := exec.RunReadyBatch(a.ws, nl, inputs, a.sched, exec.NewPoolMemory, a.batch)
 	if err != nil {
 		return nil, err
 	}

@@ -27,7 +27,8 @@ import (
 // effective throughput (logical bootstraps per second), the number
 // comparable across backends; PlanStats carries the executed counts.
 type Planned struct {
-	ws *exec.Workers
+	ws    *exec.Workers
+	batch int
 
 	mu    sync.Mutex
 	plans map[*circuit.Netlist]*plan.Plan
@@ -40,16 +41,34 @@ type Planned struct {
 // NewPlanned returns a capture/replay backend with the given worker count
 // (minimum 1).
 func NewPlanned(ck *boot.CloudKey, workers int) *Planned {
+	return NewPlannedBatch(ck, workers, 1)
+}
+
+// NewPlannedBatch is NewPlanned with batched bootstrap dispatch during
+// replay: each worker groups the bootstrapped instructions of its level
+// slice up to batch per amortized kernel call (plan.ReplayBatch). batch <=
+// 1 behaves exactly like NewPlanned.
+func NewPlannedBatch(ck *boot.CloudKey, workers, batch int) *Planned {
+	if batch < 1 {
+		batch = 1
+	}
 	ws := exec.NewWorkers(ck, workers)
 	return &Planned{
 		ws:    ws,
+		batch: batch,
 		plans: make(map[*circuit.Netlist]*plan.Plan),
 		rt:    plan.NewRuntime(ws.Dim()),
 	}
 }
 
 // Name implements Backend.
-func (p *Planned) Name() string { return fmt.Sprintf("plan-cpu(%d)", p.ws.N()) }
+func (p *Planned) Name() string {
+	name := fmt.Sprintf("plan-cpu(%d)", p.ws.N())
+	if p.batch > 1 {
+		name += fmt.Sprintf("[batch=%d]", p.batch)
+	}
+	return name
+}
 
 // ArenaHighWater returns the peak number of arena ciphertexts held across
 // all runs.
@@ -87,7 +106,7 @@ func (p *Planned) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample,
 	compiled, hit := p.plans[nl]
 	if hit {
 		var err error
-		outs, err = plan.Replay(context.Background(), compiled, p.ws.Engines(), inputs, p.rt)
+		outs, err = plan.ReplayBatch(context.Background(), compiled, p.ws.Engines(), inputs, p.rt, p.batch)
 		if err != nil {
 			return nil, err
 		}
@@ -97,7 +116,7 @@ func (p *Planned) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample,
 		if err != nil {
 			return nil, err
 		}
-		outs, err = plan.ReplayStream(context.Background(), s, p.ws.Engines(), inputs, p.rt)
+		outs, err = plan.ReplayStreamBatch(context.Background(), s, p.ws.Engines(), inputs, p.rt, p.batch)
 		if err != nil {
 			return nil, err
 		}
@@ -112,6 +131,11 @@ func (p *Planned) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample,
 		Bootstraps: st.LogicalBootstraps,
 		Levels:     st.Levels,
 		Workers:    p.ws.N(),
+		BatchSize:  p.batch,
+	}
+	if batches, batched := p.rt.BatchOccupancy(); batches > 0 {
+		p.Stats.Batches = int(batches)
+		p.Stats.BatchedBootstraps = int(batched)
 	}
 	p.Stats.Finish(start)
 	return outs, nil

@@ -10,6 +10,7 @@ import (
 
 	"pytfhe/internal/circuit"
 	"pytfhe/internal/exec"
+	"pytfhe/internal/logic"
 	"pytfhe/internal/tfhe/boot"
 	"pytfhe/internal/tfhe/gate"
 	"pytfhe/internal/tfhe/lwe"
@@ -36,6 +37,7 @@ var ErrExecutorClosed = errors.New("backend: shared executor closed")
 // arrival order, which keeps concurrent tenants roughly fair.
 type Shared struct {
 	workers int
+	batch   int
 	q       *exec.Queue[sharedTask]
 	wg      sync.WaitGroup
 
@@ -51,6 +53,11 @@ type Shared struct {
 	busyNs     int64
 	submits    int64
 	inflightRn int32
+
+	// Batch occupancy (atomics; only touched when batch > 1).
+	batchesDone  int64
+	batchedBoots int64
+	crossRunBtch int64 // batches whose members spanned ≥2 submissions
 }
 
 // SharedKey is a cloud key registered with a Shared executor. Every worker
@@ -69,11 +76,26 @@ func (k *SharedKey) Params() *boot.CloudKey { return k.ck }
 // NewShared starts a shared executor with the given worker count
 // (minimum 1). It owns its goroutines until Close.
 func NewShared(workers int) *Shared {
+	return NewSharedBatch(workers, 1)
+}
+
+// NewSharedBatch is NewShared with batched bootstrap dispatch: a worker
+// that pops a bootstrapped gate drains up to batch-1 more ready
+// bootstrapped gates *under the same key* from the cross-run queue and
+// evaluates them in one amortized kernel call. Because the queue holds
+// every in-flight submission's ready gates, the batches it forms span
+// concurrent tenant requests — the serving-side amortization the batch
+// engine exists for. batch <= 1 behaves exactly like NewShared.
+func NewSharedBatch(workers, batch int) *Shared {
 	if workers < 1 {
 		workers = 1
 	}
+	if batch < 1 {
+		batch = 1
+	}
 	s := &Shared{
 		workers: workers,
+		batch:   batch,
 		q:       exec.NewQueue[sharedTask](0, taskLess),
 		runs:    make(map[*sharedRun]struct{}),
 	}
@@ -109,6 +131,22 @@ type SharedStats struct {
 	Bootstraps int64         // bootstrapped gates since construction
 	Submits    int64         // Submit calls accepted
 	WorkerBusy time.Duration // cumulative evaluation time across workers
+
+	// Batch occupancy (zero unless the executor was built with
+	// NewSharedBatch and batch > 1).
+	BatchSize         int   // configured batch limit
+	Batches           int64 // batched bootstrap dispatches
+	BatchedBootstraps int64 // bootstrapped gates covered by those dispatches
+	CrossRunBatches   int64 // batches spanning ≥2 concurrent submissions
+}
+
+// AvgBatchFill is the average number of bootstrapped gates per batched
+// dispatch, or 0 when no batches ran.
+func (st SharedStats) AvgBatchFill() float64 {
+	if st.Batches == 0 {
+		return 0
+	}
+	return float64(st.BatchedBootstraps) / float64(st.Batches)
 }
 
 // BootstrapsPerSec is the executor's cumulative bootstrapped-gate
@@ -133,13 +171,17 @@ func (st SharedStats) GatesPerSec() float64 {
 // Stats returns a snapshot of the executor counters.
 func (s *Shared) Stats() SharedStats {
 	return SharedStats{
-		Workers:    s.workers,
-		QueueDepth: s.q.Len(),
-		InFlight:   int(atomic.LoadInt32(&s.inflightRn)),
-		Gates:      atomic.LoadInt64(&s.gatesDone),
-		Bootstraps: atomic.LoadInt64(&s.bootsDone),
-		Submits:    atomic.LoadInt64(&s.submits),
-		WorkerBusy: time.Duration(atomic.LoadInt64(&s.busyNs)),
+		Workers:           s.workers,
+		QueueDepth:        s.q.Len(),
+		InFlight:          int(atomic.LoadInt32(&s.inflightRn)),
+		Gates:             atomic.LoadInt64(&s.gatesDone),
+		Bootstraps:        atomic.LoadInt64(&s.bootsDone),
+		Submits:           atomic.LoadInt64(&s.submits),
+		WorkerBusy:        time.Duration(atomic.LoadInt64(&s.busyNs)),
+		BatchSize:         s.batch,
+		Batches:           atomic.LoadInt64(&s.batchesDone),
+		BatchedBootstraps: atomic.LoadInt64(&s.batchedBoots),
+		CrossRunBatches:   atomic.LoadInt64(&s.crossRunBtch),
 	}
 }
 
@@ -266,13 +308,65 @@ func (s *Shared) push(r *sharedRun, gi int32) {
 	s.q.Push(sharedTask{run: r, gi: gi, prio: r.prio[gi], seq: atomic.AddUint64(&s.seq, 1)})
 }
 
+// complete publishes one finished gate's result, wakes its children, and
+// recycles drained operands: the queue's mutex orders the write to
+// Values[id] before any child's read of it.
+func (s *Shared) complete(r *sharedRun, gi int32, out *lwe.Sample, pool *exec.Pool) {
+	g := r.nl.Gates[gi]
+	id := r.nl.GateID(int(gi))
+	r.st.Values[id] = out
+	for _, child := range r.deps.Children[id] {
+		if atomic.AddInt32(&r.deps.Pending[child], -1) == 0 {
+			s.push(r, child)
+		}
+	}
+	r.st.Release(g.A, pool)
+	r.st.Release(g.B, pool)
+	atomic.AddInt64(&s.gatesDone, 1)
+	if g.Kind.NeedsBootstrap() {
+		atomic.AddInt64(&s.bootsDone, 1)
+	}
+	if atomic.AddInt32(&r.done, 1) == r.nGates {
+		r.finish(nil)
+	}
+}
+
+// evalSingle evaluates one gate on the single path, timing it into the
+// cumulative busy counter.
+func (s *Shared) evalSingle(eng *gate.Engine, pool *exec.Pool, t sharedTask) {
+	r := t.run
+	g := r.nl.Gates[t.gi]
+	out := pool.Get()
+	start := time.Now()
+	if err := eng.Binary(g.Kind, out, r.st.Values[g.A], r.st.Values[g.B]); err != nil {
+		pool.Put(out)
+		r.abort(fmt.Errorf("backend: gate %d: %w", r.nl.GateID(int(t.gi)), err))
+		return
+	}
+	s.complete(r, t.gi, out, pool)
+	atomic.AddInt64(&s.busyNs, int64(time.Since(start)))
+}
+
 // worker is one persistent evaluation goroutine. It keeps an engine per
 // registered key and a ciphertext pool per LWE dimension, and survives
-// individual run failures — only Close stops it.
+// individual run failures — only Close stops it. With batch > 1 a popped
+// bootstrapped gate seeds a batch that is topped up from the queue without
+// blocking; because the queue interleaves every in-flight submission, those
+// batches routinely span concurrent tenant requests. Only gates under the
+// same key can share a kernel dispatch — a drained task under a different
+// key is pushed back (its priority and arrival stamp ride along, so its
+// queue position is preserved) and the batch flushes.
 func (s *Shared) worker() {
 	defer s.wg.Done()
 	engines := make(map[int64]*gate.Engine)
 	pools := make(map[int]*exec.Pool)
+	var (
+		tasks []sharedTask
+		kinds []logic.Kind
+		outs  []*lwe.Sample
+		avs   []*lwe.Sample
+		bvs   []*lwe.Sample
+	)
 	for {
 		t, ok := s.q.Pop()
 		if !ok {
@@ -294,33 +388,65 @@ func (s *Shared) worker() {
 			engines[r.key.id] = eng
 		}
 
-		g := r.nl.Gates[t.gi]
-		id := r.nl.GateID(int(t.gi))
-		out := pool.Get()
-		start := time.Now()
-		if err := eng.Binary(g.Kind, out, r.st.Values[g.A], r.st.Values[g.B]); err != nil {
-			pool.Put(out)
-			r.abort(fmt.Errorf("backend: gate %d: %w", id, err))
+		if s.batch <= 1 || !r.nl.Gates[t.gi].Kind.NeedsBootstrap() {
+			s.evalSingle(eng, pool, t)
 			continue
 		}
-		// Publish the result, then wake children: the queue's mutex orders
-		// the write to Values[id] before any child's read of it.
-		r.st.Values[id] = out
-		for _, child := range r.deps.Children[id] {
-			if atomic.AddInt32(&r.deps.Pending[child], -1) == 0 {
-				s.push(r, child)
+
+		tasks, kinds, outs = tasks[:0], kinds[:0], outs[:0]
+		avs, bvs = avs[:0], bvs[:0]
+		collect := func(t sharedTask) {
+			g := t.run.nl.Gates[t.gi]
+			tasks = append(tasks, t)
+			kinds = append(kinds, g.Kind)
+			outs = append(outs, pool.Get())
+			avs = append(avs, t.run.st.Values[g.A])
+			bvs = append(bvs, t.run.st.Values[g.B])
+		}
+		collect(t)
+		for len(tasks) < s.batch {
+			t2, ok := s.q.TryPop()
+			if !ok {
+				break
+			}
+			r2 := t2.run
+			if r2.aborted.Load() {
+				continue
+			}
+			if r2.key.id != r.key.id {
+				s.q.Push(t2)
+				break
+			}
+			if !r2.nl.Gates[t2.gi].Kind.NeedsBootstrap() {
+				s.evalSingle(eng, pool, t2)
+				continue
+			}
+			collect(t2)
+		}
+
+		b := len(tasks)
+		start := time.Now()
+		if err := eng.BinaryBatch(kinds[:b], outs[:b], avs[:b], bvs[:b]); err != nil {
+			for _, out := range outs[:b] {
+				pool.Put(out)
+			}
+			for _, tm := range tasks[:b] {
+				tm.run.abort(fmt.Errorf("backend: gate %d: %w", tm.run.nl.GateID(int(tm.gi)), err))
+			}
+			continue
+		}
+		atomic.AddInt64(&s.batchesDone, 1)
+		atomic.AddInt64(&s.batchedBoots, int64(b))
+		for _, tm := range tasks[1:b] {
+			if tm.run != r {
+				atomic.AddInt64(&s.crossRunBtch, 1)
+				break
 			}
 		}
-		r.st.Release(g.A, pool)
-		r.st.Release(g.B, pool)
+		for m := 0; m < b; m++ {
+			s.complete(tasks[m].run, tasks[m].gi, outs[m], pool)
+		}
 		atomic.AddInt64(&s.busyNs, int64(time.Since(start)))
-		atomic.AddInt64(&s.gatesDone, 1)
-		if g.Kind.NeedsBootstrap() {
-			atomic.AddInt64(&s.bootsDone, 1)
-		}
-		if atomic.AddInt32(&r.done, 1) == r.nGates {
-			r.finish(nil)
-		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pytfhe/internal/circuit"
+	"pytfhe/internal/logic"
 	"pytfhe/internal/tfhe/gate"
 	"pytfhe/internal/tfhe/lwe"
 )
@@ -139,14 +140,32 @@ func RunLevels(ws *Workers, nl *circuit.Netlist, inputs []*lwe.Sample, mem Memor
 // lock-free on the hot path; peak memory still tracks the live frontier
 // of the DAG.
 func RunReady(ws *Workers, nl *circuit.Netlist, inputs []*lwe.Sample, sched Sched, newMem MemStrategy) ([]*lwe.Sample, Stats, error) {
+	return RunReadyBatch(ws, nl, inputs, sched, newMem, 1)
+}
+
+// RunReadyBatch is RunReady with batched bootstrap dispatch: a worker that
+// pops a bootstrapped gate drains up to batch-1 more ready bootstrapped
+// gates from the queue (without ever blocking — an empty queue flushes the
+// batch rather than stalling it) and evaluates them in one
+// gate.BinaryBatch call, amortizing the bootstrapping-key stream across
+// the whole group. The queue's Sched order is respected: the drain takes
+// gates in exactly the order single-gate workers would have, so
+// SchedCritical still advances the critical path first. Free gates popped
+// during a drain are evaluated inline immediately — their children may
+// become ready in time to join the very batch being assembled. batch <= 1
+// reproduces RunReady exactly.
+func RunReadyBatch(ws *Workers, nl *circuit.Netlist, inputs []*lwe.Sample, sched Sched, newMem MemStrategy, batch int) ([]*lwe.Sample, Stats, error) {
 	dim := ws.Dim()
 	st, err := NewState(nl, inputs, dim)
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	start := time.Now()
+	if batch < 1 {
+		batch = 1
+	}
 	nGates := len(nl.Gates)
-	stats := Stats{Gates: nGates, Workers: ws.N()}
+	stats := Stats{Gates: nGates, Workers: ws.N(), BatchSize: batch}
 	for _, g := range nl.Gates {
 		if g.Kind.NeedsBootstrap() {
 			stats.Bootstraps++
@@ -179,12 +198,53 @@ func RunReady(ws *Workers, nl *circuit.Netlist, inputs []*lwe.Sample, sched Sche
 		queueWaitNs int64
 		runErr      error
 		errOnce     sync.Once
+
+		// Batch occupancy (atomics; only touched when batch > 1).
+		nBatches     int64
+		batchedBoots int64
+		fullFlushes  int64
+		drainFlushes int64
 	)
 	fail := func(err error) {
 		errOnce.Do(func() {
 			runErr = err
 			ready.Finish()
 		})
+	}
+
+	// publish stores one finished gate's result, wakes its children, and
+	// recycles drained operands. The atomic decrement plus the queue's
+	// mutex order the write to Values[id] before any child's read of it.
+	// The last published gate finishes the queue: all gates evaluated means
+	// every push has already happened, so finishing wakes idle workers.
+	publish := func(gi int32, out *lwe.Sample, mem Memory) {
+		g := nl.Gates[gi]
+		id := nl.GateID(int(gi))
+		st.Values[id] = out
+		for _, child := range deps.Children[id] {
+			if atomic.AddInt32(&deps.Pending[child], -1) == 0 {
+				readyAt[child] = time.Now().UnixNano()
+				ready.Push(child)
+			}
+		}
+		st.Release(g.A, mem)
+		st.Release(g.B, mem)
+		if atomic.AddInt32(&done, 1) == int32(nGates) {
+			ready.Finish()
+		}
+	}
+	// evalOne is the single-gate path: the whole policy of RunReady, and
+	// the inline fallback the batch drain uses for free gates.
+	evalOne := func(eng *gate.Engine, mem Memory, gi int32) bool {
+		g := nl.Gates[gi]
+		out := mem.Get()
+		if err := eng.Binary(g.Kind, out, st.Values[g.A], st.Values[g.B]); err != nil {
+			mem.Put(out)
+			fail(fmt.Errorf("exec: gate %d: %w", nl.GateID(int(gi)), err))
+			return false
+		}
+		publish(gi, out, mem)
+		return true
 	}
 
 	ws.ResetBusy()
@@ -200,6 +260,20 @@ func RunReady(ws *Workers, nl *circuit.Netlist, inputs []*lwe.Sample, sched Sche
 			mem := newMem(dim)
 			var busy time.Duration
 			defer func() { ws.AddBusy(busy) }()
+			var (
+				gis   []int32
+				kinds []logic.Kind
+				outs  []*lwe.Sample
+				avs   []*lwe.Sample
+				bvs   []*lwe.Sample
+			)
+			if batch > 1 {
+				gis = make([]int32, 0, batch)
+				kinds = make([]logic.Kind, 0, batch)
+				outs = make([]*lwe.Sample, 0, batch)
+				avs = make([]*lwe.Sample, 0, batch)
+				bvs = make([]*lwe.Sample, 0, batch)
+			}
 			for {
 				gi, ok := ready.Pop()
 				if !ok {
@@ -207,32 +281,61 @@ func RunReady(ws *Workers, nl *circuit.Netlist, inputs []*lwe.Sample, sched Sche
 				}
 				popped := time.Now()
 				atomic.AddInt64(&queueWaitNs, popped.UnixNano()-readyAt[gi])
-				g := nl.Gates[gi]
-				id := nl.GateID(int(gi))
-				out := mem.Get()
-				if err := eng.Binary(g.Kind, out, st.Values[g.A], st.Values[g.B]); err != nil {
-					mem.Put(out)
-					fail(fmt.Errorf("exec: gate %d: %w", id, err))
+				if batch <= 1 || !nl.Gates[gi].Kind.NeedsBootstrap() {
+					if !evalOne(eng, mem, gi) {
+						return
+					}
+					busy += time.Since(popped)
+					continue
+				}
+				// Batched dispatch: seed with the popped gate, then top up
+				// from the ready queue without blocking. Free gates taken
+				// during the drain run inline — their children may become
+				// ready in time to join this very batch.
+				gis, kinds, outs = gis[:0], kinds[:0], outs[:0]
+				avs, bvs = avs[:0], bvs[:0]
+				collect := func(gj int32) {
+					g := nl.Gates[gj]
+					gis = append(gis, gj)
+					kinds = append(kinds, g.Kind)
+					outs = append(outs, mem.Get())
+					avs = append(avs, st.Values[g.A])
+					bvs = append(bvs, st.Values[g.B])
+				}
+				collect(gi)
+				for len(gis) < batch {
+					gj, ok := ready.TryPop()
+					if !ok {
+						break
+					}
+					atomic.AddInt64(&queueWaitNs, time.Now().UnixNano()-readyAt[gj])
+					if !nl.Gates[gj].Kind.NeedsBootstrap() {
+						if !evalOne(eng, mem, gj) {
+							return
+						}
+						continue
+					}
+					collect(gj)
+				}
+				b := len(gis)
+				if err := eng.BinaryBatch(kinds[:b], outs[:b], avs[:b], bvs[:b]); err != nil {
+					for _, out := range outs[:b] {
+						mem.Put(out)
+					}
+					fail(fmt.Errorf("exec: gate %d: %w", nl.GateID(int(gis[0])), err))
 					return
 				}
-				// Publish the result, then wake children: the atomic
-				// decrement plus the queue's mutex order the write to
-				// Values[id] before any child's read of it.
-				st.Values[id] = out
-				for _, child := range deps.Children[id] {
-					if atomic.AddInt32(&deps.Pending[child], -1) == 0 {
-						readyAt[child] = time.Now().UnixNano()
-						ready.Push(child)
-					}
+				atomic.AddInt64(&nBatches, 1)
+				atomic.AddInt64(&batchedBoots, int64(b))
+				if b == batch {
+					atomic.AddInt64(&fullFlushes, 1)
+				} else {
+					atomic.AddInt64(&drainFlushes, 1)
 				}
-				st.Release(g.A, mem)
-				st.Release(g.B, mem)
+				for m := 0; m < b; m++ {
+					publish(gis[m], outs[m], mem)
+				}
 				busy += time.Since(popped)
-				if atomic.AddInt32(&done, 1) == int32(nGates) {
-					// All gates evaluated, so every push has already
-					// happened; finishing wakes the idle workers.
-					ready.Finish()
-				}
 			}
 		}(ws.Engine(w))
 	}
@@ -247,6 +350,10 @@ func RunReady(ws *Workers, nl *circuit.Netlist, inputs []*lwe.Sample, sched Sche
 	}
 	stats.QueueWait = time.Duration(queueWaitNs)
 	stats.WorkerBusy = ws.Busy()
+	stats.Batches = int(nBatches)
+	stats.BatchedBootstraps = int(batchedBoots)
+	stats.BatchFullFlushes = int(fullFlushes)
+	stats.BatchDrainFlushes = int(drainFlushes)
 	stats.Finish(start)
 	return outs, stats, nil
 }

@@ -118,6 +118,18 @@ func TestMatrixAgreement(t *testing.T) {
 				for _, sched := range []exec.Sched{exec.SchedCritical, exec.SchedFIFO} {
 					outs, _, err := exec.RunReady(ws, nl, backend.EncryptInputs(sk, in), sched, mem.mk)
 					check(fmt.Sprintf("ready-%s/%s/%dw", sched, mem.name, w), outs, err)
+
+					for _, batch := range []int{2, 8} {
+						outs, stats, err := exec.RunReadyBatch(ws, nl, backend.EncryptInputs(sk, in), sched, mem.mk, batch)
+						check(fmt.Sprintf("ready-%s-b%d/%s/%dw", sched, batch, mem.name, w), outs, err)
+						if stats.BatchedBootstraps > 0 && stats.Batches == 0 {
+							t.Fatalf("batch driver recorded %d batched bootstraps but 0 batches", stats.BatchedBootstraps)
+						}
+						if stats.Batches != stats.BatchFullFlushes+stats.BatchDrainFlushes {
+							t.Fatalf("flush counters %d+%d do not sum to %d batches",
+								stats.BatchFullFlushes, stats.BatchDrainFlushes, stats.Batches)
+						}
+					}
 				}
 			}
 		}

@@ -83,30 +83,54 @@ func (q *Queue[T]) Pop() (T, bool) {
 		if q.done {
 			return zero, false
 		}
-		if q.less != nil {
-			if len(q.items) > 0 {
-				top := q.items[0]
-				last := len(q.items) - 1
-				q.items[0] = q.items[last]
-				q.items[last] = zero // release any pointers in the popped slot
-				q.items = q.items[:last]
-				if last > 0 {
-					q.down(0)
-				}
-				return top, true
-			}
-		} else if q.head < len(q.items) {
-			v := q.items[q.head]
-			q.items[q.head] = zero
-			q.head++
-			if q.head == len(q.items) {
-				q.items = q.items[:0]
-				q.head = 0
-			}
+		if v, ok := q.popLocked(); ok {
 			return v, true
 		}
 		q.cond.Wait()
 	}
+}
+
+// TryPop returns an item only if one is immediately available: the
+// non-blocking drain used by the batching driver to top up a bootstrap
+// batch without ever waiting (an empty queue is a flush, not a stall). It
+// also returns false once the queue is finished.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.done {
+		return zero, false
+	}
+	return q.popLocked()
+}
+
+// popLocked removes and returns the next item under q.mu, or reports false
+// when the queue is empty.
+func (q *Queue[T]) popLocked() (T, bool) {
+	var zero T
+	if q.less != nil {
+		if len(q.items) > 0 {
+			top := q.items[0]
+			last := len(q.items) - 1
+			q.items[0] = q.items[last]
+			q.items[last] = zero // release any pointers in the popped slot
+			q.items = q.items[:last]
+			if last > 0 {
+				q.down(0)
+			}
+			return top, true
+		}
+	} else if q.head < len(q.items) {
+		v := q.items[q.head]
+		q.items[q.head] = zero
+		q.head++
+		if q.head == len(q.items) {
+			q.items = q.items[:0]
+			q.head = 0
+		}
+		return v, true
+	}
+	return zero, false
 }
 
 // Len reports the number of queued items.

@@ -22,6 +22,18 @@ type Stats struct {
 	AvgQueueWait time.Duration // QueueWait / Gates
 	WorkerBusy   time.Duration // cumulative time workers spent evaluating
 	Utilization  float64       // WorkerBusy / (Elapsed * Workers)
+
+	// Batch occupancy, recorded by the batch-draining ready driver
+	// (RunReadyBatch with batch > 1; zero otherwise). A dispatch flushes
+	// "full" when it collected the configured batch size and "drain" when
+	// the ready queue ran dry first; the fill average is the amortization
+	// the kernel actually saw.
+	BatchSize         int     // configured batch limit (0 or 1 = unbatched)
+	Batches           int     // batched bootstrap dispatches
+	BatchedBootstraps int     // bootstrapped gates covered by those dispatches
+	BatchFullFlushes  int     // dispatches that filled to BatchSize
+	BatchDrainFlushes int     // dispatches flushed early on an empty queue
+	AvgBatchFill      float64 // BatchedBootstraps / Batches
 }
 
 // Finish stamps the elapsed time since start and computes every derived
@@ -37,5 +49,8 @@ func (s *Stats) Finish(start time.Time) {
 	}
 	if s.Elapsed > 0 && s.Workers > 0 {
 		s.Utilization = float64(s.WorkerBusy) / (float64(s.Elapsed) * float64(s.Workers))
+	}
+	if s.Batches > 0 {
+		s.AvgBatchFill = float64(s.BatchedBootstraps) / float64(s.Batches)
 	}
 }

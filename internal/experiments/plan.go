@@ -12,7 +12,10 @@ import (
 	"pytfhe/internal/circuit"
 	"pytfhe/internal/logic"
 	"pytfhe/internal/tfhe/boot"
+	"pytfhe/internal/tfhe/gate"
 	"pytfhe/internal/tfhe/lwe"
+	"pytfhe/internal/torus"
+	"pytfhe/internal/trand"
 )
 
 // ImbalancedNetlist builds the deep, irregular ripple workload the executor
@@ -59,6 +62,21 @@ type PlanBenchReport struct {
 	// PlanSpeedup is PlanBootstrapsPerSec / AsyncBootstrapsPerSec, the
 	// acceptance metric (must be ≥ 1.2 at 4 workers).
 	PlanSpeedup float64 `json:"plan_speedup_vs_async"`
+
+	// Batched blind-rotation kernel: the single-gate bootstrap path
+	// against gate.BinaryBatch on one core, 64 independent NAND gates per
+	// measurement. BatchBootstrapsPerSec is the batch-16 point (the
+	// parity-guarded figure); BatchSpeedup = batch / single must be ≥ 1.5.
+	SingleBootstrapsPerSec float64      `json:"single_bootstraps_per_sec"`
+	BatchBootstrapsPerSec  float64      `json:"batch_bootstraps_per_sec"`
+	BatchSpeedup           float64      `json:"batch_speedup_vs_single"`
+	BatchSweep             []BatchPoint `json:"batch_sweep,omitempty"`
+}
+
+// BatchPoint is one batch-size measurement of the batched kernel sweep.
+type BatchPoint struct {
+	Batch            int     `json:"batch"`
+	BootstrapsPerSec float64 `json:"bootstraps_per_sec"`
 }
 
 // PlanBench measures the plan backend against Async and Shared on one
@@ -114,7 +132,74 @@ func PlanBench(ck *boot.CloudKey, nl *circuit.Netlist, inputs []*lwe.Sample, wor
 	if r.AsyncBootstrapsPerSec > 0 {
 		r.PlanSpeedup = r.PlanBootstrapsPerSec / r.AsyncBootstrapsPerSec
 	}
+
+	r.SingleBootstrapsPerSec, r.BatchSweep = batchKernelBench(ck)
+	for _, pt := range r.BatchSweep {
+		if pt.Batch == 16 {
+			r.BatchBootstrapsPerSec = pt.BootstrapsPerSec
+		}
+	}
+	if r.SingleBootstrapsPerSec > 0 {
+		r.BatchSpeedup = r.BatchBootstrapsPerSec / r.SingleBootstrapsPerSec
+	}
 	return r, nil
+}
+
+// batchKernelBench measures the single-gate bootstrap path against the
+// batched blind-rotation engine on one core: 64 independent NAND gates per
+// repetition, the batched path chunked at each sweep size. The inputs are
+// random-mask samples rather than trivial ones — a zero mask lets blind
+// rotation skip every CMux (the bara==0 short-circuit), which would time a
+// bootstrap that never rotates.
+func batchKernelBench(ck *boot.CloudKey) (single float64, sweep []BatchPoint) {
+	const lanes, reps = 64, 2
+	rng := trand.NewSeeded([]byte("batch-kernel-bench"))
+	kinds := make([]logic.Kind, lanes)
+	xs := make([]*gate.Ciphertext, lanes)
+	ys := make([]*gate.Ciphertext, lanes)
+	outs := make([]*gate.Ciphertext, lanes)
+	randomize := func(s *lwe.Sample) {
+		for j := range s.A {
+			s.A[j] = torus.Torus32(rng.Torus32())
+		}
+		s.B = torus.Torus32(rng.Torus32())
+	}
+	for m := range kinds {
+		kinds[m] = logic.NAND
+		xs[m] = gate.NewCiphertext(ck.Params)
+		ys[m] = gate.NewCiphertext(ck.Params)
+		outs[m] = gate.NewCiphertext(ck.Params)
+		randomize(xs[m])
+		randomize(ys[m])
+	}
+	eng := gate.NewEngine(ck)
+	start := time.Now()
+	for rep := 0; rep < reps; rep++ {
+		for m := 0; m < lanes; m++ {
+			if err := eng.Binary(kinds[m], outs[m], xs[m], ys[m]); err != nil {
+				return 0, nil
+			}
+		}
+	}
+	if e := time.Since(start).Seconds(); e > 0 {
+		single = reps * lanes / e
+	}
+	for _, size := range []int{1, 4, 16, 64} {
+		start := time.Now()
+		for rep := 0; rep < reps; rep++ {
+			for lo := 0; lo < lanes; lo += size {
+				if err := eng.BinaryBatch(kinds[lo:lo+size], outs[lo:lo+size], xs[lo:lo+size], ys[lo:lo+size]); err != nil {
+					return single, sweep
+				}
+			}
+		}
+		pt := BatchPoint{Batch: size}
+		if e := time.Since(start).Seconds(); e > 0 {
+			pt.BootstrapsPerSec = reps * lanes / e
+		}
+		sweep = append(sweep, pt)
+	}
+	return single, sweep
 }
 
 // WritePlanBench serializes the report as indented JSON at path.
@@ -178,7 +263,10 @@ func CheckPlanParity(r, base *PlanBenchReport, tol float64) error {
 	if err := check("async", r.AsyncBootstrapsPerSec, base.AsyncBootstrapsPerSec); err != nil {
 		return err
 	}
-	return check("plan", r.PlanBootstrapsPerSec, base.PlanBootstrapsPerSec)
+	if err := check("plan", r.PlanBootstrapsPerSec, base.PlanBootstrapsPerSec); err != nil {
+		return err
+	}
+	return check("batch", r.BatchBootstrapsPerSec, base.BatchBootstrapsPerSec)
 }
 
 // RenderPlanBench writes the human-readable form of the report.
@@ -190,4 +278,11 @@ func RenderPlanBench(w io.Writer, r *PlanBenchReport) {
 	fprintf(w, "  capture: %d logical bootstraps → %d executed over %d levels, %d arena slots, compiled in %.1fms\n",
 		r.LogicalBootstraps, r.ExecBootstraps, r.Levels, r.ArenaSlots, r.CompileMs)
 	fprintf(w, "  (throughput = logical bootstraps per second; deduplication counts as speedup)\n")
+	if len(r.BatchSweep) > 0 {
+		fprintf(w, "  batched kernel: single %.1f/s;", r.SingleBootstrapsPerSec)
+		for _, pt := range r.BatchSweep {
+			fprintf(w, " batch-%d %.1f/s", pt.Batch, pt.BootstrapsPerSec)
+		}
+		fprintf(w, " — %.2fx at batch 16\n", r.BatchSpeedup)
+	}
 }

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"pytfhe/internal/exec"
+	"pytfhe/internal/logic"
 	"pytfhe/internal/tfhe/gate"
 	"pytfhe/internal/tfhe/lwe"
 )
@@ -26,6 +28,18 @@ type Runtime struct {
 	// arena slots allocated lazily the first time a level writes them.
 	vals      []*lwe.Sample
 	numInputs int
+
+	// Batch occupancy of the most recent batched replay (atomics: the
+	// replay workers update them concurrently).
+	batches      int64
+	batchedBoots int64
+}
+
+// BatchOccupancy reports the most recent batched replay's dispatch count
+// and the number of bootstrapped instructions those dispatches covered
+// (both zero after an unbatched replay).
+func (rt *Runtime) BatchOccupancy() (batches, batchedBootstraps int64) {
+	return atomic.LoadInt64(&rt.batches), atomic.LoadInt64(&rt.batchedBoots)
 }
 
 // NewRuntime returns a replay runtime allocating ciphertexts of the given
@@ -153,11 +167,21 @@ func (b *barrier) await() {
 // and a persistent Runtime. The returned slice parallels the source
 // netlist's outputs and is freshly allocated; inputs are not modified.
 func Replay(ctx context.Context, p *Plan, engines []*gate.Engine, inputs []*lwe.Sample, rt *Runtime) ([]*lwe.Sample, error) {
+	return ReplayBatch(ctx, p, engines, inputs, rt, 1)
+}
+
+// ReplayBatch is Replay with batched bootstrap dispatch: within each
+// worker's instruction sequence — one wavefront slice, so every
+// instruction in it is independent — bootstrapped instructions are grouped
+// up to batch per gate.Engine.BinaryBatch call, amortizing the
+// bootstrapping-key stream; free instructions run inline at their original
+// position. batch <= 1 reproduces Replay exactly.
+func ReplayBatch(ctx context.Context, p *Plan, engines []*gate.Engine, inputs []*lwe.Sample, rt *Runtime, batch int) ([]*lwe.Sample, error) {
 	feed := newLevelFeed()
 	feed.levels = p.levels
 	feed.closed = true
 	defer rt.unbindInputs()
-	if err := execute(ctx, feed, p.NumInputs, p.Workers, p.stats.ArenaSlots, engines, inputs, rt); err != nil {
+	if err := execute(ctx, feed, p.NumInputs, p.Workers, p.stats.ArenaSlots, engines, inputs, rt, batch); err != nil {
 		return nil, err
 	}
 	return collect(p, rt, engines[0].Params().LWEDimension)
@@ -168,6 +192,12 @@ func Replay(ctx context.Context, p *Plan, engines []*gate.Engine, inputs []*lwe.
 // soon as the planner emits it. It blocks until both the compile and the
 // replay finish.
 func ReplayStream(ctx context.Context, s *Stream, engines []*gate.Engine, inputs []*lwe.Sample, rt *Runtime) ([]*lwe.Sample, error) {
+	return ReplayStreamBatch(ctx, s, engines, inputs, rt, 1)
+}
+
+// ReplayStreamBatch is ReplayStream with batched bootstrap dispatch (see
+// ReplayBatch).
+func ReplayStreamBatch(ctx context.Context, s *Stream, engines []*gate.Engine, inputs []*lwe.Sample, rt *Runtime, batch int) ([]*lwe.Sample, error) {
 	feed := newLevelFeed()
 	go func() {
 		for lv := range s.Levels() {
@@ -181,7 +211,7 @@ func ReplayStream(ctx context.Context, s *Stream, engines []*gate.Engine, inputs
 	// feed to the end even on failure, so by the time execute returns the
 	// planner goroutine has finished and Plan() does not block.
 	defer rt.unbindInputs()
-	if err := execute(ctx, feed, s.p.NumInputs, s.p.Workers, s.maxArena, engines, inputs, rt); err != nil {
+	if err := execute(ctx, feed, s.p.NumInputs, s.p.Workers, s.maxArena, engines, inputs, rt, batch); err != nil {
 		s.Plan()
 		return nil, err
 	}
@@ -190,7 +220,7 @@ func ReplayStream(ctx context.Context, s *Stream, engines []*gate.Engine, inputs
 }
 
 // execute runs every level of the feed over the runtime's value table.
-func execute(ctx context.Context, feed *levelFeed, numInputs, planWorkers, arenaSlots int, engines []*gate.Engine, inputs []*lwe.Sample, rt *Runtime) error {
+func execute(ctx context.Context, feed *levelFeed, numInputs, planWorkers, arenaSlots int, engines []*gate.Engine, inputs []*lwe.Sample, rt *Runtime, batch int) error {
 	if len(engines) == 0 {
 		return fmt.Errorf("plan: replay needs at least one engine")
 	}
@@ -198,6 +228,11 @@ func execute(ctx context.Context, feed *levelFeed, numInputs, planWorkers, arena
 		return err
 	}
 	rt.bind(inputs, arenaSlots)
+	if batch < 1 {
+		batch = 1
+	}
+	atomic.StoreInt64(&rt.batches, 0)
+	atomic.StoreInt64(&rt.batchedBoots, 0)
 
 	nw := len(engines)
 	if nw > planWorkers {
@@ -206,7 +241,7 @@ func execute(ctx context.Context, feed *levelFeed, numInputs, planWorkers, arena
 		nw = planWorkers
 	}
 	if nw == 1 {
-		return executeSeq(ctx, feed, engines[0], rt)
+		return executeSeq(ctx, feed, engines[0], rt, batch)
 	}
 
 	// Worker w owns batches j with j % nw == w of every level, so a plan
@@ -246,7 +281,7 @@ func execute(ctx context.Context, feed *levelFeed, numInputs, planWorkers, arena
 						fail(ctx.Err())
 					} else {
 						for j := w; j < len(lv.Batches); j += nw {
-							if err := runBatch(eng, lv.Batches[j], rt); err != nil {
+							if err := runBatch(eng, lv.Batches[j], rt, batch); err != nil {
 								fail(err)
 								break
 							}
@@ -262,7 +297,7 @@ func execute(ctx context.Context, feed *levelFeed, numInputs, planWorkers, arena
 }
 
 // executeSeq is the single-engine fast path: no barrier, no goroutines.
-func executeSeq(ctx context.Context, feed *levelFeed, eng *gate.Engine, rt *Runtime) error {
+func executeSeq(ctx context.Context, feed *levelFeed, eng *gate.Engine, rt *Runtime, batch int) error {
 	for i := 0; ; i++ {
 		lv, ok := feed.get(i)
 		if !ok {
@@ -278,8 +313,8 @@ func executeSeq(ctx context.Context, feed *levelFeed, eng *gate.Engine, rt *Runt
 			}
 			return err
 		}
-		for _, batch := range lv.Batches {
-			if err := runBatch(eng, batch, rt); err != nil {
+		for _, instrs := range lv.Batches {
+			if err := runBatch(eng, instrs, rt, batch); err != nil {
 				return err
 			}
 		}
@@ -289,18 +324,63 @@ func executeSeq(ctx context.Context, feed *levelFeed, eng *gate.Engine, rt *Runt
 // runBatch evaluates one worker's instruction sequence for one level.
 // Output slots are allocated on first touch; each slot is written by
 // exactly one instruction per level, so the lazy allocation is race-free.
-func runBatch(eng *gate.Engine, batch []Instr, rt *Runtime) error {
-	for _, ins := range batch {
+// With batch > 1 the bootstrapped instructions of the sequence are grouped
+// up to batch per BinaryBatch dispatch (instructions within a level are
+// independent, so reordering the frees around them is safe); free
+// instructions evaluate inline where they appear.
+func runBatch(eng *gate.Engine, instrs []Instr, rt *Runtime, batch int) error {
+	slot := func(ins Instr) *lwe.Sample {
 		out := rt.vals[ins.Out]
 		if out == nil {
 			out = rt.pool.Get()
 			rt.vals[ins.Out] = out
 		}
-		if err := eng.Binary(ins.Kind, out, rt.vals[ins.A], rt.vals[ins.B]); err != nil {
-			return fmt.Errorf("plan: replay instr: %w", err)
+		return out
+	}
+	if batch <= 1 {
+		for _, ins := range instrs {
+			if err := eng.Binary(ins.Kind, slot(ins), rt.vals[ins.A], rt.vals[ins.B]); err != nil {
+				return fmt.Errorf("plan: replay instr: %w", err)
+			}
+		}
+		return nil
+	}
+	var (
+		kinds []logic.Kind
+		outs  []*lwe.Sample
+		avs   []*lwe.Sample
+		bvs   []*lwe.Sample
+	)
+	flush := func() error {
+		if len(kinds) == 0 {
+			return nil
+		}
+		if err := eng.BinaryBatch(kinds, outs, avs, bvs); err != nil {
+			return fmt.Errorf("plan: replay batch: %w", err)
+		}
+		atomic.AddInt64(&rt.batches, 1)
+		atomic.AddInt64(&rt.batchedBoots, int64(len(kinds)))
+		kinds, outs, avs, bvs = kinds[:0], outs[:0], avs[:0], bvs[:0]
+		return nil
+	}
+	for _, ins := range instrs {
+		if !ins.Kind.NeedsBootstrap() {
+			if err := eng.Binary(ins.Kind, slot(ins), rt.vals[ins.A], rt.vals[ins.B]); err != nil {
+				return fmt.Errorf("plan: replay instr: %w", err)
+			}
+			continue
+		}
+		kinds = append(kinds, ins.Kind)
+		outs = append(outs, slot(ins))
+		avs = append(avs, rt.vals[ins.A])
+		bvs = append(bvs, rt.vals[ins.B])
+		if len(kinds) == batch {
+			if err := flush(); err != nil {
+				return err
+			}
 		}
 	}
-	return nil
+	return flush()
 }
 
 // collect materializes the output ciphertexts from the value table via

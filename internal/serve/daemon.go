@@ -22,6 +22,7 @@ func RunDaemon(args []string, stdout io.Writer) error {
 	maxConc := fs.Int("max-concurrent", 0, "evaluations running at once (0: 2x workers)")
 	queue := fs.Int("queue", 0, "admission queue bound beyond max-concurrent (0: 64)")
 	timeout := fs.Duration("timeout", 0, "default per-request evaluation timeout (0: 5m)")
+	batch := fs.Int("batch", 0, "bootstrap batch size per executor worker, amortized across tenant requests (0: 16, 1: unbatched)")
 	drainT := fs.Duration("drain-timeout", time.Minute, "grace period for in-flight work on shutdown")
 	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening")
 	if err := fs.Parse(args); err != nil {
@@ -33,12 +34,13 @@ func RunDaemon(args []string, stdout io.Writer) error {
 		MaxConcurrent:  *maxConc,
 		QueueCap:       *queue,
 		DefaultTimeout: *timeout,
+		Batch:          *batch,
 	})
 	if err := srv.Start(*listen); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "pytfhed: serving on %s (workers=%d, max-concurrent=%d, queue=%d)\n",
-		srv.Addr(), srv.cfg.Workers, srv.cfg.MaxConcurrent, srv.cfg.QueueCap)
+	fmt.Fprintf(stdout, "pytfhed: serving on %s (workers=%d, max-concurrent=%d, queue=%d, batch=%d)\n",
+		srv.Addr(), srv.cfg.Workers, srv.cfg.MaxConcurrent, srv.cfg.QueueCap, srv.cfg.Batch)
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
 			srv.Close()

@@ -371,6 +371,100 @@ func TestServePlanCacheAndLatency(t *testing.T) {
 	}
 }
 
+// TestServeCrossRequestBatching is the multi-tenant batching acceptance
+// scenario: several concurrent sessions of one tenant evaluate a wide
+// single-wavefront program on a one-worker server, so the shared
+// executor's ready queue holds bootstrap tasks from multiple requests at
+// once and the worker's batch drain fuses them into shared kernel
+// dispatches. The Stats RPC must report the occupancy, including batches
+// that spanned ≥2 requests.
+func TestServeCrossRequestBatching(t *testing.T) {
+	kp := tenantKeys(t)[0]
+	// 13 independent XORs: one level-0 wavefront, and 13 is not a multiple
+	// of the batch size, so request boundaries land mid-batch.
+	const width = 13
+	b := circuit.NewBuilder("xorwide", circuit.AllOptimizations())
+	a := b.Inputs("a", width)
+	bb := b.Inputs("b", width)
+	for i := 0; i < width; i++ {
+		b.Output("x", b.Xor(a[i], bb[i]))
+	}
+	prog := compile(t, b)
+
+	// One worker so every request funnels into one drain loop; MaxConcurrent
+	// must admit the whole burst or the admission slots (default 2×workers)
+	// serialize the very concurrency the test needs.
+	srv := startServer(t, Config{Workers: 1, Batch: 8, MaxConcurrent: 8})
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	info, err := cl.RegisterProgram(prog.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cumulative stats: repeat the burst until a cross-request batch shows
+	// up (one burst nearly always suffices; the retry absorbs scheduler
+	// noise on loaded machines).
+	const clientsN = 6
+	for attempt := 0; attempt < 5; attempt++ {
+		var start, done sync.WaitGroup
+		start.Add(1)
+		for i := 0; i < clientsN; i++ {
+			c, err := Dial(srv.Addr())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.OpenSession(kp.Cloud); err != nil {
+				t.Fatal(err)
+			}
+			done.Add(1)
+			go func(i int, c *Client) {
+				defer done.Done()
+				defer c.Close()
+				av, bv := uint64(i*37+5)&(1<<width-1), uint64(i*101+9)&(1<<width-1)
+				in := append(bitsOf(av, width), bitsOf(bv, width)...)
+				start.Wait()
+				outs, err := c.Evaluate(info.Hash, kp.EncryptBits(in))
+				if err != nil {
+					t.Errorf("client %d: %v", i, err)
+					return
+				}
+				if got := uintOf(kp.DecryptBits(outs)); got != av^bv {
+					t.Errorf("client %d: %#x^%#x = %#x under batching", i, av, bv, got)
+				}
+			}(i, c)
+		}
+		start.Done()
+		done.Wait()
+
+		st, err := cl.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.BatchSize != 8 {
+			t.Fatalf("stats.BatchSize = %d, want 8", st.BatchSize)
+		}
+		if st.CrossRunBatches > 0 {
+			if st.Batches <= 0 || st.BatchedBootstraps < st.Batches {
+				t.Fatalf("implausible occupancy: %d batches covering %d bootstraps",
+					st.Batches, st.BatchedBootstraps)
+			}
+			if st.AvgBatchFill < 1 {
+				t.Fatalf("AvgBatchFill = %.2f with %d batches", st.AvgBatchFill, st.Batches)
+			}
+			t.Logf("attempt %d: %d batches (%d cross-request), %d batched bootstraps, avg fill %.2f",
+				attempt, st.Batches, st.CrossRunBatches, st.BatchedBootstraps, st.AvgBatchFill)
+			return
+		}
+		t.Logf("attempt %d: no cross-request batch yet (%d batches, %d fallbacks)",
+			attempt, st.Batches, st.PlanFallbacks)
+	}
+	t.Fatal("no cross-request batch formed in 5 bursts of 6 concurrent sessions")
+}
+
 // TestServeTimeout checks the per-request deadline fires (queue wait
 // included) as ErrTimeout.
 func TestServeTimeout(t *testing.T) {

@@ -38,6 +38,12 @@ type Config struct {
 	// (default 5m; ≤0 keeps the default). EvalRequest.TimeoutMs overrides
 	// it per request.
 	DefaultTimeout time.Duration
+	// Batch is the bootstrap batch size: each executor worker drains up to
+	// Batch ready bootstrapped gates — across concurrent tenant requests
+	// under the same key — into one amortized blind-rotation kernel call,
+	// and plan replays group instructions the same way (default 16; set 1
+	// to disable batching).
+	Batch int
 }
 
 func (c Config) withDefaults() Config {
@@ -52,6 +58,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 5 * time.Minute
+	}
+	if c.Batch < 1 {
+		c.Batch = 16
 	}
 	return c
 }
@@ -152,6 +161,8 @@ type Server struct {
 	planReplays   int64 // atomic: evals served by capture/replay
 	planFallbacks int64 // atomic: evals served by the dynamic executor
 	arenaHW       int64 // atomic max: peak replay-arena ciphertexts
+	replayBatches int64 // atomic: batched kernel dispatches across replays
+	replayBatched int64 // atomic: bootstraps those dispatches covered
 
 	kickCh chan struct{}  // closed on forced shutdown to unblock slot waiters
 	connWG sync.WaitGroup // connection handler goroutines
@@ -163,7 +174,7 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
 		cfg:      cfg,
-		exec:     backend.NewShared(cfg.Workers),
+		exec:     backend.NewSharedBatch(cfg.Workers, cfg.Batch),
 		start:    time.Now(),
 		programs: make(map[string]*programEntry),
 		keys:     make(map[string]*backend.SharedKey),
@@ -502,9 +513,9 @@ func (s *Server) evaluate(ctx context.Context, sess *session, entry *programEntr
 		var outs []*lwe.Sample
 		var err error
 		if stream != nil {
-			outs, err = plan.ReplayStream(rctx, stream, runner.engines, inputs, runner.rt)
+			outs, err = plan.ReplayStreamBatch(rctx, stream, runner.engines, inputs, runner.rt, s.cfg.Batch)
 		} else {
-			outs, err = plan.Replay(rctx, cached, runner.engines, inputs, runner.rt)
+			outs, err = plan.ReplayBatch(rctx, cached, runner.engines, inputs, runner.rt, s.cfg.Batch)
 		}
 		hw := int64(runner.rt.HighWater())
 		for {
@@ -513,6 +524,11 @@ func (s *Server) evaluate(ctx context.Context, sess *session, entry *programEntr
 				break
 			}
 		}
+		// Harvest this replay's batch occupancy while we still hold the
+		// runner (the runtime's counters reset on its next replay).
+		rb, rbb := runner.rt.BatchOccupancy()
+		atomic.AddInt64(&s.replayBatches, rb)
+		atomic.AddInt64(&s.replayBatched, rbb)
 		return outs, err
 	}
 
@@ -534,6 +550,14 @@ func (s *Server) handleStats() Response {
 	}
 	nProgs := len(s.programs)
 	s.mu.Unlock()
+	// Batch occupancy: the shared executor's cross-request batches plus
+	// the within-replay batches harvested from the plan runners.
+	batches := ex.Batches + atomic.LoadInt64(&s.replayBatches)
+	batched := ex.BatchedBootstraps + atomic.LoadInt64(&s.replayBatched)
+	var avgFill float64
+	if batches > 0 {
+		avgFill = float64(batched) / float64(batches)
+	}
 	queued := atomic.LoadInt32(&s.queued)
 	inflight := atomic.LoadInt32(&s.inflight)
 	depth := int(queued - inflight)
@@ -559,6 +583,12 @@ func (s *Server) handleStats() Response {
 		PlanFallbacks:     atomic.LoadInt64(&s.planFallbacks),
 		ArenaHighWater:    int(atomic.LoadInt64(&s.arenaHW)),
 		PerProgramLatency: lat,
+
+		BatchSize:         ex.BatchSize,
+		Batches:           batches,
+		BatchedBootstraps: batched,
+		CrossRunBatches:   ex.CrossRunBatches,
+		AvgBatchFill:      avgFill,
 	}}
 }
 

@@ -138,6 +138,18 @@ type StatsReply struct {
 	// PerProgramLatency maps program hash → evaluation latency quantiles
 	// over a sliding window of recent requests.
 	PerProgramLatency map[string]LatencyStats
+
+	// Batch occupancy across the shared executor and the plan-replay
+	// runners: how many amortized kernel dispatches ran, how many
+	// bootstrapped gates they covered, and how many spanned ≥2 concurrent
+	// tenant requests (shared executor only — replays are per-request).
+	// AvgBatchFill is BatchedBootstraps/Batches — the amortization the
+	// kernel actually saw.
+	BatchSize         int
+	Batches           int64
+	BatchedBootstraps int64
+	CrossRunBatches   int64
+	AvgBatchFill      float64
 }
 
 // LatencyStats summarizes recent evaluation latencies of one program.

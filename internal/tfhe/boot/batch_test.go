@@ -1,0 +1,237 @@
+package boot
+
+import (
+	"fmt"
+	"testing"
+
+	"pytfhe/internal/params"
+	"pytfhe/internal/tfhe/lwe"
+	"pytfhe/internal/torus"
+	"pytfhe/internal/trand"
+)
+
+// TestBootstrapBatchMatchesSingle is the batch-equivalence property test:
+// BootstrapBatch must be bit-exact with B independent Bootstrap calls on
+// the same inputs, across batch sizes including ones that exercise scratch
+// growth and the skip-at-zero gather path.
+func TestBootstrapBatchMatchesSingle(t *testing.T) {
+	rng := trand.NewSeeded([]byte("boot-batch"))
+	p := params.Test()
+	_, ck, err := GenerateKeys(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := NewEvaluator(ck)
+	batch := NewBatchEvaluator(ck, 2) // deliberately small: force growth
+
+	for _, b := range []int{1, 2, 3, 7, 64} {
+		t.Run(fmt.Sprintf("B%d", b), func(t *testing.T) {
+			src := make([]*lwe.Sample, b)
+			mu := make([]torus.Torus32, b)
+			want := make([]*lwe.Sample, b)
+			got := make([]*lwe.Sample, b)
+			for m := 0; m < b; m++ {
+				src[m] = lwe.NewSample(p.LWEDimension)
+				for i := range src[m].A {
+					src[m].A[i] = rng.Torus32()
+				}
+				src[m].B = rng.Torus32()
+				mu[m] = torus.Torus32(1) << 29
+				if m%3 == 0 {
+					mu[m] = rng.Torus32()
+				}
+				want[m] = lwe.NewSample(p.LWEDimension)
+				got[m] = lwe.NewSample(p.LWEDimension)
+			}
+			for m := 0; m < b; m++ {
+				if err := single.Bootstrap(want[m], mu[m], src[m]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := batch.BootstrapBatch(got, mu, src); err != nil {
+				t.Fatal(err)
+			}
+			for m := 0; m < b; m++ {
+				if got[m].B != want[m].B {
+					t.Fatalf("member %d: body %#x, want %#x", m, got[m].B, want[m].B)
+				}
+				for i := range want[m].A {
+					if got[m].A[i] != want[m].A[i] {
+						t.Fatalf("member %d mask %d: %#x, want %#x", m, i, got[m].A[i], want[m].A[i])
+					}
+				}
+				if got[m].Variance != want[m].Variance {
+					t.Fatalf("member %d: variance %g, want %g", m, got[m].Variance, want[m].Variance)
+				}
+			}
+		})
+	}
+}
+
+// TestBootstrapBatchWoKSMatchesSingle covers the no-key-switch variant.
+func TestBootstrapBatchWoKSMatchesSingle(t *testing.T) {
+	rng := trand.NewSeeded([]byte("boot-batch-woks"))
+	p := params.Test()
+	_, ck, err := GenerateKeys(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := NewEvaluator(ck)
+	batch := NewBatchEvaluator(ck, 4)
+
+	const b = 5
+	src := make([]*lwe.Sample, b)
+	mu := make([]torus.Torus32, b)
+	want := make([]*lwe.Sample, b)
+	got := make([]*lwe.Sample, b)
+	for m := 0; m < b; m++ {
+		src[m] = lwe.NewSample(p.LWEDimension)
+		for i := range src[m].A {
+			src[m].A[i] = rng.Torus32()
+		}
+		src[m].B = rng.Torus32()
+		mu[m] = rng.Torus32()
+		want[m] = lwe.NewSample(p.ExtractedLWEDimension())
+		got[m] = lwe.NewSample(p.ExtractedLWEDimension())
+		single.BootstrapWoKS(want[m], mu[m], src[m])
+	}
+	if err := batch.BootstrapBatchWoKS(got, mu, src); err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < b; m++ {
+		if got[m].B != want[m].B {
+			t.Fatalf("member %d: body %#x, want %#x", m, got[m].B, want[m].B)
+		}
+		for i := range want[m].A {
+			if got[m].A[i] != want[m].A[i] {
+				t.Fatalf("member %d mask %d: %#x, want %#x", m, i, got[m].A[i], want[m].A[i])
+			}
+		}
+	}
+}
+
+// TestBootstrapLUTBatchMatchesSingle checks the programmable-bootstrap
+// batch path against per-member BootstrapLUT, covering lower-half messages
+// and the negacyclic upper-half wraparound.
+func TestBootstrapLUTBatchMatchesSingle(t *testing.T) {
+	rng := trand.NewSeeded([]byte("boot-batch-lut"))
+	p := params.Test()
+	sk, ck, err := GenerateKeys(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := NewEvaluator(ck)
+	batch := NewBatchEvaluator(ck, 1)
+
+	const msize = 8
+	table := []int32{3, 0, 6, 5}
+	lut := func(m int) torus.Torus32 {
+		if m < len(table) {
+			return torus.ModSwitchToTorus32(table[m], msize)
+		}
+		return 0
+	}
+
+	// One member per message slot, including upper-half (wraparound) slots.
+	const b = msize
+	src := make([]*lwe.Sample, b)
+	want := make([]*lwe.Sample, b)
+	got := make([]*lwe.Sample, b)
+	for m := 0; m < b; m++ {
+		src[m] = lwe.NewSample(p.LWEDimension)
+		lwe.Encrypt(src[m], torus.ModSwitchToTorus32(int32(m), msize), p.LWEStdev, sk.LWE, rng)
+		want[m] = lwe.NewSample(p.LWEDimension)
+		got[m] = lwe.NewSample(p.LWEDimension)
+		if err := single.BootstrapLUT(want[m], lut, msize, src[m]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := batch.BootstrapLUTBatch(got, lut, msize, src); err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < b; m++ {
+		if got[m].B != want[m].B {
+			t.Fatalf("slot %d: body %#x, want %#x", m, got[m].B, want[m].B)
+		}
+		for i := range want[m].A {
+			if got[m].A[i] != want[m].A[i] {
+				t.Fatalf("slot %d mask %d: %#x, want %#x", m, i, got[m].A[i], want[m].A[i])
+			}
+		}
+		// Wraparound semantics carry over: upper-half slots decrypt to -lut.
+		dec := lwe.Decrypt(got[m], sk.LWE, msize)
+		wantMsg := table[m%4]
+		if m >= msize/2 {
+			wantMsg = (msize - wantMsg) % msize
+		}
+		if dec != wantMsg {
+			t.Fatalf("slot %d decrypts to %d, want %d", m, dec, wantMsg)
+		}
+	}
+}
+
+// TestBootstrapLUTBatchValidation mirrors the single-path validation.
+func TestBootstrapLUTBatchValidation(t *testing.T) {
+	rng := trand.NewSeeded([]byte("boot-batch-lut-bad"))
+	p := params.Test()
+	_, ck, err := GenerateKeys(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := NewBatchEvaluator(ck, 1)
+	in := []*lwe.Sample{lwe.NewSample(p.LWEDimension)}
+	out := []*lwe.Sample{lwe.NewSample(p.LWEDimension)}
+	lut := func(m int) torus.Torus32 { return 0 }
+	if err := batch.BootstrapLUTBatch(out, lut, 7, in); err == nil {
+		t.Fatal("odd message space accepted")
+	}
+	if err := batch.BootstrapLUTBatch(out, lut, 4*p.PolyDegree, in); err == nil {
+		t.Fatal("oversized message space accepted")
+	}
+	if err := batch.BootstrapBatch(out, nil, in); err == nil {
+		t.Fatal("mu length mismatch accepted")
+	}
+}
+
+// TestBatchProfileCounters checks the amortization counters and that
+// Profile.Add carries them.
+func TestBatchProfileCounters(t *testing.T) {
+	rng := trand.NewSeeded([]byte("boot-batch-prof"))
+	p := params.Test()
+	_, ck, err := GenerateKeys(p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := NewBatchEvaluator(ck, 4)
+	batch.Profile = true
+	const b = 3
+	src := make([]*lwe.Sample, b)
+	mu := make([]torus.Torus32, b)
+	dst := make([]*lwe.Sample, b)
+	for m := 0; m < b; m++ {
+		src[m] = lwe.NewSample(p.LWEDimension)
+		dst[m] = lwe.NewSample(p.LWEDimension)
+		mu[m] = 1 << 29
+	}
+	for round := 0; round < 2; round++ {
+		if err := batch.BootstrapBatch(dst, mu, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prof := batch.Prof
+	if prof.Batches != 2 || prof.BatchedGates != 2*b || prof.Gates != 2*b {
+		t.Fatalf("profile counters = %+v", prof)
+	}
+	if prof.AvgBatchFill() != b {
+		t.Fatalf("avg fill = %g, want %d", prof.AvgBatchFill(), b)
+	}
+	if prof.BlindRotate <= 0 || prof.KeySwitch <= 0 {
+		t.Fatalf("phase timings not recorded: %+v", prof)
+	}
+	var sum Profile
+	sum.Add(&prof)
+	sum.Add(&prof)
+	if sum.Batches != 4 || sum.BatchedGates != 4*b {
+		t.Fatalf("Profile.Add dropped batch fields: %+v", sum)
+	}
+}

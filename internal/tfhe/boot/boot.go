@@ -9,6 +9,7 @@ package boot
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"pytfhe/internal/params"
@@ -35,6 +36,25 @@ type CloudKey struct {
 	Params *params.GateParams
 	BK     []*tgsw.FourierSample
 	KS     *lwe.SwitchKey
+
+	halfOnce sync.Once
+	bkHalf   []*tgsw.HalfSample
+}
+
+// BKHalf returns the bootstrapping key in the half-complex representation
+// used by the batched blind-rotate engine, converting it from BK on first
+// use (the conversion is exact — see tgsw.FourierSample.Half). The result
+// is shared by every BatchEvaluator on this key; gob encoding of a CloudKey
+// carries only the exported fields, so decoded keys rebuild it lazily too.
+func (ck *CloudKey) BKHalf() []*tgsw.HalfSample {
+	ck.halfOnce.Do(func() {
+		proc := torus.NewProcessor(ck.Params.PolyDegree)
+		ck.bkHalf = make([]*tgsw.HalfSample, len(ck.BK))
+		for i, g := range ck.BK {
+			ck.bkHalf[i] = g.Half(proc)
+		}
+	})
+	return ck.bkHalf
 }
 
 // GenerateKeys produces a fresh secret key and the matching cloud key.
@@ -70,11 +90,26 @@ type Profile struct {
 	Extract     time.Duration
 	KeySwitch   time.Duration
 	Gates       int64
+
+	// Batch amortization counters (BatchEvaluator): how many BootstrapBatch
+	// dispatches ran and how many gates they covered. BatchedGates/Batches
+	// is the average batch fill the kernel actually saw.
+	Batches      int64
+	BatchedGates int64
 }
 
 // Total returns the profiled time across all phases.
 func (p *Profile) Total() time.Duration {
 	return p.BlindRotate + p.Extract + p.KeySwitch
+}
+
+// AvgBatchFill returns the average number of gates per batched dispatch, or
+// 0 when no batches ran.
+func (p *Profile) AvgBatchFill() float64 {
+	if p.Batches == 0 {
+		return 0
+	}
+	return float64(p.BatchedGates) / float64(p.Batches)
 }
 
 // Add merges other into p.
@@ -83,6 +118,8 @@ func (p *Profile) Add(other *Profile) {
 	p.Extract += other.Extract
 	p.KeySwitch += other.KeySwitch
 	p.Gates += other.Gates
+	p.Batches += other.Batches
+	p.BatchedGates += other.BatchedGates
 }
 
 // Evaluator performs bootstrapping with preallocated scratch space. It is

@@ -64,6 +64,11 @@ type Engine struct {
 	u1   *lwe.Sample // MUX intermediate, extracted dimension
 	u2   *lwe.Sample
 	musm *lwe.Sample // MUX sum before final key switch
+
+	// Batched path (BinaryBatch), allocated on first use.
+	batch *boot.BatchEvaluator
+	btmp  []*lwe.Sample   // per-member linear combinations
+	bmu   []torus.Torus32 // per-member bootstrap targets (always ±1/8)
 }
 
 // NewEngine returns a gate engine bound to ck.
@@ -82,9 +87,16 @@ func NewEngine(ck *boot.CloudKey) *Engine {
 // Params returns the engine's parameter set.
 func (e *Engine) Params() *params.GateParams { return e.p }
 
-// BootstrapCount returns the number of bootstraps performed so far (only
-// tracked when profiling is enabled on the evaluator).
-func (e *Engine) BootstrapCount() int64 { return e.Eval.Prof.Gates }
+// BootstrapCount returns the number of bootstraps performed so far, on the
+// single-gate and batched paths combined (only tracked when profiling is
+// enabled on the evaluator).
+func (e *Engine) BootstrapCount() int64 {
+	n := e.Eval.Prof.Gates
+	if e.batch != nil {
+		n += e.batch.Prof.Gates
+	}
+	return n
+}
 
 // gatePlan describes the linear combination feeding the bootstrap for one
 // two-input gate: tmp = bias + ca*a + cb*b, followed by bootstrap(1/8).

@@ -3,6 +3,7 @@ package torus
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // FourierPoly is a polynomial evaluated at the N odd 2N-th roots of unity
@@ -53,8 +54,9 @@ func (f *FourierPoly) MulAccTo(a, b *FourierPoly) {
 type Processor struct {
 	n      int
 	tab    *fftTables
-	scReRe []float64 // scratch real part
-	scIm   []float64 // scratch imaginary part
+	half   *halfTables // lazily built (see half.go)
+	scReRe []float64   // scratch real part
+	scIm   []float64   // scratch imaginary part
 }
 
 // fftTables holds the immutable per-N precomputed data shared by all
@@ -68,15 +70,40 @@ type fftTables struct {
 	twistIm []float64
 }
 
-var tableCache sync.Map // int -> *fftTables
+// The twiddle-table cache is an immutable map snapshot behind an atomic
+// pointer: lookups after the first construction of a size are a single
+// atomic load with no locking (NewProcessor is called once per worker per
+// run, often from many goroutines at once). Inserting a new size copies the
+// snapshot under tableMu and publishes the extended map.
+var (
+	tableMu    sync.Mutex
+	tableCache atomic.Pointer[map[int]*fftTables]
+)
 
 func tablesFor(n int) *fftTables {
-	if t, ok := tableCache.Load(n); ok {
-		return t.(*fftTables)
+	if m := tableCache.Load(); m != nil {
+		if t, ok := (*m)[n]; ok {
+			return t
+		}
+	}
+	tableMu.Lock()
+	defer tableMu.Unlock()
+	old := tableCache.Load()
+	if old != nil {
+		if t, ok := (*old)[n]; ok {
+			return t
+		}
 	}
 	t := newTables(n)
-	actual, _ := tableCache.LoadOrStore(n, t)
-	return actual.(*fftTables)
+	next := make(map[int]*fftTables, 8)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[n] = t
+	tableCache.Store(&next)
+	return t
 }
 
 func newTables(n int) *fftTables {

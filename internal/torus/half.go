@@ -1,0 +1,331 @@
+package torus
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Half-complex negacyclic transform — the kernel representation of the
+// batched bootstrap engine.
+//
+// A real polynomial a in R[X]/(X^N+1) is determined by its evaluations at
+// any set of N odd 2N-th roots of unity closed under conjugation; since a
+// is real, the values at conjugate roots are conjugate, so M = N/2 complex
+// evaluations carry all the information. The full-size representation in
+// fft.go stores all N (conjugate-redundant) points, which doubles the work
+// of every pointwise product and the footprint of every bootstrap-key row.
+// The half representation evaluates only at
+//
+//	ζ_k = e^{-iπ(4k+1)/N},  k = 0..M-1,
+//
+// whose conjugates cover the remaining roots. Folding
+//
+//	c_j = (a_j - i·a_{j+M}) · e^{-iπj/N},  j = 0..M-1,
+//
+// gives a(ζ_k) = FFT_M(c)_k, and the inverse recovers
+// a_j = Re(c_j·e^{iπj/N}), a_{j+M} = -Im(c_j·e^{iπj/N}).
+//
+// The M-point FFT core here is a radix-4 (plus one radix-2 stage when
+// log2 M is odd) decimation-in-frequency transform that SKIPS the
+// bit-reversal permutation: spectra are kept in the transform's natural
+// digit-reversed order. That order is an internal convention — pointwise
+// products preserve it and the inverse undoes the stages in reverse — so
+// the permutation passes are pure overhead and are dropped. Per-stage
+// twiddles are stored flat in access order, so the inner loops are
+// sequential in memory.
+//
+// Bit-exactness with the full-size path: both pipelines compute the same
+// integer convolutions with floating-point error far below 0.5, so after
+// rounding to the torus the results are identical coefficient-for-
+// coefficient (see roundTorus).
+
+// HalfPoly is a polynomial of ring degree N held as M = N/2 half-complex
+// evaluation points in the digit-reversed order of the half transform.
+type HalfPoly struct {
+	Re, Im []float64
+}
+
+// NewHalfPoly returns a zero half-complex polynomial with m = N/2 points.
+func NewHalfPoly(m int) *HalfPoly {
+	return &HalfPoly{Re: make([]float64, m), Im: make([]float64, m)}
+}
+
+// M returns the number of half-complex points.
+func (f *HalfPoly) M() int { return len(f.Re) }
+
+// Clear zeroes the polynomial.
+func (f *HalfPoly) Clear() {
+	for i := range f.Re {
+		f.Re[i] = 0
+		f.Im[i] = 0
+	}
+}
+
+// MulAccTo accumulates f += a*b pointwise.
+func (f *HalfPoly) MulAccTo(a, b *HalfPoly) {
+	fr, fi := f.Re, f.Im
+	ar, ai := a.Re, a.Im
+	br, bi := b.Re, b.Im
+	for k := range fr {
+		fr[k] += ar[k]*br[k] - ai[k]*bi[k]
+		fi[k] += ar[k]*bi[k] + ai[k]*br[k]
+	}
+}
+
+// MulAccPairTo accumulates f += a1*b1 + a2*b2 in a single pass, halving the
+// loads and stores of the accumulator relative to two MulAccTo calls. This
+// is the inner loop of the batched external product.
+func (f *HalfPoly) MulAccPairTo(a1, b1, a2, b2 *HalfPoly) {
+	fr, fi := f.Re, f.Im
+	a1r, a1i := a1.Re, a1.Im
+	b1r, b1i := b1.Re, b1.Im
+	a2r, a2i := a2.Re, a2.Im
+	b2r, b2i := b2.Re, b2.Im
+	for k := range fr {
+		fr[k] += a1r[k]*b1r[k] - a1i[k]*b1i[k] + a2r[k]*b2r[k] - a2i[k]*b2i[k]
+		fi[k] += a1r[k]*b1i[k] + a1i[k]*b1r[k] + a2r[k]*b2i[k] + a2i[k]*b2r[k]
+	}
+}
+
+// halfStage describes one radix-4 pass: block size s, quarter q = s/4, and
+// the offset of its twiddles in the flat tables.
+type halfStage struct {
+	s, q, off int
+}
+
+// halfTables holds the immutable per-N precomputed data of the half
+// transform: fold twiddles e^{±iπj/N} and the per-stage FFT twiddles.
+type halfTables struct {
+	n, m   int
+	foldRe []float64 // cos(πj/N), j < M
+	foldIm []float64 // sin(πj/N), j < M
+	stages []halfStage
+	fwdRe  []float64 // per stage, per j: w^j, w^{2j}, w^{3j} with w = e^{-2πi/s}
+	fwdIm  []float64
+	radix2 bool // trailing size-2 stage when log2 M is odd
+}
+
+var (
+	halfMu    sync.Mutex
+	halfCache atomic.Pointer[map[int]*halfTables]
+)
+
+// halfTablesFor returns the shared tables for ring degree n, using the same
+// lock-free snapshot scheme as tablesFor.
+func halfTablesFor(n int) *halfTables {
+	if m := halfCache.Load(); m != nil {
+		if t, ok := (*m)[n]; ok {
+			return t
+		}
+	}
+	halfMu.Lock()
+	defer halfMu.Unlock()
+	old := halfCache.Load()
+	if old != nil {
+		if t, ok := (*old)[n]; ok {
+			return t
+		}
+	}
+	t := newHalfTables(n)
+	next := make(map[int]*halfTables, 8)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[n] = t
+	halfCache.Store(&next)
+	return t
+}
+
+func newHalfTables(n int) *halfTables {
+	if n < 4 || n&(n-1) != 0 {
+		panic("torus: half transform requires a power-of-two ring degree >= 4")
+	}
+	m := n / 2
+	t := &halfTables{n: n, m: m}
+	t.foldRe = make([]float64, m)
+	t.foldIm = make([]float64, m)
+	for j := 0; j < m; j++ {
+		ang := math.Pi * float64(j) / float64(n)
+		t.foldRe[j] = math.Cos(ang)
+		t.foldIm[j] = math.Sin(ang)
+	}
+	for s := m; s >= 4; s >>= 2 {
+		q := s / 4
+		t.stages = append(t.stages, halfStage{s: s, q: q, off: len(t.fwdRe)})
+		for j := 0; j < q; j++ {
+			for r := 1; r <= 3; r++ {
+				ang := -2 * math.Pi * float64(j*r) / float64(s)
+				t.fwdRe = append(t.fwdRe, math.Cos(ang))
+				t.fwdIm = append(t.fwdIm, math.Sin(ang))
+			}
+		}
+		if s == 8 { // next size is 2: handled by the radix-2 tail
+			t.radix2 = true
+			break
+		}
+	}
+	if m == 2 {
+		t.radix2 = true
+	}
+	return t
+}
+
+// fft is the forward M-point transform (ω = e^{-2πi/M}), leaving the
+// spectrum in digit-reversed order.
+func (t *halfTables) fft(re, im []float64) {
+	for _, st := range t.stages {
+		s, q := st.s, st.q
+		for b := 0; b < t.m; b += s {
+			tw := st.off
+			for j := b; j < b+q; j++ {
+				i1 := j + q
+				i2 := i1 + q
+				i3 := i2 + q
+				x0r, x0i := re[j], im[j]
+				x1r, x1i := re[i1], im[i1]
+				x2r, x2i := re[i2], im[i2]
+				x3r, x3i := re[i3], im[i3]
+				ar, ai := x0r+x2r, x0i+x2i // x0 + x2
+				br, bi := x0r-x2r, x0i-x2i // x0 - x2
+				cr, ci := x1r+x3r, x1i+x3i // x1 + x3
+				dr, di := x1r-x3r, x1i-x3i // x1 - x3
+				re[j], im[j] = ar+cr, ai+ci
+				w1r, w1i := t.fwdRe[tw], t.fwdIm[tw]
+				w2r, w2i := t.fwdRe[tw+1], t.fwdIm[tw+1]
+				w3r, w3i := t.fwdRe[tw+2], t.fwdIm[tw+2]
+				tw += 3
+				// y1 = (b - i·d)·w^j
+				t1r, t1i := br+di, bi-dr
+				re[i1], im[i1] = t1r*w1r-t1i*w1i, t1r*w1i+t1i*w1r
+				// y2 = (a - c)·w^{2j}
+				t2r, t2i := ar-cr, ai-ci
+				re[i2], im[i2] = t2r*w2r-t2i*w2i, t2r*w2i+t2i*w2r
+				// y3 = (b + i·d)·w^{3j}
+				t3r, t3i := br-di, bi+dr
+				re[i3], im[i3] = t3r*w3r-t3i*w3i, t3r*w3i+t3i*w3r
+			}
+		}
+	}
+	if t.radix2 {
+		for i := 0; i < t.m; i += 2 {
+			xr, xi := re[i], im[i]
+			yr, yi := re[i+1], im[i+1]
+			re[i], im[i] = xr+yr, xi+yi
+			re[i+1], im[i+1] = xr-yr, xi-yi
+		}
+	}
+}
+
+// ifft undoes fft up to an overall factor of M (folded into the unfold
+// scaling by the callers): stages are inverted in reverse order with
+// conjugated twiddles.
+func (t *halfTables) ifft(re, im []float64) {
+	if t.radix2 {
+		for i := 0; i < t.m; i += 2 {
+			xr, xi := re[i], im[i]
+			yr, yi := re[i+1], im[i+1]
+			re[i], im[i] = xr+yr, xi+yi
+			re[i+1], im[i+1] = xr-yr, xi-yi
+		}
+	}
+	for si := len(t.stages) - 1; si >= 0; si-- {
+		st := t.stages[si]
+		s, q := st.s, st.q
+		for b := 0; b < t.m; b += s {
+			tw := st.off
+			for j := b; j < b+q; j++ {
+				i1 := j + q
+				i2 := i1 + q
+				i3 := i2 + q
+				w1r, w1i := t.fwdRe[tw], t.fwdIm[tw]
+				w2r, w2i := t.fwdRe[tw+1], t.fwdIm[tw+1]
+				w3r, w3i := t.fwdRe[tw+2], t.fwdIm[tw+2]
+				tw += 3
+				y0r, y0i := re[j], im[j]
+				// z_r = y_r · conj(w^{rj})
+				y1r, y1i := re[i1], im[i1]
+				z1r, z1i := y1r*w1r+y1i*w1i, y1i*w1r-y1r*w1i
+				y2r, y2i := re[i2], im[i2]
+				z2r, z2i := y2r*w2r+y2i*w2i, y2i*w2r-y2r*w2i
+				y3r, y3i := re[i3], im[i3]
+				z3r, z3i := y3r*w3r+y3i*w3i, y3i*w3r-y3r*w3i
+				ar, ai := y0r+z2r, y0i+z2i // 2(x0+x2)
+				br, bi := y0r-z2r, y0i-z2i // 2(x1+x3)
+				cr, ci := z1r+z3r, z1i+z3i // 2(x0-x2)
+				// i·(z1-z3) = 2(x1-x3)
+				dr, di := -(z1i - z3i), z1r-z3r
+				re[j], im[j] = ar+cr, ai+ci
+				re[i1], im[i1] = br+dr, bi+di
+				re[i2], im[i2] = ar-cr, ai-ci
+				re[i3], im[i3] = br-dr, bi-di
+			}
+		}
+	}
+}
+
+// halfTab returns the processor's half-transform tables, building them on
+// first use.
+func (p *Processor) halfTab() *halfTables {
+	if p.half == nil {
+		p.half = halfTablesFor(p.n)
+	}
+	return p.half
+}
+
+// HalfM returns the number of half-complex points (N/2) for this processor.
+func (p *Processor) HalfM() int { return p.n / 2 }
+
+// HalfFoldInt transforms an integer polynomial into the half-complex
+// domain.
+func (p *Processor) HalfFoldInt(dst *HalfPoly, src *IntPoly) {
+	t := p.halfTab()
+	m := t.m
+	re, im := dst.Re, dst.Im
+	for j := 0; j < m; j++ {
+		a := float64(src.Coefs[j])
+		b := float64(src.Coefs[j+m])
+		// (a - i·b) · e^{-iπj/N}
+		re[j] = a*t.foldRe[j] - b*t.foldIm[j]
+		im[j] = -(a*t.foldIm[j] + b*t.foldRe[j])
+	}
+	t.fft(re, im)
+}
+
+// HalfFoldTorus transforms a torus polynomial (coefficients as signed
+// integers) into the half-complex domain.
+func (p *Processor) HalfFoldTorus(dst *HalfPoly, src *TorusPoly) {
+	t := p.halfTab()
+	m := t.m
+	re, im := dst.Re, dst.Im
+	for j := 0; j < m; j++ {
+		a := float64(int32(src.Coefs[j]))
+		b := float64(int32(src.Coefs[j+m]))
+		re[j] = a*t.foldRe[j] - b*t.foldIm[j]
+		im[j] = -(a*t.foldIm[j] + b*t.foldRe[j])
+	}
+	t.fft(re, im)
+}
+
+// AddHalfToTorus inverse-transforms src and adds the resulting polynomial
+// to dst, rounding each coefficient to the nearest torus element.
+func (p *Processor) AddHalfToTorus(dst *TorusPoly, src *HalfPoly) {
+	t := p.halfTab()
+	m := t.m
+	re, im := p.scReRe[:m], p.scIm[:m]
+	copy(re, src.Re)
+	copy(im, src.Im)
+	t.ifft(re, im)
+	inv := 1 / float64(m)
+	for j := 0; j < m; j++ {
+		// c_j·e^{iπj/N}: real part is coefficient j, -imag is j+M.
+		cr := re[j] * inv
+		ci := im[j] * inv
+		rr := cr*t.foldRe[j] - ci*t.foldIm[j]
+		ri := cr*t.foldIm[j] + ci*t.foldRe[j]
+		dst.Coefs[j] += roundTorus(rr)
+		dst.Coefs[j+m] += roundTorus(-ri)
+	}
+}

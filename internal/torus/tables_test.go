@@ -1,0 +1,69 @@
+package torus
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTablesForConcurrent hammers the twiddle-table cache from 16 goroutines
+// across several ring sizes at once. Run under -race it verifies the
+// lock-free snapshot path: every goroutine must observe one canonical table
+// per size, and concurrent first-time inserts of different sizes must not
+// lose each other's entries.
+func TestTablesForConcurrent(t *testing.T) {
+	sizes := []int{16, 32, 64, 128, 256, 512, 1024, 2048}
+	const goroutines = 16
+	const iters = 200
+
+	var wg sync.WaitGroup
+	got := make([][]*fftTables, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			seen := make([]*fftTables, len(sizes))
+			for it := 0; it < iters; it++ {
+				// Stagger the starting size so first-time constructions of
+				// different sizes race with each other.
+				for s := range sizes {
+					n := sizes[(s+g)%len(sizes)]
+					tab := tablesFor(n)
+					if tab.n != n {
+						t.Errorf("tablesFor(%d) returned tables for n=%d", n, tab.n)
+						return
+					}
+					idx := (s + g) % len(sizes)
+					if seen[idx] == nil {
+						seen[idx] = tab
+					} else if seen[idx] != tab {
+						t.Errorf("tablesFor(%d) returned distinct instances", n)
+						return
+					}
+				}
+			}
+			got[g] = seen
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// All goroutines must agree on the canonical instance per size.
+	for g := 1; g < goroutines; g++ {
+		for i := range sizes {
+			if got[g][i] != got[0][i] {
+				t.Fatalf("goroutines 0 and %d disagree on tables for size index %d", g, i)
+			}
+		}
+	}
+}
+
+// TestProcessorSharesTables checks that Processors of equal size share one
+// table instance (the cache actually caches).
+func TestProcessorSharesTables(t *testing.T) {
+	a := NewProcessor(64)
+	b := NewProcessor(64)
+	if a.tab != b.tab {
+		t.Fatal("two processors of the same size got distinct twiddle tables")
+	}
+}
