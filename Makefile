@@ -1,4 +1,4 @@
-.PHONY: build test lint verify serve-test bench bench-kernel batch-test
+.PHONY: build test lint check verify serve-test bench bench-kernel batch-test
 
 build:
 	go build ./...
@@ -9,6 +9,11 @@ test:
 # Static analysis: crypto-safety/concurrency analyzers over the Go module.
 lint:
 	go run ./cmd/pytfhelint ./...
+
+# Semantic analysis: noise-budget dataflow + plan-soundness verification
+# over the bench netlist and every example circuit (`pytfhe check`).
+check:
+	go run ./cmd/pytfhe check -bench -examples
 
 # gofmt + vet + lint + build + race-checked tests on the concurrency-heavy
 # packages + netlist lint of a compiled benchmark.

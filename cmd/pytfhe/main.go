@@ -4,6 +4,7 @@
 //	pytfhe compile    -bench <vip-bench name> | -mnist S|M|L [-image N] -out prog.ptfhe [-verilog prog.v]
 //	pytfhe inspect    -prog prog.ptfhe [-listing]
 //	pytfhe lint       prog.ptfhe  (or -prog prog.ptfhe)
+//	pytfhe check      prog.ptfhe | -bench | -examples [-params test|default128] [-min-sigmas S]
 //	pytfhe run        -prog prog.ptfhe -keys keys/ -backend plain|single|pool:N|async:N|plan:N [-sched critical|fifo] [-batch N] [-strict] -in 1011,0110,...
 //	pytfhe calibrate  -keys keys/ [-samples N]
 //	pytfhe serve      [-listen addr] [-max-concurrent N] [-queue N] [-batch N]   (the pytfhed daemon, in-process)
@@ -33,6 +34,7 @@ import (
 	"pytfhe/internal/params"
 	"pytfhe/internal/serve"
 	"pytfhe/internal/tfhe/boot"
+	"pytfhe/internal/tfhe/noise"
 	"pytfhe/internal/verilog"
 	"pytfhe/internal/vipbench"
 )
@@ -52,6 +54,8 @@ func main() {
 		err = cmdInspect(os.Args[2:])
 	case "lint":
 		err = cmdLint(os.Args[2:])
+	case "check":
+		err = cmdCheck(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
 	case "calibrate":
@@ -85,6 +89,7 @@ commands:
   compile    compile a VIP-Bench kernel or MNIST model to a PyTFHE binary
   inspect    show the structure of a PyTFHE binary
   lint       statically verify a PyTFHE binary (cycles, wiring, gate types)
+  check      run the semantic analyses: noise-budget dataflow and plan soundness
   run        execute a PyTFHE binary over encrypted inputs
   calibrate  measure the single-core bootstrapped-gate time
   serve      run the pytfhed evaluation daemon in-process
@@ -293,7 +298,7 @@ func cmdRun(args []string) error {
 	sched := fs.String("sched", "critical", "async ready-queue policy: critical (longest remaining depth first) or fifo")
 	batch := fs.Int("batch", 1, "bootstrap batch size for async/plan backends: each worker fuses up to N ready gates into one amortized blind-rotation dispatch (1: unbatched)")
 	stats := fs.Bool("stats", false, "print executor statistics after the run")
-	strict := fs.Bool("strict", false, "lint the program at load time and refuse to run on any error")
+	strict := fs.Bool("strict", false, "lint the program and verify its noise budget at load time; refuse to run on any error")
 	in := fs.String("in", "", "input bits as 0/1 characters (LSB first), e.g. 10110")
 	fs.Parse(args)
 	if *path == "" {
@@ -324,6 +329,13 @@ func cmdRun(args []string) error {
 	}
 
 	if *be == "plain" {
+		// No key carries a parameter set on the plain path; strict mode
+		// checks the noise budget against the production default.
+		if *strict {
+			if err := noise.CheckNetlist(prog.Netlist, params.Default128()); err != nil {
+				return err
+			}
+		}
 		out, err := core.RunPlain(prog, bits)
 		if err != nil {
 			return err
@@ -341,6 +353,11 @@ func cmdRun(args []string) error {
 		return err
 	}
 	kp := &core.KeyPair{Secret: &sk, Cloud: &ck}
+	if *strict {
+		if err := noise.CheckNetlist(prog.Netlist, ck.Params); err != nil {
+			return err
+		}
+	}
 
 	spec, err := parseBackendSpec(*be, *workers)
 	if err != nil {
@@ -593,9 +610,13 @@ func cmdServerStats(args []string) error {
 		if lat, ok := st.PerProgramLatency[hash]; ok && lat.Samples > 0 {
 			fmt.Printf("  %.16s… %d evaluations, p50 %.1fms, p95 %.1fms\n",
 				hash, hits, lat.P50Ms, lat.P95Ms)
-			continue
+		} else {
+			fmt.Printf("  %.16s… %d evaluations\n", hash, hits)
 		}
-		fmt.Printf("  %.16s… %d evaluations\n", hash, hits)
+		if pn := st.ProgramNoise[hash]; pn.Checked {
+			fmt.Printf("    noise: %.1f bits headroom under %s (worst %.2f sigmas, failure prob %.2e)\n",
+				pn.HeadroomBits, pn.Params, pn.WorstSigmas, pn.FailureProb)
+		}
 	}
 	return nil
 }

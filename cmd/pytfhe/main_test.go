@@ -1,9 +1,14 @@
 package main
 
 import (
+	"math"
+	"strings"
 	"testing"
 
 	"pytfhe/internal/chiseltorch"
+	"pytfhe/internal/experiments"
+	"pytfhe/internal/params"
+	"pytfhe/internal/tfhe/noise"
 )
 
 func TestParseBits(t *testing.T) {
@@ -98,5 +103,54 @@ func TestParamSet(t *testing.T) {
 	}
 	if _, err := paramSet("bogus"); err == nil {
 		t.Fatal("unknown set accepted")
+	}
+}
+
+// TestCheckTargets drives the `pytfhe check` analyses over the quickstart
+// example and the bench netlist: both must pass the noise budget with
+// positive headroom and verify as sound plans under the production
+// parameter set — the acceptance bar the CLI command enforces.
+func TestCheckTargets(t *testing.T) {
+	ex, err := exampleNetlists()
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []checkTarget{{"bench/ripple-imbalanced", experiments.ImbalancedNetlist()}}
+	for _, tg := range ex {
+		if tg.name == "examples/quickstart" {
+			targets = append(targets, tg)
+		}
+	}
+	if len(targets) != 2 {
+		t.Fatalf("quickstart target missing from %d example netlists", len(ex))
+	}
+	p := params.Default128()
+	for _, tg := range targets {
+		rep, err := noise.AnalyzeNetlist(tg.nl, p, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", tg.name, err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatalf("%s over budget: %v", tg.name, err)
+		}
+		if rep.HeadroomBits <= 0 {
+			t.Fatalf("%s: headroom %.3f bits, want > 0", tg.name, rep.HeadroomBits)
+		}
+		if err := checkNetlist(tg.nl, p, 0, 4, 16); err != nil {
+			t.Fatalf("%s: %v", tg.name, err)
+		}
+	}
+}
+
+// TestCheckRejectsOverBudget pins the failure path: under a degraded
+// parameter set the bench netlist blows the sigma floor and checkNetlist
+// surfaces the noise error instead of proceeding to plan verification.
+func TestCheckRejectsOverBudget(t *testing.T) {
+	degraded := *params.Test()
+	degraded.Name = "degraded"
+	degraded.LWEStdev = math.Exp2(-8)
+	err := checkNetlist(experiments.ImbalancedNetlist(), &degraded, 0, 4, 16)
+	if err == nil || !strings.Contains(err.Error(), "over budget") {
+		t.Fatalf("degraded bench netlist: err = %v, want over-budget failure", err)
 	}
 }

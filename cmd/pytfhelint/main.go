@@ -7,9 +7,9 @@
 //
 // The suite type-checks every package with only the standard library and
 // reports crypto-safety and concurrency-hygiene defects: insecure-rand,
-// discarded-error, locked-bootstrap and leaked-ciphertext. Exit status is
-// 0 when no findings survive, 1 when findings are reported, 2 on usage or
-// load errors.
+// discarded-error, locked-bootstrap, leaked-ciphertext,
+// unsynced-exec-state and batch-alias. Exit status is 0 when no findings
+// survive, 1 when findings are reported, 2 on usage or load errors.
 package main
 
 import (

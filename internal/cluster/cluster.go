@@ -166,6 +166,9 @@ func (c *Coordinator) dropWorker(w *workerConn) {
 		}
 	}
 	c.mu.Unlock()
+	// Audited (see DESIGN.md §13): dropWorker only runs after the
+	// connection already failed, so Close can report nothing the caller
+	// doesn't know; Coordinator.Close, by contrast, joins every error.
 	//lint:ignore discarded-error evicting a dead worker; the close error carries no information
 	w.conn.Close()
 }

@@ -1,9 +1,10 @@
 // Package lint is the PyTFHE static-analysis suite. It machine-checks the
 // two correctness-critical layers of the repository that go vet does not
 // cover: the crypto/concurrency Go code (secure randomness, error
-// discipline, lock hygiene around bootstrapping, ciphertext-pool balance)
-// and — through internal/circuit and internal/asm — the assembled gate
-// netlists themselves.
+// discipline, lock hygiene around bootstrapping, ciphertext-pool balance,
+// exec run-state ownership, batched-call operand disjointness) and —
+// through internal/circuit and internal/asm — the assembled gate netlists
+// themselves.
 //
 // The suite is pure standard library (go/parser, go/ast, go/types, with
 // module-internal imports resolved by walking the module and everything
@@ -58,6 +59,8 @@ func Analyzers() []Analyzer {
 		&discardedError{},
 		&lockedBootstrap{},
 		&leakedCiphertext{},
+		&unsyncedExecState{},
+		&batchAlias{},
 	}
 }
 

@@ -36,6 +36,7 @@ func TestFixtureModuleLoads(t *testing.T) {
 		"badmod/internal/backend",
 		"badmod/internal/plan",
 		"badmod/internal/exec",
+		"badmod/internal/daemon",
 	} {
 		if m.Packages[want] == nil {
 			t.Errorf("package %s not loaded", want)
@@ -106,6 +107,50 @@ func TestLeakedCiphertextFindings(t *testing.T) {
 	joined := strings.Join(files, ",")
 	if !strings.Contains(joined, "exec.go") || !strings.Contains(joined, "replay.go") || !strings.Contains(joined, "memory.go") {
 		t.Fatalf("findings in %v, want exec.go (ciphertextPool), replay.go (arena), and memory.go (exec.Memory)", files)
+	}
+}
+
+func TestUnsyncedExecStateFindings(t *testing.T) {
+	m := loadFixture(t)
+	got := findingsFor(Run(m, Analyzers()), "unsynced-exec-state")
+	if len(got) != 4 {
+		t.Fatalf("unsynced-exec-state findings = %d, want 4 (3 layering + 1 goroutine capture):\n%v", len(got), got)
+	}
+	var daemon, spawn int
+	for _, f := range got {
+		switch filepath.Base(f.Pos.Filename) {
+		case "daemon.go":
+			daemon++
+			if !strings.Contains(f.Message, "executor layers") {
+				t.Errorf("layering finding missing rationale: %s", f.Message)
+			}
+		case "spawn.go":
+			spawn++
+			if !strings.Contains(f.Message, "captured") {
+				t.Errorf("capture finding missing rationale: %s", f.Message)
+			}
+		default:
+			t.Errorf("finding in unexpected file: %v", f)
+		}
+	}
+	if daemon != 3 || spawn != 1 {
+		t.Fatalf("findings split daemon=%d spawn=%d, want 3/1 (SpawnOwned must stay clean):\n%v", daemon, spawn, got)
+	}
+}
+
+func TestBatchAliasFindings(t *testing.T) {
+	m := loadFixture(t)
+	got := findingsFor(Run(m, Analyzers()), "batch-alias")
+	if len(got) != 2 {
+		t.Fatalf("batch-alias findings = %d, want 2 (DisjointBatch must stay clean):\n%v", len(got), got)
+	}
+	for _, f := range got {
+		if filepath.Base(f.Pos.Filename) != "batch.go" {
+			t.Errorf("finding in unexpected file: %v", f)
+		}
+		if !strings.Contains(f.Message, "may alias") || !strings.Contains(f.Message, "outs") {
+			t.Errorf("unexpected message: %s", f.Message)
+		}
 	}
 }
 

@@ -1,0 +1,20 @@
+package backend
+
+import (
+	"badmod/internal/tfhe"
+)
+
+// AliasedBatch triggers batch-alias twice: the output slice doubles as the
+// a-operand batch, and the second call reuses subslices of the same
+// backing array for output and b-operand.
+func AliasedBatch(eng *tfhe.Engine, outs, ins []*tfhe.Sample) error {
+	if err := eng.BootstrapBatch(outs, outs, ins); err != nil { // finding: dst aliases a
+		return err
+	}
+	return eng.BootstrapBatch(outs[:1], ins, outs[1:]) // finding: dst aliases b
+}
+
+// DisjointBatch is the clean counterpart: three separately staged slices.
+func DisjointBatch(eng *tfhe.Engine, outs, as, bs []*tfhe.Sample) error {
+	return eng.BootstrapBatch(outs, as, bs)
+}

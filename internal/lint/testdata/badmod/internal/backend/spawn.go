@@ -1,0 +1,24 @@
+package backend
+
+import (
+	"badmod/internal/exec"
+	"badmod/internal/tfhe"
+)
+
+// SpawnUnsynced triggers unsynced-exec-state's goroutine rule: the
+// function literal captures the single-owner exec.Pool from the enclosing
+// scope, so the spawned worker and the original owner race on the free
+// list.
+func SpawnUnsynced(p *exec.Pool, out chan<- *tfhe.Sample) {
+	go func() {
+		out <- p.Get() // finding: captured pool crossed a goroutine boundary
+	}()
+}
+
+// SpawnOwned is the clean counterpart: ownership moves into the goroutine
+// explicitly through the literal's parameter list.
+func SpawnOwned(p *exec.Pool, out chan<- *tfhe.Sample) {
+	go func(owned *exec.Pool) {
+		out <- owned.Get()
+	}(p)
+}

@@ -1,0 +1,20 @@
+// Package daemon is the fixture service layer: it reaches into the
+// execution core's run state from outside the sanctioned executor
+// packages, triggering unsynced-exec-state's layering rule three times.
+package daemon
+
+import (
+	"badmod/internal/exec"
+)
+
+// Snapshot reads the executor's value table directly from the service
+// layer.
+func Snapshot(st *exec.State) int {
+	return len(st.Values) // finding: State.Values outside the executor layers
+}
+
+// Recycle drives the executor pool from the service layer.
+func Recycle(p *exec.Pool) {
+	s := p.Get() // finding: Pool.Get outside the executor layers
+	p.Put(s)     // finding: Pool.Put outside the executor layers
+}

@@ -7,6 +7,14 @@ import (
 	"badmod/internal/tfhe"
 )
 
+// State mirrors the real exec.State value table: single-owner run state
+// that only the executor layers may reach into. The unsynced-exec-state
+// analyzer keys on this name (alongside Pool, Arena and Memory) for its
+// layering rule.
+type State struct {
+	Values []*tfhe.Sample
+}
+
 // Memory mirrors the real exec.Memory ownership interface; the
 // leaked-ciphertext analyzer keys on this name alongside Pool and Arena.
 type Memory interface {

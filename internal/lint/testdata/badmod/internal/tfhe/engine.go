@@ -24,3 +24,14 @@ func (e *Engine) Binary(kind uint8, dst, a, b *Sample) error {
 	_ = b
 	return nil
 }
+
+// BootstrapBatch is the fixture's batched bootstrap; the batch-alias
+// analyzer keys on this method name on internal/tfhe receivers.
+func (e *Engine) BootstrapBatch(dst, a, b []*Sample) error {
+	for i := range dst {
+		if err := e.Binary(0, dst[i], a[i], b[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

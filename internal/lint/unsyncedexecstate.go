@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// unsyncedExecState enforces the ownership discipline around the execution
+// core's run state. internal/exec documents its types with two different
+// contracts — exec.Pool and exec.State are single-owner ("not safe for
+// concurrent use"), exec.Arena carries its own lock — and the executors
+// lean on that split for their no-per-gate-atomics design. Two rules keep
+// the contract machine-checked:
+//
+//  1. Layering: only the executor layers (internal/exec, internal/backend,
+//     internal/plan, internal/cluster) may touch exec run-state types at
+//     all. A service- or CLI-layer package reading State.Values or calling
+//     Pool.Get reaches around every invariant the executors maintain
+//     (refcounted release, per-dimension recycling, per-level barriers).
+//
+//  2. Goroutine capture: a function literal launched with `go` must not
+//     call Get/Put on a single-owner pool it captured from the enclosing
+//     scope — that silently turns one owner into two. Handing the pool in
+//     through the literal's parameter list (ownership transfer, the
+//     pattern the real drivers use) is fine, as is declaring a fresh pool
+//     inside the goroutine.
+type unsyncedExecState struct{}
+
+func (*unsyncedExecState) Name() string { return "unsynced-exec-state" }
+func (*unsyncedExecState) Doc() string {
+	return "exec run state touched outside the executor layers or via a goroutine-captured pool"
+}
+
+// Match applies everywhere: rule 1 gates on the package path itself and
+// rule 2 is a per-function property.
+func (*unsyncedExecState) Match(string) bool { return true }
+
+// execStateDirs are the sanctioned owners of exec run state.
+var execStateDirs = [...]string{
+	"internal/exec", "internal/backend", "internal/plan", "internal/cluster",
+}
+
+func inExecLayer(path string) bool {
+	for _, d := range execStateDirs {
+		if pathHasDir(path, d) {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *unsyncedExecState) Check(m *Module, pkg *Package) []Finding {
+	var findings []Finding
+	sanctioned := inExecLayer(pkg.Path)
+	for _, f := range pkg.Files {
+		if !sanctioned {
+			findings = append(findings, a.checkLayering(m, pkg, f)...)
+		}
+		findings = append(findings, a.checkGoroutines(m, pkg, f)...)
+	}
+	return findings
+}
+
+// checkLayering reports every field or method selection on an exec
+// run-state type in a package outside the executor layers.
+func (a *unsyncedExecState) checkLayering(m *Module, pkg *Package, f *ast.File) []Finding {
+	var findings []Finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pkg.Info.Selections[sel]
+		if !ok {
+			return true // package qualifier, not a field/method selection
+		}
+		name, ok := execStateType(selection.Recv())
+		if !ok {
+			return true
+		}
+		findings = append(findings, Finding{
+			Analyzer: a.Name(),
+			Pos:      m.Fset.Position(sel.Sel.Pos()),
+			Message: "exec." + name + "." + sel.Sel.Name + " touched from " + pkg.Path +
+				": only the executor layers may hold exec run state",
+		})
+		return true
+	})
+	return findings
+}
+
+// checkGoroutines reports Get/Put calls on a captured single-owner pool
+// inside go-launched function literals.
+func (a *unsyncedExecState) checkGoroutines(m *Module, pkg *Package, f *ast.File) []Finding {
+	var findings []Finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := g.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true // `go method()` transfers nothing implicitly
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Get", "Put", "get", "put":
+			default:
+				return true
+			}
+			if !singleOwnerPool(pkg.Info.TypeOf(sel.X)) {
+				return true
+			}
+			root := rootIdent(sel.X)
+			if root == nil {
+				return true
+			}
+			v, ok := pkg.Info.ObjectOf(root).(*types.Var)
+			if !ok || !v.Pos().IsValid() {
+				return true
+			}
+			if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+				return true // parameter of, or declared inside, the literal
+			}
+			findings = append(findings, Finding{
+				Analyzer: a.Name(),
+				Pos:      m.Fset.Position(sel.Sel.Pos()),
+				Message: "goroutine calls " + sel.Sel.Name + " on single-owner pool " + root.Name +
+					" captured from the enclosing scope; pass it through the func literal's parameters instead",
+			})
+			return true
+		})
+		return true
+	})
+	return findings
+}
+
+// execStateType reports whether t (or *t) is one of the execution core's
+// run-state types, returning its name.
+func execStateType(t types.Type) (string, bool) {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return "", false
+	}
+	if !pathHasDir(n.Obj().Pkg().Path(), "internal/exec") {
+		return "", false
+	}
+	switch name := n.Obj().Name(); name {
+	case "State", "Pool", "Arena", "Memory":
+		return name, true
+	}
+	return "", false
+}
+
+// singleOwnerPool reports whether t is a pool type documented as
+// single-owner: the execution core's exec.Pool or the legacy unexported
+// ciphertextPool. exec.Arena is internally locked and exempt.
+func singleOwnerPool(t types.Type) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	path := n.Obj().Pkg().Path()
+	switch n.Obj().Name() {
+	case "Pool":
+		return pathHasDir(path, "internal/exec")
+	case "ciphertextPool":
+		return pathHasDir(path, "internal/backend") || pathHasDir(path, "internal/plan")
+	}
+	return false
+}
+
+// rootIdent unwraps selector/index/paren chains to the base identifier, or
+// nil when the chain bottoms out in something else (a call, a literal).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

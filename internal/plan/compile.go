@@ -297,6 +297,7 @@ func CompileStream(nl *circuit.Netlist, workers int) (*Stream, error) {
 		Workers:   workers,
 		levels:    make([]Level, 0, numLevels),
 		outputs:   outputs,
+		execOf:    execOf, // complete after pass 1; read-only from here on
 	}
 	s := &Stream{p: p, ch: make(chan Level, numLevels), done: make(chan struct{}), maxArena: len(gates)}
 

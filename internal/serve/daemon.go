@@ -9,7 +9,20 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	"pytfhe/internal/params"
 )
+
+// noiseParamSet resolves the -noise-params flag.
+func noiseParamSet(name string) (*params.GateParams, error) {
+	switch name {
+	case "test":
+		return params.Test(), nil
+	case "default128", "default":
+		return params.Default128(), nil
+	}
+	return nil, fmt.Errorf("unknown noise parameter set %q (want test or default128)", name)
+}
 
 // RunDaemon parses daemon flags, starts a Server, and blocks until
 // SIGTERM/SIGINT triggers a graceful drain: stop accepting, finish
@@ -23,18 +36,28 @@ func RunDaemon(args []string, stdout io.Writer) error {
 	queue := fs.Int("queue", 0, "admission queue bound beyond max-concurrent (0: 64)")
 	timeout := fs.Duration("timeout", 0, "default per-request evaluation timeout (0: 5m)")
 	batch := fs.Int("batch", 0, "bootstrap batch size per executor worker, amortized across tenant requests (0: 16, 1: unbatched)")
+	noiseParams := fs.String("noise-params", "default128", "parameter set the admission noise analysis assumes: test or default128")
+	minSigmas := fs.Float64("min-sigmas", 0, "sigma margin registered programs must keep under the noise analysis (0: default 4)")
+	noNoise := fs.Bool("no-noise-check", false, "admit programs without the static noise-budget analysis")
 	drainT := fs.Duration("drain-timeout", time.Minute, "grace period for in-flight work on shutdown")
 	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	np, err := noiseParamSet(*noiseParams)
+	if err != nil {
+		return err
+	}
 
 	srv := New(Config{
-		Workers:        *workers,
-		MaxConcurrent:  *maxConc,
-		QueueCap:       *queue,
-		DefaultTimeout: *timeout,
-		Batch:          *batch,
+		Workers:           *workers,
+		MaxConcurrent:     *maxConc,
+		QueueCap:          *queue,
+		DefaultTimeout:    *timeout,
+		Batch:             *batch,
+		NoiseParams:       np,
+		NoiseMinSigmas:    *minSigmas,
+		DisableNoiseCheck: *noNoise,
 	})
 	if err := srv.Start(*listen); err != nil {
 		return err

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -234,6 +236,99 @@ func TestServeRegistryAdmission(t *testing.T) {
 	defer cl2.Close()
 	if _, err := cl2.Evaluate(info.Hash, nil); !errors.Is(err, ErrNoSession) {
 		t.Fatalf("no session: err = %v, want ErrNoSession", err)
+	}
+}
+
+// TestServeNoiseAdmission drives the registration-time static noise
+// analysis: under a degraded parameter set any bootstrapped netlist is
+// rejected (the bootstrap output noise alone eats the output decode
+// margin), a free-gate program still registers (NOT only shifts the
+// fresh input noise, which keeps 32 sigmas even degraded) and its noise
+// summary rides ProgramInfo and the Stats RPC, and the default
+// production set admits the deep program with positive headroom.
+func TestServeNoiseAdmission(t *testing.T) {
+	deep := func() *core.Program {
+		b := circuit.NewBuilder("nandchain3", circuit.NoOptimizations())
+		ins := b.Inputs("x", 2)
+		cur := ins[0]
+		for i := 0; i < 3; i++ {
+			cur = b.Nand(cur, ins[1])
+		}
+		b.Output("o", cur)
+		return compile(t, b)
+	}()
+	free := func() *core.Program {
+		b := circuit.NewBuilder("not1", circuit.NoOptimizations())
+		ins := b.Inputs("x", 1)
+		b.Output("o", b.Not(ins[0]))
+		return compile(t, b)
+	}()
+
+	// Degraded set: test parameters with the fresh LWE noise cranked from
+	// 2^-20 to 2^-8, so a bootstrap output's noise stdev (~0.18) swamps
+	// the 1/8 output decode margin and any bootstrapped program is over
+	// budget, while the free NOT keeps its fresh 2^-8 stdev (32 sigmas).
+	degraded := *params.Test()
+	degraded.Name = "degraded"
+	degraded.LWEStdev = math.Exp2(-8)
+	srv := startServer(t, Config{Workers: 1, NoiseParams: &degraded})
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.RegisterProgram(deep.Binary); !errors.Is(err, ErrRejected) {
+		t.Fatalf("deep netlist under degraded params: err = %v, want ErrRejected", err)
+	} else if !strings.Contains(err.Error(), "over budget") {
+		t.Fatalf("rejection does not name the noise budget: %v", err)
+	}
+	info, err := cl.RegisterProgram(free.Binary)
+	if err != nil {
+		t.Fatalf("free-gate netlist under degraded params: %v", err)
+	}
+	if !info.Noise.Checked || info.Noise.Params != "degraded" {
+		t.Fatalf("noise summary = %+v, want checked under degraded", info.Noise)
+	}
+	if info.Noise.HeadroomBits <= 0 || info.Noise.WorstSigmas < 4 {
+		t.Fatalf("admitted program reports no margin: %+v", info.Noise)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pn, ok := st.ProgramNoise[info.Hash]; !ok || pn != info.Noise {
+		t.Fatalf("stats noise = %+v (ok=%v), want %+v", pn, ok, info.Noise)
+	}
+
+	// The production default128 set admits the deep chain with headroom.
+	srv2 := startServer(t, Config{Workers: 1})
+	cl2, err := Dial(srv2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	info2, err := cl2.RegisterProgram(deep.Binary)
+	if err != nil {
+		t.Fatalf("deep netlist under default128: %v", err)
+	}
+	if !info2.Noise.Checked || info2.Noise.HeadroomBits <= 0 {
+		t.Fatalf("default128 noise summary = %+v, want checked with positive headroom", info2.Noise)
+	}
+
+	// A server with the check disabled admits anything and says so.
+	srv3 := startServer(t, Config{Workers: 1, NoiseParams: &degraded, DisableNoiseCheck: true})
+	cl3, err := Dial(srv3.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl3.Close()
+	info3, err := cl3.RegisterProgram(deep.Binary)
+	if err != nil {
+		t.Fatalf("noise check disabled: %v", err)
+	}
+	if info3.Noise.Checked {
+		t.Fatalf("disabled check still reported a summary: %+v", info3.Noise)
 	}
 }
 

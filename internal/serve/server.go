@@ -16,10 +16,12 @@ import (
 
 	"pytfhe/internal/backend"
 	"pytfhe/internal/core"
+	"pytfhe/internal/params"
 	"pytfhe/internal/plan"
 	"pytfhe/internal/tfhe/boot"
 	"pytfhe/internal/tfhe/gate"
 	"pytfhe/internal/tfhe/lwe"
+	"pytfhe/internal/tfhe/noise"
 )
 
 // Config tunes the daemon. Zero values take the documented defaults.
@@ -44,6 +46,18 @@ type Config struct {
 	// and plan replays group instructions the same way (default 16; set 1
 	// to disable batching).
 	Batch int
+	// NoiseParams selects the parameter set the registration-time static
+	// noise-budget analysis (internal/tfhe/noise) runs against (default
+	// params.Default128()). A program whose worst-case pre-bootstrap or
+	// output noise falls under NoiseMinSigmas standard deviations of
+	// margin is rejected with ErrRejected before any ciphertext is ever
+	// submitted against it.
+	NoiseParams *params.GateParams
+	// NoiseMinSigmas is the sigma floor of the admission noise check
+	// (default noise.DefaultMinSigmas).
+	NoiseMinSigmas float64
+	// DisableNoiseCheck admits programs without the static noise analysis.
+	DisableNoiseCheck bool
 }
 
 func (c Config) withDefaults() Config {
@@ -62,6 +76,12 @@ func (c Config) withDefaults() Config {
 	if c.Batch < 1 {
 		c.Batch = 16
 	}
+	if c.NoiseParams == nil {
+		c.NoiseParams = params.Default128()
+	}
+	if c.NoiseMinSigmas <= 0 {
+		c.NoiseMinSigmas = noise.DefaultMinSigmas
+	}
 	return c
 }
 
@@ -72,8 +92,9 @@ const latencyWindow = 128
 // programEntry is one registry slot: the compiled program, its evaluation
 // hit count, the cached execution plan, and a latency window.
 type programEntry struct {
-	prog *core.Program
-	hits int64 // atomic
+	prog  *core.Program
+	noise ProgramNoise // registration-time static noise summary
+	hits  int64        // atomic
 
 	// planMu guards the plan cache. The first evaluation compiles the plan
 	// (a PlanMiss) and holds the lock until it is stored; contemporaries
@@ -294,8 +315,11 @@ func hashBytes(b []byte) string {
 }
 
 // handleRegister admits a program binary into the registry: lint, strict
-// load, cache under the content hash. Malformed or cyclic netlists are
-// rejected here, before any ciphertext is ever submitted against them.
+// load, static noise-budget analysis, cache under the content hash.
+// Malformed or cyclic netlists — and netlists whose worst-case noise
+// cannot keep the configured sigma margin under the server's parameter
+// set — are rejected here, before any ciphertext is ever submitted
+// against them.
 func (s *Server) handleRegister(req *RegisterProgram) Response {
 	hash := hashBytes(req.Binary)
 	s.mu.Lock()
@@ -306,11 +330,15 @@ func (s *Server) handleRegister(req *RegisterProgram) Response {
 		if err != nil {
 			return Response{Err: toWire(fmt.Errorf("%w: %v", ErrRejected, err))}
 		}
+		pn, err := s.analyzeNoise(prog)
+		if err != nil {
+			return Response{Err: toWire(fmt.Errorf("%w: %v", ErrRejected, err))}
+		}
 		s.mu.Lock()
 		if existing, ok := s.programs[hash]; ok {
 			entry, cached = existing, true // lost a registration race
 		} else {
-			entry = &programEntry{prog: prog}
+			entry = &programEntry{prog: prog, noise: pn}
 			s.programs[hash] = entry
 		}
 		s.mu.Unlock()
@@ -325,7 +353,36 @@ func (s *Server) handleRegister(req *RegisterProgram) Response {
 		Bootstrapped: st.Bootstrapped,
 		Outputs:      st.Outputs,
 		Depth:        st.Depth,
+		Noise:        entry.noise,
 	}}
+}
+
+// analyzeNoise runs the admission-time static noise-budget dataflow and
+// returns the wire summary, or the rejection error for an over-budget (or
+// unanalyzable) netlist. With the check disabled it reports an unchecked
+// zero summary.
+func (s *Server) analyzeNoise(prog *core.Program) (ProgramNoise, error) {
+	if s.cfg.DisableNoiseCheck {
+		return ProgramNoise{}, nil
+	}
+	rep, err := noise.AnalyzeNetlist(prog.Netlist, s.cfg.NoiseParams, s.cfg.NoiseMinSigmas)
+	if err != nil {
+		return ProgramNoise{}, err
+	}
+	if err := rep.Err(); err != nil {
+		return ProgramNoise{}, err
+	}
+	worst := rep.MaxNoise.Sigmas
+	if rep.Bootstrapped == 0 || rep.WorstOutputSigmas < worst {
+		worst = rep.WorstOutputSigmas
+	}
+	return ProgramNoise{
+		Checked:      true,
+		Params:       rep.Params,
+		HeadroomBits: rep.HeadroomBits,
+		WorstSigmas:  worst,
+		FailureProb:  rep.CircuitFailureProb,
+	}, nil
 }
 
 // handleOpen registers the session's cloud key with the shared executor
@@ -544,9 +601,11 @@ func (s *Server) handleStats() Response {
 	s.mu.Lock()
 	per := make(map[string]int64, len(s.programs))
 	lat := make(map[string]LatencyStats, len(s.programs))
+	noi := make(map[string]ProgramNoise, len(s.programs))
 	for hash, entry := range s.programs {
 		per[hash] = atomic.LoadInt64(&entry.hits)
 		lat[hash] = entry.latencyStats()
+		noi[hash] = entry.noise
 	}
 	nProgs := len(s.programs)
 	s.mu.Unlock()
@@ -583,6 +642,7 @@ func (s *Server) handleStats() Response {
 		PlanFallbacks:     atomic.LoadInt64(&s.planFallbacks),
 		ArenaHighWater:    int(atomic.LoadInt64(&s.arenaHW)),
 		PerProgramLatency: lat,
+		ProgramNoise:      noi,
 
 		BatchSize:         ex.BatchSize,
 		Batches:           batches,

@@ -92,6 +92,21 @@ type ProgramInfo struct {
 	Cached bool // true when the hash was already in the registry
 	Inputs, Gates, Bootstrapped, Outputs,
 	Depth int
+	// Noise is the static noise-budget summary computed at registration
+	// (zero Checked when the server was configured with the check off).
+	// A program that fails the analysis is never admitted, so a non-zero
+	// Noise always describes a passing report.
+	Noise ProgramNoise
+}
+
+// ProgramNoise summarizes a program's registration-time static noise
+// analysis (internal/tfhe/noise) for the wire.
+type ProgramNoise struct {
+	Checked      bool    // analysis ran at registration
+	Params       string  // parameter set the analysis used
+	HeadroomBits float64 // log2 margin over the sigma floor (+Inf: no noisy wires)
+	WorstSigmas  float64 // sigma margin of the worst gate or output
+	FailureProb  float64 // union bound on any decryption error per evaluation
 }
 
 // SessionInfo acknowledges an opened session.
@@ -138,6 +153,9 @@ type StatsReply struct {
 	// PerProgramLatency maps program hash → evaluation latency quantiles
 	// over a sliding window of recent requests.
 	PerProgramLatency map[string]LatencyStats
+	// ProgramNoise maps program hash → the static noise-budget summary
+	// recorded at registration.
+	ProgramNoise map[string]ProgramNoise
 
 	// Batch occupancy across the shared executor and the plan-replay
 	// runners: how many amortized kernel dispatches ran, how many

@@ -123,6 +123,20 @@ var plans = func() [logic.NumKinds]gatePlan {
 	return p
 }()
 
+// PlanCoefficients exposes the linear-combination coefficients of a
+// bootstrapped gate's plan (tmp = bias + ca*a + cb*b): the inputs noise
+// analysis needs to bound the pre-bootstrap variance with the exact
+// multipliers the engine uses, rather than re-deriving its own table that
+// could drift. ok is false for the free kinds (constants, COPY, NOT) and
+// out-of-range values, which never feed a bootstrap.
+func PlanCoefficients(kind logic.Kind) (ca, cb int32, ok bool) {
+	if kind >= logic.NumKinds || !kind.NeedsBootstrap() {
+		return 0, 0, false
+	}
+	pl := plans[kind]
+	return pl.ca, pl.cb, true
+}
+
 // Binary evaluates dst = kind(a, b) homomorphically. dst may alias a or b.
 func (e *Engine) Binary(kind logic.Kind, dst, a, b *Ciphertext) error {
 	switch kind {

@@ -1,0 +1,267 @@
+package noise
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/logic"
+	"pytfhe/internal/params"
+	"pytfhe/internal/tfhe/gate"
+)
+
+// DefaultMinSigmas is the sigma margin `pytfhe check`, strict loading, and
+// pytfhed registration demand between the worst phase-error stdev and the
+// decryption margin. Four sigmas bound the per-gate failure probability by
+// erfc(4/√2) ≈ 6.3e-5; the built-in default128 set clears it with ~0.24
+// bits of headroom, so any regression in the parameter file or the noise
+// model trips the check before it trips a decryption.
+const DefaultMinSigmas = 4.0
+
+// GateNoise is the analysis result for one bootstrapped gate: the
+// worst-case variance of the linear combination entering its bootstrap,
+// and the failure bound it implies.
+type GateNoise struct {
+	Gate  int            // gate index in nl.Gates
+	ID    circuit.NodeID // node id (NumInputs+1+Gate)
+	Kind  logic.Kind
+	Depth int // bootstrap depth: refreshes on the longest path into this gate
+
+	// PreVariance is the variance of the bootstrap input tmp = bias +
+	// ca*a + cb*b (torus units). Sigmas is DecryptionMargin/stdev, and
+	// FailureProb = erfc(Sigmas/√2) bounds the probability the blind
+	// rotation reads the wrong message slot.
+	PreVariance float64
+	Sigmas      float64
+	FailureProb float64
+}
+
+// NetlistReport is the result of the static noise-budget dataflow over one
+// netlist under one parameter set.
+type NetlistReport struct {
+	Name      string // netlist name
+	Params    string // parameter-set name
+	MinSigmas float64
+	Budget    Budget
+
+	Gates        int
+	Bootstrapped int
+	Outputs      int
+
+	// MaxNoise is the bootstrapped gate with the lowest sigma margin (the
+	// zero value when the netlist has no bootstrapped gates), and
+	// CriticalDepth its bootstrap depth.
+	MaxNoise      GateNoise
+	CriticalDepth int
+
+	// WorstOutput/WorstOutputSigmas track the output wire closest to a
+	// decryption error: outputs decode by phase sign, so their margin is
+	// the full 1/8 amplitude rather than the internal 1/16 slot
+	// half-width. WorstOutput is -1 when every output is a noiseless
+	// constant.
+	WorstOutput       int
+	WorstOutputSigmas float64
+
+	// HeadroomBits is log2(worstSigmas/MinSigmas): how many times the
+	// worst stdev could double before the netlist fails the check. +Inf
+	// for a netlist with no noise-carrying wires.
+	HeadroomBits float64
+
+	// CircuitFailureProb is the union bound over every bootstrap and
+	// every output read: P[any decryption error] <= Σ erfc(σ_i/√2),
+	// capped at 1.
+	CircuitFailureProb float64
+
+	// OverBudget lists the gates (and OverBudgetOutputs the output
+	// indices) whose sigma margin falls below MinSigmas.
+	OverBudget        []GateNoise
+	OverBudgetOutputs []int
+}
+
+// OK reports whether every gate and output clears the sigma margin.
+func (r *NetlistReport) OK() bool {
+	return len(r.OverBudget) == 0 && len(r.OverBudgetOutputs) == 0
+}
+
+// Err returns nil when the report is clean, and a descriptive error naming
+// the worst offender otherwise.
+func (r *NetlistReport) Err() error {
+	if r.OK() {
+		return nil
+	}
+	if len(r.OverBudget) > 0 {
+		w := r.OverBudget[0]
+		for _, g := range r.OverBudget[1:] {
+			if g.Sigmas < w.Sigmas {
+				w = g
+			}
+		}
+		return fmt.Errorf("noise: netlist %q over budget under %s: gate %d (%v, depth %d) has %.2f sigmas of margin, need %.2f (%d gates, %d outputs over budget)",
+			r.Name, r.Params, w.Gate, w.Kind, w.Depth, w.Sigmas, r.MinSigmas, len(r.OverBudget), len(r.OverBudgetOutputs))
+	}
+	return fmt.Errorf("noise: netlist %q over budget under %s: output %d has %.2f sigmas of margin, need %.2f",
+		r.Name, r.Params, r.OverBudgetOutputs[0], r.WorstOutputSigmas, r.MinSigmas)
+}
+
+// String renders the per-netlist report `pytfhe check` prints.
+func (r *NetlistReport) String() string {
+	var b strings.Builder
+	status := "OK"
+	if !r.OK() {
+		status = fmt.Sprintf("OVER BUDGET (%d gates, %d outputs)", len(r.OverBudget), len(r.OverBudgetOutputs))
+	}
+	fmt.Fprintf(&b, "noise budget %q under %s: %s\n", r.Name, r.Params, status)
+	fmt.Fprintf(&b, "  gates %d (%d bootstrapped), outputs %d, min sigmas %.1f\n",
+		r.Gates, r.Bootstrapped, r.Outputs, r.MinSigmas)
+	if r.Bootstrapped > 0 {
+		fmt.Fprintf(&b, "  max-noise gate: #%d %v at bootstrap depth %d (critical depth %d): stdev %.3g, %.2f sigmas, P[fail] %.3g\n",
+			r.MaxNoise.Gate, r.MaxNoise.Kind, r.MaxNoise.Depth, r.CriticalDepth,
+			math.Sqrt(r.MaxNoise.PreVariance), r.MaxNoise.Sigmas, r.MaxNoise.FailureProb)
+	}
+	if r.WorstOutput >= 0 {
+		fmt.Fprintf(&b, "  worst output: #%d at %.2f sigmas\n", r.WorstOutput, r.WorstOutputSigmas)
+	}
+	fmt.Fprintf(&b, "  headroom %.2f bits, P[any decryption error] <= %.3g", r.HeadroomBits, r.CircuitFailureProb)
+	return b.String()
+}
+
+// AnalyzeNetlist propagates worst-case noise variance gate by gate through
+// nl under parameter set p: inputs carry the fresh encryption variance,
+// free gates pass their operand variance through unchanged (NOT negates,
+// COPY copies — neither amplifies), and each bootstrapped gate first forms
+// the linear combination ca*a + cb*b (variances add with squared
+// coefficients; the bias is noiseless) and then resets its output to the
+// bootstrap variance. Every pre-bootstrap combination and every output
+// wire must keep minSigmas standard deviations below its decryption
+// margin; minSigmas <= 0 selects DefaultMinSigmas.
+//
+// The returned error covers only malformed inputs (invalid netlist,
+// unknown gate kind); an over-budget netlist returns a report whose OK()
+// is false and Err() is non-nil.
+func AnalyzeNetlist(nl *circuit.Netlist, p *params.GateParams, minSigmas float64) (*NetlistReport, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if minSigmas <= 0 {
+		minSigmas = DefaultMinSigmas
+	}
+	b := Analyze(p)
+	r := &NetlistReport{
+		Name:         nl.Name,
+		Params:       p.Name,
+		MinSigmas:    minSigmas,
+		Budget:       b,
+		Gates:        len(nl.Gates),
+		Outputs:      len(nl.Outputs),
+		WorstOutput:  -1,
+		HeadroomBits: math.Inf(1),
+	}
+
+	// variance[id] and bdepth[id] for node ids 1..NumNodes (0 unused).
+	variance := make([]float64, nl.NumNodes()+1)
+	bdepth := make([]int, nl.NumNodes()+1)
+	for i := 1; i <= nl.NumInputs; i++ {
+		variance[i] = b.FreshVariance
+	}
+
+	worstSigmas := math.Inf(1)
+	for i, g := range nl.Gates {
+		id := nl.GateID(i)
+		if g.Kind >= logic.NumKinds {
+			return nil, fmt.Errorf("noise: gate %d has unknown kind %d", i, g.Kind)
+		}
+		if !g.Kind.NeedsBootstrap() {
+			switch g.Kind {
+			case logic.False, logic.True:
+				variance[id] = 0
+			case logic.COPY, logic.NOT:
+				variance[id] = variance[g.A]
+				bdepth[id] = bdepth[g.A]
+			case logic.COPYB, logic.NOTB:
+				variance[id] = variance[g.B]
+				bdepth[id] = bdepth[g.B]
+			default:
+				return nil, fmt.Errorf("noise: gate %d: free kind %v not modeled", i, g.Kind)
+			}
+			continue
+		}
+		ca, cb, ok := gate.PlanCoefficients(g.Kind)
+		if !ok {
+			return nil, fmt.Errorf("noise: gate %d: no bootstrap plan for kind %v", i, g.Kind)
+		}
+		r.Bootstrapped++
+		pre := float64(ca)*float64(ca)*variance[g.A] + float64(cb)*float64(cb)*variance[g.B]
+		gn := GateNoise{Gate: i, ID: id, Kind: g.Kind, PreVariance: pre, Sigmas: math.Inf(1)}
+		d := bdepth[g.A]
+		if bdepth[g.B] > d {
+			d = bdepth[g.B]
+		}
+		gn.Depth = d + 1
+		if pre > 0 {
+			gn.Sigmas = b.DecryptionMargin / math.Sqrt(pre)
+			gn.FailureProb = math.Erfc(gn.Sigmas / math.Sqrt2)
+		}
+		r.CircuitFailureProb += gn.FailureProb
+		if gn.Sigmas < worstSigmas {
+			worstSigmas = gn.Sigmas
+			r.MaxNoise = gn
+			r.CriticalDepth = gn.Depth
+		}
+		if gn.Sigmas < minSigmas {
+			r.OverBudget = append(r.OverBudget, gn)
+		}
+		variance[id] = b.BootstrapVariance
+		bdepth[id] = gn.Depth
+	}
+
+	// Outputs decode by phase sign, so the margin is the full ±1/8
+	// amplitude (twice the internal slot half-width).
+	outputMargin := 2 * b.DecryptionMargin
+	r.WorstOutputSigmas = math.Inf(1)
+	for i, out := range nl.Outputs {
+		if out.IsConst() {
+			continue
+		}
+		v := variance[out]
+		if v <= 0 {
+			continue
+		}
+		s := outputMargin / math.Sqrt(v)
+		if s < r.WorstOutputSigmas {
+			r.WorstOutputSigmas = s
+			r.WorstOutput = i
+		}
+		r.CircuitFailureProb += math.Erfc(s / math.Sqrt2)
+		if s < minSigmas {
+			r.OverBudgetOutputs = append(r.OverBudgetOutputs, i)
+		}
+		if s < worstSigmas {
+			worstSigmas = s
+		}
+	}
+	if r.WorstOutput < 0 {
+		r.WorstOutputSigmas = math.Inf(1)
+	}
+	if r.CircuitFailureProb > 1 {
+		r.CircuitFailureProb = 1
+	}
+	if !math.IsInf(worstSigmas, 1) {
+		r.HeadroomBits = math.Log2(worstSigmas / minSigmas)
+	}
+	return r, nil
+}
+
+// CheckNetlist is the strict-mode hook: it runs AnalyzeNetlist with the
+// default sigma margin and folds an over-budget report into the error.
+// Used by `pytfhe run -strict` and pytfhed program registration.
+func CheckNetlist(nl *circuit.Netlist, p *params.GateParams) error {
+	r, err := AnalyzeNetlist(nl, p, DefaultMinSigmas)
+	if err != nil {
+		return err
+	}
+	return r.Err()
+}

@@ -24,12 +24,15 @@ go run ./cmd/pytfhelint ./...
 go test -race ./internal/exec/... ./internal/backend/... ./internal/sched/... \
     ./internal/cluster/... ./internal/serve/... ./internal/wire/... ./internal/plan/...
 
-# End-to-end: compile a VIP-Bench kernel and lint the emitted binary.
+# End-to-end: compile a VIP-Bench kernel, lint the emitted binary, then
+# run the semantic analyses over it and the bench netlist: noise-budget
+# dataflow plus plan-soundness verification (`pytfhe check`).
 tmp=$(mktemp -d)
 daemon_pid=
 trap 'if [ -n "$daemon_pid" ]; then kill "$daemon_pid" 2>/dev/null || true; fi; rm -rf "$tmp"' EXIT
 go run ./cmd/pytfhe compile -bench hamming-distance -out "$tmp/prog.ptfhe"
 go run ./cmd/pytfhe lint "$tmp/prog.ptfhe"
+go run ./cmd/pytfhe check -bench -prog "$tmp/prog.ptfhe"
 
 # End-to-end serving: start pytfhed on a random port, run one encrypted
 # evaluation through the registry/session/executor path, then drain it
@@ -62,6 +65,9 @@ out=$("$tmp/pytfhe" eval -server "$addr" -keys "$tmp/keys" \
 [ "$out" = "outputs: 0000000" ]
 "$tmp/pytfhe" server-stats -server "$addr" | tee "$tmp/stats"
 grep -q 'plan cache: 1 hits, 1 misses' "$tmp/stats"
+# Registration ran the static noise analysis; its per-program summary
+# must ride the Stats RPC.
+grep -q 'noise: .* bits headroom under default128' "$tmp/stats"
 kill -TERM "$daemon_pid"
 wait "$daemon_pid"
 daemon_pid=
