@@ -29,11 +29,14 @@ import (
 	"pytfhe/internal/asm"
 	"pytfhe/internal/backend"
 	"pytfhe/internal/chiseltorch"
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/cluster"
 	"pytfhe/internal/core"
 	"pytfhe/internal/models"
 	"pytfhe/internal/params"
 	"pytfhe/internal/serve"
 	"pytfhe/internal/tfhe/boot"
+	"pytfhe/internal/tfhe/lwe"
 	"pytfhe/internal/tfhe/noise"
 	"pytfhe/internal/verilog"
 	"pytfhe/internal/vipbench"
@@ -293,8 +296,9 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	path := fs.String("prog", "", "PyTFHE binary path")
 	keys := fs.String("keys", "keys", "key directory from `pytfhe keygen`")
-	be := fs.String("backend", "auto", "plain, single, pool[:N], async[:N], plan[:N], or auto")
+	be := fs.String("backend", "auto", "plain, single, pool[:N], async[:N], plan[:N], cluster:addr, cluster-plan:addr, or auto")
 	workers := fs.Int("workers", 1, "worker count for auto/pool/async without an explicit :N")
+	clusterWorkers := fs.Int("cluster-workers", 2, "workers to wait for on the cluster backends")
 	sched := fs.String("sched", "critical", "async ready-queue policy: critical (longest remaining depth first) or fifo")
 	batch := fs.Int("batch", 1, "bootstrap batch size for async/plan backends: each worker fuses up to N ready gates into one amortized blind-rotation dispatch (1: unbatched)")
 	stats := fs.Bool("stats", false, "print executor statistics after the run")
@@ -368,7 +372,25 @@ func cmdRun(args []string) error {
 	if spec.batch > 1 && (spec.kind == "single" || spec.kind == "pool") {
 		return fmt.Errorf("-batch needs the async or plan backend (got %s)", spec.kind)
 	}
-	runner := spec.build(kp.Cloud)
+	var runner backend.Backend
+	if spec.kind == "cluster" || spec.kind == "cluster-plan" {
+		coord, err := cluster.NewCoordinator(kp.Cloud, spec.addr)
+		if err != nil {
+			return err
+		}
+		defer coord.Close()
+		fmt.Printf("coordinator listening on %s, waiting for %d workers...\n", coord.Addr(), *clusterWorkers)
+		if err := coord.AcceptWorkers(*clusterWorkers); err != nil {
+			return err
+		}
+		if spec.kind == "cluster-plan" {
+			runner = &shardBackend{coord: coord}
+		} else {
+			runner = coord
+		}
+	} else {
+		runner = spec.build(kp.Cloud)
+	}
 
 	fmt.Printf("encrypting %d input bits...\n", len(bits))
 	cts := kp.EncryptBits(bits)
@@ -379,16 +401,32 @@ func cmdRun(args []string) error {
 	}
 	fmt.Printf("outputs: %s\n", formatBits(kp.DecryptBits(outs)))
 	if *stats {
-		printRunStats(runner)
+		printRunStats(runner, ck.Params.CiphertextBytes())
 	}
 	return nil
+}
+
+// shardBackend adapts Coordinator.RunSharded to the backend contract, so
+// `-backend cluster-plan:addr` plugs into the same run path as everything
+// else.
+type shardBackend struct {
+	coord *cluster.Coordinator
+}
+
+func (b *shardBackend) Name() string {
+	return strings.Replace(b.coord.Name(), "cluster(", "cluster-plan(", 1)
+}
+
+func (b *shardBackend) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample, error) {
+	return b.coord.RunSharded(nl, inputs)
 }
 
 // backendSpec is a parsed -backend/-workers selection, kept separate from
 // construction so it can be validated without keys.
 type backendSpec struct {
-	kind    string // "single", "pool" or "async"
+	kind    string // "single", "pool", "async", "plan", "cluster", "cluster-plan"
 	workers int
+	addr    string        // listen address for the cluster backends
 	sched   backend.Sched // async ready-queue policy
 	batch   int           // bootstrap batch size (async/plan; ≤1 unbatched)
 }
@@ -397,10 +435,20 @@ type backendSpec struct {
 // single-core evaluator for one worker and the barrier-free Async executor
 // for multi-worker runs — the async executor is the default whenever more
 // than one worker is requested; the barriered pool remains selectable as
-// the Algorithm 1 baseline.
+// the Algorithm 1 baseline. The cluster backends are matched by prefix
+// before the generic kind:N split, because their operand is a listen
+// address ("cluster-plan:127.0.0.1:7700") that itself contains colons.
 func parseBackendSpec(s string, workers int) (backendSpec, error) {
 	if workers < 1 {
 		workers = 1
+	}
+	for _, kind := range []string{"cluster-plan", "cluster"} {
+		if rest, ok := strings.CutPrefix(s, kind+":"); ok {
+			if rest == "" {
+				return backendSpec{}, fmt.Errorf("backend %s needs a listen address, e.g. %s:127.0.0.1:7700", kind, kind)
+			}
+			return backendSpec{kind: kind, addr: rest}, nil
+		}
 	}
 	kind, count := s, workers
 	if i := strings.IndexByte(s, ':'); i >= 0 {
@@ -421,8 +469,10 @@ func parseBackendSpec(s string, workers int) (backendSpec, error) {
 		return backendSpec{kind: "single", workers: 1}, nil
 	case "pool", "async", "plan":
 		return backendSpec{kind: kind, workers: count}, nil
+	case "cluster", "cluster-plan":
+		return backendSpec{}, fmt.Errorf("backend %s needs a listen address, e.g. %s:127.0.0.1:7700", kind, kind)
 	}
-	return backendSpec{}, fmt.Errorf("unknown backend %q (want plain, single, pool[:N], async[:N], plan[:N] or auto)", s)
+	return backendSpec{}, fmt.Errorf("unknown backend %q (want plain, single, pool[:N], async[:N], plan[:N], cluster:addr, cluster-plan:addr or auto)", s)
 }
 
 func (bs backendSpec) build(ck *boot.CloudKey) backend.Backend {
@@ -441,7 +491,9 @@ func (bs backendSpec) build(ck *boot.CloudKey) backend.Backend {
 }
 
 // printRunStats reports the executor breakdown recorded by the last Run.
-func printRunStats(runner backend.Backend) {
+// ctBytes is the serialized ciphertext size (the paper's ≈2.46 KB pin at
+// n=630), used to contextualize the cluster backends' wire traffic.
+func printRunStats(runner backend.Backend, ctBytes int) {
 	var st backend.RunStats
 	switch r := runner.(type) {
 	case *backend.Single:
@@ -456,6 +508,12 @@ func printRunStats(runner backend.Backend) {
 		fmt.Printf("plan:  %d logical bootstraps captured as %d executed (%d levels, %d arena slots), compiled in %v\n",
 			ps.LogicalBootstraps, ps.ExecBootstraps, ps.Levels, ps.ArenaSlots,
 			ps.CompileTime.Round(time.Microsecond))
+	case *cluster.Coordinator:
+		printClusterStats(r.LastStat, ctBytes)
+		return
+	case *shardBackend:
+		printClusterStats(r.coord.LastStat, ctBytes)
+		return
 	default:
 		return
 	}
@@ -475,6 +533,26 @@ func printRunStats(runner backend.Backend) {
 			fmt.Printf("; %d full, %d drained early", st.BatchFullFlushes, st.BatchDrainFlushes)
 		}
 		fmt.Println(")")
+	}
+}
+
+// printClusterStats reports a distributed run: throughput, then wire
+// traffic — the estimate next to the measured socket counters, and the
+// shard-cache economics on the cluster-plan path.
+func printClusterStats(st cluster.Stats, ctBytes int) {
+	boots := float64(st.Bootstraps) / st.Elapsed.Seconds()
+	fmt.Printf("stats: %d workers (%d slots), %d gates (%d bootstrapped) over %d levels in %v — %.1f bootstraps/s\n",
+		st.Workers, st.Slots, st.Gates, st.Bootstraps, st.Levels, st.Elapsed.Round(time.Millisecond), boots)
+	if st.WorkersLost > 0 {
+		fmt.Printf("       %d workers lost mid-run, work requeued on survivors\n", st.WorkersLost)
+	}
+	fmt.Printf("wire:  %d samples out, %d back at %.2f KB/ciphertext — estimate %.1f KB, measured %.1f KB out / %.1f KB in\n",
+		st.SamplesSent, st.SamplesReceived, float64(ctBytes)/1024,
+		float64(st.BytesSent)/1024, float64(st.WireBytesSent)/1024, float64(st.WireBytesRecv)/1024)
+	if st.ShardHits+st.ShardMisses > 0 {
+		fmt.Printf("shard: %d hits, %d misses, %d reships — %.1f KB of shards shipped, %.1f KB boundary traffic\n",
+			st.ShardHits, st.ShardMisses, st.ShardReships,
+			float64(st.ShardBytesShipped)/1024, float64(st.BoundaryBytes)/1024)
 	}
 }
 
@@ -605,6 +683,13 @@ func cmdServerStats(args []string) error {
 	if st.Batches > 0 {
 		fmt.Printf("batching: %d dispatches covering %d bootstraps (avg fill %.1f of %d), %d spanning multiple requests\n",
 			st.Batches, st.BatchedBootstraps, st.AvgBatchFill, st.BatchSize, st.CrossRunBatches)
+	}
+	if cs := st.Cluster; cs != nil {
+		fmt.Printf("cluster: %d workers (%d lost) — %d sharded evaluations, %d local fallbacks\n",
+			cs.Workers, cs.WorkersLost, cs.Evals, cs.Fallbacks)
+		fmt.Printf("  shards: %d hits, %d misses, %d reships — boundary traffic %.1f KB of %.1f KB sent / %.1f KB received\n",
+			cs.ShardHits, cs.ShardMisses, cs.ShardReships,
+			float64(cs.BoundaryBytes)/1024, float64(cs.WireBytesSent)/1024, float64(cs.WireBytesRecv)/1024)
 	}
 	for hash, hits := range st.PerProgram {
 		if lat, ok := st.PerProgramLatency[hash]; ok && lat.Samples > 0 {

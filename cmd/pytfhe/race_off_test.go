@@ -1,0 +1,8 @@
+//go:build !race
+
+package main
+
+// raceEnabled mirrors the race detector's build tag so throughput-heavy
+// agreement targets can be skipped under -race (the small targets exercise
+// the same code paths and keep the race coverage).
+const raceEnabled = false

@@ -203,7 +203,8 @@ func TestWorkerDisconnectSurfacesError(t *testing.T) {
 	}
 	defer coord.Close()
 
-	// A fake worker that completes the handshake, then drops the link.
+	// A fake worker that completes the handshake (Hello out, Welcome and
+	// key in), then drops the link.
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -214,12 +215,16 @@ func TestWorkerDisconnectSurfacesError(t *testing.T) {
 		}
 		enc := gob.NewEncoder(conn)
 		dec := gob.NewDecoder(conn)
-		if err := enc.Encode(Message{Hello: &Hello{Slots: 1}}); err != nil {
+		if err := enc.Encode(Message{Hello: &Hello{Slots: 1, Version: ProtoVersion}}); err != nil {
 			t.Errorf("hello: %v", err)
 			return
 		}
-		var key Message
-		if err := dec.Decode(&key); err != nil {
+		var welcome, key Message
+		if err := dec.Decode(&welcome); err != nil || welcome.Welcome == nil {
+			t.Errorf("welcome: %+v (%v)", welcome, err)
+			return
+		}
+		if err := dec.Decode(&key); err != nil || key.Key == nil {
 			t.Errorf("key: %v", err)
 			return
 		}
@@ -259,10 +264,13 @@ func deadAfterFirstJob(t *testing.T, addr string) <-chan struct{} {
 		}
 		enc := gob.NewEncoder(conn)
 		dec := gob.NewDecoder(conn)
-		if err := enc.Encode(Message{Hello: &Hello{Slots: 1}}); err != nil {
+		if err := enc.Encode(Message{Hello: &Hello{Slots: 1, Version: ProtoVersion}}); err != nil {
 			return
 		}
-		var key Message
+		var welcome, key Message
+		if err := dec.Decode(&welcome); err != nil {
+			return
+		}
 		if err := dec.Decode(&key); err != nil {
 			return
 		}
@@ -302,8 +310,8 @@ func TestWorkerLostMidRunRequeues(t *testing.T) {
 		t.Fatalf("9+6 = %d after requeue", got)
 	}
 	<-dead
-	if coord.workerCount() != 1 {
-		t.Fatalf("dead worker still on the roster: %d workers", coord.workerCount())
+	if coord.WorkerCount() != 1 {
+		t.Fatalf("dead worker still on the roster: %d workers", coord.WorkerCount())
 	}
 	if coord.LastStat.WorkersLost != 1 {
 		t.Fatalf("stats.WorkersLost = %d, want 1", coord.LastStat.WorkersLost)

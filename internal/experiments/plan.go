@@ -71,6 +71,20 @@ type PlanBenchReport struct {
 	BatchBootstrapsPerSec  float64      `json:"batch_bootstraps_per_sec"`
 	BatchSpeedup           float64      `json:"batch_speedup_vs_single"`
 	BatchSweep             []BatchPoint `json:"batch_sweep,omitempty"`
+
+	// Cluster execution paths on an in-process TCP cluster: per-gate
+	// operand dispatch against cached-shard plan replay. The headline
+	// figures are the 4-worker point of ShardSweep; the wire-byte pair is
+	// the data-plane claim — per steady-state run the shard path ships
+	// O(cut edges) boundary ciphertexts where gate dispatch ships O(gates)
+	// operands, so ShardWireBytesPerRun must stay strictly below
+	// GateWireBytesPerRun (enforced by CheckPlanParity).
+	GateBootstrapsPerSec  float64      `json:"gate_dispatch_bootstraps_per_sec"`
+	GateWireBytesPerRun   int64        `json:"gate_dispatch_wire_bytes_per_run"`
+	ShardBootstrapsPerSec float64      `json:"shard_bootstraps_per_sec"`
+	ShardWireBytesPerRun  int64        `json:"shard_wire_bytes_per_run"`
+	ShardSpeedup          float64      `json:"shard_speedup_vs_gate_dispatch"`
+	ShardSweep            []ShardPoint `json:"shard_sweep,omitempty"`
 }
 
 // BatchPoint is one batch-size measurement of the batched kernel sweep.
@@ -141,6 +155,22 @@ func PlanBench(ck *boot.CloudKey, nl *circuit.Netlist, inputs []*lwe.Sample, wor
 	}
 	if r.SingleBootstrapsPerSec > 0 {
 		r.BatchSpeedup = r.BatchBootstrapsPerSec / r.SingleBootstrapsPerSec
+	}
+
+	r.ShardSweep, err = ClusterBench(ck, nl, inputs, []int{2, 4})
+	if err != nil {
+		return nil, err
+	}
+	for _, pt := range r.ShardSweep {
+		if pt.Workers == 4 {
+			r.GateBootstrapsPerSec = pt.GateBootstrapsPerSec
+			r.GateWireBytesPerRun = pt.GateWireBytesPerRun
+			r.ShardBootstrapsPerSec = pt.ShardBootstrapsPerSec
+			r.ShardWireBytesPerRun = pt.ShardWireBytesPerRun
+		}
+	}
+	if r.GateBootstrapsPerSec > 0 {
+		r.ShardSpeedup = r.ShardBootstrapsPerSec / r.GateBootstrapsPerSec
 	}
 	return r, nil
 }
@@ -266,7 +296,20 @@ func CheckPlanParity(r, base *PlanBenchReport, tol float64) error {
 	if err := check("plan", r.PlanBootstrapsPerSec, base.PlanBootstrapsPerSec); err != nil {
 		return err
 	}
-	return check("batch", r.BatchBootstrapsPerSec, base.BatchBootstrapsPerSec)
+	if err := check("batch", r.BatchBootstrapsPerSec, base.BatchBootstrapsPerSec); err != nil {
+		return err
+	}
+	if err := check("shard", r.ShardBootstrapsPerSec, base.ShardBootstrapsPerSec); err != nil {
+		return err
+	}
+	// The sharded data plane's hard invariant, checked on the fresh report
+	// alone: a steady-state shard run must put strictly fewer bytes on the
+	// wire than gate dispatch — O(cut edges) vs O(gates) ciphertexts.
+	if r.GateWireBytesPerRun > 0 && r.ShardWireBytesPerRun >= r.GateWireBytesPerRun {
+		return fmt.Errorf("experiments: shard run wire bytes %d not below gate dispatch %d",
+			r.ShardWireBytesPerRun, r.GateWireBytesPerRun)
+	}
+	return nil
 }
 
 // RenderPlanBench writes the human-readable form of the report.
@@ -285,4 +328,21 @@ func RenderPlanBench(w io.Writer, r *PlanBenchReport) {
 		}
 		fprintf(w, " — %.2fx at batch 16\n", r.BatchSpeedup)
 	}
+	if len(r.ShardSweep) > 0 {
+		fprintf(w, "  cluster (gate dispatch vs cached shard replay, per steady-state run):\n")
+		for _, pt := range r.ShardSweep {
+			fprintf(w, "    %d workers: gate %.1f/s %.1f KB on wire — shard %.1f/s %.1f KB on wire\n",
+				pt.Workers, pt.GateBootstrapsPerSec, float64(pt.GateWireBytesPerRun)/1024,
+				pt.ShardBootstrapsPerSec, float64(pt.ShardWireBytesPerRun)/1024)
+		}
+		fprintf(w, "  shard/gate-dispatch at 4 workers: %.2fx throughput, %.2fx wire bytes\n",
+			r.ShardSpeedup, safeRatio(float64(r.ShardWireBytesPerRun), float64(r.GateWireBytesPerRun)))
+	}
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
 }

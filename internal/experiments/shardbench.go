@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/cluster"
+	"pytfhe/internal/tfhe/boot"
+	"pytfhe/internal/tfhe/lwe"
+)
+
+// ShardPoint is one worker-count measurement of the cluster's two
+// execution paths on the same in-process TCP cluster: per-gate operand
+// dispatch against cached-shard plan replay. Wire bytes are measured at
+// the coordinator's sockets (gob framing included), per steady-state run.
+// Throughput is logical bootstraps per second, the same convention as the
+// rest of the report, so the shard path's plan deduplication counts as
+// speedup.
+type ShardPoint struct {
+	Workers               int     `json:"workers"`
+	GateBootstrapsPerSec  float64 `json:"gate_dispatch_bootstraps_per_sec"`
+	GateWireBytesPerRun   int64   `json:"gate_dispatch_wire_bytes_per_run"`
+	ShardBootstrapsPerSec float64 `json:"shard_bootstraps_per_sec"`
+	ShardWireBytesPerRun  int64   `json:"shard_wire_bytes_per_run"`
+}
+
+// ClusterBench measures gate dispatch against sharded plan replay at each
+// worker count: a real coordinator and n in-process workers over localhost
+// TCP, two slots each. Both paths get one untimed warm-up run — for the
+// shard path that run pays the plan compile and the one-time shard
+// shipment, so the timed runs are the steady state of a coordinator
+// re-evaluating a cached program (only input and boundary ciphertexts on
+// the wire).
+func ClusterBench(ck *boot.CloudKey, nl *circuit.Netlist, inputs []*lwe.Sample, workerCounts []int) ([]ShardPoint, error) {
+	boots := float64(nl.ComputeStats().Bootstrapped)
+	var points []ShardPoint
+	for _, n := range workerCounts {
+		pt, err := clusterPoint(ck, nl, inputs, n, boots)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+func clusterPoint(ck *boot.CloudKey, nl *circuit.Netlist, inputs []*lwe.Sample, n int, boots float64) (ShardPoint, error) {
+	pt := ShardPoint{Workers: n}
+	coord, err := cluster.NewCoordinator(ck, "127.0.0.1:0")
+	if err != nil {
+		return pt, fmt.Errorf("experiments: cluster bench: %w", err)
+	}
+	defer func() { _ = coord.Close() }()
+	for i := 0; i < n; i++ {
+		go func() { _ = cluster.NewWorker(2).Serve(coord.Addr()) }()
+	}
+	if err := coord.AcceptWorkers(n); err != nil {
+		return pt, fmt.Errorf("experiments: cluster bench: %w", err)
+	}
+
+	wirePerRun := func() int64 {
+		return coord.LastStat.WireBytesSent + coord.LastStat.WireBytesRecv
+	}
+	if _, err := coord.Run(nl, inputs); err != nil {
+		return pt, fmt.Errorf("experiments: cluster bench gate(%d): %w", n, err)
+	}
+	const gateRuns = 2
+	var gateWire int64
+	start := time.Now()
+	for i := 0; i < gateRuns; i++ {
+		if _, err := coord.Run(nl, inputs); err != nil {
+			return pt, fmt.Errorf("experiments: cluster bench gate(%d): %w", n, err)
+		}
+		gateWire += wirePerRun()
+	}
+	if e := time.Since(start).Seconds(); e > 0 {
+		pt.GateBootstrapsPerSec = gateRuns * boots / e
+	}
+	pt.GateWireBytesPerRun = gateWire / gateRuns
+
+	if _, err := coord.RunSharded(nl, inputs); err != nil {
+		return pt, fmt.Errorf("experiments: cluster bench shard(%d): %w", n, err)
+	}
+	const shardRuns = 3
+	var shardWire int64
+	start = time.Now()
+	for i := 0; i < shardRuns; i++ {
+		if _, err := coord.RunSharded(nl, inputs); err != nil {
+			return pt, fmt.Errorf("experiments: cluster bench shard(%d): %w", n, err)
+		}
+		shardWire += wirePerRun()
+	}
+	if e := time.Since(start).Seconds(); e > 0 {
+		pt.ShardBootstrapsPerSec = shardRuns * boots / e
+	}
+	pt.ShardWireBytesPerRun = shardWire / shardRuns
+	return pt, nil
+}

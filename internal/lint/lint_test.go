@@ -36,6 +36,7 @@ func TestFixtureModuleLoads(t *testing.T) {
 		"badmod/internal/backend",
 		"badmod/internal/plan",
 		"badmod/internal/exec",
+		"badmod/internal/shard",
 		"badmod/internal/daemon",
 	} {
 		if m.Packages[want] == nil {
@@ -113,8 +114,8 @@ func TestLeakedCiphertextFindings(t *testing.T) {
 func TestUnsyncedExecStateFindings(t *testing.T) {
 	m := loadFixture(t)
 	got := findingsFor(Run(m, Analyzers()), "unsynced-exec-state")
-	if len(got) != 4 {
-		t.Fatalf("unsynced-exec-state findings = %d, want 4 (3 layering + 1 goroutine capture):\n%v", len(got), got)
+	if len(got) != 6 {
+		t.Fatalf("unsynced-exec-state findings = %d, want 6 (4 layering + 2 goroutine captures):\n%v", len(got), got)
 	}
 	var daemon, spawn int
 	for _, f := range got {
@@ -133,8 +134,8 @@ func TestUnsyncedExecStateFindings(t *testing.T) {
 			t.Errorf("finding in unexpected file: %v", f)
 		}
 	}
-	if daemon != 3 || spawn != 1 {
-		t.Fatalf("findings split daemon=%d spawn=%d, want 3/1 (SpawnOwned must stay clean):\n%v", daemon, spawn, got)
+	if daemon != 4 || spawn != 2 {
+		t.Fatalf("findings split daemon=%d spawn=%d, want 4/2 (SpawnOwned and SpawnRemoteOwned must stay clean):\n%v", daemon, spawn, got)
 	}
 }
 

@@ -2,6 +2,7 @@ package backend
 
 import (
 	"badmod/internal/exec"
+	"badmod/internal/shard"
 	"badmod/internal/tfhe"
 )
 
@@ -21,4 +22,21 @@ func SpawnOwned(p *exec.Pool, out chan<- *tfhe.Sample) {
 	go func(owned *exec.Pool) {
 		out <- owned.Get()
 	}(p)
+}
+
+// SpawnRemoteWriter triggers the goroutine rule for shard runtimes: the
+// literal captures rt from the enclosing scope, so the spawned writer
+// races the serve loop that owns the remote-input slot table.
+func SpawnRemoteWriter(rt *shard.Runtime, s *tfhe.Sample) {
+	go func() {
+		rt.SetRemote(0, s) // finding: captured runtime crossed a goroutine boundary
+	}()
+}
+
+// SpawnRemoteOwned is the clean counterpart: the runtime moves into the
+// goroutine explicitly through the literal's parameter list.
+func SpawnRemoteOwned(rt *shard.Runtime, s *tfhe.Sample) {
+	go func(owned *shard.Runtime) {
+		owned.SetRemote(0, s)
+	}(rt)
 }

@@ -1,10 +1,12 @@
 // Package daemon is the fixture service layer: it reaches into the
 // execution core's run state from outside the sanctioned executor
-// packages, triggering unsynced-exec-state's layering rule three times.
+// packages, triggering unsynced-exec-state's layering rule.
 package daemon
 
 import (
 	"badmod/internal/exec"
+	"badmod/internal/shard"
+	"badmod/internal/tfhe"
 )
 
 // Snapshot reads the executor's value table directly from the service
@@ -17,4 +19,10 @@ func Snapshot(st *exec.State) int {
 func Recycle(p *exec.Pool) {
 	s := p.Get() // finding: Pool.Get outside the executor layers
 	p.Put(s)     // finding: Pool.Put outside the executor layers
+}
+
+// InstallRemote writes a shard runtime's remote-input slot from the
+// service layer, reaching around the router/executor ownership chain.
+func InstallRemote(rt *shard.Runtime, s *tfhe.Sample) {
+	rt.SetRemote(0, s) // finding: shard.Runtime outside the executor layers
 }

@@ -1,0 +1,21 @@
+// Package shard is the fixture shard layer: its Runtime mirrors the real
+// internal/shard replay runtime, whose remote-input slot table is exec
+// run state held one layer out from internal/exec. The package itself is
+// a sanctioned executor layer, so touching the table here is clean.
+package shard
+
+import (
+	"badmod/internal/tfhe"
+)
+
+// Runtime mimics internal/shard.Runtime: a value table whose remote-input
+// slots the data-plane router fills once per run.
+type Runtime struct {
+	Vals []*tfhe.Sample
+}
+
+// SetRemote installs a router-delivered ciphertext into a remote-input
+// slot. The serve loop is the single owner of the table.
+func (r *Runtime) SetRemote(slot int, s *tfhe.Sample) {
+	r.Vals[slot] = s
+}

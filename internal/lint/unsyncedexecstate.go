@@ -13,16 +13,19 @@ import (
 // the contract machine-checked:
 //
 //  1. Layering: only the executor layers (internal/exec, internal/backend,
-//     internal/plan, internal/cluster) may touch exec run-state types at
-//     all. A service- or CLI-layer package reading State.Values or calling
-//     Pool.Get reaches around every invariant the executors maintain
-//     (refcounted release, per-dimension recycling, per-level barriers).
+//     internal/plan, internal/cluster, internal/shard) may touch exec
+//     run-state types — including shard.Runtime, whose remote-input slots
+//     hold router-delivered ciphertexts — at all. A service- or CLI-layer
+//     package reading State.Values or calling Pool.Get reaches around
+//     every invariant the executors maintain (refcounted release,
+//     per-dimension recycling, per-level barriers).
 //
 //  2. Goroutine capture: a function literal launched with `go` must not
-//     call Get/Put on a single-owner pool it captured from the enclosing
-//     scope — that silently turns one owner into two. Handing the pool in
+//     call Get/Put on a single-owner pool — or SetRemote on a shard
+//     runtime's remote-input slots — it captured from the enclosing
+//     scope; that silently turns one owner into two. Handing the value in
 //     through the literal's parameter list (ownership transfer, the
-//     pattern the real drivers use) is fine, as is declaring a fresh pool
+//     pattern the real drivers use) is fine, as is declaring a fresh one
 //     inside the goroutine.
 type unsyncedExecState struct{}
 
@@ -38,6 +41,7 @@ func (*unsyncedExecState) Match(string) bool { return true }
 // execStateDirs are the sanctioned owners of exec run state.
 var execStateDirs = [...]string{
 	"internal/exec", "internal/backend", "internal/plan", "internal/cluster",
+	"internal/shard",
 }
 
 func inExecLayer(path string) bool {
@@ -81,7 +85,7 @@ func (a *unsyncedExecState) checkLayering(m *Module, pkg *Package, f *ast.File) 
 		findings = append(findings, Finding{
 			Analyzer: a.Name(),
 			Pos:      m.Fset.Position(sel.Sel.Pos()),
-			Message: "exec." + name + "." + sel.Sel.Name + " touched from " + pkg.Path +
+			Message: name + "." + sel.Sel.Name + " touched from " + pkg.Path +
 				": only the executor layers may hold exec run state",
 		})
 		return true
@@ -89,8 +93,9 @@ func (a *unsyncedExecState) checkLayering(m *Module, pkg *Package, f *ast.File) 
 	return findings
 }
 
-// checkGoroutines reports Get/Put calls on a captured single-owner pool
-// inside go-launched function literals.
+// checkGoroutines reports Get/Put calls on a captured single-owner pool —
+// and SetRemote calls on a captured shard runtime — inside go-launched
+// function literals.
 func (a *unsyncedExecState) checkGoroutines(m *Module, pkg *Package, f *ast.File) []Finding {
 	var findings []Finding
 	ast.Inspect(f, func(n ast.Node) bool {
@@ -111,12 +116,19 @@ func (a *unsyncedExecState) checkGoroutines(m *Module, pkg *Package, f *ast.File
 			if !ok {
 				return true
 			}
+			var what string
 			switch sel.Sel.Name {
 			case "Get", "Put", "get", "put":
+				if !singleOwnerPool(pkg.Info.TypeOf(sel.X)) {
+					return true
+				}
+				what = "single-owner pool"
+			case "SetRemote":
+				if !shardRuntime(pkg.Info.TypeOf(sel.X)) {
+					return true
+				}
+				what = "shard runtime remote-input slots of"
 			default:
-				return true
-			}
-			if !singleOwnerPool(pkg.Info.TypeOf(sel.X)) {
 				return true
 			}
 			root := rootIdent(sel.X)
@@ -133,7 +145,7 @@ func (a *unsyncedExecState) checkGoroutines(m *Module, pkg *Package, f *ast.File
 			findings = append(findings, Finding{
 				Analyzer: a.Name(),
 				Pos:      m.Fset.Position(sel.Sel.Pos()),
-				Message: "goroutine calls " + sel.Sel.Name + " on single-owner pool " + root.Name +
+				Message: "goroutine calls " + sel.Sel.Name + " on " + what + " " + root.Name +
 					" captured from the enclosing scope; pass it through the func literal's parameters instead",
 			})
 			return true
@@ -144,18 +156,27 @@ func (a *unsyncedExecState) checkGoroutines(m *Module, pkg *Package, f *ast.File
 }
 
 // execStateType reports whether t (or *t) is one of the execution core's
-// run-state types, returning its name.
+// run-state types, returning its package-qualified display name. Besides
+// internal/exec's own types it covers shard.Runtime: its remote-input
+// slots hold router-delivered ciphertexts, the same run state one layer
+// out.
 func execStateType(t types.Type) (string, bool) {
 	n := namedType(t)
 	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
 		return "", false
 	}
-	if !pathHasDir(n.Obj().Pkg().Path(), "internal/exec") {
-		return "", false
-	}
-	switch name := n.Obj().Name(); name {
-	case "State", "Pool", "Arena", "Memory":
-		return name, true
+	path := n.Obj().Pkg().Path()
+	name := n.Obj().Name()
+	switch {
+	case pathHasDir(path, "internal/exec"):
+		switch name {
+		case "State", "Pool", "Arena", "Memory":
+			return "exec." + name, true
+		}
+	case pathHasDir(path, "internal/shard"):
+		if name == "Runtime" {
+			return "shard." + name, true
+		}
 	}
 	return "", false
 }
@@ -176,6 +197,18 @@ func singleOwnerPool(t types.Type) bool {
 		return pathHasDir(path, "internal/backend") || pathHasDir(path, "internal/plan")
 	}
 	return false
+}
+
+// shardRuntime reports whether t is internal/shard's per-shard replay
+// runtime. Its serve loop is the single owner of the remote-input slot
+// table; a goroutine writing slots through a captured runtime races the
+// level execution it feeds.
+func shardRuntime(t types.Type) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Name() == "Runtime" && pathHasDir(n.Obj().Pkg().Path(), "internal/shard")
 }
 
 // rootIdent unwraps selector/index/paren chains to the base identifier, or

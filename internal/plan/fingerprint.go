@@ -1,0 +1,51 @@
+package plan
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"io"
+)
+
+// Fingerprint returns a stable content hash of the compiled plan: the
+// full instruction stream (levels, batches, refs, kinds), the output refs,
+// and the input/worker shape. Two plans share a fingerprint exactly when
+// replay would execute the identical schedule, so the hash is the cache
+// key for derived artifacts — internal/shard keys its ship-once shard
+// cache on it the way pytfhed keys its plan cache on program content. The
+// hash is computed once and memoized; a Plan is immutable after Compile,
+// so concurrent callers are safe.
+func (p *Plan) Fingerprint() string {
+	p.fpOnce.Do(func() {
+		h := sha256.New()
+		writeHashInt(h, int64(p.NumInputs))
+		writeHashInt(h, int64(p.Workers))
+		writeHashInt(h, int64(len(p.levels)))
+		for _, lv := range p.levels {
+			writeHashInt(h, int64(len(lv.Batches)))
+			for _, instrs := range lv.Batches {
+				writeHashInt(h, int64(len(instrs)))
+				for _, ins := range instrs {
+					var buf [13]byte
+					buf[0] = byte(ins.Kind)
+					binary.LittleEndian.PutUint32(buf[1:5], uint32(ins.Out))
+					binary.LittleEndian.PutUint32(buf[5:9], uint32(ins.A))
+					binary.LittleEndian.PutUint32(buf[9:13], uint32(ins.B))
+					h.Write(buf[:])
+				}
+			}
+		}
+		writeHashInt(h, int64(len(p.outputs)))
+		for _, ref := range p.outputs {
+			writeHashInt(h, int64(ref))
+		}
+		p.fp = hex.EncodeToString(h.Sum(nil))
+	})
+	return p.fp
+}
+
+func writeHashInt(w io.Writer, v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	w.Write(buf[:]) // sha256.Write cannot fail
+}

@@ -118,14 +118,14 @@ func distinctFunctionPair(nl *circuit.Netlist, p *Plan) (u, v circuit.NodeID, ok
 	differ := make(map[[2]circuit.NodeID]bool)
 	net := make([]uint64, nl.NumNodes()+1)
 	in := make([]uint64, np)
-	rng := xorshift64{x: 1}
+	rng := &SimRNG{x: 1}
 	for r := 0; r < rounds; r++ {
-		fillInputWords(in, r, true, &rng)
+		SimFill(in, r, true, rng)
 		for i := 0; i < np; i++ {
 			net[i+1] = in[i]
 		}
 		for i, g := range nl.Gates {
-			net[nl.GateID(i)] = evalWord(g.Kind, net[g.A], net[g.B])
+			net[nl.GateID(i)] = EvalWord(g.Kind, net[g.A], net[g.B])
 		}
 		for i := range nl.Gates {
 			words[nl.GateID(i)] = net[nl.GateID(i)]

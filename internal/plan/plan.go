@@ -25,6 +25,7 @@
 package plan
 
 import (
+	"sync"
 	"time"
 
 	"pytfhe/internal/logic"
@@ -81,6 +82,9 @@ type Plan struct {
 	outputs []Ref
 	stats   Stats
 	execOf  []int32
+
+	fpOnce sync.Once
+	fp     string
 }
 
 // Levels exposes the level list (read-only by convention).

@@ -225,16 +225,10 @@ func VerifyBatch(nl *circuit.Netlist, p *Plan, batch int) (*VerifyReport, error)
 	// Bit-parallel simulation: 64 input assignments per word per round.
 	// Up to 12 inputs every assignment is covered; beyond that, fixed
 	// corner rounds plus deterministic random rounds.
-	rounds := 10
-	if np <= 12 {
-		report.Exhaustive = true
-		rounds = 1
-		if np > 6 {
-			rounds = 1 << (np - 6)
-		}
-	}
+	rounds, exhaustive := SimRounds(np)
+	report.Exhaustive = exhaustive
 	report.Vectors = rounds * 64
-	rng := xorshift64{x: 0x9E3779B97F4A7C15}
+	rng := NewSimRNG()
 	netWords := make([]uint64, nl.NumNodes()+1)
 	planWords := make([]uint64, nRefs)
 	inWords := make([]uint64, np)
@@ -248,18 +242,18 @@ func VerifyBatch(nl *circuit.Netlist, p *Plan, batch int) (*VerifyReport, error)
 		return netWords[id]
 	}
 	for r := 0; r < rounds; r++ {
-		fillInputWords(inWords, r, report.Exhaustive, &rng)
+		SimFill(inWords, r, report.Exhaustive, rng)
 		for i := 0; i < np; i++ {
 			netWords[i+1] = inWords[i]
 			planWords[i] = inWords[i]
 		}
 		for i, g := range nl.Gates {
-			netWords[nl.GateID(i)] = evalWord(g.Kind, netWords[g.A], netWords[g.B])
+			netWords[nl.GateID(i)] = EvalWord(g.Kind, netWords[g.A], netWords[g.B])
 		}
 		for _, lv := range p.levels {
 			for _, instrs := range lv.Batches {
 				for _, ins := range instrs {
-					planWords[ins.Out] = evalWord(ins.Kind, planWords[ins.A], planWords[ins.B])
+					planWords[ins.Out] = EvalWord(ins.Kind, planWords[ins.A], planWords[ins.B])
 				}
 			}
 		}
@@ -290,9 +284,10 @@ func VerifyBatch(nl *circuit.Netlist, p *Plan, batch int) (*VerifyReport, error)
 	return report, nil
 }
 
-// evalWord evaluates one gate over 64 packed boolean assignments by
-// minterm masks.
-func evalWord(k logic.Kind, a, b uint64) uint64 {
+// EvalWord evaluates one gate over 64 packed boolean assignments by
+// minterm masks. It is exported for internal/shard, whose decomposition
+// verifier replays the same bit-parallel simulation over a sharded plan.
+func EvalWord(k logic.Kind, a, b uint64) uint64 {
 	var out uint64
 	if k.EvalBit(0, 0)&1 == 1 {
 		out |= ^a & ^b
@@ -323,10 +318,26 @@ var lanePatterns = func() [6]uint64 {
 	return p
 }()
 
-// fillInputWords loads one round of input assignments: exhaustive rounds
+// SimRounds sizes the bit-parallel simulation for a circuit with np
+// inputs: the number of 64-lane rounds and whether those rounds enumerate
+// every input assignment (np ≤ 12) or sample corners plus random words.
+// Shared by Verify and internal/shard's decomposition verifier so both run
+// the identical vector schedule.
+func SimRounds(np int) (rounds int, exhaustive bool) {
+	if np <= 12 {
+		rounds = 1
+		if np > 6 {
+			rounds = 1 << (np - 6)
+		}
+		return rounds, true
+	}
+	return 10, false
+}
+
+// SimFill loads one round of input assignments: exhaustive rounds
 // enumerate inputs 7.. through the round index; sampled rounds use the
 // all-zero and all-one corners then deterministic random words.
-func fillInputWords(in []uint64, round int, exhaustive bool, rng *xorshift64) {
+func SimFill(in []uint64, round int, exhaustive bool, rng *SimRNG) {
 	if exhaustive {
 		for i := range in {
 			if i < 6 {
@@ -350,17 +361,21 @@ func fillInputWords(in []uint64, round int, exhaustive bool, rng *xorshift64) {
 		}
 	default:
 		for i := range in {
-			in[i] = rng.next()
+			in[i] = rng.Next()
 		}
 	}
 }
 
-// xorshift64 is a tiny deterministic generator: the verifier must not
-// depend on math/rand (its own analyzers police randomness hygiene) and
-// needs reproducible vectors.
-type xorshift64 struct{ x uint64 }
+// SimRNG is a tiny deterministic xorshift generator: the verifiers must
+// not depend on math/rand (their own analyzers police randomness hygiene)
+// and need reproducible vectors.
+type SimRNG struct{ x uint64 }
 
-func (s *xorshift64) next() uint64 {
+// NewSimRNG returns the generator in its fixed initial state.
+func NewSimRNG() *SimRNG { return &SimRNG{x: 0x9E3779B97F4A7C15} }
+
+// Next returns the next deterministic 64-bit word.
+func (s *SimRNG) Next() uint64 {
 	x := s.x
 	x ^= x >> 12
 	x ^= x << 25

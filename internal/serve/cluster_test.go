@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"pytfhe/internal/backend"
+	"pytfhe/internal/cluster"
+	"pytfhe/internal/core"
+)
+
+// TestServeClusterDispatch is the daemon-side acceptance scenario for
+// sharded dispatch: a server with a cluster coordinator, two workers that
+// join before any session exists, and evaluations that ride the worker
+// pool — the first paying the shard shipment, the second all cache hits.
+// A second tenant's key never binds the pool, so its evaluation runs
+// locally and still decrypts correctly.
+func TestServeClusterDispatch(t *testing.T) {
+	kps := tenantKeys(t)
+	prog := adder4Prog(t)
+	srv := startServer(t, Config{
+		Workers:         2,
+		ClusterListen:   "127.0.0.1:0",
+		ClusterWorkers:  2,
+		ClusterJoinWait: 30 * time.Second,
+	})
+	for i := 0; i < 2; i++ {
+		// The workers park at the coordinator until the first session's key
+		// broadcast; Serve errors on teardown are expected (conn close).
+		go func() { _ = cluster.NewWorker(2).Serve(srv.ClusterAddr()) }()
+	}
+
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	info, err := cl.RegisterProgram(prog.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.OpenSession(kps[0].Cloud); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range [][2]uint64{{5, 9}, {15, 15}} {
+		in := append(bitsOf(tc[0], 4), bitsOf(tc[1], 4)...)
+		outs, err := cl.Evaluate(info.Hash, kps[0].EncryptBits(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := uintOf(kps[0].DecryptBits(outs)); got != tc[0]+tc[1] {
+			t.Fatalf("cluster-served %d+%d = %d", tc[0], tc[1], got)
+		}
+	}
+
+	// A different key never binds the already-bound pool: local execution,
+	// same answer.
+	cl2, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	if _, err := cl2.OpenSession(kps[1].Cloud); err != nil {
+		t.Fatal(err)
+	}
+	in := append(bitsOf(3, 4), bitsOf(4, 4)...)
+	outs, err := cl2.Evaluate(info.Hash, kps[1].EncryptBits(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := uintOf(kps[1].DecryptBits(outs)); got != 7 {
+		t.Fatalf("local-fallback 3+4 = %d", got)
+	}
+
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := st.Cluster
+	if cs == nil {
+		t.Fatal("stats carried no cluster block")
+	}
+	if cs.Workers != 2 || cs.Evals != 2 || cs.ShardRuns != 2 {
+		t.Fatalf("cluster stats = %+v, want 2 workers, 2 sharded evals", cs)
+	}
+	if cs.ShardMisses == 0 || cs.ShardHits == 0 {
+		t.Fatalf("shard cache: %d hits, %d misses — want the first run to ship and the second to hit", cs.ShardHits, cs.ShardMisses)
+	}
+	// BoundaryBytes counts ciphertext payloads both ways (fills out,
+	// exports back); the measured wire traffic must cover it plus framing.
+	if cs.BoundaryBytes == 0 || cs.BoundaryBytes >= cs.WireBytesSent+cs.WireBytesRecv {
+		t.Fatalf("wire accounting: boundary %d of %d sent + %d received",
+			cs.BoundaryBytes, cs.WireBytesSent, cs.WireBytesRecv)
+	}
+	if st.Evaluations != 3 {
+		t.Fatalf("evaluations = %d, want 3", st.Evaluations)
+	}
+}
+
+// TestServeClusterPoolNeverUp: a coordinator whose workers never join must
+// not take evaluations down with it — the join wait expires once, the
+// failure is sticky, and everything runs locally.
+func TestServeClusterPoolNeverUp(t *testing.T) {
+	kps := tenantKeys(t)
+	prog := adder4Prog(t)
+	srv := startServer(t, Config{
+		Workers:         1,
+		ClusterListen:   "127.0.0.1:0",
+		ClusterWorkers:  1,
+		ClusterJoinWait: 50 * time.Millisecond,
+	})
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	info, err := cl.RegisterProgram(prog.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.OpenSession(kps[0].Cloud); err != nil {
+		t.Fatal(err)
+	}
+	in := append(bitsOf(6, 4), bitsOf(7, 4)...)
+	for run := 0; run < 2; run++ {
+		start := time.Now()
+		outs, err := cl.Evaluate(info.Hash, kps[0].EncryptBits(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := uintOf(kps[0].DecryptBits(outs)); got != 13 {
+			t.Fatalf("run %d: 6+7 = %d", run, got)
+		}
+		// The second run must not wait out the join budget again.
+		if run == 1 && time.Since(start) > 20*time.Second {
+			t.Fatalf("sticky fallback did not stick: run %d took %v", run, time.Since(start))
+		}
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the first evaluation pays the join wait and counts as a
+	// fallback; the sticky failure makes later evals plain local runs.
+	cs := st.Cluster
+	if cs == nil || cs.Evals != 0 || cs.Fallbacks != 1 {
+		t.Fatalf("cluster stats = %+v, want 0 cluster evals, 1 fallback", cs)
+	}
+
+	// Reference decrypt to be sure the local path really ran the program.
+	refOuts, err := core.Run(prog, backend.NewSingle(kps[0].Cloud), kps[0].EncryptBits(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uintOf(kps[0].DecryptBits(refOuts)) != 13 {
+		t.Fatal("reference run disagrees")
+	}
+}

@@ -41,8 +41,15 @@ func RunDaemon(args []string, stdout io.Writer) error {
 	noNoise := fs.Bool("no-noise-check", false, "admit programs without the static noise-budget analysis")
 	drainT := fs.Duration("drain-timeout", time.Minute, "grace period for in-flight work on shutdown")
 	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening")
+	clusterListen := fs.String("cluster-listen", "", "run a cluster coordinator on this address; pytfhe-worker processes join it and evaluations run as cached plan shards")
+	clusterWorkers := fs.Int("cluster-workers", 0, "workers the first cluster evaluation waits for (0: 2)")
+	clusterJoinWait := fs.Duration("cluster-join-wait", 0, "bound on that first wait before sticky local fallback (0: 30s)")
+	clusterAddrFile := fs.String("cluster-addr-file", "", "write the coordinator's worker-join address to this file once listening")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *clusterAddrFile != "" && *clusterListen == "" {
+		return fmt.Errorf("-cluster-addr-file needs -cluster-listen")
 	}
 	np, err := noiseParamSet(*noiseParams)
 	if err != nil {
@@ -58,14 +65,27 @@ func RunDaemon(args []string, stdout io.Writer) error {
 		NoiseParams:       np,
 		NoiseMinSigmas:    *minSigmas,
 		DisableNoiseCheck: *noNoise,
+		ClusterListen:     *clusterListen,
+		ClusterWorkers:    *clusterWorkers,
+		ClusterJoinWait:   *clusterJoinWait,
 	})
 	if err := srv.Start(*listen); err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "pytfhed: serving on %s (workers=%d, max-concurrent=%d, queue=%d, batch=%d)\n",
 		srv.Addr(), srv.cfg.Workers, srv.cfg.MaxConcurrent, srv.cfg.QueueCap, srv.cfg.Batch)
+	if ca := srv.ClusterAddr(); ca != "" {
+		fmt.Fprintf(stdout, "pytfhed: cluster coordinator on %s (join with pytfhe-worker, waiting for %d)\n",
+			ca, srv.cfg.ClusterWorkers)
+	}
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
+			srv.Close()
+			return err
+		}
+	}
+	if *clusterAddrFile != "" {
+		if err := os.WriteFile(*clusterAddrFile, []byte(srv.ClusterAddr()+"\n"), 0o644); err != nil {
 			srv.Close()
 			return err
 		}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"pytfhe/internal/backend"
+	"pytfhe/internal/cluster"
 	"pytfhe/internal/core"
 	"pytfhe/internal/params"
 	"pytfhe/internal/plan"
@@ -22,6 +23,7 @@ import (
 	"pytfhe/internal/tfhe/gate"
 	"pytfhe/internal/tfhe/lwe"
 	"pytfhe/internal/tfhe/noise"
+	"pytfhe/internal/wire"
 )
 
 // Config tunes the daemon. Zero values take the documented defaults.
@@ -58,6 +60,22 @@ type Config struct {
 	NoiseMinSigmas float64
 	// DisableNoiseCheck admits programs without the static noise analysis.
 	DisableNoiseCheck bool
+
+	// ClusterListen, when non-empty, runs a cluster coordinator on this
+	// address. pytfhe-worker processes join it at any time (late joiners
+	// included); eligible evaluations are then dispatched as cached plan
+	// shards across the pool, with only boundary ciphertexts on the wire.
+	// The coordinator binds to the first session's cloud key — sessions
+	// opened under a different key evaluate locally (documented limitation:
+	// the worker pool holds one broadcast key at a time).
+	ClusterListen string
+	// ClusterWorkers is how many workers the first cluster-eligible
+	// evaluation waits for before giving up on the pool (default 2).
+	ClusterWorkers int
+	// ClusterJoinWait bounds that first-evaluation wait (default 30s). If
+	// the workers never arrive the failure is sticky and every evaluation
+	// falls back to the local executor.
+	ClusterJoinWait time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +99,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.NoiseMinSigmas <= 0 {
 		c.NoiseMinSigmas = noise.DefaultMinSigmas
+	}
+	if c.ClusterWorkers < 1 {
+		c.ClusterWorkers = 2
+	}
+	if c.ClusterJoinWait <= 0 {
+		c.ClusterJoinWait = 30 * time.Second
 	}
 	return c
 }
@@ -149,10 +173,12 @@ type planRunner struct {
 }
 
 // session is the per-connection evaluation context established by
-// OpenSession: the shared-executor key handle and the replay runner.
+// OpenSession: the shared-executor key handle, the replay runner, and the
+// key's content hash (matched against the cluster coordinator's bound key).
 type session struct {
-	handle *backend.SharedKey
-	runner *planRunner
+	handle  *backend.SharedKey
+	runner  *planRunner
+	keyHash string
 }
 
 // Server is the pytfhed daemon: program registry, session key cache,
@@ -176,6 +202,19 @@ type Server struct {
 	evals    int64         // atomic: completed evaluations
 	rejected int64         // atomic: ErrOverloaded rejections
 	draining int32         // atomic bool
+
+	// Cluster dispatch (nil coord: disabled). The coordinator accepts
+	// worker joins in the background from Start on; clusterRun serializes
+	// sharded runs (one at a time — contended requests evaluate locally).
+	coord      *cluster.Coordinator
+	clusterRun sync.Mutex
+	cmu        sync.Mutex // guards the three fields below
+	clusterKey string     // cloud-key hash the pool is bound to ("" until first session)
+	clusterUp  bool       // ClusterWorkers joined at least once
+	clusterErr error      // sticky bind/join failure: local fallback forever
+
+	clusterEvals     int64 // atomic: evaluations served by the worker pool
+	clusterFallbacks int64 // atomic: cluster-eligible evals that ran locally
 
 	planHits      int64 // atomic: evals that found a cached plan
 	planMisses    int64 // atomic: evals that paid the plan compile
@@ -207,13 +246,24 @@ func New(cfg Config) *Server {
 }
 
 // Start listens on addr (e.g. "127.0.0.1:0") and serves connections in the
-// background until Drain or Close.
+// background until Drain or Close. With Config.ClusterListen set it also
+// brings up the cluster coordinator and starts accepting worker joins; the
+// key broadcast happens when the first session binds the pool.
 func (s *Server) Start(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("serve: listen: %w", err)
 	}
 	s.ln = ln
+	if s.cfg.ClusterListen != "" {
+		coord, err := cluster.NewPendingCoordinator(s.cfg.ClusterListen)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("serve: cluster listen: %w", err)
+		}
+		s.coord = coord
+		go coord.ServeJoins()
+	}
 	s.connWG.Add(1)
 	go s.acceptLoop()
 	return nil
@@ -221,6 +271,15 @@ func (s *Server) Start(addr string) error {
 
 // Addr returns the bound listen address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// ClusterAddr returns the coordinator's worker-join address, or "" when
+// clustering is disabled.
+func (s *Server) ClusterAddr() string {
+	if s.coord == nil {
+		return ""
+	}
+	return s.coord.Addr()
+}
 
 func (s *Server) acceptLoop() {
 	defer s.connWG.Done()
@@ -430,19 +489,35 @@ func (s *Server) handleOpen(req *OpenSession, sess **session) Response {
 		s.runners[keyHash] = runner
 	}
 	s.mu.Unlock()
-	*sess = &session{handle: handle, runner: runner}
+	if s.coord != nil {
+		s.bindCluster(keyHash, req.Key)
+	}
+	*sess = &session{handle: handle, runner: runner, keyHash: keyHash}
 	id := atomic.AddUint64(&s.sessions, 1)
 	return Response{Session: &SessionInfo{ID: id, KeyShared: shared}}
 }
 
-// hashKey content-addresses a cloud key by streaming its gob encoding
-// through SHA-256 (no buffering of the ~MB key).
-func hashKey(ck *boot.CloudKey) (string, error) {
-	h := sha256.New()
-	if err := gob.NewEncoder(h).Encode(ck); err != nil {
-		return "", fmt.Errorf("serve: hash cloud key: %w", err)
+// bindCluster broadcasts the first session's cloud key to the worker pool.
+// Later sessions with the same key share the binding; sessions with a
+// different key are simply not eligible for cluster dispatch (the check in
+// evaluateCluster compares hashes), so they evaluate locally.
+func (s *Server) bindCluster(keyHash string, ck *boot.CloudKey) {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	if s.clusterErr != nil || s.clusterKey != "" {
+		return
 	}
-	return hex.EncodeToString(h.Sum(nil)), nil
+	if err := s.coord.SetKey(ck); err != nil {
+		s.clusterErr = fmt.Errorf("serve: cluster key broadcast: %w", err)
+		return
+	}
+	s.clusterKey = keyHash
+}
+
+// hashKey content-addresses a cloud key; the hash doubles as the cluster
+// handshake's key check, so the streaming logic lives in wire.KeyHash.
+func hashKey(ck *boot.CloudKey) (string, error) {
+	return wire.KeyHash(ck)
 }
 
 // handleEval is the admission-controlled evaluation path: bounded queue,
@@ -521,6 +596,9 @@ func (s *Server) handleEval(sess *session, req *EvalRequest) Response {
 // PlanMiss, overlapped with its own execution via the level stream — and
 // every later request is a PlanHit that replays with zero scheduling work.
 func (s *Server) evaluate(ctx context.Context, sess *session, entry *programEntry, inputs []*lwe.Sample) ([]*lwe.Sample, error) {
+	if outs, ok := s.evaluateCluster(sess, entry, inputs); ok {
+		return outs, nil
+	}
 	var cached *plan.Plan
 	var stream *plan.Stream
 	if entry.planMu.TryLock() {
@@ -596,6 +674,67 @@ func (s *Server) evaluate(ctx context.Context, sess *session, entry *programEntr
 	return s.exec.Submit(ctx, sess.handle, entry.prog.Netlist, inputs)
 }
 
+// evaluateCluster tries to dispatch one evaluation as plan shards across
+// the worker pool. ok=false means "evaluate locally": clustering disabled,
+// the pool is bound to a different key, another sharded run owns the
+// workers, the pool never came up, or this run lost every worker mid-way.
+// Run failures are not sticky — ServeJoins keeps admitting replacement
+// workers, so the next evaluation probes the pool again.
+func (s *Server) evaluateCluster(sess *session, entry *programEntry, inputs []*lwe.Sample) ([]*lwe.Sample, bool) {
+	if s.coord == nil {
+		return nil, false
+	}
+	s.cmu.Lock()
+	eligible := s.clusterErr == nil && s.clusterKey != "" && s.clusterKey == sess.keyHash
+	s.cmu.Unlock()
+	if !eligible {
+		return nil, false
+	}
+	if !s.clusterRun.TryLock() {
+		atomic.AddInt64(&s.clusterFallbacks, 1)
+		return nil, false
+	}
+	defer s.clusterRun.Unlock()
+	if !s.clusterWorkersUp() {
+		atomic.AddInt64(&s.clusterFallbacks, 1)
+		return nil, false
+	}
+	outs, err := s.coord.RunSharded(entry.prog.Netlist, inputs)
+	if err != nil {
+		atomic.AddInt64(&s.clusterFallbacks, 1)
+		return nil, false
+	}
+	atomic.AddInt64(&s.clusterEvals, 1)
+	return outs, true
+}
+
+// clusterWorkersUp waits (once, bounded by ClusterJoinWait) for the
+// configured worker count to join. A pool that never comes up is a sticky
+// failure; a pool that came up once is trusted from then on — RunSharded
+// itself tolerates losses down to a single surviving worker.
+func (s *Server) clusterWorkersUp() bool {
+	s.cmu.Lock()
+	up, failed := s.clusterUp, s.clusterErr != nil
+	s.cmu.Unlock()
+	if up {
+		return true
+	}
+	if failed {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ClusterJoinWait)
+	defer cancel()
+	err := s.coord.WaitWorkers(ctx, s.cfg.ClusterWorkers)
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	if err != nil {
+		s.clusterErr = fmt.Errorf("serve: cluster pool never came up: %w", err)
+		return false
+	}
+	s.clusterUp = true
+	return true
+}
+
 func (s *Server) handleStats() Response {
 	ex := s.exec.Stats()
 	s.mu.Lock()
@@ -623,6 +762,23 @@ func (s *Server) handleStats() Response {
 	if depth < 0 {
 		depth = 0
 	}
+	var cs *ClusterStats
+	if s.coord != nil {
+		tot := s.coord.Totals()
+		cs = &ClusterStats{
+			Workers:       s.coord.WorkerCount(),
+			Evals:         atomic.LoadInt64(&s.clusterEvals),
+			Fallbacks:     atomic.LoadInt64(&s.clusterFallbacks),
+			ShardRuns:     tot.ShardRuns,
+			ShardHits:     tot.ShardHits,
+			ShardMisses:   tot.ShardMisses,
+			ShardReships:  tot.ShardReships,
+			WireBytesSent: tot.WireBytesSent,
+			WireBytesRecv: tot.WireBytesRecv,
+			BoundaryBytes: tot.BoundaryBytes,
+			WorkersLost:   tot.WorkersLost,
+		}
+	}
 	return Response{Stats: &StatsReply{
 		QueueDepth:       depth,
 		InFlight:         int(inflight),
@@ -649,6 +805,8 @@ func (s *Server) handleStats() Response {
 		BatchedBootstraps: batched,
 		CrossRunBatches:   ex.CrossRunBatches,
 		AvgBatchFill:      avgFill,
+
+		Cluster: cs,
 	}}
 }
 
@@ -680,6 +838,12 @@ func (s *Server) Drain(ctx context.Context) error {
 		err = ctx.Err()
 		close(s.kickCh)
 		s.exec.Close()
+	}
+	// Dismiss the worker pool: on a clean drain no sharded run is in
+	// flight; on a forced one closing the worker links aborts it and the
+	// request falls back to the (also closing) executor.
+	if s.coord != nil {
+		_ = s.coord.Close()
 	}
 	s.mu.Lock()
 	for conn := range s.conns {

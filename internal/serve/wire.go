@@ -168,6 +168,32 @@ type StatsReply struct {
 	BatchedBootstraps int64
 	CrossRunBatches   int64
 	AvgBatchFill      float64
+
+	// Cluster reports the worker-pool coordinator's counters; nil when the
+	// daemon runs without -cluster-listen.
+	Cluster *ClusterStats
+}
+
+// ClusterStats is the daemon's view of its cluster coordinator: how many
+// evaluations the worker pool served (vs fell back to local execution),
+// the shard-cache economics, and the measured wire traffic.
+type ClusterStats struct {
+	Workers   int   // workers currently joined
+	Evals     int64 // evaluations dispatched as plan shards
+	Fallbacks int64 // cluster-eligible evaluations that ran locally
+	// Shard shipping: a ShardRun replays cached shards; hits found the
+	// shard resident on its worker, misses paid the one-time shipment,
+	// reships re-hosted a shard after its worker was lost.
+	ShardRuns    int64
+	ShardHits    int64
+	ShardMisses  int64
+	ShardReships int64
+	// Measured coordinator-side traffic (all runs), plus the portion that
+	// was per-run boundary ciphertexts.
+	WireBytesSent int64
+	WireBytesRecv int64
+	BoundaryBytes int64
+	WorkersLost   int64
 }
 
 // LatencyStats summarizes recent evaluation latencies of one program.

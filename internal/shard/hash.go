@@ -1,0 +1,46 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"io"
+)
+
+// contentHash digests everything the worker's execution of this shard
+// depends on: the source-plan fingerprint, the shard's position in the
+// decomposition, the value-table shape, the full instruction stream, and
+// the export manifest. Two shards hash equal exactly when a cached replay
+// runtime built from one can execute the other, which is what makes the
+// hash safe as the ship-once cache key.
+func (sh *Shard) contentHash() string {
+	h := sha256.New()
+	io.WriteString(h, sh.PlanHash) // sha256.Write cannot fail
+	writeShardInt(h, int64(sh.Index))
+	writeShardInt(h, int64(sh.Count))
+	writeShardInt(h, int64(sh.NumRemote))
+	writeShardInt(h, int64(sh.NumLocal))
+	writeShardInt(h, int64(len(sh.Levels)))
+	for li := range sh.Levels {
+		writeShardInt(h, int64(len(sh.Levels[li])))
+		for _, ins := range sh.Levels[li] {
+			var buf [13]byte
+			buf[0] = byte(ins.Kind)
+			binary.LittleEndian.PutUint32(buf[1:5], uint32(ins.Out))
+			binary.LittleEndian.PutUint32(buf[5:9], uint32(ins.A))
+			binary.LittleEndian.PutUint32(buf[9:13], uint32(ins.B))
+			h.Write(buf[:])
+		}
+		writeShardInt(h, int64(len(sh.Exports[li])))
+		for _, ref := range sh.Exports[li] {
+			writeShardInt(h, int64(ref))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writeShardInt(w io.Writer, v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	w.Write(buf[:]) // sha256.Write cannot fail
+}

@@ -1,0 +1,399 @@
+package shard
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pytfhe/internal/backend"
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/logic"
+	"pytfhe/internal/params"
+	"pytfhe/internal/plan"
+	"pytfhe/internal/tfhe/boot"
+	"pytfhe/internal/tfhe/gate"
+	"pytfhe/internal/tfhe/lwe"
+	"pytfhe/internal/trand"
+)
+
+var (
+	keyOnce sync.Once
+	testSK  *boot.SecretKey
+	testCK  *boot.CloudKey
+)
+
+func keys(t testing.TB) (*boot.SecretKey, *boot.CloudKey) {
+	keyOnce.Do(func() {
+		rng := trand.NewSeeded([]byte("shard-test-keys"))
+		sk, ck, err := boot.GenerateKeys(params.Test(), rng)
+		if err != nil {
+			panic(err)
+		}
+		testSK, testCK = sk, ck
+	})
+	return testSK, testCK
+}
+
+func randomNetlist(seed int64, numInputs, numGates int) *circuit.Netlist {
+	rng := rand.New(rand.NewSource(seed))
+	b := circuit.NewBuilder("rand", circuit.NoOptimizations())
+	nodes := make([]circuit.NodeID, 0, numInputs+numGates)
+	for i := 0; i < numInputs; i++ {
+		nodes = append(nodes, b.Input("x"))
+	}
+	for i := 0; i < numGates; i++ {
+		kind := logic.TFHEGates()[rng.Intn(11)]
+		x := nodes[rng.Intn(len(nodes))]
+		y := nodes[rng.Intn(len(nodes))]
+		nodes = append(nodes, b.Gate(kind, x, y))
+	}
+	for i := 0; i < 4; i++ {
+		b.Output("o", nodes[len(nodes)-1-i*2])
+	}
+	return b.MustBuild()
+}
+
+func nandChains(chains, depth int) *circuit.Netlist {
+	b := circuit.NewBuilder("nand-chains", circuit.NoOptimizations())
+	starts := b.Inputs("x", chains)
+	y := b.Input("y")
+	for c := 0; c < chains; c++ {
+		n := starts[c]
+		for d := 0; d < depth; d++ {
+			n = b.Gate(logic.NAND, n, y)
+		}
+		b.Output("o", n)
+	}
+	return b.MustBuild()
+}
+
+// evalSharded interprets the decomposition over cleartext bits, emulating
+// the coordinator's level-synchronized router exactly: all fills for a
+// level install before any shard executes it, exports gather afterwards.
+func evalSharded(s *Sharding, inputs []bool) []bool {
+	vals := make([][]bool, len(s.Shards))
+	for w, sh := range s.Shards {
+		vals[w] = make([]bool, sh.NumRemote+sh.NumLocal)
+	}
+	exports := make([]bool, s.CutEdges)
+	for li := range s.Plan.Levels() {
+		for w := range s.Shards {
+			for _, f := range s.Fills[w][li] {
+				if f.Input >= 0 {
+					vals[w][f.Slot] = inputs[f.Input]
+				} else {
+					vals[w][f.Slot] = exports[f.Export]
+				}
+			}
+		}
+		for w, sh := range s.Shards {
+			for _, ins := range sh.Levels[li] {
+				vals[w][ins.Out] = ins.Kind.Eval(vals[w][ins.A], vals[w][ins.B])
+			}
+			for k, ref := range sh.Exports[li] {
+				exports[s.ExportIDs[w][li][k]] = vals[w][ref]
+			}
+		}
+	}
+	outs := make([]bool, len(s.Outputs))
+	for i, src := range s.Outputs {
+		switch {
+		case src.Input >= 0:
+			outs[i] = inputs[src.Input]
+		case src.Export >= 0:
+			outs[i] = exports[src.Export]
+		default:
+			outs[i] = src.Const == plan.ConstTrue
+		}
+	}
+	return outs
+}
+
+// TestSplitMatchesNetlist is the cleartext end-to-end proof: for every
+// netlist × worker count × shard count, the routed decomposition computes
+// the netlist's function on every input assignment, and Verify agrees.
+func TestSplitMatchesNetlist(t *testing.T) {
+	netlists := []*circuit.Netlist{
+		randomNetlist(1, 5, 40),
+		randomNetlist(2, 6, 80),
+		randomNetlist(3, 4, 200),
+		nandChains(3, 17),
+	}
+	for _, nl := range netlists {
+		for _, workers := range []int{1, 2, 4} {
+			p, err := plan.Compile(nl, workers)
+			if err != nil {
+				t.Fatalf("%s w=%d: %v", nl.Name, workers, err)
+			}
+			for _, n := range []int{1, 2, 3, 4, 7} {
+				s, err := Split(p, n)
+				if err != nil {
+					t.Fatalf("%s w=%d n=%d: %v", nl.Name, workers, n, err)
+				}
+				if got := len(s.Shards); got > workers {
+					t.Fatalf("%s: %d shards from a %d-worker plan", nl.Name, got, workers)
+				}
+				if _, err := Verify(p, s); err != nil {
+					t.Fatalf("%s w=%d n=%d: %v", nl.Name, workers, n, err)
+				}
+				for m := 0; m < 1<<nl.NumInputs; m++ {
+					in := make([]bool, nl.NumInputs)
+					for i := range in {
+						in[i] = m>>i&1 == 1
+					}
+					want, err := nl.Evaluate(in)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := evalSharded(s, in)
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("%s w=%d n=%d input %b output %d: sharded %v, reference %v",
+								nl.Name, workers, n, m, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCutSmallerThanGates pins the wire-traffic win the subsystem exists
+// for: the per-run boundary traffic (cut edges + input fills) must be
+// strictly below what the legacy gate dispatcher ships (three ciphertexts
+// per executed gate).
+func TestCutSmallerThanGates(t *testing.T) {
+	nl := nandChains(7, 30)
+	p, err := plan.Compile(nl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Split(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Verify(p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gateTraffic := 3 * p.Stats().ExecGates
+	if boundary := report.CutEdges + report.Fills; boundary >= gateTraffic {
+		t.Fatalf("boundary traffic %d (cut %d + fills %d) not below gate dispatch %d",
+			boundary, report.CutEdges, report.Fills, gateTraffic)
+	}
+}
+
+// TestShardHashes: the content hash is deterministic across splits, keyed
+// by decomposition shape, and distinct across shards.
+func TestShardHashes(t *testing.T) {
+	p, err := plan.Compile(nandChains(3, 9), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := Split(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Split(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range s1.Shards {
+		if s1.Shards[w].Hash != s2.Shards[w].Hash {
+			t.Fatalf("shard %d hash differs across identical splits", w)
+		}
+		if s1.Shards[w].Hash == "" || s1.Shards[w].PlanHash != p.Fingerprint() {
+			t.Fatalf("shard %d hash/planhash malformed: %+v", w, s1.Shards[w])
+		}
+	}
+	if s1.Shards[0].Hash == s1.Shards[1].Hash {
+		t.Fatal("distinct shards share a content hash")
+	}
+	s3, err := Split(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Shards[0].Hash == s1.Shards[0].Hash {
+		t.Fatal("shard 0 hash identical across different shard counts")
+	}
+}
+
+// TestVerifyCatchesSeededDefects mutates sound decompositions one defect
+// at a time and requires Verify to reject each with the right class.
+func TestVerifyCatchesSeededDefects(t *testing.T) {
+	build := func() (*plan.Plan, *Sharding) {
+		p, err := plan.Compile(randomNetlist(5, 6, 60), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Split(p, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, s
+	}
+	findFill := func(s *Sharding) (w, li, k int) {
+		for w := range s.Fills {
+			for li := range s.Fills[w] {
+				for k, f := range s.Fills[w][li] {
+					if f.Export >= 0 {
+						return w, li, k
+					}
+				}
+			}
+		}
+		t.Fatal("no boundary fill in decomposition")
+		return 0, 0, 0
+	}
+	t.Run("rewired-fill", func(t *testing.T) {
+		p, s := build()
+		w, li, k := findFill(s)
+		s.Fills[w][li][k].Export = (s.Fills[w][li][k].Export + 1) % int32(s.CutEdges)
+		if _, err := Verify(p, s); err == nil {
+			t.Fatal("verify accepted a rewired boundary fill")
+		}
+	})
+	t.Run("dropped-fill", func(t *testing.T) {
+		p, s := build()
+		w, li, k := findFill(s)
+		s.Fills[w][li] = append(s.Fills[w][li][:k], s.Fills[w][li][k+1:]...)
+		if _, err := Verify(p, s); !errors.Is(err, ErrRouting) && !errors.Is(err, ErrSemantics) {
+			t.Fatalf("dropped fill: got %v, want routing or semantics error", err)
+		}
+	})
+	t.Run("mutated-kind", func(t *testing.T) {
+		// Flip one instruction's kind at a time (rebuilding between
+		// attempts); at least one flip must land on a live instruction and
+		// trip the semantic comparison.
+		p, s := build()
+		for w := range s.Shards {
+			for li := range s.Shards[w].Levels {
+				for k := range s.Shards[w].Levels[li] {
+					p2, s2 := p, s
+					if w+li+k > 0 {
+						p2, s2 = build()
+					}
+					ins := &s2.Shards[w].Levels[li][k]
+					if ins.Kind == logic.NAND {
+						ins.Kind = logic.NOR
+					} else {
+						ins.Kind = logic.NAND
+					}
+					if _, err := Verify(p2, s2); errors.Is(err, ErrSemantics) {
+						return
+					}
+				}
+			}
+		}
+		t.Fatal("no kind flip tripped ErrSemantics")
+	})
+	t.Run("swapped-export-ids", func(t *testing.T) {
+		p, s := build()
+		for w := range s.ExportIDs {
+			for li := range s.ExportIDs[w] {
+				if len(s.ExportIDs[w][li]) >= 2 {
+					ids := s.ExportIDs[w][li]
+					ids[0], ids[1] = ids[1], ids[0]
+					if _, err := Verify(p, s); err == nil {
+						t.Fatal("verify accepted swapped export ids")
+					}
+					return
+				}
+			}
+		}
+		t.Skip("no level exports two values")
+	})
+	t.Run("truncated-level", func(t *testing.T) {
+		p, s := build()
+		for _, sh := range s.Shards {
+			for li := range sh.Levels {
+				if len(sh.Levels[li]) > 0 {
+					sh.Levels[li] = sh.Levels[li][:len(sh.Levels[li])-1]
+					if _, err := Verify(p, s); !errors.Is(err, ErrShape) && !errors.Is(err, ErrRouting) {
+						t.Fatalf("truncated level: got %v, want shape or routing error", err)
+					}
+					return
+				}
+			}
+		}
+	})
+}
+
+// TestRuntimeEncrypted drives per-shard Runtimes through a local router
+// loop over real ciphertexts and checks the decrypted outputs against the
+// netlist — the single-process proof of the worker-side execution path.
+func TestRuntimeEncrypted(t *testing.T) {
+	sk, ck := keys(t)
+	nl := nandChains(3, 5)
+	p, err := plan.Compile(nl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Split(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := ck.Params.LWEDimension
+	engines := []*gate.Engine{gate.NewEngine(ck), gate.NewEngine(ck)}
+	rts := make([]*Runtime, len(s.Shards))
+	for w, sh := range s.Shards {
+		rts[w] = NewRuntime(sh, dim)
+	}
+	for _, m := range []uint64{0, 5, 15} {
+		inBits := make([]bool, nl.NumInputs)
+		for i := range inBits {
+			inBits[i] = m>>uint(i)&1 == 1
+		}
+		inputs := backend.EncryptInputs(sk, inBits)
+		for _, rt := range rts {
+			rt.Reset()
+		}
+		exports := make([]*lwe.Sample, s.CutEdges)
+		for li := range p.Levels() {
+			for w := range s.Shards {
+				for _, f := range s.Fills[w][li] {
+					var v *lwe.Sample
+					if f.Input >= 0 {
+						v = inputs[f.Input]
+					} else {
+						v = exports[f.Export]
+					}
+					if err := rts[w].SetRemote(f.Slot, v); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			for w := range s.Shards {
+				outs, err := rts[w].RunLevel(engines, li)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for k, v := range outs {
+					exports[s.ExportIDs[w][li][k]] = v
+				}
+			}
+		}
+		want, err := nl.Evaluate(inBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, src := range s.Outputs {
+			var got bool
+			switch {
+			case src.Input >= 0:
+				got = backend.DecryptOutputs(sk, []*lwe.Sample{inputs[src.Input]})[0]
+			case src.Export >= 0:
+				got = backend.DecryptOutputs(sk, []*lwe.Sample{exports[src.Export]})[0]
+			default:
+				got = src.Const == plan.ConstTrue
+			}
+			if got != want[i] {
+				t.Fatalf("input %d output %d: sharded %v, reference %v", m, i, got, want[i])
+			}
+		}
+	}
+	if rts[0].Bootstraps()+rts[1].Bootstraps() == 0 {
+		t.Fatal("no bootstraps counted")
+	}
+}

@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"pytfhe/internal/params"
+	"pytfhe/internal/tfhe/boot"
+	"pytfhe/internal/trand"
+)
+
+func testKey(t *testing.T, seed string) *boot.CloudKey {
+	t.Helper()
+	_, ck, err := boot.GenerateKeys(params.Test(), trand.NewSeeded([]byte(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ck
+}
+
+// TestKeyHashIndependentOfGobState is the regression test for the cluster
+// handshake's cross-binary key check. Gob assigns wire type IDs
+// process-globally in first-use order, so a hash over gob output depends
+// on what else the process has gob-encoded — and the client, daemon, and
+// worker binaries each do different gob work before hashing the same key.
+// KeyHash must therefore produce identical hashes before and after
+// arbitrary unrelated gob traffic and across an encode/decode round trip
+// of the key itself.
+func TestKeyHashIndependentOfGobState(t *testing.T) {
+	ck := testKey(t, "wire-keyhash")
+	h1, err := KeyHash(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unrelated gob activity: churn the process-global type registry.
+	type noise struct{ X map[string][]int }
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(noise{X: map[string][]int{"a": {1}}}); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := KeyHash(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("hash changed after unrelated gob traffic: %s vs %s", h1, h2)
+	}
+
+	// Round trip the key the way the serve and cluster streams carry it.
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+		t.Fatal(err)
+	}
+	var rt boot.CloudKey
+	if err := gob.NewDecoder(&buf).Decode(&rt); err != nil {
+		t.Fatal(err)
+	}
+	h3, err := KeyHash(&rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h3 {
+		t.Fatalf("hash changed across gob round trip: %s vs %s", h1, h3)
+	}
+}
+
+// TestKeyHashDistinguishesKeys checks the hash actually depends on the key
+// material, not just the parameter set.
+func TestKeyHashDistinguishesKeys(t *testing.T) {
+	h1, err := KeyHash(testKey(t, "tenant-a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := KeyHash(testKey(t, "tenant-b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Fatalf("distinct keys hashed identically: %s", h1)
+	}
+}
+
+// TestKeyHashNil pins the error paths: a nil key (or a key that never got
+// its parameters) must fail loudly rather than hash an empty skeleton.
+func TestKeyHashNil(t *testing.T) {
+	if _, err := KeyHash(nil); err == nil {
+		t.Fatal("KeyHash(nil) did not fail")
+	}
+	ck := testKey(t, "wire-keyhash")
+	mut := &boot.CloudKey{BK: ck.BK, KS: ck.KS}
+	h1, err := KeyHash(mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := KeyHash(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Fatal("params presence not reflected in hash")
+	}
+}

@@ -1,0 +1,38 @@
+package wire
+
+import (
+	"net"
+	"sync/atomic"
+)
+
+// Meter wraps a net.Conn with atomic byte counters so both wire protocols
+// can report measured traffic instead of the per-ciphertext estimate the
+// paper's Fig. 7 model uses. Counters are monotonic for the life of the
+// connection; callers snapshot them around a run to attribute bytes.
+type Meter struct {
+	net.Conn
+	read    int64
+	written int64
+}
+
+// NewMeter wraps c. The returned Meter satisfies net.Conn and can be
+// handed straight to gob.
+func NewMeter(c net.Conn) *Meter { return &Meter{Conn: c} }
+
+func (m *Meter) Read(p []byte) (int, error) {
+	n, err := m.Conn.Read(p)
+	atomic.AddInt64(&m.read, int64(n))
+	return n, err
+}
+
+func (m *Meter) Write(p []byte) (int, error) {
+	n, err := m.Conn.Write(p)
+	atomic.AddInt64(&m.written, int64(n))
+	return n, err
+}
+
+// BytesRead returns the total bytes received over the connection so far.
+func (m *Meter) BytesRead() int64 { return atomic.LoadInt64(&m.read) }
+
+// BytesWritten returns the total bytes sent over the connection so far.
+func (m *Meter) BytesWritten() int64 { return atomic.LoadInt64(&m.written) }

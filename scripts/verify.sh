@@ -29,7 +29,8 @@ go test -race ./internal/exec/... ./internal/backend/... ./internal/sched/... \
 # dataflow plus plan-soundness verification (`pytfhe check`).
 tmp=$(mktemp -d)
 daemon_pid=
-trap 'if [ -n "$daemon_pid" ]; then kill "$daemon_pid" 2>/dev/null || true; fi; rm -rf "$tmp"' EXIT
+worker_pids=
+trap 'for p in $daemon_pid $worker_pids; do kill "$p" 2>/dev/null || true; done; rm -rf "$tmp"' EXIT
 go run ./cmd/pytfhe compile -bench hamming-distance -out "$tmp/prog.ptfhe"
 go run ./cmd/pytfhe lint "$tmp/prog.ptfhe"
 go run ./cmd/pytfhe check -bench -prog "$tmp/prog.ptfhe"
@@ -71,3 +72,45 @@ grep -q 'noise: .* bits headroom under default128' "$tmp/stats"
 kill -TERM "$daemon_pid"
 wait "$daemon_pid"
 daemon_pid=
+
+# End-to-end sharded cluster: a fresh pytfhed with a cluster coordinator,
+# two pytfhe-worker processes, and two evaluations of the same program.
+# The first ships the plan shards (misses), the second must replay them
+# from the workers' caches (hits); both decrypt to the same bits.
+go build -o "$tmp/pytfhe-worker" ./cmd/pytfhe-worker
+"$tmp/pytfhed" -listen 127.0.0.1:0 -addr-file "$tmp/addr2" -workers 2 \
+    -cluster-listen 127.0.0.1:0 -cluster-addr-file "$tmp/caddr" -cluster-workers 2 &
+daemon_pid=$!
+i=0
+while [ ! -s "$tmp/caddr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "pytfhed never wrote its cluster address" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$tmp/addr2")
+caddr=$(cat "$tmp/caddr")
+"$tmp/pytfhe-worker" -join "$caddr" -slots 2 &
+worker_pids="$!"
+"$tmp/pytfhe-worker" -join "$caddr" -slots 2 &
+worker_pids="$worker_pids $!"
+out1=$("$tmp/pytfhe" eval -server "$addr" -keys "$tmp/keys" \
+    -prog "$tmp/prog.ptfhe" -in "$word$word" | grep '^outputs:')
+out2=$("$tmp/pytfhe" eval -server "$addr" -keys "$tmp/keys" \
+    -prog "$tmp/prog.ptfhe" -in "$word$word" | grep '^outputs:')
+[ "$out1" = "outputs: 0000000" ]
+[ "$out2" = "$out1" ]
+"$tmp/pytfhe" server-stats -server "$addr" | tee "$tmp/cstats"
+# Both evaluations rode the worker pool, and the second found every shard
+# already resident (cache hit — nothing reshipped).
+grep -q 'cluster: 2 workers (0 lost) — 2 sharded evaluations' "$tmp/cstats"
+grep -q 'shards: 2 hits, 2 misses, 0 reships' "$tmp/cstats"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+daemon_pid=
+for p in $worker_pids; do
+    wait "$p" 2>/dev/null || true
+done
+worker_pids=
