@@ -1,4 +1,4 @@
-.PHONY: build test lint check verify serve-test bench bench-kernel batch-test
+.PHONY: build test lint check verify serve-test bench bench-kernel batch-test qos-test
 
 build:
 	go build ./...
@@ -24,6 +24,16 @@ verify:
 # and the pytfhed server (concurrent sessions, backpressure, drain).
 serve-test:
 	go test -race ./internal/serve/... ./internal/wire/... ./internal/backend/...
+
+# Race-checked QoS + observability subsystem: the weighted fair queue,
+# per-tenant quotas, byte-accounted LRU caches, the Prometheus-text
+# telemetry registry, the shared executor's fairness/quota/key-release
+# behavior, and the pytfhed cache-eviction, key-lifecycle, quota, and
+# /metrics end-to-end scenarios.
+qos-test:
+	go test -race ./internal/qos/... ./internal/telemetry/...
+	go test -race -run 'TestShared(FairnessUnderLoad|TenantQuota|ReleaseKey)' ./internal/backend/
+	go test -race -run 'TestServe(PlanCacheEviction|KeyLifecycleRelease|TenantQuota|MetricsEndpoint)' ./internal/serve/
 
 # Go benchmarks plus the plan capture/replay measurement, which lands as
 # BENCH_PLAN.json — the replay performance trajectory. The -planbaseline

@@ -10,7 +10,7 @@
 //	pytfhe serve      [-listen addr] [-max-concurrent N] [-queue N] [-batch N]   (the pytfhed daemon, in-process)
 //	pytfhe register   -server addr -prog prog.ptfhe
 //	pytfhe eval       -server addr -keys keys/ (-prog prog.ptfhe | -hash H) -in 1011...
-//	pytfhe server-stats -server addr
+//	pytfhe server-stats -server addr [-json]
 //
 // Programs are PyTFHE binaries (the 128-bit instruction format of the
 // paper); keys serialize with encoding/gob.
@@ -18,6 +18,7 @@ package main
 
 import (
 	"encoding/gob"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -662,6 +663,7 @@ func cmdEval(args []string) error {
 func cmdServerStats(args []string) error {
 	fs := flag.NewFlagSet("server-stats", flag.ExitOnError)
 	server := fs.String("server", "127.0.0.1:7701", "pytfhed address")
+	asJSON := fs.Bool("json", false, "emit the raw statistics snapshot as JSON (stable wire field names)")
 	fs.Parse(args)
 	cl, err := serve.Dial(*server)
 	if err != nil {
@@ -672,14 +674,35 @@ func cmdServerStats(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
+	}
 	fmt.Printf("uptime %v, %d sessions, %d programs registered\n",
 		(time.Duration(st.UptimeMs) * time.Millisecond).Round(time.Second), st.Sessions, st.Programs)
-	fmt.Printf("evaluations: %d done, %d shed (overloaded), queue depth %d, in flight %d\n",
-		st.Evaluations, st.Rejected, st.QueueDepth, st.InFlight)
+	fmt.Printf("evaluations: %d done, %d shed (overloaded), %d quota-rejected, queue depth %d, in flight %d\n",
+		st.Evaluations, st.Rejected, st.QuotaRejected, st.QueueDepth, st.InFlight)
 	fmt.Printf("executor: %d gates evaluated, %.1f gates/s, %.1f bootstraps/s\n",
 		st.ExecutorGates, st.GatesPerSec, st.BootstrapsPerSec)
 	fmt.Printf("plan cache: %d hits, %d misses — %d replays, %d dynamic fallbacks, arena high water %d ciphertexts\n",
 		st.PlanHits, st.PlanMisses, st.PlanReplays, st.PlanFallbacks, st.ArenaHighWater)
+	cacheLine := func(cs serve.CacheStats) string {
+		capStr := "unbounded"
+		if cs.CapBytes > 0 {
+			capStr = fmt.Sprintf("cap %.1f KB", float64(cs.CapBytes)/1024)
+		}
+		return fmt.Sprintf("%d entries, %.1f KB (%s), %d evicted",
+			cs.Entries, float64(cs.Bytes)/1024, capStr, cs.Evictions)
+	}
+	fmt.Printf("  plan LRU: %s\n  runtime LRU: %s\n", cacheLine(st.PlanCache), cacheLine(st.RuntimeCache))
+	if st.KeysReleased > 0 {
+		fmt.Printf("keys released: %d (engines and replay runners freed on last session close)\n", st.KeysReleased)
+	}
+	for tenant, picks := range st.TenantPicks {
+		fmt.Printf("tenant %s: %d scheduler picks, %d gates queued\n",
+			tenant, picks, st.TenantQueued[tenant])
+	}
 	if st.Batches > 0 {
 		fmt.Printf("batching: %d dispatches covering %d bootstraps (avg fill %.1f of %d), %d spanning multiple requests\n",
 			st.Batches, st.BatchedBootstraps, st.AvgBatchFill, st.BatchSize, st.CrossRunBatches)

@@ -6,6 +6,19 @@
 //
 //	pytfhed -listen 127.0.0.1:7701 -workers 8 -max-concurrent 16 -queue 64
 //
+// Multi-tenant QoS and observability (internal/qos, internal/telemetry):
+//
+//	pytfhed -metrics-addr 127.0.0.1:9090 \
+//	        -plan-cache-bytes 8388608 -runtime-cache-bytes 67108864 \
+//	        -tenant-max-inflight 4 -tenant-max-queued-gates 4096 \
+//	        -tenant-weight ab12cd34=4
+//
+// Tenants are identified by their cloud-key hash; the shared executor
+// serves them with start-time fair queuing weighted by -tenant-weight,
+// per-tenant quotas reject excess load with a typed quota error, and the
+// compiled-plan and replay-runner caches evict coldest-first under their
+// byte caps. /metrics on -metrics-addr exports Prometheus text.
+//
 // SIGTERM/SIGINT triggers a graceful drain: the daemon stops accepting,
 // finishes in-flight evaluations, then exits. Clients use the `pytfhe`
 // subcommands register, eval and server-stats, or serve.Client in Go.

@@ -11,6 +11,7 @@ import (
 	"pytfhe/internal/circuit"
 	"pytfhe/internal/exec"
 	"pytfhe/internal/logic"
+	"pytfhe/internal/qos"
 	"pytfhe/internal/tfhe/boot"
 	"pytfhe/internal/tfhe/gate"
 	"pytfhe/internal/tfhe/lwe"
@@ -20,38 +21,64 @@ import (
 // called; in-flight submissions are failed with it too.
 var ErrExecutorClosed = errors.New("backend: shared executor closed")
 
+// ErrKeyReleased is returned by Submit for a key handle that has been
+// released with ReleaseKey (the last session under the key closed).
+var ErrKeyReleased = errors.New("backend: cloud key released")
+
+// QoSConfig tunes the shared executor's per-tenant quality of service.
+// The zero value is the legacy behavior: no quotas, equal weights.
+type QoSConfig struct {
+	// MaxRunsPerTenant caps a tenant's concurrent Submit calls; past it
+	// Submit fails fast with qos.ErrQuotaExceeded (0: unlimited).
+	MaxRunsPerTenant int
+	// MaxQueuedGatesPerTenant caps the total gate count of a tenant's
+	// in-flight submissions (0: unlimited). A single run larger than the
+	// cap is always rejected, so size the cap to the largest admitted
+	// program times the desired concurrency.
+	MaxQueuedGatesPerTenant int
+}
+
 // Shared is the multi-tenant variant of Async: one persistent worker set
 // that evaluates gates from any number of concurrent Submit calls, over any
 // number of cloud keys. Where Async owns a single run at a time, Shared
-// interleaves the ready gates of every in-flight netlist in one global
-// priority queue, so a small circuit never leaves workers idle while a
-// large one drains — the serving-layer analogue of the paper amortizing
-// CUDA-Graph construction across batches. Each worker lazily builds one
-// gate.Engine per registered key (engines are not safe to share), and
-// recycles ciphertexts through per-dimension exec.Pool free lists exactly
-// as the ready driver does; each run's value table, dependency counters,
-// and refcount release are the shared exec.State/exec.Deps machinery.
+// interleaves the ready gates of every in-flight netlist across workers, so
+// a small circuit never leaves workers idle while a large one drains — the
+// serving-layer analogue of the paper amortizing CUDA-Graph construction
+// across batches. Each worker lazily builds one gate.Engine per registered
+// key (engines are not safe to share), and recycles ciphertexts through
+// per-dimension exec.Pool free lists exactly as the ready driver does; each
+// run's value table, dependency counters, and refcount release are the
+// shared exec.State/exec.Deps machinery.
 //
-// Ordering within a run is critical-path-first (exec.CriticalDepth, as
-// SchedCritical); across runs, equal priorities fall back to global
-// arrival order, which keeps concurrent tenants roughly fair.
+// Scheduling is two-level. Each tenant (cloud-key registration) owns a
+// private heap ordered critical-path-first (exec.CriticalDepth, as
+// SchedCritical) with arrival order breaking ties; across tenants a
+// weighted start-time fair-queuing picker (qos.Fair) interleaves service
+// in proportion to configured weights, so a hot tenant flooding thousands
+// of gates can no longer starve a light one — the property the earlier
+// single cross-run heap (priority, then global arrival order) lacked.
 type Shared struct {
 	workers int
 	batch   int
-	q       *exec.Queue[sharedTask]
+	q       *qos.Fair[sharedTask]
+	quota   *qos.Quota[int64]
 	wg      sync.WaitGroup
 
-	mu     sync.Mutex
-	closed bool
-	runs   map[*sharedRun]struct{}
-	keySeq int64
-	seq    uint64 // arrival tiebreak for queued tasks (atomic)
+	mu       sync.Mutex
+	closed   bool
+	runs     map[*sharedRun]struct{}
+	keySeq   int64
+	released map[int64]struct{} // key ids dropped by ReleaseKey
+	seq      uint64             // arrival tiebreak for queued tasks (atomic)
 
 	// Cumulative counters since construction (atomics).
 	gatesDone  int64
 	bootsDone  int64
 	busyNs     int64
 	submits    int64
+	quotaRej   int64
+	keysFreed  int64
+	relGen     int64 // bumped by ReleaseKey; workers prune engines on change
 	inflightRn int32
 
 	// Batch occupancy (atomics; only touched when batch > 1).
@@ -63,7 +90,8 @@ type Shared struct {
 // SharedKey is a cloud key registered with a Shared executor. Every worker
 // caches one engine per SharedKey, so registering the same key once per
 // tenant session (rather than per request) is what makes key upload a
-// session-scoped cost.
+// session-scoped cost. The key doubles as the executor's tenant identity:
+// fairness, quotas, and pick accounting are all per SharedKey.
 type SharedKey struct {
 	owner *Shared
 	id    int64
@@ -73,20 +101,31 @@ type SharedKey struct {
 // Params exposes the key's parameter set.
 func (k *SharedKey) Params() *boot.CloudKey { return k.ck }
 
+// ID exposes the executor-local tenant id the key registered under (the
+// join key for SharedStats.TenantPicks/TenantQueued).
+func (k *SharedKey) ID() int64 { return k.id }
+
 // NewShared starts a shared executor with the given worker count
 // (minimum 1). It owns its goroutines until Close.
 func NewShared(workers int) *Shared {
-	return NewSharedBatch(workers, 1)
+	return NewSharedQoS(workers, 1, QoSConfig{})
 }
 
 // NewSharedBatch is NewShared with batched bootstrap dispatch: a worker
 // that pops a bootstrapped gate drains up to batch-1 more ready
-// bootstrapped gates *under the same key* from the cross-run queue and
-// evaluates them in one amortized kernel call. Because the queue holds
-// every in-flight submission's ready gates, the batches it forms span
-// concurrent tenant requests — the serving-side amortization the batch
-// engine exists for. batch <= 1 behaves exactly like NewShared.
+// bootstrapped gates *under the same key* and evaluates them in one
+// amortized kernel call. Because every in-flight submission's ready gates
+// are queued, the batches it forms span concurrent tenant requests — the
+// serving-side amortization the batch engine exists for. batch <= 1
+// behaves exactly like NewShared.
 func NewSharedBatch(workers, batch int) *Shared {
+	return NewSharedQoS(workers, batch, QoSConfig{})
+}
+
+// NewSharedQoS is NewSharedBatch with per-tenant admission quotas (see
+// QoSConfig). Weights default to equal; SetTenantWeight adjusts them per
+// key.
+func NewSharedQoS(workers, batch int, cfg QoSConfig) *Shared {
 	if workers < 1 {
 		workers = 1
 	}
@@ -94,10 +133,12 @@ func NewSharedBatch(workers, batch int) *Shared {
 		batch = 1
 	}
 	s := &Shared{
-		workers: workers,
-		batch:   batch,
-		q:       exec.NewQueue[sharedTask](0, taskLess),
-		runs:    make(map[*sharedRun]struct{}),
+		workers:  workers,
+		batch:    batch,
+		q:        qos.NewFair[sharedTask](taskLess),
+		quota:    qos.NewQuota[int64](cfg.MaxRunsPerTenant, cfg.MaxQueuedGatesPerTenant),
+		runs:     make(map[*sharedRun]struct{}),
+		released: make(map[int64]struct{}),
 	}
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
@@ -122,6 +163,40 @@ func (s *Shared) RegisterKey(ck *boot.CloudKey) (*SharedKey, error) {
 	return &SharedKey{owner: s, id: s.keySeq, ck: ck}, nil
 }
 
+// SetTenantWeight sets the key's fair-scheduling service share (default
+// 1; weights are relative, so weight 2 receives twice the picks of
+// weight 1 under contention).
+func (s *Shared) SetTenantWeight(k *SharedKey, w float64) {
+	if k == nil || k.owner != s {
+		return
+	}
+	s.q.SetWeight(k.id, w)
+}
+
+// ReleaseKey drops a key registration: the lifecycle hook for "the last
+// session under this cloud key closed". Subsequent Submits with the
+// handle fail with ErrKeyReleased, the fair scheduler forgets the
+// tenant, and every worker prunes its cached engine for the key on its
+// next dispatch — without this, per-key engine caches accumulate for the
+// daemon's whole lifetime. In-flight runs under the key are unaffected
+// (their engines are pruned only after the queue no longer holds the
+// key's gates; the release check is at Submit, not per gate).
+func (s *Shared) ReleaseKey(k *SharedKey) {
+	if k == nil || k.owner != s {
+		return
+	}
+	s.mu.Lock()
+	if _, dup := s.released[k.id]; dup || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.released[k.id] = struct{}{}
+	s.mu.Unlock()
+	atomic.AddInt64(&s.keysFreed, 1)
+	atomic.AddInt64(&s.relGen, 1)
+	s.q.Forget(k.id)
+}
+
 // SharedStats is a snapshot of the executor's cumulative counters.
 type SharedStats struct {
 	Workers    int
@@ -131,6 +206,12 @@ type SharedStats struct {
 	Bootstraps int64         // bootstrapped gates since construction
 	Submits    int64         // Submit calls accepted
 	WorkerBusy time.Duration // cumulative evaluation time across workers
+
+	// Per-tenant fairness and quota accounting, keyed by SharedKey.ID.
+	TenantPicks  map[int64]int64 // scheduler picks per tenant
+	TenantQueued map[int64]int   // ready gates queued per tenant
+	QuotaRejects int64           // Submits refused with qos.ErrQuotaExceeded
+	KeysReleased int64           // ReleaseKey calls honored
 
 	// Batch occupancy (zero unless the executor was built with
 	// NewSharedBatch and batch > 1).
@@ -170,14 +251,27 @@ func (st SharedStats) GatesPerSec() float64 {
 
 // Stats returns a snapshot of the executor counters.
 func (s *Shared) Stats() SharedStats {
+	snap := s.q.Snapshot()
+	picks := make(map[int64]int64, len(snap))
+	queued := make(map[int64]int, len(snap))
+	depth := 0
+	for id, ts := range snap {
+		picks[id] = ts.Picks
+		queued[id] = ts.Queued
+		depth += ts.Queued
+	}
 	return SharedStats{
 		Workers:           s.workers,
-		QueueDepth:        s.q.Len(),
+		QueueDepth:        depth,
 		InFlight:          int(atomic.LoadInt32(&s.inflightRn)),
 		Gates:             atomic.LoadInt64(&s.gatesDone),
 		Bootstraps:        atomic.LoadInt64(&s.bootsDone),
 		Submits:           atomic.LoadInt64(&s.submits),
 		WorkerBusy:        time.Duration(atomic.LoadInt64(&s.busyNs)),
+		TenantPicks:       picks,
+		TenantQueued:      queued,
+		QuotaRejects:      atomic.LoadInt64(&s.quotaRej),
+		KeysReleased:      atomic.LoadInt64(&s.keysFreed),
 		BatchSize:         s.batch,
 		Batches:           atomic.LoadInt64(&s.batchesDone),
 		BatchedBootstraps: atomic.LoadInt64(&s.batchedBoots),
@@ -240,18 +334,33 @@ func (r *sharedRun) abort(err error) {
 // Submit evaluates nl's gates on the shared worker set under the given
 // key, blocking until the outputs are ready, the context is done, or the
 // executor closes. It is safe to call from any number of goroutines; the
-// inputs are not modified and the caller keeps ownership of them.
+// inputs are not modified and the caller keeps ownership of them. With
+// quotas configured a tenant over its run or gate budget fails fast with
+// qos.ErrQuotaExceeded (other tenants are unaffected); a released key
+// fails with ErrKeyReleased.
 func (s *Shared) Submit(ctx context.Context, key *SharedKey, nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample, error) {
 	if key == nil || key.owner != s {
 		return nil, fmt.Errorf("backend: key not registered with this executor")
 	}
+	s.mu.Lock()
+	_, rel := s.released[key.id]
+	s.mu.Unlock()
+	if rel {
+		return nil, ErrKeyReleased
+	}
+	nGates := len(nl.Gates)
+	if err := s.quota.Acquire(key.id, nGates); err != nil {
+		atomic.AddInt64(&s.quotaRej, 1)
+		return nil, err
+	}
+	defer s.quota.Release(key.id, nGates)
+
 	dim := key.ck.Params.LWEDimension
 	st, err := exec.NewState(nl, inputs, dim)
 	if err != nil {
 		return nil, err
 	}
 
-	nGates := len(nl.Gates)
 	r := &sharedRun{
 		nl:     nl,
 		key:    key,
@@ -302,10 +411,10 @@ func (s *Shared) Submit(ctx context.Context, key *SharedKey, nl *circuit.Netlist
 	return r.st.Collect(dim)
 }
 
-// push enqueues one ready gate of r, stamping the global arrival sequence
-// that breaks priority ties across tenants.
+// push enqueues one ready gate of r on its tenant's heap, stamping the
+// arrival sequence that breaks priority ties within the tenant.
 func (s *Shared) push(r *sharedRun, gi int32) {
-	s.q.Push(sharedTask{run: r, gi: gi, prio: r.prio[gi], seq: atomic.AddUint64(&s.seq, 1)})
+	s.q.Push(r.key.id, sharedTask{run: r, gi: gi, prio: r.prio[gi], seq: atomic.AddUint64(&s.seq, 1)})
 }
 
 // complete publishes one finished gate's result, wakes its children, and
@@ -347,19 +456,34 @@ func (s *Shared) evalSingle(eng *gate.Engine, pool *exec.Pool, t sharedTask) {
 	atomic.AddInt64(&s.busyNs, int64(time.Since(start)))
 }
 
+// pruneEngines drops worker-local engines for released keys; called when
+// the release generation moves, so the steady-state cost is one atomic
+// load per dispatch.
+func (s *Shared) pruneEngines(engines map[int64]*gate.Engine) {
+	s.mu.Lock()
+	for id := range engines {
+		if _, dead := s.released[id]; dead {
+			delete(engines, id)
+		}
+	}
+	s.mu.Unlock()
+}
+
 // worker is one persistent evaluation goroutine. It keeps an engine per
 // registered key and a ciphertext pool per LWE dimension, and survives
 // individual run failures — only Close stops it. With batch > 1 a popped
-// bootstrapped gate seeds a batch that is topped up from the queue without
-// blocking; because the queue interleaves every in-flight submission, those
-// batches routinely span concurrent tenant requests. Only gates under the
-// same key can share a kernel dispatch — a drained task under a different
-// key is pushed back (its priority and arrival stamp ride along, so its
-// queue position is preserved) and the batch flushes.
+// bootstrapped gate seeds a batch that is topped up from the same
+// tenant's heap without blocking (only gates under one key can share a
+// kernel dispatch, and a tenant is exactly a key); because that heap
+// interleaves every in-flight submission of the tenant, those batches
+// routinely span concurrent requests. The fair queue charges the burst
+// to the tenant's virtual time, so batching amortizes kernels without
+// distorting cross-tenant fairness.
 func (s *Shared) worker() {
 	defer s.wg.Done()
 	engines := make(map[int64]*gate.Engine)
 	pools := make(map[int]*exec.Pool)
+	var relSeen int64
 	var (
 		tasks []sharedTask
 		kinds []logic.Kind
@@ -368,9 +492,13 @@ func (s *Shared) worker() {
 		bvs   []*lwe.Sample
 	)
 	for {
-		t, ok := s.q.Pop()
+		t, _, ok := s.q.Pop()
 		if !ok {
 			return
+		}
+		if g := atomic.LoadInt64(&s.relGen); g != relSeen {
+			relSeen = g
+			s.pruneEngines(engines)
 		}
 		r := t.run
 		if r.aborted.Load() {
@@ -405,19 +533,14 @@ func (s *Shared) worker() {
 		}
 		collect(t)
 		for len(tasks) < s.batch {
-			t2, ok := s.q.TryPop()
+			t2, ok := s.q.TryPopTenant(r.key.id)
 			if !ok {
 				break
 			}
-			r2 := t2.run
-			if r2.aborted.Load() {
+			if t2.run.aborted.Load() {
 				continue
 			}
-			if r2.key.id != r.key.id {
-				s.q.Push(t2)
-				break
-			}
-			if !r2.nl.Gates[t2.gi].Kind.NeedsBootstrap() {
+			if !t2.run.nl.Gates[t2.gi].Kind.NeedsBootstrap() {
 				s.evalSingle(eng, pool, t2)
 				continue
 			}
@@ -458,8 +581,9 @@ type sharedTask struct {
 	seq  uint64
 }
 
-// taskLess orders the cross-run ready set: deepest remaining critical
-// path first, arrival order breaking ties so no tenant starves.
+// taskLess orders each tenant's heap: deepest remaining critical path
+// first, arrival order breaking ties. Cross-tenant order is the fair
+// picker's job, not the heap's.
 func taskLess(a, b sharedTask) bool {
 	if a.prio != b.prio {
 		return a.prio > b.prio

@@ -1,0 +1,20 @@
+// Package qos holds the runtime-layer quality-of-service primitives the
+// serving stack composes: a weighted fair ready queue partitioned by
+// tenant (Fair), per-tenant admission quotas (Quota), and a
+// byte-accounted LRU cache (LRU) for the caches that otherwise grow
+// without bound — compiled execution plans and per-key replay runtimes.
+//
+// Everything here is policy over the existing execution machinery, in the
+// spirit of CHET's compiler/runtime split: no backend forks, no kernel
+// changes. backend.Shared swaps its single cross-run critical-path heap
+// for a Fair of per-tenant heaps, and pytfhed threads Quota and LRU
+// through admission and its caches.
+package qos
+
+import "errors"
+
+// ErrQuotaExceeded is returned when a tenant's admission quota (maximum
+// in-flight runs or maximum queued gates) would be exceeded. It is a
+// per-tenant backpressure signal: other tenants are unaffected, and the
+// same tenant's next request succeeds once earlier work drains.
+var ErrQuotaExceeded = errors.New("qos: tenant quota exceeded")

@@ -1,0 +1,86 @@
+package qos
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Quota enforces per-tenant admission limits: at most MaxRuns in-flight
+// runs and at most MaxGates queued gates per tenant at once. Acquire
+// claims a run (with its gate count) and Release returns it; a claim that
+// would exceed either limit fails with ErrQuotaExceeded without touching
+// the counters. The key type is generic so the executor layer can quota
+// by key id (int64) and the serving layer by cloud-key hash (string).
+//
+// A nil *Quota is valid and admits everything — the zero-configuration
+// path costs one nil check.
+type Quota[K comparable] struct {
+	mu       sync.Mutex
+	maxRuns  int // 0: unlimited
+	maxGates int // 0: unlimited
+	runs     map[K]int
+	gates    map[K]int
+	rejects  int64
+}
+
+// NewQuota returns a quota with the given limits; a zero (or negative)
+// limit is unlimited. When both limits are unlimited it returns nil, the
+// admit-everything quota.
+func NewQuota[K comparable](maxRuns, maxGates int) *Quota[K] {
+	if maxRuns <= 0 && maxGates <= 0 {
+		return nil
+	}
+	return &Quota[K]{
+		maxRuns:  maxRuns,
+		maxGates: maxGates,
+		runs:     make(map[K]int),
+		gates:    make(map[K]int),
+	}
+}
+
+// Acquire claims one run of the given gate count for the tenant, or
+// fails with ErrQuotaExceeded (wrapped with the limit that tripped).
+func (q *Quota[K]) Acquire(tenant K, gates int) error {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.maxRuns > 0 && q.runs[tenant]+1 > q.maxRuns {
+		q.rejects++
+		return fmt.Errorf("%w: %d runs in flight (limit %d)", ErrQuotaExceeded, q.runs[tenant], q.maxRuns)
+	}
+	if q.maxGates > 0 && q.gates[tenant]+gates > q.maxGates {
+		q.rejects++
+		return fmt.Errorf("%w: %d+%d gates queued (limit %d)", ErrQuotaExceeded, q.gates[tenant], gates, q.maxGates)
+	}
+	q.runs[tenant]++
+	q.gates[tenant] += gates
+	return nil
+}
+
+// Release returns a claim made by a successful Acquire. Tenants whose
+// counters reach zero are dropped, so the maps track only active tenants.
+func (q *Quota[K]) Release(tenant K, gates int) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.runs[tenant]--; q.runs[tenant] <= 0 {
+		delete(q.runs, tenant)
+	}
+	if q.gates[tenant] -= gates; q.gates[tenant] <= 0 {
+		delete(q.gates, tenant)
+	}
+}
+
+// Rejects reports the cumulative Acquire failures.
+func (q *Quota[K]) Rejects() int64 {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.rejects
+}

@@ -7,11 +7,38 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"pytfhe/internal/params"
 )
+
+// weightFlags collects repeated -tenant-weight KEYHASHPREFIX=WEIGHT
+// flags into the Config.TenantWeights map.
+type weightFlags map[string]float64
+
+func (w weightFlags) String() string {
+	parts := make([]string, 0, len(w))
+	for prefix, weight := range w {
+		parts = append(parts, fmt.Sprintf("%s=%g", prefix, weight))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (w weightFlags) Set(v string) error {
+	prefix, val, ok := strings.Cut(v, "=")
+	if !ok || prefix == "" {
+		return fmt.Errorf("want KEYHASHPREFIX=WEIGHT, got %q", v)
+	}
+	weight, err := strconv.ParseFloat(val, 64)
+	if err != nil || weight <= 0 {
+		return fmt.Errorf("weight must be a positive number, got %q", val)
+	}
+	w[prefix] = weight
+	return nil
+}
 
 // noiseParamSet resolves the -noise-params flag.
 func noiseParamSet(name string) (*params.GateParams, error) {
@@ -45,11 +72,22 @@ func RunDaemon(args []string, stdout io.Writer) error {
 	clusterWorkers := fs.Int("cluster-workers", 0, "workers the first cluster evaluation waits for (0: 2)")
 	clusterJoinWait := fs.Duration("cluster-join-wait", 0, "bound on that first wait before sticky local fallback (0: 30s)")
 	clusterAddrFile := fs.String("cluster-addr-file", "", "write the coordinator's worker-join address to this file once listening")
+	metricsAddr := fs.String("metrics-addr", "", "serve a Prometheus-text /metrics endpoint on this address (port 0 picks a free port)")
+	metricsAddrFile := fs.String("metrics-addr-file", "", "write the bound metrics address to this file once listening")
+	planCacheBytes := fs.Int64("plan-cache-bytes", 0, "byte cap on the compiled-plan cache; coldest plans are evicted and recompiled on next use (0: unbounded)")
+	runtimeCacheBytes := fs.Int64("runtime-cache-bytes", 0, "byte cap on the per-key replay-runner cache (0: unbounded)")
+	tenantMaxInflight := fs.Int("tenant-max-inflight", 0, "per-tenant cap on concurrently admitted evaluations (0: unlimited)")
+	tenantMaxQueued := fs.Int("tenant-max-queued-gates", 0, "per-tenant cap on the total gate count of admitted evaluations (0: unlimited)")
+	weights := weightFlags{}
+	fs.Var(weights, "tenant-weight", "fair-share weight for a tenant as KEYHASHPREFIX=WEIGHT (repeatable; unmatched tenants weigh 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *clusterAddrFile != "" && *clusterListen == "" {
 		return fmt.Errorf("-cluster-addr-file needs -cluster-listen")
+	}
+	if *metricsAddrFile != "" && *metricsAddr == "" {
+		return fmt.Errorf("-metrics-addr-file needs -metrics-addr")
 	}
 	np, err := noiseParamSet(*noiseParams)
 	if err != nil {
@@ -57,17 +95,23 @@ func RunDaemon(args []string, stdout io.Writer) error {
 	}
 
 	srv := New(Config{
-		Workers:           *workers,
-		MaxConcurrent:     *maxConc,
-		QueueCap:          *queue,
-		DefaultTimeout:    *timeout,
-		Batch:             *batch,
-		NoiseParams:       np,
-		NoiseMinSigmas:    *minSigmas,
-		DisableNoiseCheck: *noNoise,
-		ClusterListen:     *clusterListen,
-		ClusterWorkers:    *clusterWorkers,
-		ClusterJoinWait:   *clusterJoinWait,
+		Workers:              *workers,
+		MaxConcurrent:        *maxConc,
+		QueueCap:             *queue,
+		DefaultTimeout:       *timeout,
+		Batch:                *batch,
+		NoiseParams:          np,
+		NoiseMinSigmas:       *minSigmas,
+		DisableNoiseCheck:    *noNoise,
+		ClusterListen:        *clusterListen,
+		ClusterWorkers:       *clusterWorkers,
+		ClusterJoinWait:      *clusterJoinWait,
+		MetricsAddr:          *metricsAddr,
+		PlanCacheBytes:       *planCacheBytes,
+		RuntimeCacheBytes:    *runtimeCacheBytes,
+		TenantMaxInFlight:    *tenantMaxInflight,
+		TenantMaxQueuedGates: *tenantMaxQueued,
+		TenantWeights:        weights,
 	})
 	if err := srv.Start(*listen); err != nil {
 		return err
@@ -78,6 +122,9 @@ func RunDaemon(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "pytfhed: cluster coordinator on %s (join with pytfhe-worker, waiting for %d)\n",
 			ca, srv.cfg.ClusterWorkers)
 	}
+	if ma := srv.MetricsAddr(); ma != "" {
+		fmt.Fprintf(stdout, "pytfhed: metrics on http://%s/metrics\n", ma)
+	}
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
 			srv.Close()
@@ -86,6 +133,12 @@ func RunDaemon(args []string, stdout io.Writer) error {
 	}
 	if *clusterAddrFile != "" {
 		if err := os.WriteFile(*clusterAddrFile, []byte(srv.ClusterAddr()+"\n"), 0o644); err != nil {
+			srv.Close()
+			return err
+		}
+	}
+	if *metricsAddrFile != "" {
+		if err := os.WriteFile(*metricsAddrFile, []byte(srv.MetricsAddr()+"\n"), 0o644); err != nil {
 			srv.Close()
 			return err
 		}

@@ -8,8 +8,10 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +21,8 @@ import (
 	"pytfhe/internal/core"
 	"pytfhe/internal/params"
 	"pytfhe/internal/plan"
+	"pytfhe/internal/qos"
+	"pytfhe/internal/telemetry"
 	"pytfhe/internal/tfhe/boot"
 	"pytfhe/internal/tfhe/gate"
 	"pytfhe/internal/tfhe/lwe"
@@ -76,6 +80,30 @@ type Config struct {
 	// the workers never arrive the failure is sticky and every evaluation
 	// falls back to the local executor.
 	ClusterJoinWait time.Duration
+
+	// MetricsAddr, when non-empty, serves a Prometheus-text /metrics
+	// endpoint on this address (port 0 picks a free port; see
+	// Server.MetricsAddr for the bound address).
+	MetricsAddr string
+	// PlanCacheBytes caps the compiled-plan cache; past it the coldest
+	// plans are evicted and transparently recompiled on next use
+	// (0: unbounded — the pre-cache behavior).
+	PlanCacheBytes int64
+	// RuntimeCacheBytes caps the per-key replay-runner cache (engines +
+	// arena); evicted runners are rebuilt on next use (0: unbounded).
+	RuntimeCacheBytes int64
+	// TenantMaxInFlight caps one tenant's concurrently admitted
+	// evaluations; past it requests fail fast with qos.ErrQuotaExceeded
+	// instead of consuming queue slots (0: unlimited). A tenant is a
+	// cloud key (by content hash), not a connection.
+	TenantMaxInFlight int
+	// TenantMaxQueuedGates caps the total gate count of one tenant's
+	// admitted evaluations (0: unlimited).
+	TenantMaxQueuedGates int
+	// TenantWeights maps a cloud-key hash prefix (hex) to a fair-share
+	// scheduling weight. Sessions whose key hash matches a prefix get
+	// that weight on the shared executor; everyone else gets 1.
+	TenantWeights map[string]float64
 }
 
 func (c Config) withDefaults() Config {
@@ -114,18 +142,20 @@ func (c Config) withDefaults() Config {
 const latencyWindow = 128
 
 // programEntry is one registry slot: the compiled program, its evaluation
-// hit count, the cached execution plan, and a latency window.
+// hit count, and a latency window. The compiled execution plan itself
+// lives in the server's byte-capped LRU (Server.planCache) under the
+// program hash; the entry only coordinates who compiles it.
 type programEntry struct {
+	hash  string // content hash: the plan cache key
 	prog  *core.Program
 	noise ProgramNoise // registration-time static noise summary
 	hits  int64        // atomic
 
-	// planMu guards the plan cache. The first evaluation compiles the plan
-	// (a PlanMiss) and holds the lock until it is stored; contemporaries
-	// that fail the TryLock fall back to the dynamic executor rather than
-	// queueing behind the compile.
+	// planMu elects the compiling request. The first evaluation compiles
+	// the plan (a PlanMiss) and holds the lock until it is stored in the
+	// plan cache; contemporaries that fail the TryLock fall back to the
+	// dynamic executor rather than queueing behind the compile.
 	planMu  sync.Mutex
-	plan    *plan.Plan
 	planErr error // sticky compile failure: fall back forever
 
 	latMu sync.Mutex
@@ -173,11 +203,12 @@ type planRunner struct {
 }
 
 // session is the per-connection evaluation context established by
-// OpenSession: the shared-executor key handle, the replay runner, and the
-// key's content hash (matched against the cluster coordinator's bound key).
+// OpenSession: the shared-executor key handle and the key's content hash
+// (the tenant identity: quota key, metric label, and the match against
+// the cluster coordinator's bound key). The replay runner is looked up —
+// and, after an eviction, rebuilt — per evaluation via runnerFor.
 type session struct {
 	handle  *backend.SharedKey
-	runner  *planRunner
 	keyHash string
 }
 
@@ -192,8 +223,22 @@ type Server struct {
 	mu       sync.Mutex
 	programs map[string]*programEntry
 	keys     map[string]*backend.SharedKey // cloud-key hash → handle
-	runners  map[string]*planRunner        // cloud-key hash → replay runner
+	sessRefs map[string]int                // cloud-key hash → open sessions
 	conns    map[net.Conn]struct{}
+
+	// Byte-accounted caches (qos.LRU): compiled plans keyed by program
+	// hash, replay runners keyed by cloud-key hash. Both previously grew
+	// without bound for the daemon's lifetime.
+	planCache *qos.LRU
+	runtimes  *qos.LRU
+	runnerMu  sync.Mutex // elects the builder of a missing runner
+
+	quota *qos.Quota[string] // per-tenant admission quotas (nil: unlimited)
+
+	reg        *telemetry.Registry
+	met        *metrics
+	metricsLn  net.Listener
+	metricsSrv *http.Server
 
 	slots    chan struct{} // MaxConcurrent evaluation slots
 	queued   int32         // atomic: admitted requests (waiting + running)
@@ -201,6 +246,7 @@ type Server struct {
 	sessions uint64        // atomic: sessions opened since start
 	evals    int64         // atomic: completed evaluations
 	rejected int64         // atomic: ErrOverloaded rejections
+	quotaRej int64         // atomic: qos.ErrQuotaExceeded rejections
 	draining int32         // atomic bool
 
 	// Cluster dispatch (nil coord: disabled). The coordinator accepts
@@ -232,17 +278,24 @@ type Server struct {
 // New builds a server; call Start to begin listening.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
-		cfg:      cfg,
-		exec:     backend.NewSharedBatch(cfg.Workers, cfg.Batch),
-		start:    time.Now(),
-		programs: make(map[string]*programEntry),
-		keys:     make(map[string]*backend.SharedKey),
-		runners:  make(map[string]*planRunner),
-		conns:    make(map[net.Conn]struct{}),
-		slots:    make(chan struct{}, cfg.MaxConcurrent),
-		kickCh:   make(chan struct{}),
+	s := &Server{
+		cfg:       cfg,
+		exec:      backend.NewSharedBatch(cfg.Workers, cfg.Batch),
+		start:     time.Now(),
+		programs:  make(map[string]*programEntry),
+		keys:      make(map[string]*backend.SharedKey),
+		sessRefs:  make(map[string]int),
+		conns:     make(map[net.Conn]struct{}),
+		planCache: qos.NewLRU(cfg.PlanCacheBytes),
+		runtimes:  qos.NewLRU(cfg.RuntimeCacheBytes),
+		quota:     qos.NewQuota[string](cfg.TenantMaxInFlight, cfg.TenantMaxQueuedGates),
+		reg:       telemetry.NewRegistry(),
+		slots:     make(chan struct{}, cfg.MaxConcurrent),
+		kickCh:    make(chan struct{}),
 	}
+	s.met = newMetrics(s.reg)
+	s.reg.OnScrape(s.mirrorMetrics)
+	return s
 }
 
 // Start listens on addr (e.g. "127.0.0.1:0") and serves connections in the
@@ -264,9 +317,33 @@ func (s *Server) Start(addr string) error {
 		s.coord = coord
 		go coord.ServeJoins()
 	}
+	if s.cfg.MetricsAddr != "" {
+		mln, err := net.Listen("tcp", s.cfg.MetricsAddr)
+		if err != nil {
+			ln.Close()
+			if s.coord != nil {
+				_ = s.coord.Close()
+			}
+			return fmt.Errorf("serve: metrics listen: %w", err)
+		}
+		s.metricsLn = mln
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", s.reg.Handler())
+		s.metricsSrv = &http.Server{Handler: mux}
+		go s.metricsSrv.Serve(mln)
+	}
 	s.connWG.Add(1)
 	go s.acceptLoop()
 	return nil
+}
+
+// MetricsAddr returns the bound /metrics listen address, or "" when the
+// endpoint is disabled.
+func (s *Server) MetricsAddr() string {
+	if s.metricsLn == nil {
+		return ""
+	}
+	return s.metricsLn.Addr().String()
 }
 
 // Addr returns the bound listen address.
@@ -316,6 +393,11 @@ func (s *Server) handleConn(conn net.Conn) {
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
 	var sess *session
+	defer func() {
+		if sess != nil {
+			s.closeSession(sess.keyHash)
+		}
+	}()
 	for {
 		var req Request
 		if err := dec.Decode(&req); err != nil {
@@ -397,7 +479,7 @@ func (s *Server) handleRegister(req *RegisterProgram) Response {
 		if existing, ok := s.programs[hash]; ok {
 			entry, cached = existing, true // lost a registration race
 		} else {
-			entry = &programEntry{prog: prog, noise: pn}
+			entry = &programEntry{hash: hash, prog: prog, noise: pn}
 			s.programs[hash] = entry
 		}
 		s.mu.Unlock()
@@ -444,10 +526,11 @@ func (s *Server) analyzeNoise(prog *core.Program) (ProgramNoise, error) {
 	}, nil
 }
 
-// handleOpen registers the session's cloud key with the shared executor
-// and binds the key's replay runner. Identical keys (by content hash)
-// share one executor handle and one runner, so N sessions of the same
-// tenant cost one engine set, not N.
+// handleOpen registers the session's cloud key with the shared executor.
+// Identical keys (by content hash) share one executor handle and one
+// replay runner, so N sessions of the same tenant cost one engine set,
+// not N. The server refcounts open sessions per key hash; the last close
+// releases the key's executor engines and replay runner (closeSession).
 func (s *Server) handleOpen(req *OpenSession, sess **session) Response {
 	if req.Key == nil {
 		return Response{Err: &WireError{Code: codeInternal, Msg: "open session carried no cloud key"}}
@@ -459,8 +542,14 @@ func (s *Server) handleOpen(req *OpenSession, sess **session) Response {
 	if err != nil {
 		return Response{Err: &WireError{Code: codeInternal, Msg: err.Error()}}
 	}
+	// The ref increment shares the critical section with the handle
+	// lookup so a concurrent closeSession of the same key cannot release
+	// the handle between our lookup and our claim on it.
 	s.mu.Lock()
 	handle, shared := s.keys[keyHash]
+	if shared {
+		s.sessRefs[keyHash]++
+	}
 	s.mu.Unlock()
 	if !shared {
 		h, err := s.exec.RegisterKey(req.Key)
@@ -469,32 +558,87 @@ func (s *Server) handleOpen(req *OpenSession, sess **session) Response {
 		}
 		s.mu.Lock()
 		if existing, ok := s.keys[keyHash]; ok {
-			handle, shared = existing, true
+			handle, shared = existing, true // lost an open race; h stays unused
 		} else {
 			handle = h
 			s.keys[keyHash] = h
 		}
+		s.sessRefs[keyHash]++
 		s.mu.Unlock()
 	}
-	s.mu.Lock()
-	runner, ok := s.runners[keyHash]
-	if !ok {
-		runner = &planRunner{
-			engines: make([]*gate.Engine, s.cfg.Workers),
-			rt:      plan.NewRuntime(req.Key.Params.LWEDimension),
+	for prefix, w := range s.cfg.TenantWeights {
+		if strings.HasPrefix(keyHash, prefix) {
+			s.exec.SetTenantWeight(handle, w)
 		}
-		for i := range runner.engines {
-			runner.engines[i] = gate.NewEngine(req.Key)
-		}
-		s.runners[keyHash] = runner
 	}
-	s.mu.Unlock()
 	if s.coord != nil {
 		s.bindCluster(keyHash, req.Key)
 	}
-	*sess = &session{handle: handle, runner: runner, keyHash: keyHash}
+	// A re-open on the same connection replaces the session: drop the old
+	// key's ref or it would leak until the connection closes.
+	if *sess != nil {
+		s.closeSession((*sess).keyHash)
+	}
+	*sess = &session{handle: handle, keyHash: keyHash}
 	id := atomic.AddUint64(&s.sessions, 1)
 	return Response{Session: &SessionInfo{ID: id, KeyShared: shared}}
+}
+
+// closeSession drops one session's claim on its cloud key. The last
+// session out releases the key's worker engines on the shared executor
+// and removes its replay runner — counted as a cache eviction, because
+// that is what it is: the cached per-key state is gone and the next
+// session under the same key rebuilds it.
+func (s *Server) closeSession(keyHash string) {
+	s.mu.Lock()
+	n := s.sessRefs[keyHash] - 1
+	if n > 0 {
+		s.sessRefs[keyHash] = n
+		s.mu.Unlock()
+		return
+	}
+	delete(s.sessRefs, keyHash)
+	handle := s.keys[keyHash]
+	delete(s.keys, keyHash)
+	s.mu.Unlock()
+	if handle != nil {
+		s.exec.ReleaseKey(handle)
+	}
+	s.runtimes.Remove(keyHash)
+}
+
+// runnerFor returns the session key's replay runner, rebuilding it when
+// the runtime cache evicted it (or no evaluation under this key replayed
+// yet). runnerMu elects one builder; losers of the race wait and share.
+func (s *Server) runnerFor(sess *session) *planRunner {
+	if v, ok := s.runtimes.Get(sess.keyHash); ok {
+		return v.(*planRunner)
+	}
+	s.runnerMu.Lock()
+	defer s.runnerMu.Unlock()
+	if v, ok := s.runtimes.Get(sess.keyHash); ok {
+		return v.(*planRunner)
+	}
+	ck := sess.handle.Params()
+	runner := &planRunner{
+		engines: make([]*gate.Engine, s.cfg.Workers),
+		rt:      plan.NewRuntime(ck.Params.LWEDimension),
+	}
+	for i := range runner.engines {
+		runner.engines[i] = gate.NewEngine(ck)
+	}
+	s.runtimes.Add(sess.keyHash, runner, runnerSizeBytes(ck.Params.LWEDimension, s.cfg.Workers, 0))
+	return runner
+}
+
+// runnerSizeBytes is the accounting estimate for one replay runner:
+// per-worker engine scratch plus the arena's high-water ciphertexts at
+// the key's LWE dimension. Like plan.SizeBytes it is an estimate for the
+// byte-capped cache, not a heap measurement.
+func runnerSizeBytes(dim, workers, highWater int) int64 {
+	sample := int64(dim)*4 + 64          // torus coefficients + headers
+	const engineScratch = int64(1) << 14 // scratch samples + batch buffers
+	return int64(workers)*engineScratch + int64(highWater)*sample + 512
 }
 
 // bindCluster broadcasts the first session's cloud key to the worker pool.
@@ -520,10 +664,24 @@ func hashKey(ck *boot.CloudKey) (string, error) {
 	return wire.KeyHash(ck)
 }
 
-// handleEval is the admission-controlled evaluation path: bounded queue,
-// slot acquisition with deadline, then either a plan replay (fast path)
-// or the shared executor.
+// handleEval wraps the evaluation path with telemetry: every request is
+// counted by tenant and outcome (the wire error code), and successful
+// latencies feed the per-tenant SLO histogram.
 func (s *Server) handleEval(sess *session, req *EvalRequest) Response {
+	tenant := "none"
+	if sess != nil {
+		tenant = tenantLabel(sess.keyHash)
+	}
+	start := time.Now()
+	resp := s.doEval(sess, req)
+	s.met.observeRequest(tenant, resp, float64(time.Since(start).Nanoseconds())/1e6)
+	return resp
+}
+
+// doEval is the admission-controlled evaluation path: per-tenant quota,
+// bounded queue, slot acquisition with deadline, then either a plan
+// replay (fast path) or the shared executor.
+func (s *Server) doEval(sess *session, req *EvalRequest) Response {
 	if sess == nil {
 		return Response{Err: toWire(ErrNoSession)}
 	}
@@ -538,6 +696,15 @@ func (s *Server) handleEval(sess *session, req *EvalRequest) Response {
 		return Response{Err: &WireError{Code: codeInternal,
 			Msg: fmt.Sprintf("program %s takes %d inputs, got %d", prog.Name, prog.Stats.Inputs, len(req.Inputs))}}
 	}
+
+	// Per-tenant quota: a tenant over its in-flight or gate budget fails
+	// fast before consuming a queue slot, so one tenant's burst cannot
+	// occupy the shared admission queue.
+	if err := s.quota.Acquire(sess.keyHash, prog.Stats.Gates); err != nil {
+		atomic.AddInt64(&s.quotaRej, 1)
+		return Response{Err: toWire(err)}
+	}
+	defer s.quota.Release(sess.keyHash, prog.Stats.Gates)
 
 	// Admission: the queue is bounded at MaxConcurrent running plus
 	// QueueCap waiting; past that the request is shed immediately.
@@ -555,8 +722,10 @@ func (s *Server) handleEval(sess *session, req *EvalRequest) Response {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 
+	waitStart := time.Now()
 	select {
 	case s.slots <- struct{}{}:
+		s.met.queueWait.Observe(float64(time.Since(waitStart).Nanoseconds()) / 1e6)
 	case <-ctx.Done():
 		return Response{Err: toWire(fmt.Errorf("%w after %v in queue", ErrTimeout, timeout))}
 	case <-s.kickCh:
@@ -590,26 +759,35 @@ func (s *Server) handleEval(sess *session, req *EvalRequest) Response {
 }
 
 // evaluate runs one admitted request: the replay fast path when the
-// program's plan and the session's runner are available, the shared
-// dynamic executor otherwise. The plan cache is keyed by the program's
-// content hash (entry identity): the first request pays the compile — a
+// program's plan and the key's runner are available, the shared dynamic
+// executor otherwise. The plan cache is the server's byte-capped LRU
+// keyed by program content hash: the first request pays the compile — a
 // PlanMiss, overlapped with its own execution via the level stream — and
-// every later request is a PlanHit that replays with zero scheduling work.
+// later requests are PlanHits that replay with zero scheduling work. An
+// evicted plan is simply a future PlanMiss: the next request recompiles
+// and re-caches it, transparently.
 func (s *Server) evaluate(ctx context.Context, sess *session, entry *programEntry, inputs []*lwe.Sample) ([]*lwe.Sample, error) {
 	if outs, ok := s.evaluateCluster(sess, entry, inputs); ok {
 		return outs, nil
 	}
 	var cached *plan.Plan
 	var stream *plan.Stream
-	if entry.planMu.TryLock() {
+	if v, ok := s.planCache.Get(entry.hash); ok {
+		cached = v.(*plan.Plan)
+		atomic.AddInt64(&s.planHits, 1)
+	} else if entry.planMu.TryLock() {
 		switch {
-		case entry.plan != nil:
-			cached = entry.plan
-			entry.planMu.Unlock()
-			atomic.AddInt64(&s.planHits, 1)
 		case entry.planErr != nil:
 			entry.planMu.Unlock()
 		default:
+			if v, ok := s.planCache.Get(entry.hash); ok {
+				// A contemporary stored the plan between our miss and the
+				// lock: use it instead of compiling twice.
+				cached = v.(*plan.Plan)
+				entry.planMu.Unlock()
+				atomic.AddInt64(&s.planHits, 1)
+				break
+			}
 			// We are the compiling request: keep planMu until the finished
 			// plan (or the sticky error) is stored so contemporaries fall
 			// back instead of compiling twice.
@@ -621,50 +799,58 @@ func (s *Server) evaluate(ctx context.Context, sess *session, entry *programEntr
 			} else {
 				stream = st
 				defer func() {
-					entry.plan = stream.Plan()
+					p := stream.Plan()
+					s.planCache.Add(entry.hash, p, p.SizeBytes())
 					entry.planMu.Unlock()
 				}()
 			}
 		}
 	}
 
-	if (cached != nil || stream != nil) && sess.runner.mu.TryLock() {
-		runner := sess.runner
-		defer runner.mu.Unlock()
-		// A forced Drain must be able to abort a replay just like it
-		// aborts shared-executor submissions.
-		rctx, cancel := context.WithCancel(ctx)
-		defer cancel()
-		stop := make(chan struct{})
-		defer close(stop)
-		go func() {
-			select {
-			case <-s.kickCh:
-				cancel()
-			case <-stop:
+	if cached != nil || stream != nil {
+		// Only the replay path needs the runner; the dynamic fallback
+		// must not pay (or cache) an engine set it will not use.
+		runner := s.runnerFor(sess)
+		if runner.mu.TryLock() {
+			defer runner.mu.Unlock()
+			// A forced Drain must be able to abort a replay just like it
+			// aborts shared-executor submissions.
+			rctx, cancel := context.WithCancel(ctx)
+			defer cancel()
+			stop := make(chan struct{})
+			defer close(stop)
+			go func() {
+				select {
+				case <-s.kickCh:
+					cancel()
+				case <-stop:
+				}
+			}()
+			atomic.AddInt64(&s.planReplays, 1)
+			var outs []*lwe.Sample
+			var err error
+			if stream != nil {
+				outs, err = plan.ReplayStreamBatch(rctx, stream, runner.engines, inputs, runner.rt, s.cfg.Batch)
+			} else {
+				outs, err = plan.ReplayBatch(rctx, cached, runner.engines, inputs, runner.rt, s.cfg.Batch)
 			}
-		}()
-		atomic.AddInt64(&s.planReplays, 1)
-		var outs []*lwe.Sample
-		var err error
-		if stream != nil {
-			outs, err = plan.ReplayStreamBatch(rctx, stream, runner.engines, inputs, runner.rt, s.cfg.Batch)
-		} else {
-			outs, err = plan.ReplayBatch(rctx, cached, runner.engines, inputs, runner.rt, s.cfg.Batch)
-		}
-		hw := int64(runner.rt.HighWater())
-		for {
-			cur := atomic.LoadInt64(&s.arenaHW)
-			if hw <= cur || atomic.CompareAndSwapInt64(&s.arenaHW, cur, hw) {
-				break
+			hw := int64(runner.rt.HighWater())
+			for {
+				cur := atomic.LoadInt64(&s.arenaHW)
+				if hw <= cur || atomic.CompareAndSwapInt64(&s.arenaHW, cur, hw) {
+					break
+				}
 			}
+			// Harvest this replay's batch occupancy while we still hold the
+			// runner (the runtime's counters reset on its next replay), and
+			// re-account the arena growth in the byte-capped runtime cache.
+			rb, rbb := runner.rt.BatchOccupancy()
+			atomic.AddInt64(&s.replayBatches, rb)
+			atomic.AddInt64(&s.replayBatched, rbb)
+			dim := sess.handle.Params().Params.LWEDimension
+			s.runtimes.Update(sess.keyHash, runnerSizeBytes(dim, s.cfg.Workers, int(hw)))
+			return outs, err
 		}
-		// Harvest this replay's batch occupancy while we still hold the
-		// runner (the runtime's counters reset on its next replay).
-		rb, rbb := runner.rt.BatchOccupancy()
-		atomic.AddInt64(&s.replayBatches, rb)
-		atomic.AddInt64(&s.replayBatched, rbb)
-		return outs, err
 	}
 
 	// Dynamic fallback: runner contended, plan unavailable, or compile
@@ -736,7 +922,15 @@ func (s *Server) clusterWorkersUp() bool {
 }
 
 func (s *Server) handleStats() Response {
+	return Response{Stats: s.statsSnapshot()}
+}
+
+// statsSnapshot assembles the full statistics reply. It backs both the
+// Stats RPC and the /metrics scrape mirror, so the wire struct and the
+// exported series can never drift apart.
+func (s *Server) statsSnapshot() *StatsReply {
 	ex := s.exec.Stats()
+	labels := s.tenantLabels()
 	s.mu.Lock()
 	per := make(map[string]int64, len(s.programs))
 	lat := make(map[string]LatencyStats, len(s.programs))
@@ -748,6 +942,14 @@ func (s *Server) handleStats() Response {
 	}
 	nProgs := len(s.programs)
 	s.mu.Unlock()
+	picks := make(map[string]int64, len(ex.TenantPicks))
+	for id, n := range ex.TenantPicks {
+		picks[labelForID(labels, id)] = n
+	}
+	tq := make(map[string]int, len(ex.TenantQueued))
+	for id, n := range ex.TenantQueued {
+		tq[labelForID(labels, id)] = n
+	}
 	// Batch occupancy: the shared executor's cross-request batches plus
 	// the within-replay batches harvested from the plan runners.
 	batches := ex.Batches + atomic.LoadInt64(&s.replayBatches)
@@ -779,13 +981,19 @@ func (s *Server) handleStats() Response {
 			WorkersLost:   tot.WorkersLost,
 		}
 	}
-	return Response{Stats: &StatsReply{
+	return &StatsReply{
 		QueueDepth:       depth,
 		InFlight:         int(inflight),
 		Sessions:         atomic.LoadUint64(&s.sessions),
 		Programs:         nProgs,
 		Evaluations:      atomic.LoadInt64(&s.evals),
 		Rejected:         atomic.LoadInt64(&s.rejected),
+		QuotaRejected:    atomic.LoadInt64(&s.quotaRej),
+		KeysReleased:     ex.KeysReleased,
+		TenantPicks:      picks,
+		TenantQueued:     tq,
+		PlanCache:        cacheStats(s.planCache.Stats()),
+		RuntimeCache:     cacheStats(s.runtimes.Stats()),
 		GatesPerSec:      ex.GatesPerSec(),
 		BootstrapsPerSec: ex.BootstrapsPerSec(),
 		UptimeMs:         time.Since(s.start).Milliseconds(),
@@ -807,7 +1015,19 @@ func (s *Server) handleStats() Response {
 		AvgBatchFill:      avgFill,
 
 		Cluster: cs,
-	}}
+	}
+}
+
+// cacheStats converts a qos.LRU snapshot to its wire form.
+func cacheStats(st qos.LRUStats) CacheStats {
+	return CacheStats{
+		Entries:   st.Entries,
+		Bytes:     st.Bytes,
+		CapBytes:  st.CapBytes,
+		Hits:      st.Hits,
+		Misses:    st.Misses,
+		Evictions: st.Evictions,
+	}
 }
 
 // Drain gracefully shuts the server down: stop accepting connections,
@@ -852,6 +1072,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Unlock()
 	s.connWG.Wait()
 	s.exec.Close()
+	if s.metricsSrv != nil {
+		_ = s.metricsSrv.Close() // last: metrics stay scrapeable through the drain
+	}
 	return err
 }
 

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 
+	"pytfhe/internal/qos"
 	"pytfhe/internal/tfhe/boot"
 	"pytfhe/internal/tfhe/lwe"
 	"pytfhe/internal/wire"
@@ -37,6 +38,12 @@ var (
 	ErrDraining = errors.New("serve: server draining")
 	// ErrRejected: the program failed admission linting.
 	ErrRejected = errors.New("serve: program rejected")
+	// ErrQuotaExceeded aliases qos.ErrQuotaExceeded: the session's tenant
+	// is over its per-tenant in-flight or gate budget. Unlike
+	// ErrOverloaded this is not a server-wide condition — other tenants
+	// are unaffected, and the request should be retried after the
+	// tenant's own work drains.
+	ErrQuotaExceeded = qos.ErrQuotaExceeded
 )
 
 // Request is the single client→server envelope; exactly one field is set.
@@ -129,6 +136,21 @@ type StatsReply struct {
 	Programs    int
 	Evaluations int64 // completed evaluations
 	Rejected    int64 // ErrOverloaded rejections
+	// QuotaRejected counts requests refused by per-tenant quotas
+	// (qos.ErrQuotaExceeded) — tenant-local, unlike Rejected.
+	QuotaRejected int64
+	// KeysReleased counts cloud keys whose executor engines and replay
+	// runner were released because their last session closed.
+	KeysReleased int64
+	// TenantPicks/TenantQueued report the fair scheduler's per-tenant
+	// service counts and current ready-gate queue depths, keyed by the
+	// tenant label (cloud-key hash prefix).
+	TenantPicks  map[string]int64
+	TenantQueued map[string]int
+	// PlanCache/RuntimeCache report the byte-capped LRU caches behind
+	// compiled plans and per-key replay runners.
+	PlanCache    CacheStats
+	RuntimeCache CacheStats
 	// GatesPerSec is the executor's all-gate throughput; BootstrapsPerSec
 	// counts only bootstrapped evaluations (the figure earlier releases
 	// mislabeled GatesPerSec).
@@ -196,6 +218,18 @@ type ClusterStats struct {
 	WorkersLost   int64
 }
 
+// CacheStats is the wire form of one byte-accounted cache's counters.
+// Evictions include lifecycle removals (a key's last session closing
+// releases its runner), not just capacity pressure.
+type CacheStats struct {
+	Entries   int
+	Bytes     int64
+	CapBytes  int64 // 0: unbounded
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
 // LatencyStats summarizes recent evaluation latencies of one program.
 type LatencyStats struct {
 	Samples int // window occupancy (≤ latencyWindow)
@@ -217,6 +251,7 @@ const (
 	codeTimeout        = "timeout"
 	codeDraining       = "draining"
 	codeRejected       = "rejected"
+	codeQuota          = "quota"
 	codeInternal       = "internal"
 )
 
@@ -227,6 +262,7 @@ var errCodes = map[string]error{
 	codeTimeout:        ErrTimeout,
 	codeDraining:       ErrDraining,
 	codeRejected:       ErrRejected,
+	codeQuota:          ErrQuotaExceeded,
 }
 
 // toWire converts a server-side error to its wire form.

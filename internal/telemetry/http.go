@@ -1,0 +1,21 @@
+package telemetry
+
+import (
+	"bytes"
+	"net/http"
+)
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format — mount it on /metrics. The response is rendered into a
+// buffer first so a slow scraper never holds family locks.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(buf.Bytes())
+	})
+}

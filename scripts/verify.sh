@@ -41,10 +41,11 @@ go run ./cmd/pytfhe check -bench -prog "$tmp/prog.ptfhe"
 go build -o "$tmp/pytfhed" ./cmd/pytfhed
 go build -o "$tmp/pytfhe" ./cmd/pytfhe
 "$tmp/pytfhe" keygen -params test -out "$tmp/keys"
-"$tmp/pytfhed" -listen 127.0.0.1:0 -addr-file "$tmp/addr" -workers 2 &
+"$tmp/pytfhed" -listen 127.0.0.1:0 -addr-file "$tmp/addr" -workers 2 \
+    -metrics-addr 127.0.0.1:0 -metrics-addr-file "$tmp/maddr" &
 daemon_pid=$!
 i=0
-while [ ! -s "$tmp/addr" ]; do
+while [ ! -s "$tmp/addr" ] || [ ! -s "$tmp/maddr" ]; do
     i=$((i + 1))
     if [ "$i" -gt 100 ]; then
         echo "pytfhed never wrote its address" >&2
@@ -53,12 +54,20 @@ while [ ! -s "$tmp/addr" ]; do
     sleep 0.1
 done
 addr=$(cat "$tmp/addr")
+maddr=$(cat "$tmp/maddr")
 # Hamming distance of a 64-bit word with itself is zero: 7 output bits,
 # all clear.
 word=1011001110001111000010100110010111010010001101011100101000110111
 out=$("$tmp/pytfhe" eval -server "$addr" -keys "$tmp/keys" \
     -prog "$tmp/prog.ptfhe" -in "$word$word" | grep '^outputs:')
 [ "$out" = "outputs: 0000000" ]
+# /metrics must serve valid Prometheus text and already reflect the first
+# evaluation.
+curl -fsS "http://$maddr/metrics" >"$tmp/m1"
+grep -q '^# TYPE pytfhed_evaluations_total counter$' "$tmp/m1"
+grep -q '^pytfhed_evaluations_total 1$' "$tmp/m1"
+grep -q '^# TYPE pytfhed_request_latency_ms histogram$' "$tmp/m1"
+grep -q '^pytfhed_cache_bytes{cache="plan"}' "$tmp/m1"
 # A second evaluation of the same program must hit the server's plan cache:
 # the first request paid the capture (one miss), the repeat replays it.
 out=$("$tmp/pytfhe" eval -server "$addr" -keys "$tmp/keys" \
@@ -69,6 +78,15 @@ grep -q 'plan cache: 1 hits, 1 misses' "$tmp/stats"
 # Registration ran the static noise analysis; its per-program summary
 # must ride the Stats RPC.
 grep -q 'noise: .* bits headroom under default128' "$tmp/stats"
+# The key series moved with the second evaluation, and the plan-cache hit
+# is visible both as a counter and in the JSON stats snapshot.
+curl -fsS "http://$maddr/metrics" >"$tmp/m2"
+grep -q '^pytfhed_evaluations_total 2$' "$tmp/m2"
+grep -q '^pytfhed_cache_hits_total{cache="plan"} 1$' "$tmp/m2"
+grep -q 'outcome="ok"} 2$' "$tmp/m2"
+"$tmp/pytfhe" server-stats -server "$addr" -json | tee "$tmp/stats.json"
+grep -q '"Evaluations": 2' "$tmp/stats.json"
+grep -q '"PlanCache"' "$tmp/stats.json"
 kill -TERM "$daemon_pid"
 wait "$daemon_pid"
 daemon_pid=
