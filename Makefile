@@ -1,4 +1,4 @@
-.PHONY: build test lint check verify serve-test bench bench-kernel batch-test qos-test
+.PHONY: build test lint check verify serve-test bench bench-kernel batch-test qos-test lut-test
 
 build:
 	go build ./...
@@ -34,6 +34,18 @@ qos-test:
 	go test -race ./internal/qos/... ./internal/telemetry/...
 	go test -race -run 'TestShared(FairnessUnderLoad|TenantQuota|ReleaseKey)' ./internal/backend/
 	go test -race -run 'TestServe(PlanCacheEviction|KeyLifecycleRelease|TenantQuota|MetricsEndpoint)' ./internal/serve/
+
+# Race-checked multi-bit LUT path, end to end: truth-table solving and
+# feasibility (logic), the circuit node and asm instruction formats, the
+# lut-cluster synthesis pass, the programmable-bootstrap kernel, the LUT
+# noise model, bit-exactness across every executor (sync/async/shared),
+# plan compile/dedup/replay, shard hashing, cluster dispatch, the
+# pytfhed -lut serving surface, and the Fig. 14 LUT sweep.
+lut-test:
+	go test -race -run 'LUT' ./internal/logic/ ./internal/circuit/ ./internal/asm/ \
+		./internal/synth/ ./internal/tfhe/boot/ ./internal/tfhe/gate/ ./internal/tfhe/noise/ \
+		./internal/exec/ ./internal/backend/ ./internal/plan/ ./internal/shard/ \
+		./internal/cluster/ ./internal/serve/ ./internal/experiments/ ./cmd/pytfhe/
 
 # Go benchmarks plus the plan capture/replay measurement, which lands as
 # BENCH_PLAN.json — the replay performance trajectory. The -planbaseline

@@ -180,6 +180,8 @@ func main() {
 		inputs := kp.EncryptBits(make([]bool, nl.NumInputs))
 		report, err := experiments.PlanBench(kp.Cloud, nl, inputs, *planWorkers)
 		fatal(err)
+		report.LUT, err = experiments.LUTSweepBench(kp.Cloud, kp.EncryptBits, *planWorkers)
+		fatal(err)
 		experiments.RenderPlanBench(w, report)
 		if *planBaseline != "" {
 			base, err := experiments.LoadPlanBaseline(*planBaseline)

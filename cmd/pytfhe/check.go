@@ -15,6 +15,7 @@ import (
 	"pytfhe/internal/models"
 	"pytfhe/internal/params"
 	"pytfhe/internal/plan"
+	"pytfhe/internal/synth"
 	"pytfhe/internal/tfhe/noise"
 	"pytfhe/internal/vipbench"
 )
@@ -73,7 +74,6 @@ func cmdCheck(args []string) error {
 			return err
 		}
 		targets = append(targets, ex...)
-		fmt.Println("examples/lut: skipped (LUT demo drives the engine directly, no netlist to analyze)")
 	}
 
 	var failed []string
@@ -116,6 +116,24 @@ func checkNetlist(nl *circuit.Netlist, p *params.GateParams, minSigmas float64, 
 	return nil
 }
 
+// lutDemoNetlist rebuilds the examples/lut demo circuit: an 8-input parity
+// chain plus a majority vote over three AND pairs — the cone-heavy shape
+// lut-cluster collapses. Keep in sync with examples/lut/main.go.
+func lutDemoNetlist() *circuit.Netlist {
+	b := circuit.NewBuilder("lut-demo", circuit.AllOptimizations())
+	xs := b.Inputs("x", 8)
+	par := xs[0]
+	for _, x := range xs[1:] {
+		par = b.Xor(par, x)
+	}
+	b.Output("parity", par)
+	b.Output("majority", b.LUT(0xE8,
+		b.And(xs[0], xs[1]),
+		b.And(xs[2], xs[3]),
+		b.And(xs[4], xs[5])))
+	return b.MustBuild()
+}
+
 // exampleNetlists rebuilds the circuits of every example program that has
 // one, at the reduced sizes the examples themselves use, so `pytfhe check
 // -examples` certifies exactly what `go run ./examples/...` evaluates.
@@ -140,6 +158,14 @@ func exampleNetlists() ([]checkTarget, error) {
 		return nil, fmt.Errorf("examples/attention: %w", err)
 	}
 	out = append(out, checkTarget{"examples/attention", wa.Netlist})
+
+	// The examples/lut demo netlist, analyzed in its clustered form — the
+	// multi-input LUT gates the demo actually executes.
+	lres, err := synth.OptimizeLUT(lutDemoNetlist())
+	if err != nil {
+		return nil, fmt.Errorf("examples/lut: %w", err)
+	}
+	out = append(out, checkTarget{"examples/lut", lres.Netlist})
 
 	rb, err := vipbench.ByName("roberts-cross")
 	if err != nil {

@@ -149,11 +149,16 @@ func cmdCompile(args []string) error {
 	dtype := fs.String("dtype", "fixed8.8", "model data type: sintW, fixedI.F or floatE.M (e.g. sint8, fixed8.8, float5.11)")
 	out := fs.String("out", "prog.ptfhe", "output binary path")
 	vout := fs.String("verilog", "", "also emit structural Verilog to this path")
+	lut := fs.Bool("lut", false, "cluster fanout-free gate cones into k-input LUT records (synth lut-cluster pass)")
 	fs.Parse(args)
 
 	dt, err := parseDType(*dtype)
 	if err != nil {
 		return err
+	}
+	compile := core.Compile
+	if *lut {
+		compile = core.CompileLUT
 	}
 
 	var prog *core.Program
@@ -171,7 +176,7 @@ func cmdCompile(args []string) error {
 		if err != nil {
 			return err
 		}
-		prog, err = core.Compile(nl)
+		prog, err = compile(nl)
 		if err != nil {
 			return err
 		}
@@ -194,7 +199,7 @@ func cmdCompile(args []string) error {
 		if err != nil {
 			return err
 		}
-		prog, err = core.Compile(w.Netlist)
+		prog, err = compile(w.Netlist)
 		if err != nil {
 			return err
 		}
@@ -212,7 +217,7 @@ func cmdCompile(args []string) error {
 		if err != nil {
 			return err
 		}
-		prog, err = core.Compile(w.Netlist)
+		prog, err = compile(w.Netlist)
 		if err != nil {
 			return err
 		}
@@ -224,8 +229,12 @@ func cmdCompile(args []string) error {
 		return err
 	}
 	s := prog.Stats
-	fmt.Printf("%s: %d inputs, %d gates (%d bootstrapped), %d outputs, depth %d -> %s (%d bytes)\n",
-		prog.Name, s.Inputs, s.Gates, s.Bootstrapped, s.Outputs, s.Depth, *out, len(prog.Binary))
+	lutNote := ""
+	if s.LUTs > 0 {
+		lutNote = fmt.Sprintf(", %d LUTs", s.LUTs)
+	}
+	fmt.Printf("%s: %d inputs, %d gates (%d bootstrapped%s), %d outputs, depth %d -> %s (%d bytes)\n",
+		prog.Name, s.Inputs, s.Gates, s.Bootstrapped, lutNote, s.Outputs, s.Depth, *out, len(prog.Binary))
 	if *vout != "" {
 		src, err := verilog.Emit(prog.Netlist)
 		if err != nil {
@@ -257,8 +266,8 @@ func cmdInspect(args []string) error {
 	}
 	s := prog.Stats
 	fmt.Printf("instructions: %d (16 bytes each)\n", len(bin)/16)
-	fmt.Printf("inputs: %d  gates: %d (bootstrapped %d, free %d)  outputs: %d\n",
-		s.Inputs, s.Gates, s.Bootstrapped, s.Free, s.Outputs)
+	fmt.Printf("inputs: %d  gates: %d (bootstrapped %d, free %d, LUTs %d)  outputs: %d\n",
+		s.Inputs, s.Gates, s.Bootstrapped, s.Free, s.LUTs, s.Outputs)
 	fmt.Printf("depth: %d  wavefronts: %d  widest level: %d\n", s.Depth, s.Levels, s.MaxWidth)
 	if *listing {
 		text, err := asm.Listing(bin)
@@ -304,6 +313,7 @@ func cmdRun(args []string) error {
 	batch := fs.Int("batch", 1, "bootstrap batch size for async/plan backends: each worker fuses up to N ready gates into one amortized blind-rotation dispatch (1: unbatched)")
 	stats := fs.Bool("stats", false, "print executor statistics after the run")
 	strict := fs.Bool("strict", false, "lint the program and verify its noise budget at load time; refuse to run on any error")
+	lut := fs.Bool("lut", false, "re-synthesize the program through LUT clustering: fanout-free gate cones collapse into k-input programmable bootstraps before execution")
 	in := fs.String("in", "", "input bits as 0/1 characters (LSB first), e.g. 10110")
 	fs.Parse(args)
 	if *path == "" {
@@ -324,6 +334,14 @@ func cmdRun(args []string) error {
 	prog, err := load(bin)
 	if err != nil {
 		return err
+	}
+	if *lut {
+		before := prog.Stats
+		if prog, err = core.ApplyLUT(prog); err != nil {
+			return err
+		}
+		fmt.Printf("lut: %d gates (%d bootstrapped) -> %d gates (%d bootstrapped, %d LUTs)\n",
+			before.Gates, before.Bootstrapped, prog.Stats.Gates, prog.Stats.Bootstrapped, prog.Stats.LUTs)
 	}
 	bits, err := parseBits(*in)
 	if err != nil {
@@ -518,8 +536,12 @@ func printRunStats(runner backend.Backend, ctBytes int) {
 	default:
 		return
 	}
-	fmt.Printf("stats: %d gates (%d bootstrapped) in %v — %.1f gates/s, %.1f bootstraps/s\n",
-		st.Gates, st.Bootstraps, st.Elapsed.Round(time.Millisecond), st.GatesPerSec, st.BootstrapsPerSec)
+	lutNote := ""
+	if st.LUTs > 0 {
+		lutNote = fmt.Sprintf(", %d LUTs", st.LUTs)
+	}
+	fmt.Printf("stats: %d gates (%d bootstrapped%s) in %v — %.1f gates/s, %.1f bootstraps/s\n",
+		st.Gates, st.Bootstraps, lutNote, st.Elapsed.Round(time.Millisecond), st.GatesPerSec, st.BootstrapsPerSec)
 	if st.Levels > 0 {
 		fmt.Printf("       %d wavefronts, %d workers\n", st.Levels, st.Workers)
 	}
@@ -685,6 +707,10 @@ func cmdServerStats(args []string) error {
 		st.Evaluations, st.Rejected, st.QuotaRejected, st.QueueDepth, st.InFlight)
 	fmt.Printf("executor: %d gates evaluated, %.1f gates/s, %.1f bootstraps/s\n",
 		st.ExecutorGates, st.GatesPerSec, st.BootstrapsPerSec)
+	if st.LUTsEvaluated > 0 || st.ExecutorLUTs > 0 {
+		fmt.Printf("luts: %d multi-input LUT gates evaluated (%d on the dynamic executor)\n",
+			st.LUTsEvaluated, st.ExecutorLUTs)
+	}
 	fmt.Printf("plan cache: %d hits, %d misses — %d replays, %d dynamic fallbacks, arena high water %d ciphertexts\n",
 		st.PlanHits, st.PlanMisses, st.PlanReplays, st.PlanFallbacks, st.ArenaHighWater)
 	cacheLine := func(cs serve.CacheStats) string {

@@ -1,9 +1,13 @@
-// Programmable bootstrapping: evaluate an arbitrary lookup table *during*
-// the noise refresh — the TFHE capability the paper's §II.B highlights
-// ("fast programmable bootstrapping which reduces the noise of a
-// ciphertext while simultaneously performing an arbitrary lookup-table
-// operation"). Here the server squares an encrypted digit (mod 8) with a
-// single bootstrap, without ever seeing it.
+// Multi-bit LUT execution: the synthesized path to programmable
+// bootstrapping. The paper's §II.B highlights TFHE's "fast programmable
+// bootstrapping which reduces the noise of a ciphertext while
+// simultaneously performing an arbitrary lookup-table operation"; this
+// example shows the compiler putting that capability to work on ordinary
+// boolean circuits. The synth lut-cluster pass collapses fanout-free cones
+// of 2-input gates into k-input LUT gates (k <= 3), each evaluated with a
+// single programmable bootstrap — a parity chain that costs one bootstrap
+// per XOR on the classic path costs one bootstrap per *three* XORs after
+// clustering, bit-exactly.
 //
 //	go run ./examples/lut
 package main
@@ -13,47 +17,99 @@ import (
 	"log"
 	"time"
 
+	"pytfhe/internal/backend"
+	"pytfhe/internal/circuit"
 	"pytfhe/internal/core"
 	"pytfhe/internal/params"
-	"pytfhe/internal/tfhe/boot"
-	"pytfhe/internal/tfhe/lwe"
-	"pytfhe/internal/torus"
 )
 
+// demoNetlist builds the cone-heavy shape lut-cluster is for: an 8-input
+// parity chain (seven XORs in a line, every interior node single-use) and
+// a majority vote over three AND pairs. `pytfhe check -examples` analyzes
+// this same netlist; keep the two in sync.
+func demoNetlist() *circuit.Netlist {
+	b := circuit.NewBuilder("lut-demo", circuit.AllOptimizations())
+	xs := b.Inputs("x", 8)
+	par := xs[0]
+	for _, x := range xs[1:] {
+		par = b.Xor(par, x)
+	}
+	b.Output("parity", par)
+	maj := b.LUT(0xE8, // MAJ(a,b,c)
+		b.And(xs[0], xs[1]),
+		b.And(xs[2], xs[3]),
+		b.And(xs[4], xs[5]))
+	b.Output("majority", maj)
+	return b.MustBuild()
+}
+
 func main() {
+	nl := demoNetlist()
+
+	// Compile twice: the classic pipeline, and the same pipeline with the
+	// lut-cluster pass appended.
+	classic, err := core.Compile(nl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clustered, err := core.CompileLUT(nl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("classic:   %d gates, %d bootstraps\n",
+		classic.Stats.Gates, classic.Stats.Bootstrapped)
+	fmt.Printf("clustered: %d gates, %d bootstraps (%d multi-input LUTs)\n",
+		clustered.Stats.Gates, clustered.Stats.Bootstrapped, clustered.Stats.LUTs)
+
 	fmt.Println("generating keys (test parameters)...")
 	kp, err := core.GenerateKeys(params.Test())
 	if err != nil {
 		log.Fatal(err)
 	}
-	p := kp.Secret.Params
-	eval := boot.NewEvaluator(kp.Cloud)
+	be := backend.NewSingle(kp.Cloud)
 
-	// Message space of 8 slots; inputs must stay in [0, 4) (the negacyclic
-	// half-torus — see boot.BootstrapLUT).
-	const msize = 8
-	square := func(m int) torus.Torus32 {
-		return torus.ModSwitchToTorus32(int32((m*m)%msize), msize)
-	}
-
-	for m := int32(0); m < 4; m++ {
-		// Client: encrypt the digit.
-		in := kp.EncryptMessage(m, msize)
-
-		// Server: one programmable bootstrap evaluates the table.
-		out := lwe.NewSample(p.LWEDimension)
-		start := time.Now()
-		if err := eval.BootstrapLUT(out, square, msize, in); err != nil {
+	for _, m := range []uint64{0b10110101, 0b00001111, 0b11100111} {
+		bits := make([]bool, 8)
+		for i := range bits {
+			bits[i] = m>>uint(i)&1 == 1
+		}
+		want, err := nl.Evaluate(bits)
+		if err != nil {
 			log.Fatal(err)
 		}
-		elapsed := time.Since(start)
 
-		// Client: decrypt.
-		got := kp.DecryptMessage(out, msize)
-		fmt.Printf("  Enc(%d) --PBS(square mod 8)--> Enc(%d)   (%v)\n", m, got, elapsed.Round(time.Microsecond))
-		if got != (m*m)%msize {
-			log.Fatalf("wrong result: %d² mod 8 = %d, got %d", m, (m*m)%msize, got)
+		start := time.Now()
+		outs, err := core.Run(clustered, be, kp.EncryptBits(bits))
+		if err != nil {
+			log.Fatal(err)
+		}
+		got := kp.DecryptBits(outs)
+		fmt.Printf("  x=%08b  parity=%s majority=%s  (%v)\n",
+			m, bit(got[0]), bit(got[1]), time.Since(start).Round(time.Millisecond))
+		for i := range want {
+			if got[i] != want[i] {
+				log.Fatalf("output %d: clustered path %v, cleartext reference %v", i, got[i], want[i])
+			}
+		}
+
+		// The classic binary computes the identical function — more
+		// bootstraps, same bits.
+		couts, err := core.Run(classic, be, kp.EncryptBits(bits))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, c := range kp.DecryptBits(couts) {
+			if c != want[i] {
+				log.Fatalf("output %d: classic path %v, cleartext reference %v", i, c, want[i])
+			}
 		}
 	}
-	fmt.Println("all lookups correct under encryption. OK")
+	fmt.Println("clustered and classic paths agree under encryption. OK")
+}
+
+func bit(v bool) string {
+	if v {
+		return "1"
+	}
+	return "0"
 }

@@ -17,6 +17,21 @@
 // index i (starting at 1), and the j-th gate instruction receives index
 // NumInputs + j. Each 128-bit instruction serializes as 16 little-endian
 // bytes, low quadword first.
+//
+// Multi-input LUT gates extend the format using the type nibble 0x0,
+// which the 2-input alphabet wastes on the constant-FALSE gate (Assemble
+// rewrites those to the equivalent XOR(x, x), so 0x0 never names a
+// classic gate record). A LUT is a two-word record occupying ONE gate
+// index:
+//
+//	LUT lead:      field1 = input0 idx,            field2 = input1 idx,  type = 0x0
+//	LUT extension: field1 = input2 idx / all ones, field2 = truth table, type = arity
+//
+// The extension word immediately follows its lead; its type nibble holds
+// the arity (2..logic.MaxLUTArity), field1 holds the third operand for
+// arity 3 and the all-ones marker for arity 2, and field2 holds the truth
+// table (bit x₀·2^(k-1)|…|x₍k₋₁₎ = f(x₀..x₍k₋₁₎), at most 2^arity bits).
+// The header's gate count stays the count of logical gates, not words.
 package asm
 
 import (
@@ -47,6 +62,13 @@ var (
 	// ErrMalformed: the decoded program violates netlist invariants
 	// (dangling references, forward references, bad ports).
 	ErrMalformed = errors.New("asm: decoded program is malformed")
+	// ErrLUTTruncated: a LUT lead record without its extension word.
+	ErrLUTTruncated = errors.New("asm: LUT record missing its truth-table extension word")
+	// ErrLUTArity: a LUT extension with arity outside [2, logic.MaxLUTArity]
+	// or whose third-operand field disagrees with the declared arity.
+	ErrLUTArity = errors.New("asm: LUT extension word declares an invalid arity")
+	// ErrLUTTable: a LUT truth table wider than 2^arity bits.
+	ErrLUTTable = errors.New("asm: LUT truth table wider than 2^arity bits")
 )
 
 // InstructionSize is the size of one encoded instruction in bytes.
@@ -168,7 +190,14 @@ func Assemble(nl *circuit.Netlist) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %d inputs + %d gates", ErrIndexSpace, nl.NumInputs, len(gates))
 	}
 
-	n := 1 + nl.NumInputs + len(gates) + len(outputs)
+	luts := 0
+	for i := range gates {
+		if gates[i].IsLUT() {
+			luts++
+		}
+	}
+
+	n := 1 + nl.NumInputs + len(gates) + luts + len(outputs)
 	buf := make([]byte, n*InstructionSize)
 	pos := 0
 	put := func(in Instruction) {
@@ -181,7 +210,21 @@ func Assemble(nl *circuit.Netlist) ([]byte, error) {
 		put(Instruction{F1: allOnes62, F2: allOnes62, Type: 0xF})
 	}
 	for _, g := range gates {
-		put(Instruction{F1: uint64(g.A), F2: uint64(g.B), Type: uint8(g.Kind)})
+		switch {
+		case g.IsLUT():
+			put(Instruction{F1: uint64(g.A), F2: uint64(g.B), Type: 0x0})
+			third := allOnes62
+			if g.Arity >= 3 {
+				third = uint64(g.C)
+			}
+			put(Instruction{F1: third, F2: uint64(g.TT), Type: g.Arity})
+		case g.Kind == logic.False:
+			// The 0x0 nibble is the LUT lead marker; a constant-FALSE gate
+			// is re-encoded as the equivalent XOR(x, x).
+			put(Instruction{F1: uint64(g.A), F2: uint64(g.A), Type: uint8(logic.XOR)})
+		default:
+			put(Instruction{F1: uint64(g.A), F2: uint64(g.B), Type: uint8(g.Kind)})
+		}
 	}
 	for _, o := range outputs {
 		put(Instruction{F1: allOnes62, F2: uint64(o), Type: 0x3})
@@ -189,11 +232,40 @@ func Assemble(nl *circuit.Netlist) ([]byte, error) {
 	return buf, nil
 }
 
+// decodeLUTExt validates the extension word following a LUT lead and
+// returns the decoded (third operand, table, arity). The third operand is
+// 0 for arity-2 LUTs.
+func decodeLUTExt(ext Instruction, at int) (circuit.NodeID, logic.TT, uint8, error) {
+	arity := int(ext.Type)
+	switch {
+	case ext.F1 == allOnes62 && ext.Type == 0x3:
+		// An output record where the extension should be: the lead was the
+		// last word of the gate section.
+		return 0, 0, 0, fmt.Errorf("%w: instruction %d: output record where the extension word belongs", ErrLUTTruncated, at)
+	case ext.F1 == allOnes62 && ext.F2 == allOnes62 && ext.Type == 0xF:
+		return 0, 0, 0, fmt.Errorf("%w: instruction %d: input record where the extension word belongs", ErrLUTTruncated, at)
+	case arity < 2 || arity > logic.MaxLUTArity:
+		return 0, 0, 0, fmt.Errorf("%w: instruction %d: arity %d outside [2, %d]", ErrLUTArity, at, arity, logic.MaxLUTArity)
+	case arity == 2 && ext.F1 != allOnes62:
+		return 0, 0, 0, fmt.Errorf("%w: instruction %d: arity-2 LUT carries a third operand (%d)", ErrLUTArity, at, ext.F1)
+	case arity >= 3 && ext.F1 == allOnes62:
+		return 0, 0, 0, fmt.Errorf("%w: instruction %d: arity-%d LUT lacks its third operand", ErrLUTArity, at, arity)
+	case ext.F2 > uint64(logic.TTMask(arity)):
+		return 0, 0, 0, fmt.Errorf("%w: instruction %d: table %#x exceeds the %d-bit mask of arity %d", ErrLUTTable, at, ext.F2, 1<<arity, arity)
+	}
+	var third circuit.NodeID
+	if arity >= 3 {
+		third = circuit.NodeID(ext.F1)
+	}
+	return third, logic.TT(ext.F2), uint8(arity), nil
+}
+
 // Info summarizes a program binary without fully decoding it.
 type Info struct {
 	Instructions int
 	Inputs       int
-	Gates        int
+	Gates        int // logical gates (a LUT pair counts once)
+	LUTs         int // multi-input LUT records among Gates
 	Outputs      int
 }
 
@@ -227,6 +299,18 @@ func Inspect(bin []byte) (Info, error) {
 			break
 		}
 		info.Gates++
+		if inst.Type == 0x0 {
+			// LUT lead: consume and validate the extension word.
+			if i+1 >= n {
+				return info, fmt.Errorf("%w: instruction %d ends the program", ErrLUTTruncated, i)
+			}
+			ext := decode(bin[(i+1)*InstructionSize:])
+			if _, _, _, err := decodeLUTExt(ext, i+1); err != nil {
+				return info, err
+			}
+			info.LUTs++
+			i++
+		}
 	}
 	for ; i < n; i++ {
 		inst := decode(bin[i*InstructionSize:])
@@ -262,18 +346,32 @@ func Disassemble(bin []byte) (*circuit.Netlist, error) {
 	for i := range nl.OutputNames {
 		nl.OutputNames[i] = fmt.Sprintf("out[%d]", i)
 	}
-	base := 1 + info.Inputs
-	for i := 0; i < info.Gates; i++ {
-		inst := decode(bin[(base+i)*InstructionSize:])
+	at := 1 + info.Inputs
+	for g := 0; g < info.Gates; g++ {
+		inst := decode(bin[at*InstructionSize:])
+		at++
+		if inst.Type == 0x0 {
+			// Inspect already validated the extension word.
+			ext := decode(bin[at*InstructionSize:])
+			at++
+			third, tt, arity, err := decodeLUTExt(ext, at-1)
+			if err != nil {
+				return nil, err
+			}
+			nl.Gates = append(nl.Gates, circuit.Gate{
+				A: circuit.NodeID(inst.F1), B: circuit.NodeID(inst.F2), C: third,
+				TT: tt, Arity: arity,
+			})
+			continue
+		}
 		nl.Gates = append(nl.Gates, circuit.Gate{
 			Kind: logic.Kind(inst.Type),
 			A:    circuit.NodeID(inst.F1),
 			B:    circuit.NodeID(inst.F2),
 		})
 	}
-	base += info.Gates
 	for i := 0; i < info.Outputs; i++ {
-		inst := decode(bin[(base+i)*InstructionSize:])
+		inst := decode(bin[(at+i)*InstructionSize:])
 		nl.Outputs = append(nl.Outputs, circuit.NodeID(inst.F2))
 	}
 	if err := nl.Validate(); err != nil {
@@ -297,7 +395,21 @@ func Listing(bin []byte) (string, error) {
 			out += fmt.Sprintf("input   #%d\n", idx)
 			idx++
 		case KindGate:
-			out += fmt.Sprintf("gate    #%d = %s(%d, %d)\n", idx, logic.Kind(inst.Type), inst.F1, inst.F2)
+			if inst.Type == 0x0 {
+				ext := decode(bin[(i+1)*InstructionSize:])
+				third, tt, arity, err := decodeLUTExt(ext, i+1)
+				if err != nil {
+					return "", err
+				}
+				if arity >= 3 {
+					out += fmt.Sprintf("lut%d    #%d = %#x(%d, %d, %d)\n", arity, idx, uint8(tt), inst.F1, inst.F2, third)
+				} else {
+					out += fmt.Sprintf("lut%d    #%d = %#x(%d, %d)\n", arity, idx, uint8(tt), inst.F1, inst.F2)
+				}
+				i++
+			} else {
+				out += fmt.Sprintf("gate    #%d = %s(%d, %d)\n", idx, logic.Kind(inst.Type), inst.F1, inst.F2)
+			}
 			idx++
 		case KindOutput:
 			out += fmt.Sprintf("output  <- #%d\n", inst.F2)

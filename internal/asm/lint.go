@@ -1,6 +1,7 @@
 package asm
 
 import (
+	"errors"
 	"fmt"
 
 	"pytfhe/internal/circuit"
@@ -10,11 +11,12 @@ import (
 // Binary-level diagnostic codes, complementing the graph-level codes of
 // internal/circuit.
 const (
-	CodeTruncated = "truncated"  // byte length not a whole instruction count
-	CodeEmpty     = "empty"      // no instructions at all
-	CodeBadHeader = "bad-header" // first instruction is not a header
-	CodeBadLayout = "bad-layout" // input/gate/output records out of order
-	CodeGateCount = "gate-count" // header gate count disagrees with stream
+	CodeTruncated    = "truncated"     // byte length not a whole instruction count
+	CodeEmpty        = "empty"         // no instructions at all
+	CodeBadHeader    = "bad-header"    // first instruction is not a header
+	CodeBadLayout    = "bad-layout"    // input/gate/output records out of order
+	CodeGateCount    = "gate-count"    // header gate count disagrees with stream
+	CodeLUTTruncated = "lut-truncated" // LUT lead without its extension word
 )
 
 // Lint statically verifies a program binary without executing it — the
@@ -71,6 +73,38 @@ func Lint(bin []byte) *circuit.Report {
 				continue
 			}
 			phase = KindGate
+			if inst.Type == 0x0 {
+				// LUT lead: the next word is its extension, consumed
+				// positionally (it may carry marker-looking field values).
+				if i+1 >= n {
+					addBin(circuit.SevError, CodeLUTTruncated,
+						fmt.Sprintf("instruction %d: LUT lead ends the program without its extension word", i))
+					continue
+				}
+				ext := decode(bin[(i+1)*InstructionSize:])
+				third, tt, arity, err := decodeLUTExt(ext, i+1)
+				if err != nil {
+					switch {
+					case errors.Is(err, ErrLUTTruncated):
+						// The following record is a marker, not an
+						// extension: report and let it reparse as itself.
+						addBin(circuit.SevError, CodeLUTTruncated, err.Error())
+					case errors.Is(err, ErrLUTTable):
+						addBin(circuit.SevError, circuit.CodeWideLUTTable, err.Error())
+						i++
+					default:
+						addBin(circuit.SevError, circuit.CodeBadLUTArity, err.Error())
+						i++
+					}
+					continue
+				}
+				i++
+				nl.Gates = append(nl.Gates, circuit.Gate{
+					A: circuit.NodeID(inst.F1), B: circuit.NodeID(inst.F2), C: third,
+					TT: tt, Arity: arity,
+				})
+				continue
+			}
 			nl.Gates = append(nl.Gates, circuit.Gate{
 				Kind: logic.Kind(inst.Type),
 				A:    circuit.NodeID(inst.F1),

@@ -111,6 +111,16 @@ func FuzzInspect(f *testing.F) {
 		Instruction{F1: MaxIndex, F2: MaxIndex, Type: 8},
 		Instruction{F1: allOnes62, F2: 2, Type: 0x3},
 	))
+	lutGood, err := Assemble(lutAdder(f))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(lutGood)                                                 // well-formed LUT program
+	f.Add(lutGood[:len(lutGood)-3*InstructionSize])                // LUT lead ends the stream
+	f.Add(lutProgram(func(in []Instruction) { in[5].Type = 0 }))   // arity 0
+	f.Add(lutProgram(func(in []Instruction) { in[5].Type = 0x9 })) // arity over max
+	f.Add(lutProgram(func(in []Instruction) { in[5].F2 = 0x100 })) // wide table
+	f.Add(lutProgram(func(in []Instruction) { in[5].F2 = 0x80 }))  // infeasible AND3
 
 	f.Fuzz(func(t *testing.T, bin []byte) {
 		Inspect(bin)

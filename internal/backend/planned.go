@@ -129,6 +129,7 @@ func (p *Planned) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sample,
 	p.Stats = RunStats{
 		Gates:      st.LogicalGates,
 		Bootstraps: st.LogicalBootstraps,
+		LUTs:       st.LogicalLUTs,
 		Levels:     st.Levels,
 		Workers:    p.ws.N(),
 		BatchSize:  p.batch,

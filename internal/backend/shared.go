@@ -74,6 +74,7 @@ type Shared struct {
 	// Cumulative counters since construction (atomics).
 	gatesDone  int64
 	bootsDone  int64
+	lutsDone   int64
 	busyNs     int64
 	submits    int64
 	quotaRej   int64
@@ -204,6 +205,7 @@ type SharedStats struct {
 	InFlight   int           // submissions currently executing
 	Gates      int64         // gates evaluated since construction
 	Bootstraps int64         // bootstrapped gates since construction
+	LUTs       int64         // multi-input LUT gates among those (each one programmable bootstrap)
 	Submits    int64         // Submit calls accepted
 	WorkerBusy time.Duration // cumulative evaluation time across workers
 
@@ -266,6 +268,7 @@ func (s *Shared) Stats() SharedStats {
 		InFlight:          int(atomic.LoadInt32(&s.inflightRn)),
 		Gates:             atomic.LoadInt64(&s.gatesDone),
 		Bootstraps:        atomic.LoadInt64(&s.bootsDone),
+		LUTs:              atomic.LoadInt64(&s.lutsDone),
 		Submits:           atomic.LoadInt64(&s.submits),
 		WorkerBusy:        time.Duration(atomic.LoadInt64(&s.busyNs)),
 		TenantPicks:       picks,
@@ -429,25 +432,40 @@ func (s *Shared) complete(r *sharedRun, gi int32, out *lwe.Sample, pool *exec.Po
 			s.push(r, child)
 		}
 	}
-	r.st.Release(g.A, pool)
-	r.st.Release(g.B, pool)
+	for k := 0; k < g.NumOperands(); k++ {
+		r.st.Release(g.Operand(k), pool)
+	}
 	atomic.AddInt64(&s.gatesDone, 1)
-	if g.Kind.NeedsBootstrap() {
+	if g.NeedsBootstrap() {
 		atomic.AddInt64(&s.bootsDone, 1)
+	}
+	if g.IsLUT() {
+		atomic.AddInt64(&s.lutsDone, 1)
 	}
 	if atomic.AddInt32(&r.done, 1) == r.nGates {
 		r.finish(nil)
 	}
 }
 
-// evalSingle evaluates one gate on the single path, timing it into the
-// cumulative busy counter.
+// evalSingle evaluates one gate — classic 2-input or k-input LUT — on the
+// single path, timing it into the cumulative busy counter.
 func (s *Shared) evalSingle(eng *gate.Engine, pool *exec.Pool, t sharedTask) {
 	r := t.run
 	g := r.nl.Gates[t.gi]
 	out := pool.Get()
 	start := time.Now()
-	if err := eng.Binary(g.Kind, out, r.st.Values[g.A], r.st.Values[g.B]); err != nil {
+	var err error
+	if g.IsLUT() {
+		var ins [logic.MaxLUTArity]*lwe.Sample
+		n := g.NumOperands()
+		for k := 0; k < n; k++ {
+			ins[k] = r.st.Values[g.Operand(k)]
+		}
+		err = eng.LUT(n, g.TT, out, ins[:n]...)
+	} else {
+		err = eng.Binary(g.Kind, out, r.st.Values[g.A], r.st.Values[g.B])
+	}
+	if err != nil {
 		pool.Put(out)
 		r.abort(fmt.Errorf("backend: gate %d: %w", r.nl.GateID(int(t.gi)), err))
 		return
@@ -486,10 +504,11 @@ func (s *Shared) worker() {
 	var relSeen int64
 	var (
 		tasks []sharedTask
-		kinds []logic.Kind
+		ops   []gate.Op
 		outs  []*lwe.Sample
 		avs   []*lwe.Sample
 		bvs   []*lwe.Sample
+		cvs   []*lwe.Sample
 	)
 	for {
 		t, _, ok := s.q.Pop()
@@ -516,20 +535,25 @@ func (s *Shared) worker() {
 			engines[r.key.id] = eng
 		}
 
-		if s.batch <= 1 || !r.nl.Gates[t.gi].Kind.NeedsBootstrap() {
+		if s.batch <= 1 || !r.nl.Gates[t.gi].NeedsBootstrap() {
 			s.evalSingle(eng, pool, t)
 			continue
 		}
 
-		tasks, kinds, outs = tasks[:0], kinds[:0], outs[:0]
-		avs, bvs = avs[:0], bvs[:0]
+		tasks, ops, outs = tasks[:0], ops[:0], outs[:0]
+		avs, bvs, cvs = avs[:0], bvs[:0], cvs[:0]
 		collect := func(t sharedTask) {
 			g := t.run.nl.Gates[t.gi]
 			tasks = append(tasks, t)
-			kinds = append(kinds, g.Kind)
+			ops = append(ops, gate.Op{Kind: g.Kind, TT: g.TT, Arity: g.Arity})
 			outs = append(outs, pool.Get())
 			avs = append(avs, t.run.st.Values[g.A])
 			bvs = append(bvs, t.run.st.Values[g.B])
+			if g.Arity >= 3 {
+				cvs = append(cvs, t.run.st.Values[g.C])
+			} else {
+				cvs = append(cvs, nil)
+			}
 		}
 		collect(t)
 		for len(tasks) < s.batch {
@@ -540,7 +564,7 @@ func (s *Shared) worker() {
 			if t2.run.aborted.Load() {
 				continue
 			}
-			if !t2.run.nl.Gates[t2.gi].Kind.NeedsBootstrap() {
+			if !t2.run.nl.Gates[t2.gi].NeedsBootstrap() {
 				s.evalSingle(eng, pool, t2)
 				continue
 			}
@@ -549,7 +573,7 @@ func (s *Shared) worker() {
 
 		b := len(tasks)
 		start := time.Now()
-		if err := eng.BinaryBatch(kinds[:b], outs[:b], avs[:b], bvs[:b]); err != nil {
+		if err := eng.OpBatch(ops[:b], outs[:b], avs[:b], bvs[:b], cvs[:b]); err != nil {
 			for _, out := range outs[:b] {
 				pool.Put(out)
 			}

@@ -40,6 +40,11 @@ type gateKey struct {
 	a, b NodeID
 }
 
+type lutKey struct {
+	tt      logic.TT
+	a, b, c NodeID
+}
+
 // Builder constructs a Netlist incrementally. All nodes must be created
 // through the builder so topological order holds by construction.
 type Builder struct {
@@ -51,11 +56,17 @@ type Builder struct {
 	outputs     []NodeID
 	outputNames []string
 	cse         map[gateKey]NodeID
+	lutCSE      map[lutKey]NodeID
 }
 
 // NewBuilder returns a builder with the given options.
 func NewBuilder(name string, opts BuilderOptions) *Builder {
-	return &Builder{name: name, opts: opts, cse: make(map[gateKey]NodeID)}
+	return &Builder{
+		name:   name,
+		opts:   opts,
+		cse:    make(map[gateKey]NodeID),
+		lutCSE: make(map[lutKey]NodeID),
+	}
 }
 
 // Input adds a named primary input and returns its node id. Inputs must be
@@ -236,6 +247,137 @@ func (b *Builder) Gate(kind logic.Kind, a, bb NodeID) NodeID {
 
 func (b *Builder) emit(kind logic.Kind, a, bb NodeID) NodeID {
 	b.gates = append(b.gates, Gate{Kind: kind, A: a, B: bb})
+	return NodeID(b.numInputs + len(b.gates))
+}
+
+// LUT creates a gate computing truth table tt over the operands (bit
+// x₀·2^(k-1)|…|x₍k₋₁₎ of tt holds f(x₀,…,x₍k₋₁₎), MSB-first like
+// logic.TT). Unlike Gate, the LUT path always simplifies regardless of
+// BuilderOptions: constant operands fold into the table, duplicate and
+// ignored operands are dropped, and tables of effective arity ≤ 2
+// degenerate to classic gates (where the usual options then apply).
+// Tables with no single-bootstrap plan (logic.SolveLUT) are decomposed by
+// Shannon expansion into 2-input gates, so the builder never emits a LUT
+// node Validate would reject.
+func (b *Builder) LUT(tt logic.TT, ins ...NodeID) NodeID {
+	arity := len(ins)
+	if arity < 1 || arity > logic.MaxLUTArity {
+		panic(fmt.Sprintf("circuit: LUT arity %d outside [1,%d]", arity, logic.MaxLUTArity))
+	}
+	tt &= logic.TTMask(arity)
+	ops := append([]NodeID(nil), ins...)
+
+	// Reduce to minimal support: fold constants into the table, merge
+	// duplicate operands, drop ignored ones, until stable.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < arity && !changed; i++ {
+			if ops[i].IsConst() {
+				tt = tt.Restrict(arity, i, constVal(ops[i]))
+				ops = append(ops[:i], ops[i+1:]...)
+				arity--
+				changed = true
+			}
+		}
+		for i := 0; i < arity && !changed; i++ {
+			for j := i + 1; j < arity && !changed; j++ {
+				if ops[i] == ops[j] {
+					tt = tt.MergeDup(arity, i, j)
+					ops = append(ops[:j], ops[j+1:]...)
+					arity--
+					changed = true
+				}
+			}
+		}
+		for i := 0; i < arity && !changed; i++ {
+			if tt.IgnoresInput(arity, i) {
+				tt = tt.DropInput(arity, i)
+				ops = append(ops[:i], ops[i+1:]...)
+				arity--
+				changed = true
+			}
+		}
+	}
+
+	switch arity {
+	case 0:
+		return b.Const(tt&1 == 1)
+	case 1:
+		switch tt & 3 {
+		case 0:
+			return b.Const(false)
+		case 3:
+			return b.Const(true)
+		case 2: // f(x) = x
+			return ops[0]
+		default: // f(x) = ¬x
+			return b.Not(ops[0])
+		}
+	case 2:
+		return b.Gate(tt.Kind(), ops[0], ops[1])
+	}
+
+	if b.opts.PushNot {
+		negated := false
+		for i := 0; i < arity; i++ {
+			if x, ok := b.notOperand(ops[i]); ok {
+				tt = tt.FlipInput(arity, i)
+				ops[i] = x
+				negated = true
+			}
+		}
+		if negated {
+			// Absorption may have created duplicates (x alongside ¬x):
+			// restart the reduction from the top.
+			for i := 0; i < arity; i++ {
+				for j := i + 1; j < arity; j++ {
+					if ops[i] == ops[j] {
+						return b.LUT(tt, ops...)
+					}
+				}
+			}
+		}
+	}
+
+	if !logic.LUTFeasible(arity, tt) {
+		// No single-bootstrap plan: Shannon-expand on the first operand.
+		// Both cofactors are 2-input functions, recombined with a mux.
+		hi := b.LUT(tt.Restrict(arity, 0, true), ops[1], ops[2])
+		lo := b.LUT(tt.Restrict(arity, 0, false), ops[1], ops[2])
+		return b.Mux(ops[0], hi, lo)
+	}
+
+	if b.opts.CSE {
+		// Canonicalize operand order (ids are distinct after reduction):
+		// sort operands ascending and permute the table to match.
+		perm := []int{0, 1, 2}
+		for i := 0; i < arity; i++ {
+			for j := i + 1; j < arity; j++ {
+				if ops[perm[j]] < ops[perm[i]] {
+					perm[i], perm[j] = perm[j], perm[i]
+				}
+			}
+		}
+		if perm[0] != 0 || perm[1] != 1 {
+			tt = tt.Permute(arity, perm)
+			ops = []NodeID{ops[perm[0]], ops[perm[1]], ops[perm[2]]}
+		}
+		key := lutKey{tt: tt, a: ops[0], b: ops[1], c: ops[2]}
+		if id, ok := b.lutCSE[key]; ok {
+			return id
+		}
+		id := b.emitLUT(tt, ops)
+		b.lutCSE[key] = id
+		return id
+	}
+	return b.emitLUT(tt, ops)
+}
+
+func (b *Builder) emitLUT(tt logic.TT, ops []NodeID) NodeID {
+	b.gates = append(b.gates, Gate{
+		A: ops[0], B: ops[1], C: ops[2],
+		TT: tt, Arity: uint8(len(ops)),
+	})
 	return NodeID(b.numInputs + len(b.gates))
 }
 

@@ -31,11 +31,82 @@ const (
 // IsConst reports whether the id is one of the constant sentinels.
 func (id NodeID) IsConst() bool { return id == ConstFalse || id == ConstTrue }
 
-// Gate is one two-input gate. For unary kinds (NOT, COPY) both operands
+// Gate is one gate node. For the classic two-input gates (Arity 0) the
+// function is Kind over (A, B); for unary kinds (NOT, COPY) both operands
 // hold the same node, mirroring the binary encoding.
+//
+// When Arity is 2 or 3 the gate is a k-input LUT: it computes the truth
+// table TT over its operands read MSB-first (bit A<<2|B<<1|C at arity 3,
+// A<<1|B at arity 2, matching logic.TT's convention), and Kind is unused
+// (zero). LUT gates always cost exactly one programmable bootstrap, so a
+// built netlist only holds tables logic.SolveLUT can separate — Validate
+// enforces it.
 type Gate struct {
 	Kind logic.Kind
 	A, B NodeID
+
+	C     NodeID   // third LUT operand (Arity 3 only)
+	TT    logic.TT // LUT truth table (Arity ≥ 2 only)
+	Arity uint8    // 0: classic 2-input gate; 2..3: k-input LUT
+}
+
+// IsLUT reports whether the gate is a multi-input LUT node.
+func (g *Gate) IsLUT() bool { return g.Arity != 0 }
+
+// NumOperands returns how many distinct operand slots the gate reads:
+// always 2 for classic gates (unary kinds duplicate A into B), Arity for
+// LUTs.
+func (g *Gate) NumOperands() int {
+	if g.Arity >= 2 {
+		return int(g.Arity)
+	}
+	return 2
+}
+
+// Operand returns operand slot i (0 → A, 1 → B, 2 → C).
+func (g *Gate) Operand(i int) NodeID {
+	switch i {
+	case 0:
+		return g.A
+	case 1:
+		return g.B
+	}
+	return g.C
+}
+
+// Table returns the gate's truth table in the unified TT encoding —
+// the Kind nibble for classic gates, TT for LUTs.
+func (g *Gate) Table() logic.TT {
+	if g.IsLUT() {
+		return g.TT
+	}
+	return logic.TTOf(g.Kind)
+}
+
+// NeedsBootstrap reports whether evaluating the gate homomorphically
+// costs a bootstrap. LUT nodes always do — that is their whole point:
+// one programmable bootstrap standing in for a cone of 2-input gates.
+func (g *Gate) NeedsBootstrap() bool {
+	if g.IsLUT() {
+		return true
+	}
+	return g.Kind.NeedsBootstrap()
+}
+
+// Eval applies the gate to cleartext operand values (vals[i] is the value
+// of Operand(i); classic gates read the first two).
+func (g *Gate) Eval(vals [logic.MaxLUTArity]bool) bool {
+	if g.IsLUT() {
+		var v uint8
+		for i := 0; i < int(g.Arity); i++ {
+			v <<= 1
+			if vals[i] {
+				v |= 1
+			}
+		}
+		return g.TT.Eval(v)
+	}
+	return g.Kind.Eval(vals[0], vals[1])
 }
 
 // Netlist is an immutable gate-level program.
@@ -82,9 +153,22 @@ func (nl *Netlist) Validate() error {
 	if nl.OutputNames != nil && len(nl.OutputNames) != len(nl.Outputs) {
 		return fmt.Errorf("circuit: %d output names for %d outputs", len(nl.OutputNames), len(nl.Outputs))
 	}
-	for i, g := range nl.Gates {
+	for i := range nl.Gates {
+		g := &nl.Gates[i]
 		id := nl.GateID(i)
-		for _, in := range [2]NodeID{g.A, g.B} {
+		if g.IsLUT() {
+			if g.Arity < 2 || int(g.Arity) > logic.MaxLUTArity {
+				return fmt.Errorf("circuit: gate %d: LUT arity %d outside [2,%d]", id, g.Arity, logic.MaxLUTArity)
+			}
+			if g.TT != g.TT&logic.TTMask(int(g.Arity)) {
+				return fmt.Errorf("circuit: gate %d: truth table %#x wider than 2^%d bits", id, g.TT, g.Arity)
+			}
+			if !logic.LUTFeasible(int(g.Arity), g.TT) {
+				return fmt.Errorf("circuit: gate %d: LUT table %#x has no single-bootstrap plan", id, g.TT)
+			}
+		}
+		for k := 0; k < g.NumOperands(); k++ {
+			in := g.Operand(k)
 			if in <= 0 {
 				return fmt.Errorf("circuit: gate %d (%v) reads invalid node %d", id, g.Kind, in)
 			}
@@ -112,8 +196,13 @@ func (nl *Netlist) Evaluate(inputs []bool) ([]bool, error) {
 	}
 	values := make([]bool, nl.NumNodes()+1)
 	copy(values[1:], inputs)
-	for i, g := range nl.Gates {
-		values[nl.GateID(i)] = g.Kind.Eval(values[g.A], values[g.B])
+	for i := range nl.Gates {
+		g := &nl.Gates[i]
+		var vals [logic.MaxLUTArity]bool
+		for k := 0; k < g.NumOperands(); k++ {
+			vals[k] = values[g.Operand(k)]
+		}
+		values[nl.GateID(i)] = g.Eval(vals)
 	}
 	outs := make([]bool, len(nl.Outputs))
 	for i, id := range nl.Outputs {
@@ -135,10 +224,13 @@ func (nl *Netlist) Evaluate(inputs []bool) ([]bool, error) {
 func (nl *Netlist) Levels() [][]int {
 	level := make([]int, nl.NumNodes()+1) // inputs have level 0
 	var levels [][]int
-	for i, g := range nl.Gates {
-		l := level[g.A]
-		if lb := level[g.B]; lb > l {
-			l = lb
+	for i := range nl.Gates {
+		g := &nl.Gates[i]
+		l := 0
+		for k := 0; k < g.NumOperands(); k++ {
+			if lv := level[g.Operand(k)]; lv > l {
+				l = lv
+			}
 		}
 		l++
 		level[nl.GateID(i)] = l
@@ -155,12 +247,15 @@ func (nl *Netlist) Levels() [][]int {
 func (nl *Netlist) Depth() int {
 	depth := make([]int, nl.NumNodes()+1)
 	max := 0
-	for i, g := range nl.Gates {
-		d := depth[g.A]
-		if db := depth[g.B]; db > d {
-			d = db
+	for i := range nl.Gates {
+		g := &nl.Gates[i]
+		d := 0
+		for k := 0; k < g.NumOperands(); k++ {
+			if dv := depth[g.Operand(k)]; dv > d {
+				d = dv
+			}
 		}
-		if g.Kind.NeedsBootstrap() {
+		if g.NeedsBootstrap() {
 			d++
 		}
 		depth[nl.GateID(i)] = d
@@ -176,12 +271,14 @@ type Stats struct {
 	Inputs       int
 	Outputs      int
 	Gates        int
-	Bootstrapped int // gates that cost a bootstrap (the paper's gate count)
-	Free         int // NOT/COPY gates, linear on ciphertexts
-	Depth        int // critical path in bootstrapped gates
-	Levels       int // wavefront count
-	MaxWidth     int // widest wavefront
-	ByKind       [logic.NumKinds]int
+	Bootstrapped int                 // gates that cost a bootstrap (the paper's gate count)
+	Free         int                 // NOT/COPY gates, linear on ciphertexts
+	LUTs         int                 // multi-input LUT gates (each one bootstrap)
+	LUTInputs    int                 // operand slots across LUT gates (absorption measure)
+	Depth        int                 // critical path in bootstrapped gates
+	Levels       int                 // wavefront count
+	MaxWidth     int                 // widest wavefront
+	ByKind       [logic.NumKinds]int // classic gates only; LUTs counted in LUTs
 }
 
 // ComputeStats gathers Stats in one pass.
@@ -192,9 +289,15 @@ func (nl *Netlist) ComputeStats() Stats {
 		Gates:   len(nl.Gates),
 		Depth:   nl.Depth(),
 	}
-	for _, g := range nl.Gates {
-		s.ByKind[g.Kind]++
-		if g.Kind.NeedsBootstrap() {
+	for i := range nl.Gates {
+		g := &nl.Gates[i]
+		if g.IsLUT() {
+			s.LUTs++
+			s.LUTInputs += int(g.Arity)
+		} else {
+			s.ByKind[g.Kind]++
+		}
+		if g.NeedsBootstrap() {
 			s.Bootstrapped++
 		} else {
 			s.Free++
@@ -214,9 +317,11 @@ func (nl *Netlist) ComputeStats() Stats {
 // read it. Index 0 is unused.
 func (nl *Netlist) FanOut() []int {
 	fan := make([]int, nl.NumNodes()+1)
-	for _, g := range nl.Gates {
-		fan[g.A]++
-		fan[g.B]++
+	for i := range nl.Gates {
+		g := &nl.Gates[i]
+		for k := 0; k < g.NumOperands(); k++ {
+			fan[g.Operand(k)]++
+		}
 	}
 	for _, out := range nl.Outputs {
 		if out > 0 {

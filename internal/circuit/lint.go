@@ -53,6 +53,9 @@ const (
 	CodeDeadGates     = "dead-gates"      // gates unreachable from any output
 	CodeForwardRef    = "forward-ref"     // operand defined later than its reader (needs re-sort)
 	CodeShapeMismatch = "shape-mismatch"  // name tables disagree with port counts
+	CodeBadLUTArity   = "bad-lut-arity"   // LUT arity outside [2, logic.MaxLUTArity]
+	CodeWideLUTTable  = "wide-lut-table"  // LUT truth table wider than 2^arity bits
+	CodeInfeasibleLUT = "infeasible-lut"  // LUT table with no single-bootstrap plan
 )
 
 // Report is the result of linting one netlist: diagnostics plus the
@@ -150,19 +153,34 @@ func Lint(nl *Netlist) *Report {
 	// Per-gate wiring and type checks.
 	for i, g := range nl.Gates {
 		id := nl.GateID(i)
-		if g.Kind >= logic.NumKinds {
+		nOps := 2
+		if g.IsLUT() {
+			if g.Arity < 2 || int(g.Arity) > logic.MaxLUTArity {
+				diag(SevError, CodeBadLUTArity, "gate %d is a LUT with arity %d, outside [2, %d]", id, g.Arity, logic.MaxLUTArity)
+			} else {
+				nOps = int(g.Arity)
+				if g.TT != g.TT&logic.TTMask(nOps) {
+					diag(SevError, CodeWideLUTTable, "gate %d holds truth table %#x, wider than the 2^%d bits arity %d allows", id, g.TT, 1<<nOps, g.Arity)
+				} else if c, _ := g.TT.IsConst(nOps); c {
+					diag(SevWarning, CodeConstGate, "gate %d is a constant LUT (table %#x); synthesis should have folded it", id, g.TT)
+				} else if !logic.LUTFeasible(nOps, g.TT) {
+					diag(SevError, CodeInfeasibleLUT, "gate %d: LUT table %#x has no single-bootstrap plan at arity %d", id, g.TT, g.Arity)
+				}
+			}
+		} else if g.Kind >= logic.NumKinds {
 			diag(SevError, CodeBadGateType, "gate %d has type %d, outside the 4-bit gate alphabet", id, g.Kind)
 		} else if g.Kind.IsConst() {
 			diag(SevWarning, CodeConstGate, "gate %d is constant %s; synthesis should have folded it", id, g.Kind)
 		}
-		for _, in := range [2]NodeID{g.A, g.B} {
+		for k := 0; k < nOps; k++ {
+			in := g.Operand(k)
 			switch {
 			case in <= 0:
-				diag(SevError, CodeUndrivenWire, "gate %d (%s) reads node %d, which no instruction drives", id, g.Kind, in)
+				diag(SevError, CodeUndrivenWire, "gate %d (%s) reads node %d, which no instruction drives", id, gateName(&g), in)
 			case in > numNodes:
-				diag(SevError, CodeUndrivenWire, "gate %d (%s) reads node %d, past the last defined node %d", id, g.Kind, in, numNodes)
+				diag(SevError, CodeUndrivenWire, "gate %d (%s) reads node %d, past the last defined node %d", id, gateName(&g), in, numNodes)
 			case in >= id:
-				diag(SevError, CodeForwardRef, "gate %d (%s) reads node %d, defined at or after it", id, g.Kind, in)
+				diag(SevError, CodeForwardRef, "gate %d (%s) reads node %d, defined at or after it", id, gateName(&g), in)
 			}
 		}
 	}
@@ -200,7 +218,7 @@ func Lint(nl *Netlist) *Report {
 	} else {
 		// The structure summary is only meaningful on an acyclic graph.
 		for _, g := range nl.Gates {
-			if g.Kind < logic.NumKinds && g.Kind.NeedsBootstrap() {
+			if g.IsLUT() || (g.Kind < logic.NumKinds && g.Kind.NeedsBootstrap()) {
 				r.Bootstrapped++
 			}
 		}
@@ -221,6 +239,15 @@ func Lint(nl *Netlist) *Report {
 		}
 	}
 	return r
+}
+
+// gateName renders a gate's function for diagnostics: the kind mnemonic
+// for classic gates, "lutK(table)" for LUT nodes.
+func gateName(g *Gate) string {
+	if g.IsLUT() {
+		return fmt.Sprintf("lut%d(%#x)", g.Arity, g.TT)
+	}
+	return g.Kind.String()
 }
 
 // wellFormed reports whether the report so far has no error diagnostics —
@@ -250,8 +277,8 @@ func findCycle(nl *Netlist) []NodeID {
 	operands := func(gi int) []int {
 		var ops []int
 		g := nl.Gates[gi]
-		for _, in := range [2]NodeID{g.A, g.B} {
-			if j := nl.GateIndex(in); j >= 0 {
+		for k := 0; k < g.NumOperands(); k++ {
+			if j := nl.GateIndex(g.Operand(k)); j >= 0 {
 				ops = append(ops, j)
 			}
 		}
@@ -322,8 +349,9 @@ func countDeadGates(nl *Netlist) int {
 		gi := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		g := nl.Gates[gi]
-		mark(g.A)
-		mark(g.B)
+		for k := 0; k < g.NumOperands(); k++ {
+			mark(g.Operand(k))
+		}
 	}
 	dead := 0
 	for _, l := range live {

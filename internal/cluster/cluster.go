@@ -73,10 +73,15 @@ const DefaultJobTimeout = 2 * time.Minute
 const DefaultDialTimeout = 15 * time.Second
 
 // GateTask ships one gate evaluation: the gate kind and its two input
-// ciphertexts.
+// ciphertexts for a classic gate, or (Arity != 0) a k-input LUT with its
+// truth table and up to one extra operand. C travels only at arity 3, so
+// classic tasks keep their pre-LUT wire size.
 type GateTask struct {
-	Kind uint8
-	A, B *lwe.Sample
+	Kind  uint8
+	A, B  *lwe.Sample
+	C     *lwe.Sample // third LUT operand (Arity 3 only)
+	TT    uint8       // LUT truth table (Arity >= 2 only)
+	Arity uint8       // 0: classic gate; 2..3: k-input LUT
 }
 
 // Message is the single wire envelope; exactly one field is set.
@@ -487,7 +492,7 @@ func (c *Coordinator) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sam
 
 	stats := Stats{Workers: len(workers), Slots: totalSlots, Gates: len(nl.Gates)}
 	for _, g := range nl.Gates {
-		if g.Kind.NeedsBootstrap() {
+		if g.NeedsBootstrap() {
 			stats.Bootstraps++
 		}
 	}
@@ -532,9 +537,18 @@ func (c *Coordinator) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sam
 				tasks := make([]GateTask, len(part))
 				for ti, gi := range part {
 					g := nl.Gates[gi]
-					tasks[ti] = GateTask{Kind: uint8(g.Kind), A: values[g.A], B: values[g.B]}
-					stats.BytesSent += 3 * ctBytes
-					stats.SamplesSent += 2
+					task := GateTask{Kind: uint8(g.Kind), A: values[g.A], B: values[g.B]}
+					if g.IsLUT() {
+						task.TT = uint8(g.TT)
+						task.Arity = g.Arity
+						if g.Arity >= 3 {
+							task.C = values[g.C]
+						}
+					}
+					tasks[ti] = task
+					ops := int64(g.NumOperands())
+					stats.BytesSent += (1 + ops) * ctBytes
+					stats.SamplesSent += ops
 				}
 				go func(w *workerConn, wi, seq int, tasks []GateTask, part []int) {
 					if err := w.enc.Encode(Message{Job: &Job{Seq: seq, Tasks: tasks}}); err != nil {
@@ -601,8 +615,10 @@ func (c *Coordinator) Run(nl *circuit.Netlist, inputs []*lwe.Sample) ([]*lwe.Sam
 		// memory follows the live frontier. The ciphertexts came from remote
 		// workers, so there is no local free list to return them to.
 		for _, gi := range level {
-			st.Release(nl.Gates[gi].A, nil)
-			st.Release(nl.Gates[gi].B, nil)
+			g := &nl.Gates[gi]
+			for k := 0; k < g.NumOperands(); k++ {
+				st.Release(g.Operand(k), nil)
+			}
 		}
 	}
 
@@ -800,7 +816,14 @@ func (w *Worker) evalJob(engines []*gate.Engine, ck *boot.CloudKey, job *Job) ([
 			for i := lo; i < hi; i++ {
 				t := job.Tasks[i]
 				out := lwe.NewSample(dim)
-				if err := eng.Binary(logic.Kind(t.Kind), out, t.A, t.B); err != nil {
+				var err error
+				if t.Arity != 0 {
+					ins := [3]*lwe.Sample{t.A, t.B, t.C}
+					err = eng.LUT(int(t.Arity), logic.TT(t.TT), out, ins[:t.Arity]...)
+				} else {
+					err = eng.Binary(logic.Kind(t.Kind), out, t.A, t.B)
+				}
+				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err

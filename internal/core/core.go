@@ -78,6 +78,37 @@ func Compile(nl *circuit.Netlist) (*Program, error) {
 	}, nil
 }
 
+// CompileLUT is Compile through the LUT-clustering pipeline: after the
+// standard passes converge, fanout-free cones of 2-input gates collapse
+// into k-input programmable bootstraps (synth.OptimizeLUT), so the binary
+// carries multi-input LUT records and every executor pays one bootstrap
+// per cone instead of one per gate.
+func CompileLUT(nl *circuit.Netlist) (*Program, error) {
+	res, err := synth.OptimizeLUT(nl)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	bin, err := asm.Assemble(res.Netlist)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Program{
+		Name:    nl.Name,
+		Netlist: res.Netlist,
+		Binary:  bin,
+		Stats:   res.Netlist.ComputeStats(),
+	}, nil
+}
+
+// ApplyLUT re-synthesizes an already-loaded program through the LUT
+// pipeline, reassembling the binary so downstream consumers (inspect,
+// daemon registration, the shard exporter) see the multi-bit form. The
+// rewrite is exact: lut-cluster only merges cones whose truth tables it
+// re-derives, so outputs decrypt bit-identically to the source program's.
+func ApplyLUT(p *Program) (*Program, error) {
+	return CompileLUT(p.Netlist)
+}
+
 // LoadStrict decodes a PyTFHE binary after running the full static lint
 // suite (asm.Lint: framing, cycles, wiring, gate types, outputs) over it.
 // Any error-severity diagnostic rejects the program — the pre-flight gate

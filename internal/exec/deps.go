@@ -19,9 +19,10 @@ func NewDeps(nl *circuit.Netlist) *Deps {
 		Children: make([][]int32, nl.NumNodes()+1),
 		Pending:  make([]int32, len(nl.Gates)),
 	}
-	for i, g := range nl.Gates {
-		for _, in := range [2]circuit.NodeID{g.A, g.B} {
-			if nl.GateIndex(in) >= 0 {
+	for i := range nl.Gates {
+		g := &nl.Gates[i]
+		for k := 0; k < g.NumOperands(); k++ {
+			if in := g.Operand(k); nl.GateIndex(in) >= 0 {
 				d.Pending[i]++
 				d.Children[in] = append(d.Children[in], int32(i))
 			}
@@ -60,7 +61,7 @@ func CriticalDepth(nl *circuit.Netlist, children [][]int32) []int64 {
 			}
 		}
 		var w int64
-		if nl.Gates[i].Kind.NeedsBootstrap() {
+		if nl.Gates[i].NeedsBootstrap() {
 			w = 1
 		}
 		rem[i] = w + longest

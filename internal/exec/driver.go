@@ -19,6 +19,42 @@ type MemStrategy func(dim int) Memory
 // NewPoolMemory is the default MemStrategy: a refcounted free-list Pool.
 func NewPoolMemory(dim int) Memory { return NewPool(dim) }
 
+// applyGate evaluates one netlist gate — classic 2-input or k-input LUT —
+// on eng, reading operands from the state's value table.
+func applyGate(eng *gate.Engine, st *State, g *circuit.Gate, out *lwe.Sample) error {
+	if g.IsLUT() {
+		var ins [logic.MaxLUTArity]*lwe.Sample
+		n := g.NumOperands()
+		for k := 0; k < n; k++ {
+			ins[k] = st.Values[g.Operand(k)]
+		}
+		return eng.LUT(n, g.TT, out, ins[:n]...)
+	}
+	return eng.Binary(g.Kind, out, st.Values[g.A], st.Values[g.B])
+}
+
+// releaseOperands drops one fan-out reference per operand slot of g,
+// recycling drained ciphertexts through mem.
+func releaseOperands(st *State, g *circuit.Gate, mem Memory) {
+	for k := 0; k < g.NumOperands(); k++ {
+		st.Release(g.Operand(k), mem)
+	}
+}
+
+// countGates pre-tallies the bootstrap and LUT totals of a netlist into
+// stats — every driver reports the same static counts.
+func countGates(nl *circuit.Netlist, stats *Stats) {
+	for i := range nl.Gates {
+		g := &nl.Gates[i]
+		if g.NeedsBootstrap() {
+			stats.Bootstraps++
+		}
+		if g.IsLUT() {
+			stats.LUTs++
+		}
+	}
+}
+
 // RunSequential is the single-core driver: gates evaluate in netlist
 // order on one engine, recycling operands through mem the moment their
 // fan-out drains. This is the Single backend's policy.
@@ -30,19 +66,17 @@ func RunSequential(eng *gate.Engine, nl *circuit.Netlist, inputs []*lwe.Sample, 
 	}
 	start := time.Now()
 	stats := Stats{Gates: len(nl.Gates)}
-	for i, g := range nl.Gates {
+	countGates(nl, &stats)
+	for i := range nl.Gates {
+		g := &nl.Gates[i]
 		id := nl.GateID(i)
 		out := mem.Get()
-		if err := eng.Binary(g.Kind, out, st.Values[g.A], st.Values[g.B]); err != nil {
+		if err := applyGate(eng, st, g, out); err != nil {
 			mem.Put(out)
 			return nil, Stats{}, fmt.Errorf("exec: gate %d: %w", id, err)
 		}
-		if g.Kind.NeedsBootstrap() {
-			stats.Bootstraps++
-		}
 		st.Values[id] = out
-		st.Release(g.A, mem)
-		st.Release(g.B, mem)
+		releaseOperands(st, g, mem)
 	}
 	outs, err := st.Collect(dim)
 	if err != nil {
@@ -68,11 +102,7 @@ func RunLevels(ws *Workers, nl *circuit.Netlist, inputs []*lwe.Sample, mem Memor
 	start := time.Now()
 	levels := nl.Levels()
 	stats := Stats{Gates: len(nl.Gates), Levels: len(levels), Workers: ws.N()}
-	for _, g := range nl.Gates {
-		if g.Kind.NeedsBootstrap() {
-			stats.Bootstraps++
-		}
-	}
+	countGates(nl, &stats)
 
 	var firstErr error
 	var errMu sync.Mutex
@@ -100,8 +130,7 @@ func RunLevels(ws *Workers, nl *circuit.Netlist, inputs []*lwe.Sample, mem Memor
 						return
 					}
 					gi := level[i]
-					g := nl.Gates[gi]
-					if err := eng.Binary(g.Kind, st.Values[nl.GateID(gi)], st.Values[g.A], st.Values[g.B]); err != nil {
+					if err := applyGate(eng, st, &nl.Gates[gi], st.Values[nl.GateID(gi)]); err != nil {
 						errMu.Lock()
 						if firstErr == nil {
 							firstErr = fmt.Errorf("exec: gate %d: %w", nl.GateID(gi), err)
@@ -119,8 +148,7 @@ func RunLevels(ws *Workers, nl *circuit.Netlist, inputs []*lwe.Sample, mem Memor
 		// Operand releases happen after the barrier so no worker frees a
 		// ciphertext another worker is still reading.
 		for _, gi := range level {
-			st.Release(nl.Gates[gi].A, mem)
-			st.Release(nl.Gates[gi].B, mem)
+			releaseOperands(st, &nl.Gates[gi], mem)
 		}
 	}
 	outs, err := st.Collect(dim)
@@ -166,11 +194,7 @@ func RunReadyBatch(ws *Workers, nl *circuit.Netlist, inputs []*lwe.Sample, sched
 	}
 	nGates := len(nl.Gates)
 	stats := Stats{Gates: nGates, Workers: ws.N(), BatchSize: batch}
-	for _, g := range nl.Gates {
-		if g.Kind.NeedsBootstrap() {
-			stats.Bootstraps++
-		}
-	}
+	countGates(nl, &stats)
 
 	deps := NewDeps(nl)
 
@@ -218,7 +242,7 @@ func RunReadyBatch(ws *Workers, nl *circuit.Netlist, inputs []*lwe.Sample, sched
 	// The last published gate finishes the queue: all gates evaluated means
 	// every push has already happened, so finishing wakes idle workers.
 	publish := func(gi int32, out *lwe.Sample, mem Memory) {
-		g := nl.Gates[gi]
+		g := &nl.Gates[gi]
 		id := nl.GateID(int(gi))
 		st.Values[id] = out
 		for _, child := range deps.Children[id] {
@@ -227,8 +251,7 @@ func RunReadyBatch(ws *Workers, nl *circuit.Netlist, inputs []*lwe.Sample, sched
 				ready.Push(child)
 			}
 		}
-		st.Release(g.A, mem)
-		st.Release(g.B, mem)
+		releaseOperands(st, g, mem)
 		if atomic.AddInt32(&done, 1) == int32(nGates) {
 			ready.Finish()
 		}
@@ -236,9 +259,8 @@ func RunReadyBatch(ws *Workers, nl *circuit.Netlist, inputs []*lwe.Sample, sched
 	// evalOne is the single-gate path: the whole policy of RunReady, and
 	// the inline fallback the batch drain uses for free gates.
 	evalOne := func(eng *gate.Engine, mem Memory, gi int32) bool {
-		g := nl.Gates[gi]
 		out := mem.Get()
-		if err := eng.Binary(g.Kind, out, st.Values[g.A], st.Values[g.B]); err != nil {
+		if err := applyGate(eng, st, &nl.Gates[gi], out); err != nil {
 			mem.Put(out)
 			fail(fmt.Errorf("exec: gate %d: %w", nl.GateID(int(gi)), err))
 			return false
@@ -261,18 +283,20 @@ func RunReadyBatch(ws *Workers, nl *circuit.Netlist, inputs []*lwe.Sample, sched
 			var busy time.Duration
 			defer func() { ws.AddBusy(busy) }()
 			var (
-				gis   []int32
-				kinds []logic.Kind
-				outs  []*lwe.Sample
-				avs   []*lwe.Sample
-				bvs   []*lwe.Sample
+				gis  []int32
+				ops  []gate.Op
+				outs []*lwe.Sample
+				avs  []*lwe.Sample
+				bvs  []*lwe.Sample
+				cvs  []*lwe.Sample
 			)
 			if batch > 1 {
 				gis = make([]int32, 0, batch)
-				kinds = make([]logic.Kind, 0, batch)
+				ops = make([]gate.Op, 0, batch)
 				outs = make([]*lwe.Sample, 0, batch)
 				avs = make([]*lwe.Sample, 0, batch)
 				bvs = make([]*lwe.Sample, 0, batch)
+				cvs = make([]*lwe.Sample, 0, batch)
 			}
 			for {
 				gi, ok := ready.Pop()
@@ -281,7 +305,7 @@ func RunReadyBatch(ws *Workers, nl *circuit.Netlist, inputs []*lwe.Sample, sched
 				}
 				popped := time.Now()
 				atomic.AddInt64(&queueWaitNs, popped.UnixNano()-readyAt[gi])
-				if batch <= 1 || !nl.Gates[gi].Kind.NeedsBootstrap() {
+				if batch <= 1 || !nl.Gates[gi].NeedsBootstrap() {
 					if !evalOne(eng, mem, gi) {
 						return
 					}
@@ -292,15 +316,24 @@ func RunReadyBatch(ws *Workers, nl *circuit.Netlist, inputs []*lwe.Sample, sched
 				// from the ready queue without blocking. Free gates taken
 				// during the drain run inline — their children may become
 				// ready in time to join this very batch.
-				gis, kinds, outs = gis[:0], kinds[:0], outs[:0]
-				avs, bvs = avs[:0], bvs[:0]
+				gis, ops, outs = gis[:0], ops[:0], outs[:0]
+				avs, bvs, cvs = avs[:0], bvs[:0], cvs[:0]
 				collect := func(gj int32) {
-					g := nl.Gates[gj]
+					g := &nl.Gates[gj]
 					gis = append(gis, gj)
-					kinds = append(kinds, g.Kind)
+					var cv *lwe.Sample
+					if g.IsLUT() {
+						ops = append(ops, gate.Op{TT: g.TT, Arity: g.Arity})
+						if g.Arity >= 3 {
+							cv = st.Values[g.C]
+						}
+					} else {
+						ops = append(ops, gate.Op{Kind: g.Kind})
+					}
 					outs = append(outs, mem.Get())
 					avs = append(avs, st.Values[g.A])
 					bvs = append(bvs, st.Values[g.B])
+					cvs = append(cvs, cv)
 				}
 				collect(gi)
 				for len(gis) < batch {
@@ -309,7 +342,7 @@ func RunReadyBatch(ws *Workers, nl *circuit.Netlist, inputs []*lwe.Sample, sched
 						break
 					}
 					atomic.AddInt64(&queueWaitNs, time.Now().UnixNano()-readyAt[gj])
-					if !nl.Gates[gj].Kind.NeedsBootstrap() {
+					if !nl.Gates[gj].NeedsBootstrap() {
 						if !evalOne(eng, mem, gj) {
 							return
 						}
@@ -318,7 +351,7 @@ func RunReadyBatch(ws *Workers, nl *circuit.Netlist, inputs []*lwe.Sample, sched
 					collect(gj)
 				}
 				b := len(gis)
-				if err := eng.BinaryBatch(kinds[:b], outs[:b], avs[:b], bvs[:b]); err != nil {
+				if err := eng.OpBatch(ops[:b], outs[:b], avs[:b], bvs[:b], cvs[:b]); err != nil {
 					for _, out := range outs[:b] {
 						mem.Put(out)
 					}

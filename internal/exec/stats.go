@@ -10,6 +10,7 @@ import "time"
 type Stats struct {
 	Gates            int           // gates evaluated (including free gates)
 	Bootstraps       int           // bootstrapped gate evaluations
+	LUTs             int           // multi-input LUT evaluations (each one programmable bootstrap, included in Bootstraps)
 	Levels           int           // wavefronts executed (0 for ready-driven drivers)
 	Elapsed          time.Duration // wall-clock for the run
 	GatesPerSec      float64       // Gates / Elapsed

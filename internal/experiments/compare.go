@@ -8,6 +8,7 @@ import (
 	"pytfhe/internal/gpu"
 	"pytfhe/internal/logic"
 	"pytfhe/internal/sched"
+	"pytfhe/internal/synth"
 )
 
 // --- Figure 12: frontend/backend cross on MNIST_S ---
@@ -143,11 +144,13 @@ func (cmp *Comparison) Render(w io.Writer) {
 type Distribution struct {
 	Counts map[string]int                 // total gates per framework
 	ByKind map[string][logic.NumKinds]int // per-kind histogram
+	LUTs   map[string]int                 // multi-input LUT gates (lut-cluster output)
 	Ratio  map[string]float64             // PyTFHE gates / framework gates
 }
 
 // Fig14GateDistribution builds MNIST_S with every frontend and counts
-// gates.
+// gates. The "pytfhe+lut" row is the PyTFHE netlist re-synthesized through
+// lut-cluster — the netlist-size comparison with LUT synthesis on and off.
 func Fig14GateDistribution(c Config) (*Distribution, error) {
 	nls, err := c.mnistSNetlists()
 	if err != nil {
@@ -156,11 +159,20 @@ func Fig14GateDistribution(c Config) (*Distribution, error) {
 	d := &Distribution{
 		Counts: map[string]int{},
 		ByKind: map[string][logic.NumKinds]int{},
+		LUTs:   map[string]int{},
 		Ratio:  map[string]float64{},
 	}
 	for name, nl := range nls {
+		s := nl.ComputeStats()
 		d.Counts[name] = len(nl.Gates)
-		d.ByKind[name] = nl.ComputeStats().ByKind
+		d.ByKind[name] = s.ByKind
+		d.LUTs[name] = s.LUTs
+	}
+	if on, err := synth.OptimizeLUT(nls["pytfhe"]); err == nil {
+		s := on.Netlist.ComputeStats()
+		d.Counts["pytfhe+lut"] = len(on.Netlist.Gates)
+		d.ByKind["pytfhe+lut"] = s.ByKind
+		d.LUTs["pytfhe+lut"] = s.LUTs
 	}
 	py := float64(d.Counts["pytfhe"])
 	for name, n := range d.Counts {
@@ -185,6 +197,9 @@ func (d *Distribution) Render(w io.Writer) {
 				continue
 			}
 			fprintf(w, "      %-6s %10d\n", k, hist[k])
+		}
+		if d.LUTs[n] > 0 {
+			fprintf(w, "      %-6s %10d\n", "LUT", d.LUTs[n])
 		}
 	}
 	fprintf(w, "  (paper: PyTFHE = 65.3%% of Cingulata, 53.6%% of E3, far below Transpiler)\n")

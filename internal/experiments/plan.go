@@ -85,6 +85,11 @@ type PlanBenchReport struct {
 	ShardWireBytesPerRun  int64        `json:"shard_wire_bytes_per_run"`
 	ShardSpeedup          float64      `json:"shard_speedup_vs_gate_dispatch"`
 	ShardSweep            []ShardPoint `json:"shard_sweep,omitempty"`
+
+	// LUT is the multi-bit LUT synthesis on/off sweep on LUTBenchNetlist
+	// (see LUTSweepBench); nil in reports written before the LUT path
+	// existed, which LoadPlanBaseline and CheckPlanParity tolerate.
+	LUT *LUTSweepReport `json:"lut_sweep,omitempty"`
 }
 
 // BatchPoint is one batch-size measurement of the batched kernel sweep.
@@ -309,6 +314,19 @@ func CheckPlanParity(r, base *PlanBenchReport, tol float64) error {
 		return fmt.Errorf("experiments: shard run wire bytes %d not below gate dispatch %d",
 			r.ShardWireBytesPerRun, r.GateWireBytesPerRun)
 	}
+	if r.LUT != nil {
+		if base.LUT != nil {
+			if err := check("lut-on", r.LUT.OnBootstrapsPerSec, base.LUT.OnBootstrapsPerSec); err != nil {
+				return err
+			}
+		}
+		// The LUT path's hard invariant, on the fresh report alone: the
+		// acceptance criterion's ≥2× drop in bootstraps per logical gate.
+		if r.LUT.BootstrapReduction < 2 {
+			return fmt.Errorf("experiments: lut sweep bootstrap reduction %.2fx below the 2x floor",
+				r.LUT.BootstrapReduction)
+		}
+	}
 	return nil
 }
 
@@ -337,6 +355,9 @@ func RenderPlanBench(w io.Writer, r *PlanBenchReport) {
 		}
 		fprintf(w, "  shard/gate-dispatch at 4 workers: %.2fx throughput, %.2fx wire bytes\n",
 			r.ShardSpeedup, safeRatio(float64(r.ShardWireBytesPerRun), float64(r.GateWireBytesPerRun)))
+	}
+	if r.LUT != nil {
+		RenderLUTSweep(w, r.LUT)
 	}
 }
 

@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"pytfhe/internal/circuit"
@@ -40,56 +41,60 @@ func (f fn) key() string {
 	return string(b)
 }
 
-// combine computes kind(a, b) as a truth table over the union support, or
-// ok=false when the union exceeds maxSupport.
-func combine(kind logic.Kind, a, b fn) (fn, bool) {
+// combineGate computes the gate's function (classic kind or LUT table)
+// over the union support of its operand functions, or ok=false when the
+// union exceeds maxSupport. LUT operands contribute their cones exactly
+// like classic operands — the symbolic composition is what lets dedup
+// merge a LUT with the 2-input cone computing the same function.
+func combineGate(g *circuit.Gate, ops []fn) (fn, bool) {
 	union := make([]int32, 0, maxSupport)
-	i, j := 0, 0
-	for i < len(a.vars) || j < len(b.vars) {
-		switch {
-		case j >= len(b.vars) || (i < len(a.vars) && a.vars[i] < b.vars[j]):
-			union = append(union, a.vars[i])
-			i++
-		case i >= len(a.vars) || b.vars[j] < a.vars[i]:
-			union = append(union, b.vars[j])
-			j++
-		default:
-			union = append(union, a.vars[i])
-			i++
-			j++
-		}
-		if len(union) > maxSupport {
-			return fn{}, false
-		}
-	}
-	// posA[i] is the union position of a.vars[i]; same for posB.
-	var posA, posB [maxSupport]int
-	for i, v := range a.vars {
-		for u, uv := range union {
-			if uv == v {
-				posA[i] = u
+	for _, of := range ops {
+		merged := make([]int32, 0, maxSupport)
+		i, j := 0, 0
+		for i < len(union) || j < len(of.vars) {
+			switch {
+			case j >= len(of.vars) || (i < len(union) && union[i] < of.vars[j]):
+				merged = append(merged, union[i])
+				i++
+			case i >= len(union) || of.vars[j] < union[i]:
+				merged = append(merged, of.vars[j])
+				j++
+			default:
+				merged = append(merged, union[i])
+				i++
+				j++
+			}
+			if len(merged) > maxSupport {
+				return fn{}, false
 			}
 		}
+		union = merged
 	}
-	for i, v := range b.vars {
-		for u, uv := range union {
-			if uv == v {
-				posB[i] = u
+	// pos[oi][i] is the union position of ops[oi].vars[i].
+	var pos [logic.MaxLUTArity][maxSupport]int
+	for oi, of := range ops {
+		for i, v := range of.vars {
+			for u, uv := range union {
+				if uv == v {
+					pos[oi][i] = u
+				}
 			}
 		}
 	}
 	k := len(union)
 	var table uint64
 	for m := 0; m < 1<<k; m++ {
-		var ia, ib int
-		for i := range a.vars {
-			ia |= int(m>>posA[i]&1) << i
+		var vals [logic.MaxLUTArity]bool
+		for oi, of := range ops {
+			var idx int
+			for i := range of.vars {
+				idx |= int(m>>pos[oi][i]&1) << i
+			}
+			vals[oi] = of.table>>idx&1 == 1
 		}
-		for i := range b.vars {
-			ib |= int(m>>posB[i]&1) << i
+		if g.Eval(vals) {
+			table |= uint64(1) << m
 		}
-		out := kind.EvalBit(uint8(a.table>>ia), uint8(b.table>>ib))
-		table |= uint64(out) << m
 	}
 	return fn{vars: union, table: table}.dropDummies(), true
 }
@@ -128,10 +133,29 @@ func dependsOn(table uint64, k, i int) bool {
 
 // execGate is one deduplicated gate of the capture: operands are exec-node
 // ids (inputs occupy ids 0..NumInputs-1, gates follow in creation order).
+// LUT gates carry their table and arity; c is meaningful at arity 3 only.
 type execGate struct {
 	kind  logic.Kind
 	a, b  int32
+	c     int32
+	tt    logic.TT
+	arity uint8
 	level int32
+}
+
+// needsBootstrap mirrors circuit.Gate.NeedsBootstrap for exec gates.
+func (g *execGate) needsBootstrap() bool {
+	return g.arity != 0 || g.kind.NeedsBootstrap()
+}
+
+// structKey is the hash-consing key of the support-overflow fallback. It
+// covers the full gate identity — kind, truth table, arity, and all
+// operand ids — so structurally distinct gates never merge.
+type structKey struct {
+	kind    logic.Kind
+	tt      logic.TT
+	arity   uint8
+	a, b, c int32
 }
 
 // Stream is an in-flight compilation. Levels are emitted on Levels() as
@@ -179,17 +203,21 @@ func CompileStream(nl *circuit.Netlist, workers int) (*Stream, error) {
 	if err := nl.Validate(); err != nil {
 		return nil, fmt.Errorf("plan: %w", err)
 	}
-	for i, g := range nl.Gates {
-		if g.Kind >= logic.NumKinds {
+	for i := range nl.Gates {
+		if g := &nl.Gates[i]; !g.IsLUT() && g.Kind >= logic.NumKinds {
 			return nil, fmt.Errorf("plan: gate %d has kind %d outside the gate alphabet", nl.GateID(i), g.Kind)
 		}
 	}
 
 	numInputs := nl.NumInputs
 	stats := Stats{LogicalGates: len(nl.Gates)}
-	for _, g := range nl.Gates {
-		if g.Kind.NeedsBootstrap() {
+	for i := range nl.Gates {
+		g := &nl.Gates[i]
+		if g.NeedsBootstrap() {
 			stats.LogicalBootstraps++
+		}
+		if g.IsLUT() {
+			stats.LogicalLUTs++
 		}
 	}
 
@@ -200,39 +228,75 @@ func CompileStream(nl *circuit.Netlist, workers int) (*Stream, error) {
 	fns := make([]fn, numInputs, numInputs+len(nl.Gates))
 	var gates []execGate
 	fnIndex := make(map[string]int32, numInputs+len(nl.Gates))
-	structIndex := make(map[uint64]int32, len(nl.Gates))
+	structIndex := make(map[structKey]int32, len(nl.Gates))
 	for i := 0; i < numInputs; i++ {
 		fns[i] = identityFn(int32(i))
 		fnIndex[fns[i].key()] = int32(i)
 		execOf[i+1] = int32(i)
 	}
-	for i, g := range nl.Gates {
-		kind := g.Kind
-		ea, eb := execOf[g.A], execOf[g.B]
-		// Canonical operand order: f(a,b) = f.SwapInputs()(b,a), so sorting
-		// the operands merges commuted duplicates (AND(x,y) with AND(y,x),
-		// ANDNY(x,y) with ANDYN(y,x), ...).
-		if ea > eb {
-			ea, eb = eb, ea
-			kind = kind.SwapInputs()
+	for i := range nl.Gates {
+		g := &nl.Gates[i]
+		var eg execGate
+		var opFns []fn
+		if g.IsLUT() {
+			arity := int(g.Arity)
+			eops := make([]int32, arity)
+			for k := 0; k < arity; k++ {
+				eops[k] = execOf[g.Operand(k)]
+			}
+			// Canonical operand order: sort the exec ids ascending and
+			// permute the table to match (newOps[k] = eops[perm[k]]), so
+			// LUTs differing only by operand order merge — the LUT
+			// counterpart of the classic SwapInputs canonicalization.
+			perm := make([]int, arity)
+			for k := range perm {
+				perm[k] = k
+			}
+			sort.Slice(perm, func(x, y int) bool { return eops[perm[x]] < eops[perm[y]] })
+			sorted := make([]int32, arity)
+			for k, pk := range perm {
+				sorted[k] = eops[pk]
+			}
+			eg = execGate{tt: g.TT.Permute(arity, perm), arity: g.Arity, a: sorted[0], b: sorted[1], c: -1}
+			if arity >= 3 {
+				eg.c = sorted[2]
+			}
+			opFns = make([]fn, arity)
+			for k, e := range sorted {
+				opFns[k] = fns[e]
+			}
+		} else {
+			kind := g.Kind
+			ea, eb := execOf[g.A], execOf[g.B]
+			// Canonical operand order: f(a,b) = f.SwapInputs()(b,a), so
+			// sorting the operands merges commuted duplicates (AND(x,y)
+			// with AND(y,x), ANDNY(x,y) with ANDYN(y,x), ...).
+			if ea > eb {
+				ea, eb = eb, ea
+				kind = kind.SwapInputs()
+			}
+			eg = execGate{kind: kind, a: ea, b: eb, c: -1}
+			opFns = []fn{fns[ea], fns[eb]}
 		}
+		cg := circuit.Gate{Kind: eg.kind, TT: eg.tt, Arity: eg.arity}
 		var id int32
-		if f, ok := combine(kind, fns[ea], fns[eb]); ok {
+		if f, ok := combineGate(&cg, opFns); ok {
 			if hit, seen := fnIndex[f.key()]; seen {
 				execOf[nl.GateID(i)] = hit
 				continue
 			}
-			id = newExec(&gates, &fns, kind, ea, eb, f)
+			id = newExec(&gates, &fns, eg, f)
 			fnIndex[f.key()] = id
 		} else {
-			// Support overflow: fall back to structural hash-consing, and
-			// let the new node be a frontier variable for its readers.
-			skey := uint64(kind)<<60 | uint64(ea)<<30 | uint64(eb)
+			// Support overflow: fall back to structural hash-consing (the
+			// key covers the truth table, so distinct LUTs never merge),
+			// and let the new node be a frontier variable for its readers.
+			skey := structKey{kind: eg.kind, tt: eg.tt, arity: eg.arity, a: eg.a, b: eg.b, c: eg.c}
 			if hit, seen := structIndex[skey]; seen {
 				execOf[nl.GateID(i)] = hit
 				continue
 			}
-			id = newExec(&gates, &fns, kind, ea, eb, fn{})
+			id = newExec(&gates, &fns, eg, fn{})
 			fns[id] = identityFn(id)
 			fnIndex[fns[id].key()] = id
 			structIndex[skey] = id
@@ -240,9 +304,12 @@ func CompileStream(nl *circuit.Netlist, workers int) (*Stream, error) {
 		execOf[nl.GateID(i)] = id
 	}
 	stats.ExecGates = len(gates)
-	for _, g := range gates {
-		if g.kind.NeedsBootstrap() {
+	for i := range gates {
+		if gates[i].needsBootstrap() {
 			stats.ExecBootstraps++
+		}
+		if gates[i].arity != 0 {
+			stats.ExecLUTs++
 		}
 	}
 
@@ -258,6 +325,11 @@ func CompileStream(nl *circuit.Netlist, workers int) (*Stream, error) {
 		if lb := level[g.b]; lb > l {
 			l = lb
 		}
+		if g.arity >= 3 {
+			if lc := level[g.c]; lc > l {
+				l = lc
+			}
+		}
 		g.level = l + 1
 		level[int32(numInputs)+int32(i)] = g.level
 		if int(g.level) > numLevels {
@@ -268,6 +340,9 @@ func CompileStream(nl *circuit.Netlist, workers int) (*Stream, error) {
 		}
 		if g.level > lastRead[g.b] {
 			lastRead[g.b] = g.level
+		}
+		if g.arity >= 3 && g.level > lastRead[g.c] {
+			lastRead[g.c] = g.level
 		}
 	}
 	byLevel := make([][]int32, numLevels)
@@ -353,16 +428,22 @@ func CompileStream(nl *circuit.Netlist, workers int) (*Stream, error) {
 					}
 				}
 				cost := 1
-				if g.kind.NeedsBootstrap() {
+				if g.needsBootstrap() {
 					cost = 1024
 				}
 				load[w] += cost
-				batches[w] = append(batches[w], Instr{
-					Kind: g.kind,
-					Out:  int32(numInputs) + slotOf[gi],
-					A:    refOf(g.a),
-					B:    refOf(g.b),
-				})
+				ins := Instr{
+					Kind:  g.kind,
+					Out:   int32(numInputs) + slotOf[gi],
+					A:     refOf(g.a),
+					B:     refOf(g.b),
+					TT:    g.tt,
+					Arity: g.arity,
+				}
+				if g.arity >= 3 {
+					ins.C = refOf(g.c)
+				}
+				batches[w] = append(batches[w], ins)
 			}
 			lv := Level{Batches: batches}
 			p.levels = append(p.levels, lv)
@@ -382,9 +463,9 @@ func CompileStream(nl *circuit.Netlist, workers int) (*Stream, error) {
 }
 
 // newExec appends an exec gate and its function, returning the node id.
-func newExec(gates *[]execGate, fns *[]fn, kind logic.Kind, a, b int32, f fn) int32 {
+func newExec(gates *[]execGate, fns *[]fn, eg execGate, f fn) int32 {
 	id := int32(len(*fns))
-	*gates = append(*gates, execGate{kind: kind, a: a, b: b})
+	*gates = append(*gates, eg)
 	*fns = append(*fns, f)
 	return id
 }

@@ -26,12 +26,7 @@ func (p *Plan) Fingerprint() string {
 			for _, instrs := range lv.Batches {
 				writeHashInt(h, int64(len(instrs)))
 				for _, ins := range instrs {
-					var buf [13]byte
-					buf[0] = byte(ins.Kind)
-					binary.LittleEndian.PutUint32(buf[1:5], uint32(ins.Out))
-					binary.LittleEndian.PutUint32(buf[5:9], uint32(ins.A))
-					binary.LittleEndian.PutUint32(buf[9:13], uint32(ins.B))
-					h.Write(buf[:])
+					h.Write(HashInstrBytes(ins))
 				}
 			}
 		}
@@ -42,6 +37,24 @@ func (p *Plan) Fingerprint() string {
 		p.fp = hex.EncodeToString(h.Sum(nil))
 	})
 	return p.fp
+}
+
+// HashInstrBytes renders one instruction into the canonical 19-byte layout
+// shared by Plan.Fingerprint and internal/shard's manifest content hashes:
+// Kind, Out/A/B as little-endian uint32, then Arity, TT, and C (zero for
+// classic gates, so pre-LUT streams hash the same bytes per instruction
+// with a constant suffix). Callers must treat the result as read-only; it
+// aliases a per-call stack buffer escape.
+func HashInstrBytes(ins Instr) []byte {
+	var buf [19]byte
+	buf[0] = byte(ins.Kind)
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(ins.Out))
+	binary.LittleEndian.PutUint32(buf[5:9], uint32(ins.A))
+	binary.LittleEndian.PutUint32(buf[9:13], uint32(ins.B))
+	buf[13] = ins.Arity
+	buf[14] = byte(ins.TT)
+	binary.LittleEndian.PutUint32(buf[15:19], uint32(ins.C))
+	return buf[:]
 }
 
 func writeHashInt(w io.Writer, v int64) {

@@ -43,12 +43,28 @@ const (
 	ConstTrue  Ref = -2
 )
 
-// Instr is one captured gate evaluation: values[Out] = Kind(values[A],
-// values[B]). All three refs are resolved at compile time.
+// Instr is one captured gate evaluation. Classic gates (Arity 0) compute
+// values[Out] = Kind(values[A], values[B]); k-input LUT instructions
+// (Arity 2..3) compute values[Out] = TT(values[A], values[B], values[C])
+// with one programmable bootstrap, mirroring circuit.Gate's encoding (C is
+// meaningful only at arity 3). All refs are resolved at compile time.
 type Instr struct {
 	Kind logic.Kind
 	Out  Ref
 	A, B Ref
+
+	C     Ref      // third LUT operand (Arity 3 only)
+	TT    logic.TT // LUT truth table (Arity ≥ 2 only)
+	Arity uint8    // 0: classic gate; 2..3: k-input LUT
+}
+
+// IsLUT reports whether the instruction is a multi-input LUT.
+func (ins Instr) IsLUT() bool { return ins.Arity != 0 }
+
+// NeedsBootstrap reports whether replaying the instruction costs a
+// bootstrap (LUT instructions always do).
+func (ins Instr) NeedsBootstrap() bool {
+	return ins.Arity != 0 || ins.Kind.NeedsBootstrap()
 }
 
 // Level is one wavefront of the plan: Batches[w] is the instruction
@@ -63,8 +79,10 @@ type Level struct {
 type Stats struct {
 	LogicalGates      int // gates in the source netlist
 	LogicalBootstraps int // bootstrapped gates in the source netlist
+	LogicalLUTs       int // multi-input LUT gates in the source netlist
 	ExecGates         int // instructions replay actually executes
 	ExecBootstraps    int // bootstrapped instructions after deduplication
+	ExecLUTs          int // LUT instructions after deduplication
 	Levels            int
 	ArenaSlots        int // ciphertexts the arena holds (peak liveness)
 	CompileTime       time.Duration
@@ -116,7 +134,7 @@ func (p *Plan) ExecOf() []int32 { return p.execOf }
 // flat constants), not an exact heap measurement.
 func (p *Plan) SizeBytes() int64 {
 	const (
-		instrBytes  = 16 // Kind + 3×Ref, padded
+		instrBytes  = 24 // Kind + Arity + TT + 4×Ref, padded
 		sliceHeader = 24
 		fixed       = 256 // Plan struct, name, stats
 	)

@@ -40,6 +40,14 @@ func evalPlan(p *Plan, inputs []bool) []bool {
 	for _, lv := range p.levels {
 		for _, batch := range lv.Batches {
 			for _, ins := range batch {
+				if ins.IsLUT() {
+					if ins.Arity >= 3 {
+						vals[ins.Out] = ins.TT.EvalBits(vals[ins.A], vals[ins.B], vals[ins.C])
+					} else {
+						vals[ins.Out] = ins.TT.EvalBits(vals[ins.A], vals[ins.B])
+					}
+					continue
+				}
 				vals[ins.Out] = ins.Kind.Eval(vals[ins.A], vals[ins.B])
 			}
 		}

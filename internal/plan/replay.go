@@ -337,44 +337,75 @@ func runBatch(eng *gate.Engine, instrs []Instr, rt *Runtime, batch int) error {
 		}
 		return out
 	}
+	// evalOne is the unbatched instruction path: classic gates via Binary,
+	// LUT instructions via the programmable bootstrap.
+	evalOne := func(ins Instr) error {
+		if ins.IsLUT() {
+			var opv [logic.MaxLUTArity]*lwe.Sample
+			opv[0], opv[1] = rt.vals[ins.A], rt.vals[ins.B]
+			n := 2
+			if ins.Arity >= 3 {
+				opv[2] = rt.vals[ins.C]
+				n = 3
+			}
+			if err := eng.LUT(n, ins.TT, slot(ins), opv[:n]...); err != nil {
+				return fmt.Errorf("plan: replay lut instr: %w", err)
+			}
+			return nil
+		}
+		if err := eng.Binary(ins.Kind, slot(ins), rt.vals[ins.A], rt.vals[ins.B]); err != nil {
+			return fmt.Errorf("plan: replay instr: %w", err)
+		}
+		return nil
+	}
 	if batch <= 1 {
 		for _, ins := range instrs {
-			if err := eng.Binary(ins.Kind, slot(ins), rt.vals[ins.A], rt.vals[ins.B]); err != nil {
-				return fmt.Errorf("plan: replay instr: %w", err)
+			if err := evalOne(ins); err != nil {
+				return err
 			}
 		}
 		return nil
 	}
 	var (
-		kinds []logic.Kind
-		outs  []*lwe.Sample
-		avs   []*lwe.Sample
-		bvs   []*lwe.Sample
+		ops  []gate.Op
+		outs []*lwe.Sample
+		avs  []*lwe.Sample
+		bvs  []*lwe.Sample
+		cvs  []*lwe.Sample
 	)
 	flush := func() error {
-		if len(kinds) == 0 {
+		if len(ops) == 0 {
 			return nil
 		}
-		if err := eng.BinaryBatch(kinds, outs, avs, bvs); err != nil {
+		if err := eng.OpBatch(ops, outs, avs, bvs, cvs); err != nil {
 			return fmt.Errorf("plan: replay batch: %w", err)
 		}
 		atomic.AddInt64(&rt.batches, 1)
-		atomic.AddInt64(&rt.batchedBoots, int64(len(kinds)))
-		kinds, outs, avs, bvs = kinds[:0], outs[:0], avs[:0], bvs[:0]
+		atomic.AddInt64(&rt.batchedBoots, int64(len(ops)))
+		ops, outs, avs, bvs, cvs = ops[:0], outs[:0], avs[:0], bvs[:0], cvs[:0]
 		return nil
 	}
 	for _, ins := range instrs {
-		if !ins.Kind.NeedsBootstrap() {
-			if err := eng.Binary(ins.Kind, slot(ins), rt.vals[ins.A], rt.vals[ins.B]); err != nil {
-				return fmt.Errorf("plan: replay instr: %w", err)
+		if !ins.NeedsBootstrap() {
+			if err := evalOne(ins); err != nil {
+				return err
 			}
 			continue
 		}
-		kinds = append(kinds, ins.Kind)
+		var cv *lwe.Sample
+		if ins.IsLUT() {
+			ops = append(ops, gate.Op{TT: ins.TT, Arity: ins.Arity})
+			if ins.Arity >= 3 {
+				cv = rt.vals[ins.C]
+			}
+		} else {
+			ops = append(ops, gate.Op{Kind: ins.Kind})
+		}
 		outs = append(outs, slot(ins))
 		avs = append(avs, rt.vals[ins.A])
 		bvs = append(bvs, rt.vals[ins.B])
-		if len(kinds) == batch {
+		cvs = append(cvs, cv)
+		if len(ops) == batch {
 			if err := flush(); err != nil {
 				return err
 			}

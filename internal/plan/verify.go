@@ -132,7 +132,20 @@ func VerifyBatch(nl *circuit.Netlist, p *Plan, batch int) (*VerifyReport, error)
 			g, pending := 0, 0
 			for k, ins := range instrs {
 				report.Instructions++
-				if ins.Kind >= logic.NumKinds {
+				if ins.IsLUT() {
+					if ins.Arity < 2 || int(ins.Arity) > logic.MaxLUTArity {
+						return nil, fmt.Errorf("%w: level %d worker %d instr %d has LUT arity %d", ErrShape, li, w, k, ins.Arity)
+					}
+					if ins.TT&^logic.TTMask(int(ins.Arity)) != 0 {
+						return nil, fmt.Errorf("%w: level %d worker %d instr %d has table %#x wider than 2^%d", ErrShape, li, w, k, ins.TT, ins.Arity)
+					}
+					if !logic.LUTFeasible(int(ins.Arity), ins.TT) {
+						return nil, fmt.Errorf("%w: level %d worker %d instr %d has LUT table %#x with no single-bootstrap plan", ErrShape, li, w, k, ins.TT)
+					}
+					if ins.Arity >= 3 && (ins.C < 0 || ins.C >= Ref(nRefs)) {
+						return nil, fmt.Errorf("%w: level %d worker %d instr %d reads ref %d (valid range [0,%d))", ErrShape, li, w, k, ins.C, nRefs)
+					}
+				} else if ins.Kind >= logic.NumKinds {
 					return nil, fmt.Errorf("%w: level %d worker %d instr %d has kind %d", ErrShape, li, w, k, ins.Kind)
 				}
 				if ins.Out < Ref(np) || ins.Out >= Ref(nRefs) {
@@ -147,7 +160,7 @@ func VerifyBatch(nl *circuit.Netlist, p *Plan, batch int) (*VerifyReport, error)
 				// with (and therefore part of) the open group's step.
 				groups[w][k] = g
 				if batch > 1 {
-					if ins.Kind.NeedsBootstrap() {
+					if ins.NeedsBootstrap() {
 						if pending++; pending == batch {
 							g, pending = g+1, 0
 						}
@@ -164,7 +177,13 @@ func VerifyBatch(nl *circuit.Netlist, p *Plan, batch int) (*VerifyReport, error)
 		}
 		for w, instrs := range lv.Batches {
 			for k, ins := range instrs {
-				for _, ref := range [2]Ref{ins.A, ins.B} {
+				reads := [3]Ref{ins.A, ins.B, ins.A}
+				nReads := 2
+				if ins.Arity >= 3 {
+					reads[2] = ins.C
+					nReads = 3
+				}
+				for _, ref := range reads[:nReads] {
 					if ref < Ref(np) {
 						continue // caller-owned input, immutable during replay
 					}
@@ -247,13 +266,27 @@ func VerifyBatch(nl *circuit.Netlist, p *Plan, batch int) (*VerifyReport, error)
 			netWords[i+1] = inWords[i]
 			planWords[i] = inWords[i]
 		}
-		for i, g := range nl.Gates {
-			netWords[nl.GateID(i)] = EvalWord(g.Kind, netWords[g.A], netWords[g.B])
+		for i := range nl.Gates {
+			g := &nl.Gates[i]
+			if g.IsLUT() {
+				netWords[nl.GateID(i)] = EvalWordTT(g.TT, int(g.Arity),
+					netAt(g.A), netAt(g.B), netAt(g.C))
+			} else {
+				netWords[nl.GateID(i)] = EvalWord(g.Kind, netWords[g.A], netWords[g.B])
+			}
 		}
 		for _, lv := range p.levels {
 			for _, instrs := range lv.Batches {
 				for _, ins := range instrs {
-					planWords[ins.Out] = EvalWord(ins.Kind, planWords[ins.A], planWords[ins.B])
+					if ins.IsLUT() {
+						var c uint64
+						if ins.Arity >= 3 {
+							c = planWords[ins.C]
+						}
+						planWords[ins.Out] = EvalWordTT(ins.TT, int(ins.Arity), planWords[ins.A], planWords[ins.B], c)
+					} else {
+						planWords[ins.Out] = EvalWord(ins.Kind, planWords[ins.A], planWords[ins.B])
+					}
 				}
 			}
 		}
@@ -282,6 +315,29 @@ func VerifyBatch(nl *circuit.Netlist, p *Plan, batch int) (*VerifyReport, error)
 		}
 	}
 	return report, nil
+}
+
+// EvalWordTT evaluates a k-input LUT over 64 packed boolean assignments by
+// minterm masks (c is ignored at arity 2). Like EvalWord it is exported
+// for internal/shard's decomposition verifier.
+func EvalWordTT(tt logic.TT, arity int, a, b, c uint64) uint64 {
+	words := [3]uint64{a, b, c}
+	var out uint64
+	for v := 0; v < 1<<arity; v++ {
+		if !tt.Eval(uint8(v)) {
+			continue
+		}
+		m := ^uint64(0)
+		for i := 0; i < arity; i++ {
+			if v>>(arity-1-i)&1 == 1 {
+				m &= words[i]
+			} else {
+				m &= ^words[i]
+			}
+		}
+		out |= m
+	}
+	return out
 }
 
 // EvalWord evaluates one gate over 64 packed boolean assignments by

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"testing"
+
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/core"
+)
+
+// naeProg compiles a classic 2-input-gate circuit full of clusterable
+// cones: two not-all-equal detectors NAE(a,b,c) = (a⊕b)∨(b⊕c) over
+// disjoint inputs, combined by an XOR. Under a -lut daemon each NAE cone
+// collapses into one 0x7E programmable bootstrap at registration.
+func naeProg(t testing.TB) *core.Program {
+	t.Helper()
+	b := circuit.NewBuilder("nae-pair", circuit.AllOptimizations())
+	xs := b.Inputs("x", 6)
+	nae := func(x, y, z circuit.NodeID) circuit.NodeID {
+		return b.Or(b.Xor(x, y), b.Xor(y, z))
+	}
+	n1 := nae(xs[0], xs[1], xs[2])
+	n2 := nae(xs[3], xs[4], xs[5])
+	b.Output("n1", n1)
+	b.Output("agree", b.Xor(n1, n2))
+	return compile(t, b)
+}
+
+// TestServeLUT registers a classic binary with a -lut daemon and checks
+// the whole surface: the program is re-synthesized into multi-bit form at
+// admission (fewer bootstraps, LUTs > 0 in ProgramInfo) under the
+// uploaded binary's hash, evaluations decrypt bit-identically to the
+// classic netlist, and the Stats RPC reports the LUT counts.
+func TestServeLUT(t *testing.T) {
+	kp := tenantKeys(t)[0]
+	prog := naeProg(t)
+	if prog.Stats.LUTs != 0 {
+		t.Fatalf("setup: classic binary already has %d LUTs", prog.Stats.LUTs)
+	}
+
+	srv := startServer(t, Config{Workers: 2, LUT: true})
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	info, err := c.RegisterProgram(prog.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Hash != hashBytes(prog.Binary) {
+		t.Fatalf("registry key %s is not the uploaded binary's hash", info.Hash)
+	}
+	if info.LUTs == 0 {
+		t.Fatalf("lut daemon admitted %q without clustering: %+v", info.Name, info)
+	}
+	if info.Bootstrapped >= prog.Stats.Bootstrapped {
+		t.Fatalf("clustering did not reduce bootstraps: %d -> %d",
+			prog.Stats.Bootstrapped, info.Bootstrapped)
+	}
+	if !info.Noise.Checked {
+		t.Fatal("noise analysis did not run on the clustered form")
+	}
+	if again, err := c.RegisterProgram(prog.Binary); err != nil || !again.Cached {
+		t.Fatalf("re-register: cached=%v err=%v", again != nil && again.Cached, err)
+	}
+
+	if _, err := c.OpenSession(kp.Cloud); err != nil {
+		t.Fatal(err)
+	}
+	evals := 0
+	for _, v := range []uint64{0, 0b101101, 0b111000, 0b010111} {
+		bits := bitsOf(v, 6)
+		want, err := prog.Netlist.Evaluate(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs, err := c.Evaluate(info.Hash, kp.EncryptBits(bits))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := kp.DecryptBits(outs)
+		if len(got) != len(want) {
+			t.Fatalf("inputs %06b: %d outputs, want %d", v, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("inputs %06b output %d: daemon says %v, classic netlist says %v", v, i, got[i], want[i])
+			}
+		}
+		evals++
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(evals * info.LUTs); st.LUTsEvaluated != want {
+		t.Fatalf("stats report %d LUTs evaluated, want %d", st.LUTsEvaluated, want)
+	}
+
+	// The same binary on a LUT-off daemon serves the classic form — and
+	// still decrypts to the same bits, since the rewrite is exact.
+	off := startServer(t, Config{Workers: 2})
+	oc, err := Dial(off.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oc.Close()
+	oinfo, err := oc.RegisterProgram(prog.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oinfo.LUTs != 0 {
+		t.Fatalf("lut-off daemon reports %d LUTs", oinfo.LUTs)
+	}
+	if _, err := oc.OpenSession(kp.Cloud); err != nil {
+		t.Fatal(err)
+	}
+	bits := bitsOf(0b101101, 6)
+	want, err := prog.Netlist.Evaluate(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := oc.Evaluate(oinfo.Hash, kp.EncryptBits(bits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range kp.DecryptBits(outs) {
+		if g != want[i] {
+			t.Fatalf("lut-off output %d: got %v, want %v", i, g, want[i])
+		}
+	}
+	ost, err := oc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ost.LUTsEvaluated != 0 || ost.ExecutorLUTs != 0 {
+		t.Fatalf("lut-off daemon counted LUTs: %+v", ost)
+	}
+}

@@ -44,6 +44,8 @@ type metrics struct {
 	workerBusy *telemetry.Counter // milliseconds
 	execGates  *telemetry.Counter
 	execBoots  *telemetry.Counter
+	execLUTs   *telemetry.Counter
+	lutsEval   *telemetry.Counter
 
 	planHits      *telemetry.Counter
 	planMisses    *telemetry.Counter
@@ -111,6 +113,8 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 		workerBusy: reg.Counter("pytfhed_worker_busy_ms_total", "Cumulative evaluation time across workers, ms."),
 		execGates:  reg.Counter("pytfhed_executor_gates_total", "Gates evaluated by the shared executor."),
 		execBoots:  reg.Counter("pytfhed_executor_bootstraps_total", "Bootstrapped gates evaluated by the shared executor."),
+		execLUTs:   reg.Counter("pytfhed_executor_luts_total", "Multi-input LUT gates evaluated by the shared executor."),
+		lutsEval:   reg.Counter("pytfhed_luts_evaluated_total", "Logical LUT gates across completed evaluations, all paths."),
 
 		planHits:      reg.Counter("pytfhed_plan_hits_total", "Evaluations that found a cached execution plan."),
 		planMisses:    reg.Counter("pytfhed_plan_misses_total", "Evaluations that paid a plan compile."),
@@ -186,6 +190,8 @@ func (s *Server) mirrorMetrics() {
 	m.workerBusy.Set(ex.WorkerBusy.Milliseconds())
 	m.execGates.Set(ex.Gates)
 	m.execBoots.Set(ex.Bootstraps)
+	m.execLUTs.Set(ex.LUTs)
+	m.lutsEval.Set(st.LUTsEvaluated)
 
 	m.planHits.Set(st.PlanHits)
 	m.planMisses.Set(st.PlanMisses)

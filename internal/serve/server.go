@@ -64,6 +64,16 @@ type Config struct {
 	NoiseMinSigmas float64
 	// DisableNoiseCheck admits programs without the static noise analysis.
 	DisableNoiseCheck bool
+	// LUT re-synthesizes every registered program through the
+	// LUT-clustering pipeline (synth.OptimizeLUT via core.ApplyLUT) at
+	// admission: fanout-free cones of classic gates collapse into k-input
+	// programmable bootstraps, so each evaluation executes fewer
+	// bootstraps for the same outputs. The registry key stays the
+	// uploaded binary's content hash — clients address the program they
+	// sent — while the cached program, its plan, its noise analysis, and
+	// the shard exporter all see the multi-bit form. The rewrite is
+	// exact, so results decrypt bit-identically to the LUT-off daemon's.
+	LUT bool
 
 	// ClusterListen, when non-empty, runs a cluster coordinator on this
 	// address. pytfhe-worker processes join it at any time (late joiners
@@ -245,6 +255,7 @@ type Server struct {
 	inflight int32         // atomic: requests holding an evaluation slot
 	sessions uint64        // atomic: sessions opened since start
 	evals    int64         // atomic: completed evaluations
+	lutEvals int64         // atomic: logical LUT gates across completed evaluations
 	rejected int64         // atomic: ErrOverloaded rejections
 	quotaRej int64         // atomic: qos.ErrQuotaExceeded rejections
 	draining int32         // atomic bool
@@ -471,6 +482,13 @@ func (s *Server) handleRegister(req *RegisterProgram) Response {
 		if err != nil {
 			return Response{Err: toWire(fmt.Errorf("%w: %v", ErrRejected, err))}
 		}
+		if s.cfg.LUT {
+			// The noise analysis below then runs on the clustered netlist,
+			// so admission vets the form the daemon actually executes.
+			if prog, err = core.ApplyLUT(prog); err != nil {
+				return Response{Err: toWire(fmt.Errorf("%w: lut resynthesis: %v", ErrRejected, err))}
+			}
+		}
 		pn, err := s.analyzeNoise(prog)
 		if err != nil {
 			return Response{Err: toWire(fmt.Errorf("%w: %v", ErrRejected, err))}
@@ -492,6 +510,7 @@ func (s *Server) handleRegister(req *RegisterProgram) Response {
 		Inputs:       st.Inputs,
 		Gates:        st.Gates,
 		Bootstrapped: st.Bootstrapped,
+		LUTs:         st.LUTs,
 		Outputs:      st.Outputs,
 		Depth:        st.Depth,
 		Noise:        entry.noise,
@@ -752,6 +771,9 @@ func (s *Server) doEval(sess *session, req *EvalRequest) Response {
 	entry.recordLatency(float64(elapsed.Nanoseconds()) / 1e6)
 	atomic.AddInt64(&entry.hits, 1)
 	atomic.AddInt64(&s.evals, 1)
+	if n := prog.Stats.LUTs; n > 0 {
+		atomic.AddInt64(&s.lutEvals, int64(n))
+	}
 	return Response{Eval: &EvalResult{
 		Outputs:   outs,
 		ElapsedMs: elapsed.Milliseconds(),
@@ -999,6 +1021,8 @@ func (s *Server) statsSnapshot() *StatsReply {
 		UptimeMs:         time.Since(s.start).Milliseconds(),
 		PerProgram:       per,
 		ExecutorGates:    ex.Gates,
+		ExecutorLUTs:     ex.LUTs,
+		LUTsEvaluated:    atomic.LoadInt64(&s.lutEvals),
 
 		PlanHits:          atomic.LoadInt64(&s.planHits),
 		PlanMisses:        atomic.LoadInt64(&s.planMisses),

@@ -99,6 +99,10 @@ type ProgramInfo struct {
 	Cached bool // true when the hash was already in the registry
 	Inputs, Gates, Bootstrapped, Outputs,
 	Depth int
+	// LUTs counts the program's multi-input LUT gates — non-zero when the
+	// daemon runs with -lut and the registered circuit had clusterable
+	// cones (or the uploaded binary already carried LUT instructions).
+	LUTs int
 	// Noise is the static noise-budget summary computed at registration
 	// (zero Checked when the server was configured with the check off).
 	// A program that fails the analysis is never admitted, so a non-zero
@@ -159,6 +163,14 @@ type StatsReply struct {
 	UptimeMs         int64
 	PerProgram       map[string]int64 // hash → evaluation count
 	ExecutorGates    int64            // gates evaluated by the shared executor
+	// ExecutorLUTs counts multi-input LUT gates the shared dynamic
+	// executor evaluated (each one programmable bootstrap, included in
+	// its bootstrap count); LUTsEvaluated counts logical LUT gates across
+	// every completed evaluation regardless of path — replay, dynamic
+	// fallback, or cluster dispatch. Both stay zero on a LUT-off daemon
+	// serving classic binaries.
+	ExecutorLUTs  int64
+	LUTsEvaluated int64
 
 	// Plan cache counters: an eval request that finds its program's
 	// execution plan already compiled is a PlanHit; the request that pays

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"io"
+
+	"pytfhe/internal/plan"
 )
 
 // contentHash digests everything the worker's execution of this shard
@@ -24,12 +26,7 @@ func (sh *Shard) contentHash() string {
 	for li := range sh.Levels {
 		writeShardInt(h, int64(len(sh.Levels[li])))
 		for _, ins := range sh.Levels[li] {
-			var buf [13]byte
-			buf[0] = byte(ins.Kind)
-			binary.LittleEndian.PutUint32(buf[1:5], uint32(ins.Out))
-			binary.LittleEndian.PutUint32(buf[5:9], uint32(ins.A))
-			binary.LittleEndian.PutUint32(buf[9:13], uint32(ins.B))
-			h.Write(buf[:])
+			h.Write(plan.HashInstrBytes(ins))
 		}
 		writeShardInt(h, int64(len(sh.Exports[li])))
 		for _, ref := range sh.Exports[li] {

@@ -1,0 +1,174 @@
+package shard
+
+import (
+	"testing"
+
+	"pytfhe/internal/backend"
+	"pytfhe/internal/circuit"
+	"pytfhe/internal/logic"
+	"pytfhe/internal/plan"
+	"pytfhe/internal/tfhe/gate"
+	"pytfhe/internal/tfhe/lwe"
+)
+
+// lutNetlist builds the mixed LUT/classic shape the synthesis pass emits,
+// wired so LUT operands cross shard boundaries when split.
+func lutNetlist() *circuit.Netlist {
+	b := circuit.NewBuilder("lut-shard", circuit.NoOptimizations())
+	x := b.Input("x")
+	y := b.Input("y")
+	z := b.Input("z")
+	w := b.Input("w")
+	par := b.LUT(0x96, x, y, z)
+	maj := b.LUT(0xE8, x, y, w)
+	b.Output("mix", b.LUT(0x7E, par, maj, w))
+	b.Output("and", b.Gate(logic.AND, par, maj))
+	b.Output("xor", b.Gate(logic.XOR, par, z))
+	return b.MustBuild()
+}
+
+// TestSplitLUTMatchesNetlist routes LUT plans through every shard count and
+// checks the decomposition against the netlist on all input assignments,
+// with Verify's independent simulation agreeing.
+func TestSplitLUTMatchesNetlist(t *testing.T) {
+	nl := lutNetlist()
+	for _, workers := range []int{1, 2, 4} {
+		p, err := plan.Compile(nl, workers)
+		if err != nil {
+			t.Fatalf("w=%d: %v", workers, err)
+		}
+		for _, n := range []int{1, 2, 3} {
+			s, err := Split(p, n)
+			if err != nil {
+				t.Fatalf("w=%d n=%d: %v", workers, n, err)
+			}
+			if _, err := Verify(p, s); err != nil {
+				t.Fatalf("w=%d n=%d verify: %v", workers, n, err)
+			}
+			for m := 0; m < 1<<nl.NumInputs; m++ {
+				in := make([]bool, nl.NumInputs)
+				for i := range in {
+					in[i] = m>>i&1 == 1
+				}
+				want, err := nl.Evaluate(in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := evalSharded(s, in)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("w=%d n=%d input %b output %d: sharded %v, reference %v",
+							workers, n, m, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardHashCoversLUTTable asserts the ship-once cache key covers the
+// truth table: shards identical except one LUT's table must not collide.
+func TestShardHashCoversLUTTable(t *testing.T) {
+	build := func(tt logic.TT) *Shard {
+		b := circuit.NewBuilder("fp", circuit.NoOptimizations())
+		x := b.Input("x")
+		y := b.Input("y")
+		z := b.Input("z")
+		b.Output("o", b.LUT(tt, x, y, z))
+		p, err := plan.Compile(b.MustBuild(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Split(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Shards[0]
+	}
+	a, b := build(0x96), build(0xE8)
+	// Force identical plan hashes so only the instruction bytes distinguish
+	// the shards — the per-instruction layout itself must cover the table.
+	b.PlanHash = a.PlanHash
+	if a.contentHash() == b.contentHash() {
+		t.Fatal("shards with different LUT tables share a content hash")
+	}
+}
+
+// TestRuntimeEncryptedLUT drives the worker runtime homomorphically over a
+// LUT plan split two ways, emulating the router, and checks decryption.
+func TestRuntimeEncryptedLUT(t *testing.T) {
+	sk, ck := keys(t)
+	nl := lutNetlist()
+	p, err := plan.Compile(nl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Split(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := ck.Params.LWEDimension
+	engines := []*gate.Engine{gate.NewEngine(ck), gate.NewEngine(ck)}
+	rts := make([]*Runtime, len(s.Shards))
+	for w, sh := range s.Shards {
+		rts[w] = NewRuntime(sh, dim)
+	}
+	var boots int64
+	for _, m := range []uint64{0, 6, 11, 15} {
+		inBits := make([]bool, nl.NumInputs)
+		for i := range inBits {
+			inBits[i] = m>>uint(i)&1 == 1
+		}
+		inputs := backend.EncryptInputs(sk, inBits)
+		for _, rt := range rts {
+			rt.Reset()
+		}
+		exports := make([]*lwe.Sample, s.CutEdges)
+		for li := range p.Levels() {
+			for w := range s.Shards {
+				for _, f := range s.Fills[w][li] {
+					var v *lwe.Sample
+					if f.Input >= 0 {
+						v = inputs[f.Input]
+					} else {
+						v = exports[f.Export]
+					}
+					if err := rts[w].SetRemote(f.Slot, v); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			for w := range s.Shards {
+				outs, err := rts[w].RunLevel(engines, li)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for k, v := range outs {
+					exports[s.ExportIDs[w][li][k]] = v
+				}
+			}
+		}
+		want, err := nl.Evaluate(inBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, src := range s.Outputs {
+			var got bool
+			switch {
+			case src.Input >= 0:
+				got = backend.DecryptOutputs(sk, []*lwe.Sample{inputs[src.Input]})[0]
+			case src.Export >= 0:
+				got = backend.DecryptOutputs(sk, []*lwe.Sample{exports[src.Export]})[0]
+			default:
+				got = src.Const == plan.ConstTrue
+			}
+			if got != want[i] {
+				t.Fatalf("input %d output %d: sharded %v, reference %v", m, i, got, want[i])
+			}
+		}
+		boots = rts[0].Bootstraps() + rts[1].Bootstraps()
+	}
+	if boots == 0 {
+		t.Fatal("no bootstraps counted")
+	}
+}

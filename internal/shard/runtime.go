@@ -122,6 +122,19 @@ func (rt *Runtime) runChunk(eng *gate.Engine, part []plan.Instr) error {
 			out = rt.arena.Get()
 			rt.vals[ins.Out] = out
 		}
+		if ins.IsLUT() {
+			ops := [3]*lwe.Sample{a, b, nil}
+			if ins.Arity >= 3 {
+				if ops[2] = rt.vals[ins.C]; ops[2] == nil {
+					return fmt.Errorf("shard %d: LUT instr reads unfilled slot %d", rt.sh.Index, ins.C)
+				}
+			}
+			if err := eng.LUT(int(ins.Arity), ins.TT, out, ops[:ins.Arity]...); err != nil {
+				return fmt.Errorf("shard %d: %w", rt.sh.Index, err)
+			}
+			atomic.AddInt64(&rt.boots, 1)
+			continue
+		}
 		if err := eng.Binary(ins.Kind, out, a, b); err != nil {
 			return fmt.Errorf("shard %d: %w", rt.sh.Index, err)
 		}

@@ -220,9 +220,9 @@ func Split(p *plan.Plan, n int) (*Sharding, error) {
 	// strictly earlier levels (instructions within a wavefront are
 	// independent), then the level's writes update the records.
 	type pending struct {
-		w    int
-		ins  plan.Instr
-		a, b plan.Ref
+		w       int
+		ins     plan.Instr
+		a, b, c plan.Ref
 	}
 	var pends []pending
 	for li, lv := range levels {
@@ -238,7 +238,13 @@ func Split(p *plan.Plan, n int) (*Sharding, error) {
 				if err != nil {
 					return nil, err
 				}
-				pends = append(pends, pending{w: w, ins: ins, a: a, b: b})
+				var c plan.Ref
+				if ins.Arity >= 3 {
+					if c, err = mapRead(w, li, ins.C); err != nil {
+						return nil, err
+					}
+				}
+				pends = append(pends, pending{w: w, ins: ins, a: a, b: b, c: c})
 			}
 		}
 		for _, pd := range pends {
@@ -252,7 +258,10 @@ func Split(p *plan.Plan, n int) (*Sharding, error) {
 			}
 			out := -1 - lo // provisional local encoding
 			writers[g] = writerRec{shard: pd.w, local: out, level: li, export: -1}
-			sh.Levels[li] = append(sh.Levels[li], plan.Instr{Kind: pd.ins.Kind, Out: out, A: pd.a, B: pd.b})
+			sh.Levels[li] = append(sh.Levels[li], plan.Instr{
+				Kind: pd.ins.Kind, Out: out, A: pd.a, B: pd.b,
+				C: pd.c, TT: pd.ins.TT, Arity: pd.ins.Arity,
+			})
 		}
 	}
 
@@ -281,6 +290,9 @@ func Split(p *plan.Plan, n int) (*Sharding, error) {
 				ins.Out = finalRef(sh, ins.Out)
 				ins.A = finalRef(sh, ins.A)
 				ins.B = finalRef(sh, ins.B)
+				if ins.Arity >= 3 {
+					ins.C = finalRef(sh, ins.C)
+				}
 			}
 			for k, ref := range sh.Exports[li] {
 				sh.Exports[li][k] = finalRef(sh, ref)

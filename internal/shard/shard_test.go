@@ -89,6 +89,14 @@ func evalSharded(s *Sharding, inputs []bool) []bool {
 		}
 		for w, sh := range s.Shards {
 			for _, ins := range sh.Levels[li] {
+				if ins.IsLUT() {
+					if ins.Arity >= 3 {
+						vals[w][ins.Out] = ins.TT.EvalBits(vals[w][ins.A], vals[w][ins.B], vals[w][ins.C])
+					} else {
+						vals[w][ins.Out] = ins.TT.EvalBits(vals[w][ins.A], vals[w][ins.B])
+					}
+					continue
+				}
 				vals[w][ins.Out] = ins.Kind.Eval(vals[w][ins.A], vals[w][ins.B])
 			}
 			for k, ref := range sh.Exports[li] {

@@ -4,8 +4,24 @@ import (
 	"errors"
 	"fmt"
 
+	"pytfhe/internal/logic"
 	"pytfhe/internal/plan"
 )
+
+// evalInstrWord evaluates one instruction bit-parallel: LUT instructions
+// through their truth table (the third operand read from tbl[cRef] only at
+// arity 3, so classic instructions never index with their zero C field),
+// classic gates through the kind.
+func evalInstrWord(ins plan.Instr, a, b uint64, tbl []uint64, cRef plan.Ref) uint64 {
+	if ins.IsLUT() {
+		var c uint64
+		if ins.Arity >= 3 {
+			c = tbl[cRef]
+		}
+		return plan.EvalWordTT(ins.TT, int(ins.Arity), a, b, c)
+	}
+	return plan.EvalWord(ins.Kind, a, b)
+}
 
 // Verification failure classes for shard decompositions, mirroring
 // plan.Verify's sentinel style so callers classify with errors.Is.
@@ -89,6 +105,13 @@ func Verify(p *plan.Plan, s *Sharding) (*VerifyReport, error) {
 				if ins.A < 0 || ins.A >= nRefs || ins.B < 0 || ins.B >= nRefs {
 					return nil, fmt.Errorf("%w: shard %d level %d instr %d reads refs %d,%d (valid range [0,%d))",
 						ErrShape, w, li, k, ins.A, ins.B, nRefs)
+				}
+				if ins.Arity != 0 && (ins.Arity < 2 || int(ins.Arity) > logic.MaxLUTArity) {
+					return nil, fmt.Errorf("%w: shard %d level %d instr %d has LUT arity %d", ErrShape, w, li, k, ins.Arity)
+				}
+				if ins.Arity >= 3 && (ins.C < 0 || ins.C >= nRefs) {
+					return nil, fmt.Errorf("%w: shard %d level %d instr %d reads LUT ref %d (valid range [0,%d))",
+						ErrShape, w, li, k, ins.C, nRefs)
 				}
 			}
 			if len(sh.Exports[li]) != len(s.ExportIDs[w][li]) {
@@ -195,7 +218,7 @@ func Verify(p *plan.Plan, s *Sharding) (*VerifyReport, error) {
 		for _, lv := range levels {
 			for _, instrs := range lv.Batches {
 				for _, ins := range instrs {
-					planWords[ins.Out] = plan.EvalWord(ins.Kind, planWords[ins.A], planWords[ins.B])
+					planWords[ins.Out] = evalInstrWord(ins, planWords[ins.A], planWords[ins.B], planWords, ins.C)
 				}
 			}
 		}
@@ -219,10 +242,10 @@ func Verify(p *plan.Plan, s *Sharding) (*VerifyReport, error) {
 			}
 			for w, sh := range s.Shards {
 				for k, ins := range sh.Levels[li] {
-					if !defined[w][ins.A] || !defined[w][ins.B] {
+					if !defined[w][ins.A] || !defined[w][ins.B] || (ins.Arity >= 3 && !defined[w][ins.C]) {
 						return nil, fmt.Errorf("%w: shard %d level %d instr %d reads an undefined slot", ErrRouting, w, li, k)
 					}
-					words[w][ins.Out] = plan.EvalWord(ins.Kind, words[w][ins.A], words[w][ins.B])
+					words[w][ins.Out] = evalInstrWord(ins, words[w][ins.A], words[w][ins.B], words[w], ins.C)
 					defined[w][ins.Out] = true
 				}
 				for k, ref := range sh.Exports[li] {

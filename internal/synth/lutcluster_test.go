@@ -1,0 +1,164 @@
+package synth
+
+import (
+	"testing"
+
+	"pytfhe/internal/circuit"
+)
+
+// xorChain builds the parity of n inputs as a linear chain of 2-input
+// XOR gates — the canonical fanout-free cone lut-cluster collapses.
+func xorChain(n int) *circuit.Netlist {
+	b := circuit.NewBuilder("parity", circuit.NoOptimizations())
+	ins := b.Inputs("x", n)
+	acc := ins[0]
+	for _, x := range ins[1:] {
+		acc = b.Xor(acc, x)
+	}
+	b.Output("p", acc)
+	return b.MustBuild()
+}
+
+func TestLUTClusterParityChain(t *testing.T) {
+	nl := xorChain(8) // 7 XOR gates
+	out, err := LUTCluster(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalent(t, nl, out)
+	st := out.ComputeStats()
+	if st.LUTs < 2 {
+		t.Fatalf("expected ≥2 LUT gates in clustered parity chain, got %+v", st)
+	}
+	before := nl.ComputeStats().Bootstrapped
+	if st.Bootstrapped >= before {
+		t.Fatalf("clustering did not reduce bootstraps: %d -> %d", before, st.Bootstrapped)
+	}
+	// Parity of 8 collapses 7 XORs into at most 4 bootstraps
+	// (three parity-3 LUTs and one XOR).
+	if st.Bootstrapped > 4 {
+		t.Fatalf("parity-8 chain should need ≤4 bootstraps, got %d", st.Bootstrapped)
+	}
+}
+
+func TestLUTClusterNandChainCollapses(t *testing.T) {
+	// x_{i+1} = NAND(x_i, s): every chain link has 2-variable support
+	// {x_0, s}, so the whole chain folds into a single 2-input gate.
+	b := circuit.NewBuilder("chain", circuit.NoOptimizations())
+	x0, s := b.Input("x0"), b.Input("s")
+	acc := x0
+	for i := 0; i < 6; i++ {
+		acc = b.Nand(acc, s)
+	}
+	b.Output("o", acc)
+	nl := b.MustBuild()
+
+	out, err := LUTCluster(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalent(t, nl, out)
+	if st := out.ComputeStats(); st.Bootstrapped > 1 {
+		t.Fatalf("NAND chain should collapse to ≤1 bootstrap, got %+v", st)
+	}
+}
+
+func TestLUTClusterSharedNodesStayMaterialized(t *testing.T) {
+	// s1 feeds two consumers, so neither may absorb it: it must survive
+	// as its own gate and both consumers see it as a variable.
+	b := circuit.NewBuilder("shared", circuit.NoOptimizations())
+	a, bb, c, d := b.Input("a"), b.Input("b"), b.Input("c"), b.Input("d")
+	s1 := b.Xor(a, bb)
+	b.Output("o1", b.And(s1, c))
+	b.Output("o2", b.Or(s1, d))
+	nl := b.MustBuild()
+
+	out, err := LUTCluster(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalent(t, nl, out)
+	before := nl.ComputeStats().Bootstrapped
+	after := out.ComputeStats().Bootstrapped
+	if after > before {
+		t.Fatalf("clustering increased bootstraps: %d -> %d", before, after)
+	}
+}
+
+func TestLUTClusterNeverIncreasesBootstraps(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		nl := randomNetlist(seed, 40)
+		opt, err := Optimize(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := LUTCluster(opt.Netlist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		equivalent(t, nl, out)
+		before := opt.Netlist.ComputeStats().Bootstrapped
+		after := out.ComputeStats().Bootstrapped
+		if after > before {
+			t.Fatalf("seed %d: clustering increased bootstraps: %d -> %d", seed, before, after)
+		}
+	}
+}
+
+func TestStandardPassesPreserveLUTNetlists(t *testing.T) {
+	// A netlist already holding LUT nodes must replay losslessly through
+	// every cleanup pass (and through another round of clustering).
+	b := circuit.NewBuilder("lutsrc", circuit.AllOptimizations())
+	x, y, z, w := b.Input("x"), b.Input("y"), b.Input("z"), b.Input("w")
+	maj := b.LUT(0xE8, x, y, z)
+	par := b.LUT(0x96, maj, z, w)
+	b.Output("m", maj)
+	b.Output("p", par)
+	nl := b.MustBuild()
+	if nl.ComputeStats().LUTs != 2 {
+		t.Fatalf("setup: expected 2 LUTs, got %+v", nl.ComputeStats())
+	}
+
+	for _, p := range LUTPasses() {
+		out, err := p.Run(nl)
+		if err != nil {
+			t.Fatalf("pass %s: %v", p.Name, err)
+		}
+		equivalent(t, nl, out)
+	}
+	out, err := Resynthesize(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalent(t, nl, out)
+}
+
+func TestOptimizeLUTRecordsDeltas(t *testing.T) {
+	res, err := OptimizeLUT(xorChain(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Deltas) == 0 {
+		t.Fatal("no per-pass deltas recorded")
+	}
+	sawCluster := false
+	for i, d := range res.Deltas {
+		if d.Pass == "lut-cluster" {
+			sawCluster = true
+			if d.LUTsAfter == 0 {
+				t.Fatalf("lut-cluster delta reports no LUTs: %+v", d)
+			}
+		}
+		if i > 0 && res.Deltas[i-1].Iteration == d.Iteration {
+			if res.Deltas[i-1].GatesAfter != d.GatesBefore {
+				t.Fatalf("delta chain broken at %d: %+v -> %+v", i, res.Deltas[i-1], d)
+			}
+		}
+	}
+	if !sawCluster {
+		t.Fatalf("no lut-cluster delta in %+v", res.Deltas)
+	}
+	if res.Netlist.ComputeStats().LUTs == 0 {
+		t.Fatal("OptimizeLUT produced no LUT gates on a parity chain")
+	}
+}

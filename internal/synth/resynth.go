@@ -66,6 +66,20 @@ func Resynthesize(nl *circuit.Netlist) (*circuit.Netlist, error) {
 
 	for i, g := range nl.Gates {
 		oldID := nl.GateID(i)
+		if g.IsLUT() {
+			// Multi-input LUT nodes are opaque to the 2-variable
+			// annotation machinery: replay them and let the result act
+			// as a fresh variable (LUTCluster is the pass that rewrites
+			// cones around LUTs).
+			newID := r.replayGate(&nl.Gates[i])
+			r.remap[oldID] = newID
+			if !newID.IsConst() {
+				if _, ok := ann[newID]; !ok {
+					ann[newID] = fresh(newID)
+				}
+			}
+			continue
+		}
 		na := r.mapped(g.A)
 		nb := r.mapped(g.B)
 		lookup := func(id circuit.NodeID) annotation {

@@ -32,12 +32,30 @@ func StandardPasses() []Pass {
 	}
 }
 
+// LUTPasses returns the standard pipeline with the lut-cluster pass
+// appended: cleanup first (const-fold, absorb-not, CSE, DCE), then cone
+// clustering into k-input LUTs over the tidied netlist.
+func LUTPasses() []Pass {
+	return append(StandardPasses(), Pass{Name: "lut-cluster", Run: LUTCluster})
+}
+
+// PassDelta records the effect of one pass application on the netlist,
+// in pipeline order (Iteration counts fixed-point rounds from zero).
+type PassDelta struct {
+	Iteration   int
+	Pass        string
+	GatesBefore int
+	GatesAfter  int
+	LUTsAfter   int
+}
+
 // Result records what a pipeline run did.
 type Result struct {
 	Netlist    *circuit.Netlist
 	Iterations int
 	GatesIn    int
 	GatesOut   int
+	Deltas     []PassDelta // one entry per pass application
 }
 
 // Optimize runs the standard pipeline repeatedly until the gate count stops
@@ -46,17 +64,36 @@ func Optimize(nl *circuit.Netlist) (*Result, error) {
 	return OptimizeWith(nl, StandardPasses(), 8)
 }
 
+// OptimizeLUT runs the standard pipeline plus lut-cluster to a fixed point.
+func OptimizeLUT(nl *circuit.Netlist) (*Result, error) {
+	return OptimizeWith(nl, LUTPasses(), 8)
+}
+
 // OptimizeWith runs the given passes to a fixed point.
 func OptimizeWith(nl *circuit.Netlist, passes []Pass, maxIter int) (*Result, error) {
 	res := &Result{Netlist: nl, GatesIn: len(nl.Gates)}
 	for iter := 0; iter < maxIter; iter++ {
 		before := len(res.Netlist.Gates)
 		for _, p := range passes {
+			nGatesBefore := len(res.Netlist.Gates)
 			out, err := p.Run(res.Netlist)
 			if err != nil {
 				return nil, fmt.Errorf("synth: pass %s: %w", p.Name, err)
 			}
 			res.Netlist = out
+			luts := 0
+			for i := range out.Gates {
+				if out.Gates[i].IsLUT() {
+					luts++
+				}
+			}
+			res.Deltas = append(res.Deltas, PassDelta{
+				Iteration:   iter,
+				Pass:        p.Name,
+				GatesBefore: nGatesBefore,
+				GatesAfter:  len(out.Gates),
+				LUTsAfter:   luts,
+			})
 		}
 		res.Iterations++
 		if len(res.Netlist.Gates) >= before {
@@ -99,12 +136,26 @@ func (r *rebuilder) mapped(id circuit.NodeID) circuit.NodeID {
 	return r.remap[id]
 }
 
+// replayGate re-emits one source gate through the builder with remapped
+// operands; LUT nodes replay through Builder.LUT so every pass preserves
+// them (with the builder's own table simplifications applied).
+func (r *rebuilder) replayGate(g *circuit.Gate) circuit.NodeID {
+	if g.IsLUT() {
+		ops := make([]circuit.NodeID, g.NumOperands())
+		for k := range ops {
+			ops[k] = r.mapped(g.Operand(k))
+		}
+		return r.b.LUT(g.TT, ops...)
+	}
+	return r.b.Gate(g.Kind, r.mapped(g.A), r.mapped(g.B))
+}
+
 // replayAll replays every gate through the builder (which applies its own
 // optimizations) and registers outputs.
 func (r *rebuilder) replayAll() (*circuit.Netlist, error) {
-	for i, g := range r.src.Gates {
+	for i := range r.src.Gates {
 		id := r.src.GateID(i)
-		r.remap[id] = r.b.Gate(g.Kind, r.mapped(g.A), r.mapped(g.B))
+		r.remap[id] = r.replayGate(&r.src.Gates[i])
 	}
 	r.finishOutputs()
 	return r.b.Build()
@@ -163,19 +214,21 @@ func DeadGateElimination(nl *circuit.Netlist) (*circuit.Netlist, error) {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if gi := nl.GateIndex(id); gi >= 0 {
-			mark(nl.Gates[gi].A)
-			mark(nl.Gates[gi].B)
+			g := &nl.Gates[gi]
+			for k := 0; k < g.NumOperands(); k++ {
+				mark(g.Operand(k))
+			}
 		}
 	}
 
 	// Rebuild keeping only live gates, verbatim (no extra rewriting).
 	r := newRebuilder(nl, circuit.NoOptimizations())
-	for i, g := range nl.Gates {
+	for i := range nl.Gates {
 		id := nl.GateID(i)
 		if !live[id] {
 			continue
 		}
-		r.remap[id] = r.b.Gate(g.Kind, r.mapped(g.A), r.mapped(g.B))
+		r.remap[id] = r.replayGate(&nl.Gates[i])
 	}
 	r.finishOutputs()
 	return r.b.Build()

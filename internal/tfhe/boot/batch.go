@@ -220,6 +220,68 @@ func (e *BatchEvaluator) extractAndSwitch(dst []*lwe.Sample, b int) error {
 	return nil
 }
 
+// BootstrapMixedBatch runs one structure-of-arrays blind rotation over a
+// batch mixing classic gate bootstraps and programmable (LUT) members:
+// members with luts[m] == nil use the constant test vector mu[m] and no
+// body offset (bit-exact with BootstrapBatch), members with luts[m] != nil
+// are programmed from their own test-vector function with the half-slot
+// offset of the msize message space (bit-exact with Evaluator.BootstrapLUT
+// on the same input). The per-member accumulator initialization is the
+// only divergence; the expensive key-streaming rotation is shared.
+func (e *BatchEvaluator) BootstrapMixedBatch(dst []*lwe.Sample, mu []torus.Torus32, luts []func(m int) torus.Torus32, msize int, src []*lwe.Sample) error {
+	if err := e.checkLens(dst, len(mu), src); err != nil {
+		return err
+	}
+	if len(luts) != len(src) {
+		return fmt.Errorf("boot: mixed batch length mismatch: luts=%d src=%d", len(luts), len(src))
+	}
+	b := len(src)
+	if b == 0 {
+		return nil
+	}
+	p := e.CK.Params
+	twoN := 2 * p.PolyDegree
+	if msize <= 0 || msize%2 != 0 {
+		return fmt.Errorf("boot: LUT message space must be a positive even number, got %d", msize)
+	}
+	if msize > twoN {
+		return fmt.Errorf("boot: LUT message space %d exceeds 2N = %d", msize, twoN)
+	}
+	e.grow(b)
+	var start time.Time
+	if e.Profile {
+		start = time.Now()
+	}
+	n := p.PolyDegree
+	halfSlot := torus.Torus32(uint32((uint64(1) << 32) / uint64(2*msize)))
+	for m := 0; m < b; m++ {
+		var barb int
+		if luts[m] == nil {
+			for j := range e.testvect.Coefs {
+				e.testvect.Coefs[j] = mu[m]
+			}
+			barb = modSwitch2N(src[m].B, twoN)
+		} else {
+			for j := 0; j < n; j++ {
+				mm := j * msize / twoN
+				e.testvect.Coefs[j] = luts[m](mm % msize)
+			}
+			barb = modSwitch2N(src[m].B+halfSlot, twoN)
+		}
+		if barb != 0 {
+			e.rotated.MulByXai(twoN-barb, e.testvect)
+		} else {
+			e.rotated.Copy(e.testvect)
+		}
+		e.accs[m].NoiselessTrivial(e.rotated)
+	}
+	e.blindRotateBatch(b, src)
+	if e.Profile {
+		e.Prof.BlindRotate += time.Since(start)
+	}
+	return e.extractAndSwitch(dst, b)
+}
+
 // BootstrapLUTBatch evaluates the programmable bootstrap dst[m] =
 // Enc(lut(m_enc)) for every member of the batch, sharing one test-vector
 // program across the batch (the LUT and message-space size are per-call,

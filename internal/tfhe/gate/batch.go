@@ -5,7 +5,6 @@ import (
 
 	"pytfhe/internal/logic"
 	"pytfhe/internal/tfhe/boot"
-	"pytfhe/internal/tfhe/lwe"
 )
 
 // BinaryBatch evaluates dst[m] = kinds[m](a[m], b[m]) for every member with
@@ -25,10 +24,7 @@ func (e *Engine) BinaryBatch(kinds []logic.Kind, dst, a, b []*Ciphertext) error 
 	if n == 0 {
 		return nil
 	}
-	for len(e.btmp) < n {
-		e.btmp = append(e.btmp, lwe.NewSample(e.p.LWEDimension))
-		e.bmu = append(e.bmu, mu18)
-	}
+	e.growBatch(n)
 	for m, kind := range kinds {
 		if !kind.NeedsBootstrap() {
 			return fmt.Errorf("gate: batch member %d: %v does not bootstrap", m, kind)

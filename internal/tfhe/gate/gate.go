@@ -65,10 +65,11 @@ type Engine struct {
 	u2   *lwe.Sample
 	musm *lwe.Sample // MUX sum before final key switch
 
-	// Batched path (BinaryBatch), allocated on first use.
+	// Batched path (BinaryBatch/OpBatch), allocated on first use.
 	batch *boot.BatchEvaluator
-	btmp  []*lwe.Sample   // per-member linear combinations
-	bmu   []torus.Torus32 // per-member bootstrap targets (always ±1/8)
+	btmp  []*lwe.Sample               // per-member linear combinations
+	bmu   []torus.Torus32             // per-member bootstrap targets (always ±1/8)
+	bluts []func(m int) torus.Torus32 // per-member LUT programs (nil = classic gate)
 }
 
 // NewEngine returns a gate engine bound to ck.

@@ -26,7 +26,9 @@ type GateNoise struct {
 	Gate  int            // gate index in nl.Gates
 	ID    circuit.NodeID // node id (NumInputs+1+Gate)
 	Kind  logic.Kind
-	Depth int // bootstrap depth: refreshes on the longest path into this gate
+	Arity uint8    // LUT arity, 0 for classic gates
+	TT    logic.TT // LUT truth table (Arity != 0 only)
+	Depth int      // bootstrap depth: refreshes on the longest path into this gate
 
 	// PreVariance is the variance of the bootstrap input tmp = bias +
 	// ca*a + cb*b (torus units). Sigmas is DecryptionMargin/stdev, and
@@ -35,6 +37,15 @@ type GateNoise struct {
 	PreVariance float64
 	Sigmas      float64
 	FailureProb float64
+}
+
+// describe names the gate for report text: the kind for classic gates, the
+// arity and table for LUTs (whose Kind field is meaningless).
+func (g GateNoise) describe() string {
+	if g.Arity != 0 {
+		return fmt.Sprintf("LUT%d[%#02x]", g.Arity, uint8(g.TT))
+	}
+	return g.Kind.String()
 }
 
 // NetlistReport is the result of the static noise-budget dataflow over one
@@ -47,6 +58,7 @@ type NetlistReport struct {
 
 	Gates        int
 	Bootstrapped int
+	LUTs         int // multi-input LUT gates (included in Bootstrapped)
 	Outputs      int
 
 	// MaxNoise is the bootstrapped gate with the lowest sigma margin (the
@@ -97,8 +109,8 @@ func (r *NetlistReport) Err() error {
 				w = g
 			}
 		}
-		return fmt.Errorf("noise: netlist %q over budget under %s: gate %d (%v, depth %d) has %.2f sigmas of margin, need %.2f (%d gates, %d outputs over budget)",
-			r.Name, r.Params, w.Gate, w.Kind, w.Depth, w.Sigmas, r.MinSigmas, len(r.OverBudget), len(r.OverBudgetOutputs))
+		return fmt.Errorf("noise: netlist %q over budget under %s: gate %d (%s, depth %d) has %.2f sigmas of margin, need %.2f (%d gates, %d outputs over budget)",
+			r.Name, r.Params, w.Gate, w.describe(), w.Depth, w.Sigmas, r.MinSigmas, len(r.OverBudget), len(r.OverBudgetOutputs))
 	}
 	return fmt.Errorf("noise: netlist %q over budget under %s: output %d has %.2f sigmas of margin, need %.2f",
 		r.Name, r.Params, r.OverBudgetOutputs[0], r.WorstOutputSigmas, r.MinSigmas)
@@ -112,11 +124,11 @@ func (r *NetlistReport) String() string {
 		status = fmt.Sprintf("OVER BUDGET (%d gates, %d outputs)", len(r.OverBudget), len(r.OverBudgetOutputs))
 	}
 	fmt.Fprintf(&b, "noise budget %q under %s: %s\n", r.Name, r.Params, status)
-	fmt.Fprintf(&b, "  gates %d (%d bootstrapped), outputs %d, min sigmas %.1f\n",
-		r.Gates, r.Bootstrapped, r.Outputs, r.MinSigmas)
+	fmt.Fprintf(&b, "  gates %d (%d bootstrapped, %d LUTs), outputs %d, min sigmas %.1f\n",
+		r.Gates, r.Bootstrapped, r.LUTs, r.Outputs, r.MinSigmas)
 	if r.Bootstrapped > 0 {
-		fmt.Fprintf(&b, "  max-noise gate: #%d %v at bootstrap depth %d (critical depth %d): stdev %.3g, %.2f sigmas, P[fail] %.3g\n",
-			r.MaxNoise.Gate, r.MaxNoise.Kind, r.MaxNoise.Depth, r.CriticalDepth,
+		fmt.Fprintf(&b, "  max-noise gate: #%d %s at bootstrap depth %d (critical depth %d): stdev %.3g, %.2f sigmas, P[fail] %.3g\n",
+			r.MaxNoise.Gate, r.MaxNoise.describe(), r.MaxNoise.Depth, r.CriticalDepth,
 			math.Sqrt(r.MaxNoise.PreVariance), r.MaxNoise.Sigmas, r.MaxNoise.FailureProb)
 	}
 	if r.WorstOutput >= 0 {
@@ -168,9 +180,55 @@ func AnalyzeNetlist(nl *circuit.Netlist, p *params.GateParams, minSigmas float64
 		variance[i] = b.FreshVariance
 	}
 
+	// record folds one bootstrapped gate's pre-bootstrap variance into the
+	// report and resets its output to the refreshed bootstrap variance.
+	record := func(gn GateNoise, pre float64, worstSigmas *float64) {
+		gn.PreVariance = pre
+		gn.Sigmas = math.Inf(1)
+		if pre > 0 {
+			gn.Sigmas = b.DecryptionMargin / math.Sqrt(pre)
+			gn.FailureProb = math.Erfc(gn.Sigmas / math.Sqrt2)
+		}
+		r.CircuitFailureProb += gn.FailureProb
+		if gn.Sigmas < *worstSigmas {
+			*worstSigmas = gn.Sigmas
+			r.MaxNoise = gn
+			r.CriticalDepth = gn.Depth
+		}
+		if gn.Sigmas < minSigmas {
+			r.OverBudget = append(r.OverBudget, gn)
+		}
+		variance[gn.ID] = b.BootstrapVariance
+		bdepth[gn.ID] = gn.Depth
+	}
+
 	worstSigmas := math.Inf(1)
 	for i, g := range nl.Gates {
 		id := nl.GateID(i)
+		if g.IsLUT() {
+			// A k-input LUT is one programmable bootstrap of the weighted
+			// combination Σ cᵢ·xᵢ with no bias; the solver's weights give
+			// the exact variance amplification, and the msize-8 test vector
+			// keeps the same 1/16 cell half-width the classic gates use.
+			pl, ok := logic.SolveLUT(int(g.Arity), g.TT)
+			if !ok {
+				return nil, fmt.Errorf("noise: gate %d: LUT arity %d table %#02x has no single-bootstrap plan", i, g.Arity, uint8(g.TT))
+			}
+			r.Bootstrapped++
+			r.LUTs++
+			var pre float64
+			d := 0
+			for k := 0; k < int(g.Arity); k++ {
+				op := g.Operand(k)
+				c := float64(pl.Weights[k])
+				pre += c * c * variance[op]
+				if bdepth[op] > d {
+					d = bdepth[op]
+				}
+			}
+			record(GateNoise{Gate: i, ID: id, Kind: g.Kind, Arity: g.Arity, TT: g.TT, Depth: d + 1}, pre, &worstSigmas)
+			continue
+		}
 		if g.Kind >= logic.NumKinds {
 			return nil, fmt.Errorf("noise: gate %d has unknown kind %d", i, g.Kind)
 		}
@@ -195,27 +253,11 @@ func AnalyzeNetlist(nl *circuit.Netlist, p *params.GateParams, minSigmas float64
 		}
 		r.Bootstrapped++
 		pre := float64(ca)*float64(ca)*variance[g.A] + float64(cb)*float64(cb)*variance[g.B]
-		gn := GateNoise{Gate: i, ID: id, Kind: g.Kind, PreVariance: pre, Sigmas: math.Inf(1)}
 		d := bdepth[g.A]
 		if bdepth[g.B] > d {
 			d = bdepth[g.B]
 		}
-		gn.Depth = d + 1
-		if pre > 0 {
-			gn.Sigmas = b.DecryptionMargin / math.Sqrt(pre)
-			gn.FailureProb = math.Erfc(gn.Sigmas / math.Sqrt2)
-		}
-		r.CircuitFailureProb += gn.FailureProb
-		if gn.Sigmas < worstSigmas {
-			worstSigmas = gn.Sigmas
-			r.MaxNoise = gn
-			r.CriticalDepth = gn.Depth
-		}
-		if gn.Sigmas < minSigmas {
-			r.OverBudget = append(r.OverBudget, gn)
-		}
-		variance[id] = b.BootstrapVariance
-		bdepth[id] = gn.Depth
+		record(GateNoise{Gate: i, ID: id, Kind: g.Kind, Depth: d + 1}, pre, &worstSigmas)
 	}
 
 	// Outputs decode by phase sign, so the margin is the full ±1/8

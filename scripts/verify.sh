@@ -132,3 +132,34 @@ for p in $worker_pids; do
     wait "$p" 2>/dev/null || true
 done
 worker_pids=
+
+# End-to-end multi-bit LUT serving: compile a clusterable VIP-Bench
+# kernel classically, then register it with a -lut daemon. Admission
+# re-synthesizes it into k-input programmable bootstraps (the stats
+# surface must show a nonzero LUT count) and the encrypted outputs must
+# match a local classic run bit for bit — the rewrite is exact.
+go run ./cmd/pytfhe compile -bench parrondo -out "$tmp/parrondo.ptfhe"
+pin=101101110010
+ref=$("$tmp/pytfhe" run -prog "$tmp/parrondo.ptfhe" -keys "$tmp/keys" \
+    -in "$pin" | grep '^outputs:')
+"$tmp/pytfhed" -listen 127.0.0.1:0 -addr-file "$tmp/addr3" -workers 2 -lut &
+daemon_pid=$!
+i=0
+while [ ! -s "$tmp/addr3" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "pytfhed -lut never wrote its address" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$tmp/addr3")
+out=$("$tmp/pytfhe" eval -server "$addr" -keys "$tmp/keys" \
+    -prog "$tmp/parrondo.ptfhe" -in "$pin" | grep '^outputs:')
+[ "$out" = "$ref" ]
+"$tmp/pytfhe" server-stats -server "$addr" | tee "$tmp/lstats"
+grep -Eq '^luts: [1-9][0-9]* multi-input LUT gates evaluated' "$tmp/lstats"
+"$tmp/pytfhe" server-stats -server "$addr" -json | grep -Eq '"LUTsEvaluated": [1-9]'
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+daemon_pid=
